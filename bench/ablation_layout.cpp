@@ -1,0 +1,48 @@
+// Ablation: memory layout / iteration order. The same Lorenzo PQD pipeline
+// scheduled three ways — raster (original SZ), row-decorrelated (GhostSZ)
+// and wavefront (waveSZ) — at paper-native dimensions. This isolates the
+// paper's core claim: the wavefront transform alone removes the stalls.
+#include <cstdio>
+
+#include "data/datasets.hpp"
+#include "fpga/calibration.hpp"
+#include "fpga/model.hpp"
+
+int main() {
+  using namespace wavesz;
+  std::printf(
+      "\n================================================================\n"
+      "Ablation — iteration order: raster vs row-decorrelated vs wavefront\n"
+      "reproduces: the §3.1/§3.2 argument behind Figs. 3-5\n"
+      "================================================================\n");
+
+  for (auto p : data::all_personas()) {
+    const Dims native = data::persona_dims(p, 1);
+    const Dims flat = native.flatten2d();
+    std::printf("\n--- %s (%s, flattened %s)\n",
+                std::string(data::persona_name(p)).c_str(),
+                native.str().c_str(), flat.str().c_str());
+
+    const auto naive = fpga::naive_raster_throughput(native);
+    const auto ghost = fpga::ghost_throughput(native);
+    const auto wave = fpga::wave_throughput(native, fpga::kWaveSzLanes);
+
+    auto row = [](const char* name, const fpga::DesignThroughput& t,
+                  const char* note) {
+      std::printf("  %-26s %10.1f MB/s  occupancy %6.3f  stalls %12llu   %s\n",
+                  name, t.effective_mbps, t.schedule.occupancy(),
+                  static_cast<unsigned long long>(t.schedule.stall_cycles),
+                  note);
+    };
+    row("raster (original SZ)", naive, "stalls ~Delta per point");
+    row("rows (GhostSZ order)", ghost,
+        "pipelines, but 1D predictor + pII 2");
+    row("wavefront (waveSZ)", wave, "pII 1, dependency-free columns");
+    std::printf("  wavefront vs raster: %.0fx\n",
+                wave.effective_mbps / naive.effective_mbps);
+  }
+  std::printf("\nshape check: raster order is catastrophic (the Fig. 3 "
+              "dependency wall);\nthe wavefront restores ~1 point/cycle "
+              "without giving up the 2D predictor.\n");
+  return 0;
+}

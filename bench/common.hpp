@@ -1,0 +1,130 @@
+// Shared helpers for the per-table/per-figure benchmark harnesses.
+//
+// Every bench accepts:
+//   --scale N   global downscale divisor override (default: per-persona
+//               values that preserve the paper-native border fractions)
+//   --full      run at the paper-native dimensions (2-3 GB of field data;
+//               slow on a laptop, exact geometry)
+// and prints the paper's reference numbers next to the reproduced ones.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "data/datasets.hpp"
+#include "ghostsz/ghostsz.hpp"
+#include "metrics/stats.hpp"
+#include "sz/compressor.hpp"
+#include "util/dims.hpp"
+#include "util/timer.hpp"
+
+namespace wavesz::bench {
+
+struct Options {
+  unsigned scale_override = 0;  // 0 = per-persona default
+  bool full = false;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--full") {
+        o.full = true;
+      } else if (a == "--scale" && i + 1 < argc) {
+        o.scale_override = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (a == "--help" || a == "-h") {
+        std::printf("usage: %s [--scale N] [--full]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+
+  unsigned scale_for(data::Persona p) const {
+    if (full) return 1;
+    if (scale_override > 0) return scale_override;
+    switch (p) {
+      case data::Persona::CesmAtm: return 16;   // 112 x 225
+      case data::Persona::Hurricane: return 2;  // 50 x 250 x 250
+      case data::Persona::Nyx: return 8;        // 64^3
+    }
+    return 16;
+  }
+};
+
+/// Per-field results of running every compressor variant.
+struct FieldRow {
+  std::string name;
+  double ratio_sz = 0, ratio_ghost = 0, ratio_wave_g = 0, ratio_wave_hg = 0;
+  double psnr_sz = 0, psnr_ghost = 0, psnr_wave = 0;
+  double mbps_sz = 0;  ///< measured single-core SZ-1.4 compression speed
+};
+
+/// Averages across a persona's fields.
+struct PersonaSummary {
+  std::vector<FieldRow> rows;
+  double avg(double FieldRow::* member) const {
+    double s = 0;
+    for (const auto& r : rows) s += r.*member;
+    return rows.empty() ? 0.0 : s / static_cast<double>(rows.size());
+  }
+};
+
+inline PersonaSummary sweep_persona(data::Persona p, const Options& opts,
+                                    bool want_psnr = true) {
+  PersonaSummary out;
+  for (const auto& f : data::fields(p, opts.scale_for(p))) {
+    const auto grid = f.materialize();
+    const double raw = static_cast<double>(grid.size() * sizeof(float));
+    FieldRow row;
+    row.name = f.name;
+
+    Stopwatch sw;
+    const auto c_sz = sz::compress(grid, f.dims, sz::Config{});
+    row.mbps_sz = sw.mbps(grid.size() * sizeof(float));
+    row.ratio_sz = raw / static_cast<double>(c_sz.bytes.size());
+
+    const auto c_ghost = ghost::compress(grid, f.dims, sz::Config{});
+    row.ratio_ghost = raw / static_cast<double>(c_ghost.bytes.size());
+
+    auto cfg_wave = wave::default_config();
+    const auto c_wg = wave::compress(grid, f.dims, cfg_wave);
+    row.ratio_wave_g = raw / static_cast<double>(c_wg.bytes.size());
+
+    cfg_wave.huffman = true;
+    const auto c_whg = wave::compress(grid, f.dims, cfg_wave);
+    row.ratio_wave_hg = raw / static_cast<double>(c_whg.bytes.size());
+
+    if (want_psnr) {
+      row.psnr_sz =
+          metrics::distortion(grid, sz::decompress(c_sz.bytes)).psnr_db;
+      row.psnr_ghost =
+          metrics::distortion(grid, ghost::decompress(c_ghost.bytes))
+              .psnr_db;
+      row.psnr_wave =
+          metrics::distortion(grid, wave::decompress(c_wg.bytes)).psnr_db;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+inline void print_header(const char* title, const char* paper_anchor) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_anchor);
+  std::printf("================================================================\n");
+}
+
+inline void print_scale_note(const Options& opts) {
+  if (opts.full) {
+    std::printf("(paper-native dimensions)\n");
+  } else {
+    std::printf("(synthetic personas at reduced scale; pass --full for "
+                "paper-native dims)\n");
+  }
+}
+
+}  // namespace wavesz::bench

@@ -1,0 +1,83 @@
+// Figures 3, 4, 5: memory layouts and L1-dependency structure of original
+// SZ (raster), GhostSZ (row-decorrelated) and waveSZ (wavefront) on the
+// paper's 6 x 10 demonstration grid — rendered textually and verified
+// programmatically (all points in one wavefront column are mutually
+// dependency-free).
+#include <cstdio>
+
+#include "core/wavefront.hpp"
+
+int main() {
+  using namespace wavesz;
+  constexpr std::size_t d0 = 6, d1 = 10;
+  std::printf(
+      "\n================================================================\n"
+      "Figures 3/4/5 — memory layouts and L1 dependencies (6 x 10 grid)\n"
+      "reproduces: paper Figs. 3a/3b, 4a/4b, 5a/5b\n"
+      "================================================================\n");
+
+  std::printf("\nFig. 3b — original SZ: L1 distance from pivot (0,0); each "
+              "point depends on\nneighbours at L1-1 and L1-2, but raster "
+              "order walks against the wavefront:\n");
+  for (std::size_t x = 0; x < d0; ++x) {
+    std::printf("  ");
+    for (std::size_t y = 0; y < d1; ++y) {
+      std::printf("%3zu", x + y);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFig. 4b — GhostSZ: per-row pivots (*, 0); points in the "
+              "same column share the\nsame distance, at the price of "
+              "discarding vertical correlation:\n");
+  for (std::size_t x = 0; x < d0; ++x) {
+    std::printf("  ");
+    for (std::size_t y = 0; y < d1; ++y) {
+      std::printf("%3zu", y);
+    }
+    std::printf("\n");
+  }
+
+  const wave::WavefrontLayout layout(d0, d1);
+  std::printf("\nFig. 5a — waveSZ wavefront storage: cell (x,y) shown at its "
+              "column h = x+y;\ncolumns are contiguous in memory:\n");
+  for (std::size_t x = 0; x < d0; ++x) {
+    std::printf("  ");
+    for (std::size_t h = 0; h < layout.column_count(); ++h) {
+      if (x >= layout.column_first_row(h) &&
+          x < layout.column_first_row(h) + layout.column_length(h) &&
+          h >= x && h - x < d1) {
+        std::printf(" %zu,%zu", x, h - x);
+      } else {
+        std::printf("    ");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nverification: every wavefront column is dependency-free "
+              "(same Manhattan\ndistance) and Lorenzo dependencies only reach "
+              "columns h-1 / h-2:\n");
+  bool ok = true;
+  for (std::size_t h = 0; h < layout.column_count(); ++h) {
+    for (std::size_t k = 0; k < layout.column_length(h); ++k) {
+      const auto [x, y] = layout.point_at(layout.column_start(h) + k);
+      if (x + y != h) ok = false;
+      if (x > 0 && y > 0) {
+        if ((x - 1) + y != h - 1 || x + (y - 1) != h - 1 ||
+            (x - 1) + (y - 1) != h - 2) {
+          ok = false;
+        }
+      }
+    }
+  }
+  std::printf("  %s\n", ok ? "PASS — columns are parallel-safe (pII = 1)"
+                           : "FAIL");
+  std::printf("\ncolumn lengths (head 1..%zu, body %zu, tail ..1): ", d0,
+              d0);
+  for (std::size_t h = 0; h < layout.column_count(); ++h) {
+    std::printf("%zu ", layout.column_length(h));
+  }
+  std::printf("\n");
+  return ok ? 0 : 1;
+}

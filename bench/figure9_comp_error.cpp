@@ -1,0 +1,94 @@
+// Figure 9: compression-error analysis for waveSZ vs GhostSZ on CLDLOW —
+// the error distributions (GhostSZ's more concentrated, §4.2) and coarse
+// spatial maps of |error| showing GhostSZ's exact hits on the similar-value
+// plateau regions.
+#include <algorithm>
+#include <vector>
+
+#include "common.hpp"
+#include "metrics/histogram.hpp"
+
+namespace wavesz {
+namespace {
+
+/// Downsample |a - b| onto a character raster: ' ' exact, '.' tiny, '#' at
+/// the bound.
+void error_map(const char* name, const std::vector<float>& orig,
+               const std::vector<float>& dec, std::size_t d0, std::size_t d1,
+               double bound) {
+  constexpr std::size_t rows = 12, cols = 48;
+  std::printf("\n%s — |compression error| map (' '=0, '.', ':', '#'=near "
+              "bound):\n",
+              name);
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::printf("  |");
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Max |error| over the tile.
+      double worst = 0;
+      const std::size_t x0 = r * d0 / rows, x1 = (r + 1) * d0 / rows;
+      const std::size_t y0 = c * d1 / cols, y1 = (c + 1) * d1 / cols;
+      for (std::size_t x = x0; x < x1; ++x) {
+        for (std::size_t y = y0; y < y1; ++y) {
+          worst = std::max(worst,
+                           std::fabs(static_cast<double>(orig[x * d1 + y]) -
+                                     static_cast<double>(dec[x * d1 + y])));
+        }
+      }
+      const double frac = worst / bound;
+      std::printf("%c", frac == 0.0  ? ' '
+                        : frac < 0.3 ? '.'
+                        : frac < 0.7 ? ':'
+                                     : '#');
+    }
+    std::printf("|\n");
+  }
+}
+
+}  // namespace
+}  // namespace wavesz
+
+int main(int argc, char** argv) {
+  using namespace wavesz;
+  const auto opts = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Figure 9 — compression errors: waveSZ vs GhostSZ on CLDLOW",
+      "paper Fig. 9 (GhostSZ distribution more concentrated; exact hits in "
+      "similar-value regions)");
+  bench::print_scale_note(opts);
+
+  const auto f = data::field(data::Persona::CesmAtm, "CLDLOW",
+                             opts.scale_for(data::Persona::CesmAtm));
+  const auto grid = f.materialize();
+
+  const auto c_wave = wave::compress(grid, f.dims, wave::default_config());
+  const auto d_wave = wave::decompress(c_wave.bytes);
+  const auto c_ghost = ghost::compress(grid, f.dims, sz::Config{});
+  const auto d_ghost = ghost::decompress(c_ghost.bytes);
+  const double eb = c_ghost.header.eb_absolute;
+
+  auto histo = [&](const char* name, const std::vector<float>& dec,
+                   double bound) {
+    const auto h =
+        metrics::Histogram::of_errors(grid, dec, -bound, bound, 21);
+    std::size_t exact = 0;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i] == dec[i]) ++exact;
+    }
+    std::printf("\n--- %s error distribution (%.1f%% bit-exact points)\n",
+                name,
+                100.0 * static_cast<double>(exact) /
+                    static_cast<double>(grid.size()));
+    std::printf("%s", h.ascii(44).c_str());
+  };
+  histo("waveSZ", d_wave, eb);
+  histo("GhostSZ", d_ghost, eb);
+
+  error_map("(2) waveSZ", grid, d_wave, f.dims[0], f.dims[1], eb);
+  error_map("(3) GhostSZ", grid, d_ghost, f.dims[0], f.dims[1], eb);
+
+  std::printf("\nshape checks: GhostSZ shows a taller spike at zero (exact "
+              "order-0 hits on the\nplateaus) while waveSZ's errors spread "
+              "evenly across the quantization cell —\nthe paper's "
+              "explanation for GhostSZ's higher PSNR in Table 8.\n");
+  return 0;
+}

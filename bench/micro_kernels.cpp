@@ -1,0 +1,168 @@
+// google-benchmark microbenchmarks of the hot kernels: quantization (both
+// datapaths), Lorenzo PQD, wavefront transform, customized Huffman, DEFLATE
+// and truncation coding.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/wavefront.hpp"
+#include "core/wavesz.hpp"
+#include "data/synthetic.hpp"
+#include "deflate/deflate.hpp"
+#include "sz/compressor.hpp"
+#include "sz/huffman_codec.hpp"
+#include "sz/quantizer.hpp"
+#include "sz/unpredictable.hpp"
+
+namespace {
+
+using namespace wavesz;
+
+std::vector<float> test_field(std::size_t d0, std::size_t d1) {
+  data::FieldRecipe r;
+  r.seed = 7;
+  r.base_frequency = 0.4;
+  r.noise_amplitude = 1e-4;
+  return data::generate(r, Dims::d2(d0, d1));
+}
+
+void BM_QuantizeBase10(benchmark::State& state) {
+  const sz::LinearQuantizer q(1e-3, 16);
+  std::vector<float> vals(8192);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<float>(i % 131) * 1e-4f;
+  }
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (std::size_t i = 1; i < vals.size(); ++i) {
+      acc += q.quantize(vals[i - 1], vals[i]).code;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8191);
+}
+BENCHMARK(BM_QuantizeBase10);
+
+void BM_QuantizeBase2(benchmark::State& state) {
+  const sz::Base2Quantizer q(-10, 16);
+  std::vector<float> vals(8192);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals[i] = static_cast<float>(i % 131) * 1e-4f;
+  }
+  for (auto _ : state) {
+    std::uint32_t acc = 0;
+    for (std::size_t i = 1; i < vals.size(); ++i) {
+      acc += q.quantize(vals[i - 1], vals[i]).code;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          8191);
+}
+BENCHMARK(BM_QuantizeBase2);
+
+void BM_LorenzoPqd2D(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto field = test_field(n, n);
+  const sz::LinearQuantizer q(1e-3, 16);
+  for (auto _ : state) {
+    auto pqd = sz::lorenzo_pqd(field, Dims::d2(n, n), q);
+    benchmark::DoNotOptimize(pqd.codes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 4));
+}
+BENCHMARK(BM_LorenzoPqd2D)->Arg(64)->Arg(256);
+
+void BM_WavefrontTransform(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto field = test_field(n, n);
+  const wave::WavefrontLayout layout(n, n);
+  for (auto _ : state) {
+    auto wf = wave::to_wavefront(field, layout);
+    benchmark::DoNotOptimize(wf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 4));
+}
+BENCHMARK(BM_WavefrontTransform)->Arg(256);
+
+void BM_WaveKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto field = test_field(n, n);
+  const wave::WavefrontLayout layout(n, n);
+  const auto wf0 = wave::to_wavefront(field, layout);
+  const sz::LinearQuantizer q(1e-3, 16);
+  for (auto _ : state) {
+    auto wf = wf0;
+    auto kr = wave::wave_pqd_2d(wf, layout, q);
+    benchmark::DoNotOptimize(kr.codes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 4));
+}
+BENCHMARK(BM_WaveKernel)->Arg(256);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  std::mt19937 rng(3);
+  std::vector<std::uint16_t> codes(1 << 16);
+  for (auto& c : codes) {
+    c = static_cast<std::uint16_t>(32768 + static_cast<int>(rng() % 9) - 4);
+  }
+  for (auto _ : state) {
+    auto blob = sz::huffman_encode(codes);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_DeflateFast(benchmark::State& state) {
+  std::vector<std::uint8_t> input(1 << 18);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>((i / 64) % 23);
+  }
+  for (auto _ : state) {
+    auto out = deflate::compress(input, deflate::Level::Fast);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_DeflateFast);
+
+void BM_Inflate(benchmark::State& state) {
+  std::vector<std::uint8_t> input(1 << 18);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>((i / 64) % 23);
+  }
+  const auto compressed = deflate::compress(input, deflate::Level::Best);
+  for (auto _ : state) {
+    auto out = deflate::decompress(compressed);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_Inflate);
+
+void BM_TruncationEncode(benchmark::State& state) {
+  std::vector<float> values(1 << 15);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<float>(i % 977) * 0.37f - 100.0f;
+  }
+  for (auto _ : state) {
+    auto blob = sz::truncation_encode(values, 1e-3);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(values.size()));
+}
+BENCHMARK(BM_TruncationEncode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Table 1: average compression ratio of GhostSZ vs SZ-1.4 on the three
+// datasets, 1e-3 value-range-relative bound, gzip back end.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wavesz;
+  const auto opts = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Table 1 — average compression ratio, GhostSZ vs SZ-1.4",
+      "paper Table 1 (CESM 7.9/31.2, Hurricane 6.2/21.4, NYX 6.6/33.8)");
+  bench::print_scale_note(opts);
+
+  std::printf("\n%-12s %10s %10s %10s  %s\n", "dataset", "GhostSZ", "SZ-1.4",
+              "SZ/Ghost", "paper SZ/Ghost");
+  const double paper_ratio[3] = {31.2 / 7.9, 21.4 / 6.2, 33.8 / 6.6};
+  int i = 0;
+  for (auto p : data::all_personas()) {
+    const auto s = bench::sweep_persona(p, opts, /*want_psnr=*/false);
+    const double ghost = s.avg(&bench::FieldRow::ratio_ghost);
+    const double sz = s.avg(&bench::FieldRow::ratio_sz);
+    std::printf("%-12s %10.1f %10.1f %10.2f  %14.2f\n",
+                std::string(data::persona_name(p)).c_str(), ghost, sz,
+                sz / ghost, paper_ratio[i++]);
+  }
+  std::printf("\nshape check: SZ-1.4 must lead GhostSZ on every dataset "
+              "(paper: 2.7x - 5.1x).\n");
+  return 0;
+}

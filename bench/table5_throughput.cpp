@@ -1,0 +1,56 @@
+// Table 5: compression throughput (MB/s) — waveSZ and GhostSZ from the
+// calibrated FPGA pipeline model at paper-native dimensions, SZ-1.4
+// measured on this machine's CPU (single core, as in the paper).
+#include "common.hpp"
+#include "fpga/model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wavesz;
+  const auto opts = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Table 5 — compression throughput (MB/s)",
+      "paper Table 5 (waveSZ 995/838/986, GhostSZ 185/144/156, "
+      "SZ-1.4 114/122/125)");
+  std::printf("FPGA columns: cycle-level model at paper-native dims "
+              "(ZC706, 156.25 MHz,\n3 PQD lanes, interface efficiency %.2f "
+              "— see EXPERIMENTS.md calibration).\nCPU column: measured "
+              "single-core on this machine.\n",
+              fpga::kInterfaceEfficiency);
+  bench::print_scale_note(opts);
+
+  const double paper[3][3] = {
+      {995, 185, 114}, {838, 144, 122}, {986, 156, 125}};
+
+  std::printf("\n%-12s %12s %12s %12s   %-22s %s\n", "dataset",
+              "waveSZ", "GhostSZ", "SZ-1.4(cpu)", "speedups (w/cpu, w/g)",
+              "paper (w, g, cpu)");
+  int i = 0;
+  double sum_wg = 0, sum_wc = 0;
+  for (auto p : data::all_personas()) {
+    const Dims native = data::persona_dims(p, 1);
+    const auto wave_t = fpga::wave_throughput(native, fpga::kWaveSzLanes);
+    const auto ghost_t = fpga::ghost_throughput(native);
+
+    // Measure SZ-1.4 on a reduced grid (the kernel is O(n); MB/s is
+    // scale-invariant up to cache effects).
+    const auto sweep = bench::sweep_persona(p, opts, /*want_psnr=*/false);
+    const double cpu = sweep.avg(&bench::FieldRow::mbps_sz);
+
+    const double w_over_c = wave_t.effective_mbps / cpu;
+    const double w_over_g = wave_t.effective_mbps / ghost_t.effective_mbps;
+    sum_wc += w_over_c;
+    sum_wg += w_over_g;
+    std::printf("%-12s %12.0f %12.0f %12.0f   %8.1fx %8.1fx    "
+                "(%0.f, %0.f, %0.f)\n",
+                std::string(data::persona_name(p)).c_str(),
+                wave_t.effective_mbps, ghost_t.effective_mbps, cpu, w_over_c,
+                w_over_g, paper[i][0], paper[i][1], paper[i][2]);
+    ++i;
+  }
+  std::printf("\naverage waveSZ speedup: %.1fx over CPU SZ-1.4 (paper "
+              "6.9-8.7x), %.1fx over GhostSZ (paper 5.8x)\n",
+              sum_wc / 3.0, sum_wg / 3.0);
+  std::printf("note: the CPU column depends on this machine; the paper used "
+              "a Xeon Gold 6148.\n");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Table 8: PSNR (dB) at the 1e-3 value-range-relative bound for GhostSZ,
+// waveSZ and SZ-1.4.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wavesz;
+  const auto opts = bench::Options::parse(argc, argv);
+  bench::print_header(
+      "Table 8 — PSNR (dB) at 1e-3 VR-rel bound",
+      "paper Table 8 (GhostSZ 73.9/70.6/74.5, waveSZ 65.1/66.0/66.5, "
+      "SZ-1.4 64.9/65.0/65.2)");
+  bench::print_scale_note(opts);
+
+  std::printf("\n%-12s %10s %10s %10s\n", "dataset", "GhostSZ", "waveSZ",
+              "SZ-1.4");
+  for (auto p : data::all_personas()) {
+    const auto s = bench::sweep_persona(p, opts, /*want_psnr=*/true);
+    std::printf("%-12s %10.1f %10.1f %10.1f\n",
+                std::string(data::persona_name(p)).c_str(),
+                s.avg(&bench::FieldRow::psnr_ghost),
+                s.avg(&bench::FieldRow::psnr_wave),
+                s.avg(&bench::FieldRow::psnr_sz));
+  }
+  std::printf("\nshape checks: all variants clear the bound (PSNR ~60+ dB); "
+              "GhostSZ trends\nhighest because its exact plateau hits and "
+              "verbatim resyncs concentrate the\nerror distribution "
+              "(paper §4.2, Fig. 9); waveSZ ~= SZ-1.4.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Lossy checkpoint/restart (the application-level use case the paper's
+// related work cites, e.g. Sasaki et al.): a 2D heat-diffusion solver
+// checkpoints its state through waveSZ, "fails", restarts from the lossy
+// checkpoint, and we measure how the compression error propagates through
+// the remaining simulation compared with an uninterrupted run.
+//
+// The point to observe: diffusion is dissipative, so the checkpoint error
+// (<= eb) decays rather than amplifies — lossy checkpointing at 1e-3..1e-5
+// costs far less storage than raw dumps at negligible trajectory cost.
+//
+//   $ ./examples/checkpoint_restart [--steps N] [--grid N]
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "metrics/stats.hpp"
+
+namespace {
+
+using namespace wavesz;
+
+struct Solver {
+  std::size_t n;
+  std::vector<float> u;
+
+  explicit Solver(std::size_t grid) : n(grid), u(grid * grid, 0.0f) {
+    // Hot blob off-centre plus a cold edge — enough structure to diffuse.
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t y = 0; y < n; ++y) {
+        const double dx = (static_cast<double>(x) / n) - 0.3;
+        const double dy = (static_cast<double>(y) / n) - 0.6;
+        u[x * n + y] = static_cast<float>(
+            100.0 * std::exp(-(dx * dx + dy * dy) * 40.0));
+      }
+    }
+  }
+
+  void step() {
+    constexpr double alpha = 0.2;  // stable for the 5-point stencil
+    std::vector<float> next(u.size());
+    for (std::size_t x = 0; x < n; ++x) {
+      for (std::size_t y = 0; y < n; ++y) {
+        auto at = [&](std::size_t a, std::size_t b) {
+          return static_cast<double>(u[a * n + b]);
+        };
+        const double c = at(x, y);
+        const double lap = at(x > 0 ? x - 1 : 0, y) +
+                           at(x + 1 < n ? x + 1 : x, y) +
+                           at(x, y > 0 ? y - 1 : 0) +
+                           at(x, y + 1 < n ? y + 1 : y) - 4.0 * c;
+        next[x * n + y] = static_cast<float>(c + alpha * lap);
+      }
+    }
+    u = std::move(next);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t grid = 192, steps = 200;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--grid") grid = std::stoul(argv[i + 1]);
+    if (std::string(argv[i]) == "--steps") steps = std::stoul(argv[i + 1]);
+  }
+  const std::size_t fail_at = steps / 2;
+  const Dims dims = Dims::d2(grid, grid);
+  const double raw_bytes = static_cast<double>(grid * grid * sizeof(float));
+
+  std::printf("2D heat diffusion, %zux%zu grid, %zu steps, failure at step "
+              "%zu\n\n",
+              grid, grid, steps, fail_at);
+  std::printf("%-10s %12s %10s | %16s %16s\n", "eb(VRrel)", "ckpt bytes",
+              "ratio", "err at restart", "err at end");
+
+  // Ground truth: uninterrupted run, with a snapshot kept at fail_at.
+  Solver truth(grid);
+  std::vector<float> truth_at_fail;
+  for (std::size_t t = 0; t < steps; ++t) {
+    if (t == fail_at) truth_at_fail = truth.u;
+    truth.step();
+  }
+
+  for (double eb : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    // Run to the failure point, checkpoint through waveSZ.
+    Solver run(grid);
+    for (std::size_t t = 0; t < fail_at; ++t) run.step();
+    auto cfg = wave::default_config();
+    cfg.error_bound = eb;
+    const auto checkpoint = wave::compress(run.u, dims, cfg);
+
+    // "Fail", restart from the lossy checkpoint, finish the simulation.
+    Solver restarted(grid);
+    restarted.u = wave::decompress(checkpoint.bytes);
+    const double err_restart =
+        metrics::distortion(truth_at_fail, restarted.u).max_abs_error;
+    for (std::size_t t = fail_at; t < steps; ++t) restarted.step();
+    const double err_end =
+        metrics::distortion(truth.u, restarted.u).max_abs_error;
+
+    std::printf("%-10g %12zu %9.1f:1 | %16.3g %16.3g\n", eb,
+                checkpoint.bytes.size(),
+                raw_bytes / static_cast<double>(checkpoint.bytes.size()),
+                err_restart, err_end);
+  }
+  std::printf("\nreading: the restart error never exceeds the checkpoint "
+              "bound, and diffusion\ndamps it further by the end of the "
+              "run — lossy checkpoints trade storage for a\nbounded, "
+              "decaying perturbation.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Artifact-style command-line tool for raw float32 files, mirroring the
+// paper artifact's `cpurun` interface:
+//
+//   wavesz_cli compress   <in.f32> <out.wsz> <d0> [d1 [d2]]
+//              [--mode wave|ghost|sz] [--eb 1e-3] [--abs] [--base10]
+//              [--huffman] [--best] [--f64]
+//   wavesz_cli decompress <in.wsz> <out.f32>
+//   wavesz_cli info       <in.wsz>
+//
+// Example (artifact equivalent of `cpurun 1800 3600 1 -3 base10 F wave`):
+//   wavesz_cli compress F.dat F.wsz 1800 3600 --mode wave --eb 1e-3
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "data/io.hpp"
+#include "ghostsz/ghostsz.hpp"
+#include "metrics/stats.hpp"
+#include "sz/compressor.hpp"
+#include "sz/container.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace wavesz;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  wavesz_cli compress   <in.f32> <out.wsz> <d0> [d1 [d2]]\n"
+               "             [--mode wave|ghost|sz] [--eb 1e-3] [--abs]\n"
+               "             [--base10] [--huffman] [--best]\n"
+               "  wavesz_cli decompress <in.wsz> <out.f32>\n"
+               "  wavesz_cli info       <in.wsz>\n");
+  return 2;
+}
+
+int do_compress(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string in = argv[0], out = argv[1];
+  std::vector<std::size_t> extents;
+  int i = 2;
+  for (; i < argc && argv[i][0] != '-'; ++i) {
+    extents.push_back(std::stoul(argv[i]));
+  }
+  std::string mode = "wave";
+  sz::Config cfg;
+  bool base10 = false, huffman = false, best = false, f64 = false;
+  for (; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--mode" && i + 1 < argc) {
+      mode = argv[++i];
+    } else if (a == "--eb" && i + 1 < argc) {
+      cfg.error_bound = std::stod(argv[++i]);
+    } else if (a == "--abs") {
+      cfg.mode = sz::EbMode::Absolute;
+    } else if (a == "--base10") {
+      base10 = true;
+    } else if (a == "--huffman") {
+      huffman = true;
+    } else if (a == "--best") {
+      best = true;
+    } else if (a == "--f64") {
+      f64 = true;
+    } else {
+      return usage();
+    }
+  }
+  if (extents.empty() || extents.size() > 3) return usage();
+
+  const Dims dims = extents.size() == 1 ? Dims::d1(extents[0])
+                    : extents.size() == 2
+                        ? Dims::d2(extents[0], extents[1])
+                        : Dims::d3(extents[0], extents[1], extents[2]);
+  if (best) cfg.gzip_level = deflate::Level::Best;
+
+  std::vector<float> field32;
+  std::vector<double> field64;
+  std::size_t raw_bytes = 0;
+  if (f64) {
+    const auto raw = data::read_bytes(in);
+    WAVESZ_REQUIRE(raw.size() == dims.count() * sizeof(double),
+                   "file size disagrees with float64 dims");
+    field64.resize(dims.count());
+    std::memcpy(field64.data(), raw.data(), raw.size());
+    raw_bytes = raw.size();
+  } else {
+    field32 = data::read_f32(in);
+    WAVESZ_REQUIRE(field32.size() == dims.count(),
+                   "file holds " + std::to_string(field32.size()) +
+                       " floats but dims need " +
+                       std::to_string(dims.count()));
+    raw_bytes = field32.size() * sizeof(float);
+  }
+
+  Stopwatch sw;
+  sz::Compressed c;
+  if (mode == "wave") {
+    auto wcfg = wave::default_config();
+    wcfg.error_bound = cfg.error_bound;
+    wcfg.mode = cfg.mode;
+    wcfg.gzip_level = cfg.gzip_level;
+    if (base10) wcfg.base = sz::EbBase::Ten;
+    wcfg.huffman = huffman;
+    c = f64 ? wave::compress(std::span<const double>(field64), dims, wcfg)
+            : wave::compress(std::span<const float>(field32), dims, wcfg);
+  } else if (mode == "ghost") {
+    WAVESZ_REQUIRE(!f64, "GhostSZ supports float32 only");
+    c = ghost::compress(field32, dims, cfg);
+  } else if (mode == "sz") {
+    cfg.huffman = true;
+    c = f64 ? sz::compress(std::span<const double>(field64), dims, cfg)
+            : sz::compress(std::span<const float>(field32), dims, cfg);
+  } else {
+    return usage();
+  }
+  const double secs = sw.seconds();
+  data::write_bytes(out, c.bytes);
+  std::printf("%s: %s %zu -> %zu bytes (ratio %.2f:1) in %.3f s "
+              "(%.1f MB/s), eb_abs %.4g, %llu unpredictable\n",
+              mode.c_str(), dims.str().c_str(), raw_bytes, c.bytes.size(),
+              metrics::compression_ratio(raw_bytes, c.bytes.size()), secs,
+              static_cast<double>(raw_bytes) / 1e6 / secs,
+              c.header.eb_absolute,
+              static_cast<unsigned long long>(c.header.unpredictable_count));
+  return 0;
+}
+
+int do_decompress(const char* in, const char* out) {
+  const auto bytes = data::read_bytes(in);
+  const auto header = sz::inspect(bytes);
+  if (header.dtype == 1) {
+    std::vector<double> field;
+    switch (header.variant) {
+      case sz::Variant::Sz14: field = sz::decompress64(bytes); break;
+      case sz::Variant::WaveSz: field = wave::decompress64(bytes); break;
+      default: throw Error("float64 container with unsupported variant");
+    }
+    data::write_bytes(
+        out, {reinterpret_cast<const std::uint8_t*>(field.data()),
+              field.size() * sizeof(double)});
+    std::printf("decompressed %s -> %s (%s, %zu doubles)\n", in, out,
+                header.dims.str().c_str(), field.size());
+    return 0;
+  }
+  std::vector<float> field;
+  switch (header.variant) {
+    case sz::Variant::Sz14: field = sz::decompress(bytes); break;
+    case sz::Variant::GhostSz: field = ghost::decompress(bytes); break;
+    case sz::Variant::WaveSz: field = wave::decompress(bytes); break;
+  }
+  data::write_f32(out, field);
+  std::printf("decompressed %s -> %s (%s, %zu floats)\n", in, out,
+              header.dims.str().c_str(), field.size());
+  return 0;
+}
+
+int do_info(const char* in) {
+  const auto bytes = data::read_bytes(in);
+  const auto h = sz::inspect(bytes);
+  const char* names[] = {"?", "SZ-1.4", "GhostSZ", "waveSZ"};
+  std::printf("variant      : %s\n", names[static_cast<int>(h.variant)]);
+  std::printf("dims         : %s (%llu points)\n", h.dims.str().c_str(),
+              static_cast<unsigned long long>(h.point_count));
+  std::printf("bound        : %g (%s%s) -> absolute %g\n", h.eb_requested,
+              h.mode == sz::EbMode::Absolute ? "absolute" : "VR-relative",
+              h.base == sz::EbBase::Two ? ", base-2 tightened" : "",
+              h.eb_absolute);
+  std::printf("dtype        : %s\n", h.dtype == 1 ? "float64" : "float32");
+  std::printf("quantizer    : %d-bit bins, %s, gzip %s\n", h.quant_bits,
+              h.huffman ? "customized Huffman (H*)" : "raw codes",
+              h.gzip_level == deflate::Level::Best ? "best" : "fast");
+  std::printf("unpredictable: %llu points\n",
+              static_cast<unsigned long long>(h.unpredictable_count));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "compress") return do_compress(argc - 2, argv + 2);
+    if (cmd == "decompress" && argc == 4) {
+      return do_decompress(argv[2], argv[3]);
+    }
+    if (cmd == "info" && argc == 3) return do_info(argv[2]);
+    return usage();
+  } catch (const wavesz::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

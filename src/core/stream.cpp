@@ -1,0 +1,228 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::wave {
+namespace {
+
+constexpr std::uint32_t kStreamMagic = 0x53535a57u;  // "WZSS"
+
+struct ArchiveIndex {
+  Dims dims = Dims::d1(1);
+  std::size_t chunk_planes = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;  // offset, size
+  std::size_t payload_base = 0;
+};
+
+ArchiveIndex parse_index(std::span<const std::uint8_t> bytes,
+                         ByteReader& r) {
+  WAVESZ_REQUIRE(r.u32() == kStreamMagic, "not a waveSZ stream archive");
+  const int rank = r.u8();
+  WAVESZ_REQUIRE(rank >= 1 && rank <= 3, "invalid rank");
+  ArchiveIndex idx;
+  std::array<std::size_t, 3> ext{};
+  for (auto& e : ext) {
+    e = static_cast<std::size_t>(r.u64());
+    WAVESZ_REQUIRE(e > 0, "zero extent in archive");
+  }
+  idx.dims = Dims{ext, rank};
+  idx.chunk_planes = static_cast<std::size_t>(r.u64());
+  WAVESZ_REQUIRE(idx.chunk_planes > 0, "invalid chunk size");
+  const std::uint64_t count = r.u64();
+  const std::uint64_t expected =
+      (idx.dims[0] + idx.chunk_planes - 1) / idx.chunk_planes;
+  WAVESZ_REQUIRE(count == expected, "chunk count disagrees with geometry");
+  std::size_t offset = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t size = r.u64();
+    idx.chunks.emplace_back(offset, size);
+    offset += size;
+  }
+  idx.payload_base = r.position();
+  WAVESZ_REQUIRE(idx.payload_base + offset <= bytes.size(),
+                 "archive truncated");
+  return idx;
+}
+
+Dims chunk_dims(const Dims& dims, std::size_t planes) {
+  if (dims.rank == 1) return Dims::d1(planes);
+  if (dims.rank == 2) return Dims::d2(planes, dims[1]);
+  return Dims::d3(planes, dims[1], dims[2]);
+}
+
+}  // namespace
+
+StreamCompressor::StreamCompressor(const Dims& dims, const sz::Config& cfg,
+                                   std::size_t chunk_planes)
+    : dims_(dims), cfg_(cfg),
+      plane_points_(dims.rank >= 2
+                        ? dims[1] * (dims.rank >= 3 ? dims[2] : 1)
+                        : 1),
+      chunk_planes_(chunk_planes) {
+  WAVESZ_REQUIRE(dims.rank >= 2, "streaming needs a 2D+ dataset");
+  if (chunk_planes_ == 0) {
+    const std::size_t target_points = 8u << 20;  // ~32 MB of float input
+    chunk_planes_ = std::max<std::size_t>(2, target_points / plane_points_);
+  }
+  // A single-plane chunk would make every point a border in the 2D view.
+  WAVESZ_REQUIRE(chunk_planes_ >= 2, "chunk must hold at least two planes");
+}
+
+void StreamCompressor::check_dtype(bool is_f64) {
+  const int want = is_f64 ? 1 : 0;
+  if (dtype_ == -1) {
+    dtype_ = want;
+  } else {
+    WAVESZ_REQUIRE(dtype_ == want,
+                   "cannot mix float32 and float64 feeds in one stream");
+  }
+}
+
+void StreamCompressor::feed(std::span<const float> planes) {
+  WAVESZ_REQUIRE(!finished_, "stream already finished");
+  check_dtype(false);
+  WAVESZ_REQUIRE(planes.size() % plane_points_ == 0,
+                 "feed() needs whole planes");
+  const std::size_t n = planes.size() / plane_points_;
+  WAVESZ_REQUIRE(planes_fed_ + n <= dims_[0], "more planes than dims allow");
+  pending_.insert(pending_.end(), planes.begin(), planes.end());
+  planes_fed_ += n;
+  while (pending_.size() >= chunk_planes_ * plane_points_) {
+    emit_chunk();
+  }
+}
+
+void StreamCompressor::feed(std::span<const double> planes) {
+  WAVESZ_REQUIRE(!finished_, "stream already finished");
+  check_dtype(true);
+  WAVESZ_REQUIRE(planes.size() % plane_points_ == 0,
+                 "feed() needs whole planes");
+  const std::size_t n = planes.size() / plane_points_;
+  WAVESZ_REQUIRE(planes_fed_ + n <= dims_[0], "more planes than dims allow");
+  pending64_.insert(pending64_.end(), planes.begin(), planes.end());
+  planes_fed_ += n;
+  while (pending64_.size() >= chunk_planes_ * plane_points_) {
+    emit_chunk();
+  }
+}
+
+void StreamCompressor::emit_chunk() {
+  const bool f64 = dtype_ == 1;
+  const std::size_t buffered =
+      f64 ? pending64_.size() : pending_.size();
+  const std::size_t planes =
+      std::min(chunk_planes_, buffered / plane_points_);
+  WAVESZ_ASSERT(planes >= 1, "emit_chunk with no pending data");
+  const std::size_t points = planes * plane_points_;
+  const Dims cdims = chunk_dims(dims_, planes);
+  sz::Compressed compressed;
+  if (f64) {
+    compressed = wave::compress(
+        std::span<const double>(pending64_.data(), points), cdims, cfg_);
+    pending64_.erase(pending64_.begin(),
+                     pending64_.begin() +
+                         static_cast<std::ptrdiff_t>(points));
+  } else {
+    compressed = wave::compress(
+        std::span<const float>(pending_.data(), points), cdims, cfg_);
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(points));
+  }
+  chunks_.push_back(std::move(compressed.bytes));
+}
+
+std::size_t StreamCompressor::compressed_bytes() const {
+  std::size_t total = 0;
+  for (const auto& c : chunks_) total += c.size();
+  return total;
+}
+
+std::vector<std::uint8_t> StreamCompressor::finish() {
+  WAVESZ_REQUIRE(!finished_, "stream already finished");
+  WAVESZ_REQUIRE(planes_fed_ == dims_[0],
+                 "stream received " + std::to_string(planes_fed_) +
+                     " of " + std::to_string(dims_[0]) + " planes");
+  // The tail holds fewer than chunk_planes planes; emit it as one short
+  // chunk (a single-plane tail degenerates to all-verbatim, which is
+  // correct, merely dense).
+  if (!pending_.empty() || !pending64_.empty()) emit_chunk();
+  WAVESZ_ASSERT(pending_.empty() && pending64_.empty(),
+                "tail not fully flushed");
+  finished_ = true;
+
+  ByteWriter w;
+  w.u32(kStreamMagic);
+  w.u8(static_cast<std::uint8_t>(dims_.rank));
+  for (int i = 0; i < 3; ++i) {
+    w.u64(dims_.extent[static_cast<std::size_t>(i)]);
+  }
+  w.u64(chunk_planes_);
+  w.u64(chunks_.size());
+  for (const auto& c : chunks_) w.u64(c.size());
+  for (const auto& c : chunks_) w.bytes(c);
+  return w.take();
+}
+
+std::size_t stream_chunk_count(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  return parse_index(bytes, r).chunks.size();
+}
+
+StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
+                                    std::size_t index) {
+  ByteReader r(bytes);
+  const auto idx = parse_index(bytes, r);
+  WAVESZ_REQUIRE(index < idx.chunks.size(), "chunk index out of range");
+  const auto [offset, size] = idx.chunks[index];
+  StreamChunk out;
+  out.first_plane = index * idx.chunk_planes;
+  Dims cdims;
+  out.data = wave::decompress(bytes.subspan(idx.payload_base + offset, size),
+                        &cdims);
+  out.plane_count = cdims[0];
+  WAVESZ_REQUIRE(out.first_plane + out.plane_count <= idx.dims[0],
+                 "chunk exceeds archive geometry");
+  return out;
+}
+
+std::vector<float> stream_decompress(std::span<const std::uint8_t> bytes,
+                                     Dims* dims_out) {
+  ByteReader r(bytes);
+  const auto idx = parse_index(bytes, r);
+  std::vector<float> out;
+  std::size_t planes_seen = 0;
+  for (std::size_t i = 0; i < idx.chunks.size(); ++i) {
+    const auto chunk = stream_decompress_chunk(bytes, i);
+    WAVESZ_REQUIRE(chunk.first_plane == planes_seen,
+                   "chunk sequence is not contiguous");
+    planes_seen += chunk.plane_count;
+    out.insert(out.end(), chunk.data.begin(), chunk.data.end());
+  }
+  WAVESZ_REQUIRE(planes_seen == idx.dims[0], "archive is missing planes");
+  if (dims_out != nullptr) *dims_out = idx.dims;
+  return out;
+}
+
+std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
+                                        Dims* dims_out) {
+  ByteReader r(bytes);
+  const auto idx = parse_index(bytes, r);
+  std::vector<double> out;
+  std::size_t planes_seen = 0, col = 0;
+  for (const auto& [offset, size] : idx.chunks) {
+    Dims cdims;
+    const auto chunk = wave::decompress64(
+        bytes.subspan(idx.payload_base + offset, size), &cdims);
+    planes_seen += cdims[0];
+    out.insert(out.end(), chunk.begin(), chunk.end());
+    (void)col;
+  }
+  WAVESZ_REQUIRE(planes_seen == idx.dims[0], "archive is missing planes");
+  if (dims_out != nullptr) *dims_out = idx.dims;
+  return out;
+}
+
+}  // namespace wavesz::wave

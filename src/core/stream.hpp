@@ -1,0 +1,82 @@
+// Bounded-memory streaming compression — the shape a waveSZ deployment on
+// an I/O node actually takes (paper §3.3 / Fig. 7): the host feeds plane
+// chunks, each chunk is compressed independently (its own wavefront, its
+// own gzip member) and flushed, so memory stays O(chunk) regardless of the
+// snapshot size and any chunk can later be decoded on its own.
+//
+//   StreamCompressor sc(Dims::d3(512, 512, 512), wave::default_config());
+//   while (more data) sc.feed(plane_span);     // multiples of one plane
+//   auto archive = sc.finish();                // self-describing container
+//   auto field = stream_decompress(archive);   // or decode chunk by chunk
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "sz/config.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::wave {
+
+class StreamCompressor {
+ public:
+  /// `chunk_planes` planes (slowest axis) per emitted chunk; 0 picks a
+  /// default targeting ~32 MB of input per chunk.
+  StreamCompressor(const Dims& dims, const sz::Config& cfg,
+                   std::size_t chunk_planes = 0);
+
+  /// Append data; must be a whole number of planes. Compressed chunks are
+  /// emitted internally as soon as they fill. A stream is either float32 or
+  /// float64: the first feed() fixes the type, mixing throws.
+  void feed(std::span<const float> planes);
+  void feed(std::span<const double> planes);
+
+  /// Total planes fed so far.
+  std::size_t planes_fed() const { return planes_fed_; }
+
+  /// Bytes already committed to finished chunks.
+  std::size_t compressed_bytes() const;
+
+  /// Flush the tail (a short final chunk is fine) and return the archive.
+  /// The stream must have received exactly dims[0] planes.
+  std::vector<std::uint8_t> finish();
+
+ private:
+  void emit_chunk();
+  void check_dtype(bool is_f64);
+
+  Dims dims_;
+  sz::Config cfg_;
+  std::size_t plane_points_;
+  std::size_t chunk_planes_;
+  std::size_t planes_fed_ = 0;
+  std::vector<float> pending_;
+  std::vector<double> pending64_;
+  int dtype_ = -1;  // -1 undecided, 0 float32, 1 float64
+  std::vector<std::vector<std::uint8_t>> chunks_;
+  bool finished_ = false;
+};
+
+/// Decode a whole streamed archive back into the full field.
+std::vector<float> stream_decompress(std::span<const std::uint8_t> bytes,
+                                     Dims* dims_out = nullptr);
+
+/// float64 counterpart (archives written from double feeds).
+std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
+                                        Dims* dims_out = nullptr);
+
+/// Number of independently decodable chunks in a streamed archive.
+std::size_t stream_chunk_count(std::span<const std::uint8_t> bytes);
+
+/// Decode only chunk `index` (planes [first_plane, first_plane+planes)).
+struct StreamChunk {
+  std::size_t first_plane = 0;
+  std::size_t plane_count = 0;
+  std::vector<float> data;
+};
+StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
+                                    std::size_t index);
+
+}  // namespace wavesz::wave

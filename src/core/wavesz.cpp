@@ -1,0 +1,420 @@
+#include "core/wavesz.hpp"
+
+#include <algorithm>
+
+#include "deflate/deflate.hpp"
+#include "sz/huffman_codec.hpp"
+#include "sz/predictor.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::wave {
+namespace {
+
+/// Width-generic glue between the kernels and the float32/float64 entry
+/// points of the quantizer and serializers.
+template <typename T>
+struct FpOps;
+
+template <>
+struct FpOps<float> {
+  using Kernel = KernelResult;
+  static constexpr std::uint8_t kDtype = 0;
+  static auto quantize(const sz::LinearQuantizer& q, double pred,
+                       float orig) {
+    return q.quantize(pred, orig);
+  }
+  static float reconstruct(const sz::LinearQuantizer& q, double pred,
+                           std::uint16_t code) {
+    return q.reconstruct(pred, code);
+  }
+  static void write_values(ByteWriter& w, std::span<const float> v) {
+    w.floats(v);
+  }
+  static std::vector<float> read_values(ByteReader& r, std::size_t n) {
+    return r.floats(n);
+  }
+};
+
+template <>
+struct FpOps<double> {
+  using Kernel = KernelResult64;
+  static constexpr std::uint8_t kDtype = 1;
+  static auto quantize(const sz::LinearQuantizer& q, double pred,
+                       double orig) {
+    return q.quantize64(pred, orig);
+  }
+  static double reconstruct(const sz::LinearQuantizer& q, double pred,
+                            std::uint16_t code) {
+    return q.reconstruct64(pred, code);
+  }
+  static void write_values(ByteWriter& w, std::span<const double> v) {
+    w.doubles(v);
+  }
+  static std::vector<double> read_values(ByteReader& r, std::size_t n) {
+    return r.doubles(n);
+  }
+};
+
+/// The fully pipelined 2D kernel (Listing 1 semantics: column-major walk of
+/// the wavefront layout, in-place decompression writeback).
+template <typename T>
+typename FpOps<T>::Kernel wave_pqd_2d_t(std::span<T> wavefront,
+                                        const WavefrontLayout& layout,
+                                        const sz::LinearQuantizer& q) {
+  WAVESZ_REQUIRE(wavefront.size() == layout.count(),
+                 "wavefront size disagrees with layout");
+  typename FpOps<T>::Kernel out;
+  out.codes.reserve(wavefront.size());
+  const std::size_t cols = layout.column_count();
+  for (std::size_t h = 0; h < cols; ++h) {
+    const std::size_t x_lo = layout.column_first_row(h);
+    const std::size_t len = layout.column_length(h);
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t x = x_lo + k;
+      const std::size_t y = h - x;
+      const std::size_t off = layout.column_start(h) + k;
+      if (x == 0 || y == 0) {
+        // Border: passed to the lossless compressor verbatim (§3.2); the
+        // exact original stays in place as downstream history.
+        out.codes.push_back(0);
+        out.verbatim.push_back(wavefront[off]);
+        continue;
+      }
+      const double pred = sz::lorenzo2d(wavefront[layout.offset(x - 1, y - 1)],
+                                        wavefront[layout.offset(x - 1, y)],
+                                        wavefront[layout.offset(x, y - 1)]);
+      const auto r = FpOps<T>::quantize(q, pred, wavefront[off]);
+      if (r.code != 0) {
+        out.codes.push_back(r.code);
+        wavefront[off] = r.reconstructed;  // in-place decompression writeback
+      } else {
+        out.codes.push_back(0);
+        out.verbatim.push_back(wavefront[off]);
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> wave_reconstruct_2d_t(std::span<const std::uint16_t> codes,
+                                     std::span<const T> verbatim,
+                                     std::size_t* next_verbatim,
+                                     const WavefrontLayout& layout,
+                                     const sz::LinearQuantizer& q) {
+  WAVESZ_REQUIRE(codes.size() == layout.count(),
+                 "code count disagrees with layout");
+  std::vector<T> rec(codes.size());
+  const std::size_t cols = layout.column_count();
+  std::size_t i = 0;
+  for (std::size_t h = 0; h < cols; ++h) {
+    const std::size_t x_lo = layout.column_first_row(h);
+    const std::size_t len = layout.column_length(h);
+    for (std::size_t k = 0; k < len; ++k, ++i) {
+      const std::size_t x = x_lo + k;
+      const std::size_t y = h - x;
+      const std::size_t off = layout.column_start(h) + k;
+      if (codes[i] == 0) {
+        WAVESZ_REQUIRE(*next_verbatim < verbatim.size(),
+                       "verbatim stream exhausted");
+        rec[off] = verbatim[(*next_verbatim)++];
+      } else {
+        const double pred =
+            sz::lorenzo2d(rec[layout.offset(x - 1, y - 1)],
+                          rec[layout.offset(x - 1, y)],
+                          rec[layout.offset(x, y - 1)]);
+        rec[off] = FpOps<T>::reconstruct(q, pred, codes[i]);
+      }
+    }
+  }
+  return rec;
+}
+
+/// 3D-Lorenzo PQD for one slice, the previous slice already reconstructed
+/// (both in wavefront layout). Used by LayoutMode::True3D.
+template <typename T>
+void wave_pqd_slice3d(std::span<T> cur, std::span<const T> prev,
+                      const WavefrontLayout& layout,
+                      const sz::LinearQuantizer& q,
+                      typename FpOps<T>::Kernel& out) {
+  const std::size_t cols = layout.column_count();
+  for (std::size_t h = 0; h < cols; ++h) {
+    const std::size_t x_lo = layout.column_first_row(h);
+    const std::size_t len = layout.column_length(h);
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t x = x_lo + k;
+      const std::size_t y = h - x;
+      const std::size_t off = layout.column_start(h) + k;
+      if (x == 0 || y == 0) {
+        out.codes.push_back(0);
+        out.verbatim.push_back(cur[off]);
+        continue;  // cur[off] keeps the exact original as history
+      }
+      const std::size_t o_nw = layout.offset(x - 1, y - 1);
+      const std::size_t o_n = layout.offset(x - 1, y);
+      const std::size_t o_w = layout.offset(x, y - 1);
+      const double pred = sz::lorenzo3d(
+          prev[o_nw], cur[o_nw], prev[o_n], prev[o_w], cur[o_n], cur[o_w],
+          prev[off]);
+      const auto r = FpOps<T>::quantize(q, pred, cur[off]);
+      if (r.code != 0) {
+        out.codes.push_back(r.code);
+        cur[off] = r.reconstructed;
+      } else {
+        out.codes.push_back(0);
+        out.verbatim.push_back(cur[off]);
+      }
+    }
+  }
+}
+
+/// Inverse of wave_pqd_slice3d.
+template <typename T>
+void wave_reconstruct_slice3d(std::span<const std::uint16_t> codes,
+                              std::span<const T> verbatim,
+                              std::size_t* next_verbatim,
+                              std::span<const T> prev, std::span<T> cur,
+                              const WavefrontLayout& layout,
+                              const sz::LinearQuantizer& q) {
+  const std::size_t cols = layout.column_count();
+  std::size_t i = 0;
+  for (std::size_t h = 0; h < cols; ++h) {
+    const std::size_t x_lo = layout.column_first_row(h);
+    const std::size_t len = layout.column_length(h);
+    for (std::size_t k = 0; k < len; ++k, ++i) {
+      const std::size_t x = x_lo + k;
+      const std::size_t y = h - x;
+      const std::size_t off = layout.column_start(h) + k;
+      if (codes[i] == 0) {
+        WAVESZ_REQUIRE(*next_verbatim < verbatim.size(),
+                       "verbatim stream exhausted");
+        cur[off] = verbatim[(*next_verbatim)++];
+        continue;
+      }
+      const std::size_t o_nw = layout.offset(x - 1, y - 1);
+      const std::size_t o_n = layout.offset(x - 1, y);
+      const std::size_t o_w = layout.offset(x, y - 1);
+      const double pred = sz::lorenzo3d(
+          prev[o_nw], cur[o_nw], prev[o_n], prev[o_w], cur[o_n], cur[o_w],
+          prev[off]);
+      cur[off] = FpOps<T>::reconstruct(q, pred, codes[i]);
+    }
+  }
+}
+
+std::vector<std::uint8_t> encode_codes(
+    std::span<const std::uint16_t> codes, const sz::Config& cfg) {
+  std::vector<std::uint8_t> plain;
+  if (cfg.huffman) {
+    plain = sz::huffman_encode(codes);
+  } else {
+    ByteWriter cw;
+    cw.u16s(codes);
+    plain = cw.take();
+  }
+  return deflate::gzip_compress(plain, cfg.gzip_level);
+}
+
+template <typename T>
+double range_of(std::span<const T> data) {
+  WAVESZ_REQUIRE(!data.empty(), "cannot compress an empty field");
+  double lo = static_cast<double>(data[0]);
+  double hi = lo;
+  for (T v : data) {
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  return hi - lo;
+}
+
+template <typename T>
+sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
+                          const sz::Config& cfg, LayoutMode mode) {
+  WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
+  WAVESZ_REQUIRE(dims.rank >= 2,
+                 "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
+  const double bound = resolve_bound(cfg, range_of(data));
+  const sz::LinearQuantizer q(bound, cfg.quant_bits);
+  if (mode == LayoutMode::True3D) {
+    WAVESZ_REQUIRE(dims.rank == 3, "True3D layout requires a 3D dataset");
+  }
+
+  typename FpOps<T>::Kernel kr;
+  if (mode == LayoutMode::Flatten2D || dims.rank <= 2) {
+    const Dims flat = dims.flatten2d();
+    const WavefrontLayout layout(flat[0], flat[1]);
+    auto wf = to_wavefront(data, layout);
+    kr = wave_pqd_2d_t<T>(wf, layout, q);
+  } else {
+    const std::size_t planes = dims[0];
+    const WavefrontLayout layout(dims[1], dims[2]);
+    const std::size_t slice_points = layout.count();
+    kr.codes.reserve(data.size());
+    std::vector<T> prev;
+    for (std::size_t z = 0; z < planes; ++z) {
+      auto cur =
+          to_wavefront(data.subspan(z * slice_points, slice_points), layout);
+      if (z == 0) {
+        auto first = wave_pqd_2d_t<T>(std::span<T>(cur), layout, q);
+        kr.codes.insert(kr.codes.end(), first.codes.begin(),
+                        first.codes.end());
+        kr.verbatim.insert(kr.verbatim.end(), first.verbatim.begin(),
+                           first.verbatim.end());
+      } else {
+        wave_pqd_slice3d<T>(cur, prev, layout, q, kr);
+      }
+      prev = std::move(cur);
+    }
+  }
+
+  const auto code_blob = encode_codes(kr.codes, cfg);
+  ByteWriter vw;
+  FpOps<T>::write_values(vw, kr.verbatim);
+  const auto verbatim_blob = deflate::gzip_compress(vw.data(), cfg.gzip_level);
+
+  sz::Compressed out;
+  out.header.variant = sz::Variant::WaveSz;
+  out.header.dims = dims;
+  out.header.mode = cfg.mode;
+  out.header.base = cfg.base;
+  out.header.eb_requested = cfg.error_bound;
+  out.header.eb_absolute = bound;
+  out.header.quant_bits = cfg.quant_bits;
+  out.header.huffman = cfg.huffman;
+  out.header.gzip_level = cfg.gzip_level;
+  out.header.aux = static_cast<std::uint8_t>(mode);
+  out.header.dtype = FpOps<T>::kDtype;
+  out.header.point_count = data.size();
+  out.header.unpredictable_count = kr.verbatim.size();
+  out.code_blob_bytes = code_blob.size();
+  out.unpred_blob_bytes = verbatim_blob.size();
+
+  ByteWriter w;
+  sz::write_header(w, out.header);
+  sz::write_section(w, code_blob);
+  sz::write_section(w, verbatim_blob);
+  out.bytes = w.take();
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
+                            Dims* dims_out) {
+  ByteReader r(bytes);
+  const sz::ContainerHeader h = sz::read_header(r);
+  WAVESZ_REQUIRE(h.variant == sz::Variant::WaveSz,
+                 "container is not a waveSZ stream");
+  WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,
+                 "container value type mismatch (float32 vs float64)");
+  WAVESZ_REQUIRE(h.aux <= 1, "unknown waveSZ layout mode");
+  const auto mode = static_cast<LayoutMode>(h.aux);
+  const auto code_blob = sz::read_section(r);
+  const auto verbatim_blob = sz::read_section(r);
+
+  const auto code_plain = deflate::gzip_decompress(code_blob);
+  std::vector<std::uint16_t> codes;
+  if (h.huffman) {
+    codes = sz::huffman_decode(code_plain);
+  } else {
+    ByteReader cr(code_plain);
+    codes = cr.u16s(h.point_count);
+  }
+  WAVESZ_REQUIRE(codes.size() == h.point_count, "code count mismatch");
+
+  const auto verbatim_plain = deflate::gzip_decompress(verbatim_blob);
+  ByteReader ur(verbatim_plain);
+  const auto verbatim = FpOps<T>::read_values(ur, h.unpredictable_count);
+
+  const sz::LinearQuantizer q(h.eb_absolute, h.quant_bits);
+  if (dims_out != nullptr) *dims_out = h.dims;
+
+  std::size_t next_verbatim = 0;
+  if (mode == LayoutMode::Flatten2D || h.dims.rank <= 2) {
+    const Dims flat = h.dims.flatten2d();
+    const WavefrontLayout layout(flat[0], flat.rank >= 2 ? flat[1] : 1);
+    auto rec_wf = wave_reconstruct_2d_t<T>(codes, verbatim, &next_verbatim,
+                                           layout, q);
+    WAVESZ_REQUIRE(next_verbatim == verbatim.size(),
+                   "verbatim stream has trailing values");
+    return from_wavefront(std::span<const T>(rec_wf), layout);
+  }
+
+  const std::size_t planes = h.dims[0];
+  const WavefrontLayout layout(h.dims[1], h.dims[2]);
+  const std::size_t slice_points = layout.count();
+  std::vector<T> out;
+  out.reserve(h.dims.count());
+  std::vector<T> prev;
+  for (std::size_t z = 0; z < planes; ++z) {
+    const auto slice_codes =
+        std::span<const std::uint16_t>(codes).subspan(z * slice_points,
+                                                      slice_points);
+    std::vector<T> cur;
+    if (z == 0) {
+      cur = wave_reconstruct_2d_t<T>(slice_codes, verbatim, &next_verbatim,
+                                     layout, q);
+    } else {
+      cur.resize(slice_points);
+      wave_reconstruct_slice3d<T>(slice_codes, verbatim, &next_verbatim,
+                                  prev, cur, layout, q);
+    }
+    const auto raster = from_wavefront(std::span<const T>(cur), layout);
+    out.insert(out.end(), raster.begin(), raster.end());
+    prev = std::move(cur);
+  }
+  WAVESZ_REQUIRE(next_verbatim == verbatim.size(),
+                 "verbatim stream has trailing values");
+  return out;
+}
+
+}  // namespace
+
+sz::Config default_config() {
+  sz::Config cfg;
+  cfg.base = sz::EbBase::Two;  // exponent-only quantization (§3.3)
+  cfg.huffman = false;         // the FPGA design ships G* only (Table 7)
+  return cfg;
+}
+
+KernelResult wave_pqd_2d(std::span<float> wavefront,
+                         const WavefrontLayout& layout,
+                         const sz::LinearQuantizer& q) {
+  return wave_pqd_2d_t<float>(wavefront, layout, q);
+}
+
+KernelResult64 wave_pqd_2d_64(std::span<double> wavefront,
+                              const WavefrontLayout& layout,
+                              const sz::LinearQuantizer& q) {
+  return wave_pqd_2d_t<double>(wavefront, layout, q);
+}
+
+std::vector<float> wave_reconstruct_2d(std::span<const std::uint16_t> codes,
+                                       std::span<const float> verbatim,
+                                       std::size_t* next_verbatim,
+                                       const WavefrontLayout& layout,
+                                       const sz::LinearQuantizer& q) {
+  return wave_reconstruct_2d_t<float>(codes, verbatim, next_verbatim, layout,
+                                      q);
+}
+
+sz::Compressed compress(std::span<const float> data, const Dims& dims,
+                        const sz::Config& cfg, LayoutMode mode) {
+  return compress_t<float>(data, dims, cfg, mode);
+}
+
+sz::Compressed compress(std::span<const double> data, const Dims& dims,
+                        const sz::Config& cfg, LayoutMode mode) {
+  return compress_t<double>(data, dims, cfg, mode);
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out) {
+  return decompress_t<float>(bytes, dims_out);
+}
+
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 Dims* dims_out) {
+  return decompress_t<double>(bytes, dims_out);
+}
+
+}  // namespace wavesz::wave

@@ -1,0 +1,84 @@
+// waveSZ — the paper's primary contribution (§3).
+//
+// Pipeline: wavefront preprocessing -> single-layer Lorenzo prediction ->
+// linear-scaling quantization (base-2 tightened bound by default) -> gzip,
+// with the customized Huffman stage (H*) available in front of gzip to
+// reproduce paper Table 7's H*G* rows. Unlike SZ-1.4, border points (first
+// row / first column of the 2D view) and non-quantizable points are passed
+// to the lossless back end verbatim instead of truncation-coded (§3.2).
+//
+// Layout modes:
+//   Flatten2D — 3D datasets are processed as d0 x (d1*d2), exactly as the
+//               paper's artifact runs Hurricane (100x250000) and NYX
+//               (512x262144);
+//   True3D    — extension: per-slice 2D wavefront with the 3D Lorenzo
+//               stencil reaching into the previous reconstructed slice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/wavefront.hpp"
+#include "sz/compressor.hpp"
+#include "sz/config.hpp"
+#include "sz/quantizer.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::wave {
+
+enum class LayoutMode : std::uint8_t { Flatten2D = 0, True3D = 1 };
+
+/// Default waveSZ configuration: base-2 tightened bound, gzip only (the
+/// FPGA design), 16-bit bins — paper §4.1.
+sz::Config default_config();
+
+/// Output of the fully pipelined PQD kernel over one wavefront-layout grid.
+struct KernelResult {
+  std::vector<std::uint16_t> codes;  ///< wavefront visit order, 0 = verbatim
+  std::vector<float> verbatim;       ///< border + non-quantizable originals
+};
+
+/// Run prediction-quantization-decompression over `wavefront` (mutated in
+/// place to hold decompressor-visible values, as the HLS kernel writes back
+/// d_re — Listing 1). 2D Lorenzo only; borders x==0 / y==0 go verbatim.
+KernelResult wave_pqd_2d(std::span<float> wavefront,
+                         const WavefrontLayout& layout,
+                         const sz::LinearQuantizer& q);
+
+/// Inverse kernel: rebuild the wavefront-layout reconstruction.
+std::vector<float> wave_reconstruct_2d(std::span<const std::uint16_t> codes,
+                                       std::span<const float> verbatim,
+                                       std::size_t* next_verbatim,
+                                       const WavefrontLayout& layout,
+                                       const sz::LinearQuantizer& q);
+
+/// float64 counterpart of KernelResult.
+struct KernelResult64 {
+  std::vector<std::uint16_t> codes;
+  std::vector<double> verbatim;
+};
+
+KernelResult64 wave_pqd_2d_64(std::span<double> wavefront,
+                              const WavefrontLayout& layout,
+                              const sz::LinearQuantizer& q);
+
+/// Full waveSZ compression (float32).
+sz::Compressed compress(std::span<const float> data, const Dims& dims,
+                        const sz::Config& cfg,
+                        LayoutMode mode = LayoutMode::Flatten2D);
+
+/// Full waveSZ compression (float64).
+sz::Compressed compress(std::span<const double> data, const Dims& dims,
+                        const sz::Config& cfg,
+                        LayoutMode mode = LayoutMode::Flatten2D);
+
+/// Inverse for float32 containers; throws on a float64 container.
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out = nullptr);
+
+/// Inverse for float64 containers.
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 Dims* dims_out = nullptr);
+
+}  // namespace wavesz::wave

@@ -1,0 +1,134 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavesz::data {
+namespace {
+
+std::size_t scaled(std::size_t extent, unsigned scale) {
+  return std::max<std::size_t>(8, extent / std::max(1u, scale));
+}
+
+Dims scale_dims(const Dims& d, unsigned s) {
+  if (d.rank == 2) return Dims::d2(scaled(d[0], s), scaled(d[1], s));
+  return Dims::d3(scaled(d[0], s), scaled(d[1], s), scaled(d[2], s));
+}
+
+FieldRecipe cloud_fraction(std::uint64_t seed, double gain,
+                           double freq = 3.5) {
+  FieldRecipe r;
+  r.seed = seed;
+  r.wave_components = 7;
+  r.base_frequency = freq;
+  r.octave_decay = 0.62;   // keep fine structure: cloud edges are rough
+  r.gaussian_bumps = 10;
+  r.plateau_gain = gain;   // saturated 0/1 plateaus like CLDLOW/CLDHGH
+  r.noise_amplitude = 1e-3;  // pre-saturation: plateaus stay exactly flat
+  return r;
+}
+
+FieldRecipe smooth_scalar(std::uint64_t seed, double freq, double amp,
+                          double offset, double noise) {
+  FieldRecipe r;
+  r.seed = seed;
+  r.wave_components = 5;
+  r.base_frequency = freq;
+  r.octave_decay = 0.45;  // smooth bulk, like the physical fields
+  r.gaussian_bumps = 4;
+  r.amplitude = amp;
+  r.offset = offset;
+  r.noise_amplitude = noise;
+  return r;
+}
+
+FieldRecipe density(std::uint64_t seed) {
+  FieldRecipe r;
+  r.seed = seed;
+  r.wave_components = 7;
+  r.base_frequency = 4.0;
+  r.octave_decay = 0.62;
+  r.gaussian_bumps = 8;
+  r.lognormal = true;  // log-normal high-dynamic-range density
+  r.amplitude = 1e9;   // baryon-density-like magnitudes
+  r.noise_amplitude = 1e-4;
+  return r;
+}
+
+}  // namespace
+
+std::string_view persona_name(Persona p) {
+  switch (p) {
+    case Persona::CesmAtm: return "CESM-ATM";
+    case Persona::Hurricane: return "Hurricane";
+    case Persona::Nyx: return "NYX";
+  }
+  return "?";
+}
+
+Dims persona_dims(Persona p, unsigned scale) {
+  switch (p) {
+    case Persona::CesmAtm: return scale_dims(Dims::d2(1800, 3600), scale);
+    case Persona::Hurricane:
+      return scale_dims(Dims::d3(100, 500, 500), scale);
+    case Persona::Nyx: return scale_dims(Dims::d3(512, 512, 512), scale);
+  }
+  throw Error("unknown persona");
+}
+
+std::vector<Field> fields(Persona p, unsigned scale) {
+  const Dims dims = persona_dims(p, scale);
+  std::vector<Field> out;
+  auto add = [&](std::string name, FieldRecipe r) {
+    // Frequencies are authored for the paper-native grids; dividing by the
+    // downscale factor keeps the cells-per-wavelength statistics — and thus
+    // compressor behaviour — invariant across scales.
+    r.base_frequency =
+        std::max(0.3, r.base_frequency / std::max(1u, scale));
+    out.push_back(Field{p, std::move(name), dims, r});
+  };
+  switch (p) {
+    case Persona::CesmAtm:
+      add("CLDLOW", cloud_fraction(101, 2.2));
+      add("CLDHGH", cloud_fraction(102, 1.8));
+      add("CLDMED", cloud_fraction(103, 2.0));
+      add("FLDS", smooth_scalar(104, 2.0, 160.0, 320.0, 5e-5));
+      add("FSNS", smooth_scalar(105, 2.8, 220.0, 180.0, 1e-4));
+      add("PS", smooth_scalar(106, 1.6, 4.5e3, 9.8e4, 2e-5));
+      add("TS", smooth_scalar(107, 1.8, 45.0, 270.0, 5e-5));
+      add("U10", smooth_scalar(108, 3.4, 8.0, 2.0, 3e-4));
+      break;
+    case Persona::Hurricane:
+      // Hurricane fields are turbulent: markedly more high-frequency
+      // energy per cell than the climate persona.
+      add("CLOUDf48", cloud_fraction(201, 1.5, 7.0));
+      add("Uf48", smooth_scalar(202, 8.0, 32.0, -5.0, 4e-4));
+      add("Vf48", smooth_scalar(203, 8.0, 28.0, 3.0, 4e-4));
+      add("Wf48", smooth_scalar(204, 10.0, 6.0, 0.0, 8e-4));
+      add("Pf48", smooth_scalar(205, 4.0, 900.0, 5e4, 4e-5));
+      add("TCf48", smooth_scalar(206, 6.0, 35.0, 250.0, 1.6e-4));
+      break;
+    case Persona::Nyx:
+      add("baryon_density", density(301));
+      add("dark_matter_density", density(302));
+      add("temperature", smooth_scalar(303, 3.2, 2.5e4, 4e4, 1e-4));
+      add("velocity_x", smooth_scalar(304, 2.6, 3.5e5, 0.0, 2e-4));
+      break;
+  }
+  return out;
+}
+
+Field field(Persona p, std::string_view name, unsigned scale) {
+  for (auto& f : fields(p, scale)) {
+    if (f.name == name) return f;
+  }
+  throw Error("unknown field '" + std::string(name) + "' in persona " +
+              std::string(persona_name(p)));
+}
+
+std::vector<Persona> all_personas() {
+  return {Persona::CesmAtm, Persona::Hurricane, Persona::Nyx};
+}
+
+}  // namespace wavesz::data

@@ -1,0 +1,47 @@
+// Registry of the three evaluation dataset personas (paper Table 4).
+//
+//   CESM-ATM   2D  1800x3600   climate (cloud fractions, winds, fluxes)
+//   Hurricane  3D  100x500x500 ISABEL simulation (cloud, wind, pressure)
+//   NYX        3D  512x512x512 cosmology (baryon density, velocities)
+//
+// Each persona registers a handful of representative named fields with
+// recipes tuned to that domain. `scale` shrinks every extent by the given
+// divisor (>=1) so tests and default bench runs stay laptop-sized; the paper
+// dimensions are scale == 1.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::data {
+
+enum class Persona { CesmAtm, Hurricane, Nyx };
+
+std::string_view persona_name(Persona p);
+
+struct Field {
+  Persona persona;
+  std::string name;
+  Dims dims;
+  FieldRecipe recipe;
+
+  std::vector<float> materialize() const { return generate(recipe, dims); }
+};
+
+/// All registered fields of a persona at the given downscale divisor.
+std::vector<Field> fields(Persona p, unsigned scale = 1);
+
+/// One named field (throws wavesz::Error if unknown).
+Field field(Persona p, std::string_view name, unsigned scale = 1);
+
+/// The three personas, in paper order.
+std::vector<Persona> all_personas();
+
+/// Paper-native dims of the persona at the given downscale divisor.
+Dims persona_dims(Persona p, unsigned scale = 1);
+
+}  // namespace wavesz::data

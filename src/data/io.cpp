@@ -1,0 +1,58 @@
+#include "data/io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace wavesz::data {
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  WAVESZ_REQUIRE(in.good(), "cannot open '" + path.string() + "' for reading");
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(size));
+  WAVESZ_REQUIRE(in.good(), "short read from '" + path.string() + "'");
+  return buf;
+}
+
+void dump(const std::filesystem::path& path, const void* data,
+          std::size_t bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  WAVESZ_REQUIRE(out.good(), "cannot open '" + path.string() + "' for writing");
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  WAVESZ_REQUIRE(out.good(), "short write to '" + path.string() + "'");
+}
+
+}  // namespace
+
+std::vector<float> read_f32(const std::filesystem::path& path) {
+  auto bytes = slurp(path);
+  WAVESZ_REQUIRE(bytes.size() % sizeof(float) == 0,
+                 "'" + path.string() + "' is not a float32 array");
+  std::vector<float> out(bytes.size() / sizeof(float));
+  std::memcpy(out.data(), bytes.data(), bytes.size());
+  return out;
+}
+
+void write_f32(const std::filesystem::path& path,
+               std::span<const float> data) {
+  dump(path, data.data(), data.size() * sizeof(float));
+}
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  return slurp(path);
+}
+
+void write_bytes(const std::filesystem::path& path,
+                 std::span<const std::uint8_t> data) {
+  dump(path, data.data(), data.size());
+}
+
+}  // namespace wavesz::data

@@ -1,0 +1,23 @@
+// Raw float32 file I/O matching the SDRB on-disk convention (plain
+// little-endian float arrays, dimensions supplied out of band).
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <vector>
+
+namespace wavesz::data {
+
+/// Read a whole raw float32 file; throws wavesz::Error on I/O failure or if
+/// the file size is not a multiple of sizeof(float).
+std::vector<float> read_f32(const std::filesystem::path& path);
+
+/// Write a raw float32 file; throws wavesz::Error on I/O failure.
+void write_f32(const std::filesystem::path& path, std::span<const float> data);
+
+/// Read/write arbitrary bytes (for compressed containers).
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path);
+void write_bytes(const std::filesystem::path& path,
+                 std::span<const std::uint8_t> data);
+
+}  // namespace wavesz::data

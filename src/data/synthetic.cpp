@@ -1,0 +1,157 @@
+#include "data/synthetic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace wavesz::data {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a 64-bit state.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic per-component parameter stream.
+class ParamStream {
+ public:
+  explicit ParamStream(std::uint64_t seed) : state_(splitmix64(seed)) {}
+  double unit() {
+    state_ = splitmix64(state_);
+    return to_unit(state_);
+  }
+  double range(double lo, double hi) { return lo + (hi - lo) * unit(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+double smoothstep01(double t) {
+  if (t <= 0.0) return 0.0;
+  if (t >= 1.0) return 1.0;
+  return t * t * (3.0 - 2.0 * t);
+}
+
+struct Wave {
+  double ax, ay, az, phase, amp;
+};
+
+struct Bump {
+  double cx, cy, cz, inv_two_sigma2, height;
+};
+
+/// Parameters of one recipe, derived deterministically from its seed once
+/// and then evaluated at millions of grid points.
+struct CompiledRecipe {
+  std::vector<Wave> waves;
+  std::vector<Bump> bumps;
+  double plateau_gain;
+  bool lognormal;
+  double offset;
+  double amplitude;
+
+  explicit CompiledRecipe(const FieldRecipe& r)
+      : plateau_gain(r.plateau_gain), lognormal(r.lognormal),
+        offset(r.offset), amplitude(r.amplitude) {
+    constexpr double tau = 2.0 * std::numbers::pi;
+    ParamStream params(r.seed);
+    double amp = 1.0;
+    waves.reserve(static_cast<std::size_t>(r.wave_components));
+    for (int k = 0; k < r.wave_components; ++k) {
+      const double freq = r.base_frequency * (1.0 + static_cast<double>(k));
+      Wave w;
+      w.ax = params.range(-1.0, 1.0) * freq * tau;
+      w.ay = params.range(-1.0, 1.0) * freq * tau;
+      w.az = params.range(-1.0, 1.0) * freq * tau;
+      w.phase = params.range(0.0, tau);
+      w.amp = amp;
+      waves.push_back(w);
+      amp *= r.octave_decay;
+    }
+    bumps.reserve(static_cast<std::size_t>(r.gaussian_bumps));
+    for (int b = 0; b < r.gaussian_bumps; ++b) {
+      Bump g;
+      g.cx = params.unit();
+      g.cy = params.unit();
+      g.cz = params.unit();
+      const double sigma = params.range(0.04, 0.22);
+      g.inv_two_sigma2 = 1.0 / (2.0 * sigma * sigma);
+      g.height = params.range(-1.5, 1.5);
+      bumps.push_back(g);
+    }
+  }
+
+  /// `noise` is injected before the saturating transforms, so cloud
+  /// plateaus stay exactly flat and density noise acts multiplicatively —
+  /// matching how the real fields behave.
+  double at(double x, double y, double z, double noise = 0.0) const {
+    double v = noise;
+    for (const Wave& w : waves) {
+      v += w.amp * std::sin(w.ax * x + w.ay * y + w.az * z + w.phase);
+    }
+    for (const Bump& g : bumps) {
+      const double dx = x - g.cx, dy = y - g.cy, dz = z - g.cz;
+      v += g.height *
+           std::exp(-(dx * dx + dy * dy + dz * dz) * g.inv_two_sigma2);
+    }
+    if (plateau_gain > 0.0) {
+      // Soft-saturate into [0,1]: reproduces cloud-fraction fields whose top
+      // and bottom regions sit at constant values (paper Fig. 9 discussion).
+      v = smoothstep01(0.5 + plateau_gain * v);
+    }
+    if (lognormal) {
+      v = std::exp(v);  // high-dynamic-range density field
+    }
+    return offset + amplitude * v;
+  }
+};
+
+}  // namespace
+
+double hash_noise(std::uint64_t seed, std::uint64_t x, std::uint64_t y,
+                  std::uint64_t z) {
+  std::uint64_t h = splitmix64(seed ^ 0xabcdef1234567890ull);
+  h = splitmix64(h ^ x);
+  h = splitmix64(h ^ (y << 20));
+  h = splitmix64(h ^ (z << 40));
+  return 2.0 * to_unit(h) - 1.0;
+}
+
+double evaluate(const FieldRecipe& r, double x, double y, double z) {
+  return CompiledRecipe(r).at(x, y, z);
+}
+
+std::vector<float> generate(const FieldRecipe& r, const Dims& dims) {
+  const CompiledRecipe compiled(r);
+  const std::size_t n0 = dims[0];
+  const std::size_t n1 = dims.rank >= 2 ? dims[1] : 1;
+  const std::size_t n2 = dims.rank >= 3 ? dims[2] : 1;
+  std::vector<float> out;
+  out.reserve(dims.count());
+  const double inv0 = 1.0 / static_cast<double>(n0);
+  const double inv1 = 1.0 / static_cast<double>(n1);
+  const double inv2 = 1.0 / static_cast<double>(n2);
+  for (std::size_t i0 = 0; i0 < n0; ++i0) {
+    const double z = static_cast<double>(i0) * inv0;
+    for (std::size_t i1 = 0; i1 < n1; ++i1) {
+      const double y = static_cast<double>(i1) * inv1;
+      for (std::size_t i2 = 0; i2 < n2; ++i2) {
+        const double x = static_cast<double>(i2) * inv2;
+        const double noise =
+            r.noise_amplitude > 0.0
+                ? r.noise_amplitude * hash_noise(r.seed, i2, i1, i0)
+                : 0.0;
+        out.push_back(static_cast<float>(compiled.at(x, y, z, noise)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wavesz::data

@@ -1,0 +1,48 @@
+// Deterministic synthetic scientific-field generators.
+//
+// The paper evaluates on three SDRB datasets (CESM-ATM 1800x3600 climate,
+// Hurricane ISABEL 100x500x500, NYX 512x512x512 cosmology) that are not
+// available offline. These generators produce fields with the same
+// dimensions and the statistical properties that drive SZ-class compressor
+// behaviour: multi-scale spatial smoothness, saturated plateau regions
+// (clouds pinned at 0/1 fraction, which favour order-0 fitting), vortex
+// structure, and log-normal high-dynamic-range density. Every field is a
+// pure function of (seed, x, y, z), so generation is reproducible and
+// trivially parallel. DESIGN.md documents this substitution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/dims.hpp"
+
+namespace wavesz::data {
+
+/// Structural knobs for one synthetic field.
+struct FieldRecipe {
+  std::uint64_t seed = 1;
+  int wave_components = 6;     ///< number of superposed plane waves
+  double base_frequency = 3.0; ///< cycles across the domain for octave 0
+  double octave_decay = 0.55;  ///< amplitude decay per octave
+  int gaussian_bumps = 4;      ///< localized features
+  double noise_amplitude = 0.0;///< white-noise roughness (relative)
+  double plateau_gain = 0.0;   ///< >0: soft-clamp to [0,1] plateaus (clouds)
+  bool lognormal = false;      ///< exponentiate (cosmology density)
+  double offset = 0.0;         ///< additive offset of the final value
+  double amplitude = 1.0;      ///< multiplicative scale of the final value
+};
+
+/// Evaluate the recipe at normalized coordinates in [0,1)^3.
+double evaluate(const FieldRecipe& recipe, double x, double y, double z);
+
+/// Materialize the field over a grid. dims axes map to (z, y, x) from
+/// slowest to fastest varying, matching the dataset conventions.
+std::vector<float> generate(const FieldRecipe& recipe, const Dims& dims);
+
+/// SplitMix64-based white noise in [-1, 1], pure in its arguments.
+double hash_noise(std::uint64_t seed, std::uint64_t x, std::uint64_t y,
+                  std::uint64_t z);
+
+}  // namespace wavesz::data

@@ -1,0 +1,454 @@
+#include "deflate/deflate.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "deflate/deflate_tables.hpp"
+#include "util/bitio.hpp"
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+#include "util/huffman.hpp"
+
+namespace wavesz::deflate {
+namespace {
+
+constexpr std::size_t kTokensPerBlock = 65536;
+
+std::uint32_t reverse_bits(std::uint32_t code, int len) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < len; ++i) {
+    out = (out << 1) | ((code >> i) & 1u);
+  }
+  return out;
+}
+
+/// Huffman codes pre-reversed for the LSB-first DEFLATE bit order.
+struct EmitTable {
+  std::vector<std::uint32_t> codes;
+  std::vector<std::uint8_t> lengths;
+
+  explicit EmitTable(std::span<const std::uint8_t> lens)
+      : lengths(lens.begin(), lens.end()) {
+    auto canon = canonical_codes(lens);
+    codes.resize(canon.size());
+    for (std::size_t s = 0; s < canon.size(); ++s) {
+      codes[s] = reverse_bits(canon[s], lengths[s]);
+    }
+  }
+
+  void emit(BitWriterLSB& bw, int symbol) const {
+    const auto s = static_cast<std::size_t>(symbol);
+    WAVESZ_ASSERT(lengths[s] > 0, "emitting symbol with no code");
+    bw.bits(codes[s], lengths[s]);
+  }
+};
+
+struct BlockFreqs {
+  std::array<std::uint64_t, kNumLitLen> litlen{};
+  std::array<std::uint64_t, kNumDist> dist{};
+};
+
+BlockFreqs count_freqs(std::span<const Token> tokens) {
+  BlockFreqs f;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      ++f.litlen[t.literal];
+    } else {
+      ++f.litlen[static_cast<std::size_t>(257 + length_code(t.length))];
+      ++f.dist[static_cast<std::size_t>(distance_code(t.distance))];
+    }
+  }
+  ++f.litlen[kEndOfBlock];
+  return f;
+}
+
+std::uint64_t token_cost_bits(std::span<const Token> tokens,
+                              std::span<const std::uint8_t> litlen_lens,
+                              std::span<const std::uint8_t> dist_lens) {
+  std::uint64_t bits = 0;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      bits += litlen_lens[t.literal];
+    } else {
+      const int lc = length_code(t.length);
+      const int dc = distance_code(t.distance);
+      bits += litlen_lens[static_cast<std::size_t>(257 + lc)] +
+              kLengthExtra[static_cast<std::size_t>(lc)] +
+              dist_lens[static_cast<std::size_t>(dc)] +
+              kDistExtra[static_cast<std::size_t>(dc)];
+    }
+  }
+  bits += litlen_lens[kEndOfBlock];
+  return bits;
+}
+
+void emit_tokens(BitWriterLSB& bw, std::span<const Token> tokens,
+                 const EmitTable& litlen, const EmitTable& dist) {
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      litlen.emit(bw, t.literal);
+    } else {
+      const int lc = length_code(t.length);
+      litlen.emit(bw, 257 + lc);
+      const int lx = kLengthExtra[static_cast<std::size_t>(lc)];
+      if (lx > 0) {
+        bw.bits(static_cast<std::uint32_t>(
+                    t.length - kLengthBase[static_cast<std::size_t>(lc)]),
+                lx);
+      }
+      const int dc = distance_code(t.distance);
+      dist.emit(bw, dc);
+      const int dx = kDistExtra[static_cast<std::size_t>(dc)];
+      if (dx > 0) {
+        bw.bits(static_cast<std::uint32_t>(
+                    t.distance - kDistBase[static_cast<std::size_t>(dc)]),
+                dx);
+      }
+    }
+  }
+  litlen.emit(bw, kEndOfBlock);
+}
+
+/// RLE of concatenated lit/len+dist code lengths using symbols 0-18 per
+/// RFC 1951 §3.2.7. Returns (symbol, extra_value) pairs; extra_value is
+/// meaningful for symbols 16/17/18.
+std::vector<std::pair<std::uint8_t, std::uint8_t>> rle_code_lengths(
+    std::span<const std::uint8_t> lens) {
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> out;
+  std::size_t i = 0;
+  while (i < lens.size()) {
+    const std::uint8_t v = lens[i];
+    std::size_t run = 1;
+    while (i + run < lens.size() && lens[i + run] == v) ++run;
+    if (v == 0) {
+      std::size_t left = run;
+      while (left >= 11) {
+        const std::size_t take = std::min<std::size_t>(left, 138);
+        out.emplace_back(18, static_cast<std::uint8_t>(take - 11));
+        left -= take;
+      }
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 10);
+        out.emplace_back(17, static_cast<std::uint8_t>(take - 3));
+        left -= take;
+      }
+      while (left-- > 0) out.emplace_back(0, 0);
+    } else {
+      out.emplace_back(v, 0);
+      std::size_t left = run - 1;
+      while (left >= 3) {
+        const std::size_t take = std::min<std::size_t>(left, 6);
+        out.emplace_back(16, static_cast<std::uint8_t>(take - 3));
+        left -= take;
+      }
+      while (left-- > 0) out.emplace_back(v, 0);
+    }
+    i += run;
+  }
+  return out;
+}
+
+struct DynamicHeader {
+  std::vector<std::uint8_t> litlen_lens;  // trimmed to hlit
+  std::vector<std::uint8_t> dist_lens;    // trimmed to hdist
+  std::vector<std::pair<std::uint8_t, std::uint8_t>> rle;
+  std::vector<std::uint8_t> clc_lens;  // 19 entries
+  int hclen = 0;
+  std::uint64_t header_bits = 0;
+};
+
+DynamicHeader build_dynamic_header(std::span<const std::uint8_t> litlen_full,
+                                   std::span<const std::uint8_t> dist_full) {
+  DynamicHeader h;
+  int hlit = kNumLitLen;
+  while (hlit > 257 &&
+         litlen_full[static_cast<std::size_t>(hlit) - 1] == 0) {
+    --hlit;
+  }
+  int hdist = kNumDist;
+  while (hdist > 1 && dist_full[static_cast<std::size_t>(hdist) - 1] == 0) {
+    --hdist;
+  }
+  h.litlen_lens.assign(litlen_full.begin(),
+                       litlen_full.begin() + hlit);
+  h.dist_lens.assign(dist_full.begin(), dist_full.begin() + hdist);
+
+  std::vector<std::uint8_t> all(h.litlen_lens);
+  all.insert(all.end(), h.dist_lens.begin(), h.dist_lens.end());
+  h.rle = rle_code_lengths(all);
+
+  std::array<std::uint64_t, kNumClc> clc_freq{};
+  for (auto [sym, extra] : h.rle) ++clc_freq[sym];
+  h.clc_lens = huffman_code_lengths(clc_freq, 7);
+
+  h.hclen = kNumClc;
+  while (h.hclen > 4 &&
+         h.clc_lens[kClcOrder[static_cast<std::size_t>(h.hclen) - 1]] == 0) {
+    --h.hclen;
+  }
+
+  h.header_bits = 5 + 5 + 4 + 3ull * static_cast<std::uint64_t>(h.hclen);
+  for (auto [sym, extra] : h.rle) {
+    h.header_bits += h.clc_lens[sym];
+    if (sym == 16) h.header_bits += 2;
+    if (sym == 17) h.header_bits += 3;
+    if (sym == 18) h.header_bits += 7;
+  }
+  return h;
+}
+
+void emit_dynamic_block(BitWriterLSB& bw, std::span<const Token> tokens,
+                        const DynamicHeader& h, bool final_block) {
+  bw.bits(final_block ? 1u : 0u, 1);
+  bw.bits(0b10, 2);  // dynamic
+  bw.bits(static_cast<std::uint32_t>(h.litlen_lens.size() - 257), 5);
+  bw.bits(static_cast<std::uint32_t>(h.dist_lens.size() - 1), 5);
+  bw.bits(static_cast<std::uint32_t>(h.hclen - 4), 4);
+  for (int i = 0; i < h.hclen; ++i) {
+    bw.bits(h.clc_lens[kClcOrder[static_cast<std::size_t>(i)]], 3);
+  }
+  const EmitTable clc(h.clc_lens);
+  for (auto [sym, extra] : h.rle) {
+    clc.emit(bw, sym);
+    if (sym == 16) bw.bits(extra, 2);
+    if (sym == 17) bw.bits(extra, 3);
+    if (sym == 18) bw.bits(extra, 7);
+  }
+  // Rebuild full-width tables for emission (trimmed tails are unused codes).
+  std::vector<std::uint8_t> ll(h.litlen_lens);
+  ll.resize(kNumLitLen, 0);
+  std::vector<std::uint8_t> dd(h.dist_lens);
+  dd.resize(kNumDist, 0);
+  emit_tokens(bw, tokens, EmitTable(ll), EmitTable(dd));
+}
+
+void emit_fixed_block(BitWriterLSB& bw, std::span<const Token> tokens,
+                      bool final_block) {
+  bw.bits(final_block ? 1u : 0u, 1);
+  bw.bits(0b01, 2);  // fixed
+  const auto ll = fixed_litlen_lengths();
+  const auto dd = fixed_dist_lengths();
+  emit_tokens(bw, tokens, EmitTable(ll), EmitTable(dd));
+}
+
+void emit_stored_blocks(BitWriterLSB& bw,
+                        std::span<const std::uint8_t> raw_bytes,
+                        bool final_block) {
+  std::size_t off = 0;
+  do {
+    const std::size_t take =
+        std::min<std::size_t>(raw_bytes.size() - off, 65535);
+    const bool last_piece = (off + take == raw_bytes.size());
+    bw.bits((final_block && last_piece) ? 1u : 0u, 1);
+    bw.bits(0b00, 2);  // stored
+    bw.align_byte();
+    const auto len = static_cast<std::uint16_t>(take);
+    bw.byte(static_cast<std::uint8_t>(len & 0xff));
+    bw.byte(static_cast<std::uint8_t>(len >> 8));
+    bw.byte(static_cast<std::uint8_t>(~len & 0xff));
+    bw.byte(static_cast<std::uint8_t>((~len >> 8) & 0xff));
+    for (std::size_t i = 0; i < take; ++i) bw.byte(raw_bytes[off + i]);
+    off += take;
+  } while (off < raw_bytes.size());
+}
+
+std::size_t token_raw_size(std::span<const Token> tokens) {
+  std::size_t n = 0;
+  for (const Token& t : tokens) n += (t.length == 0) ? 1 : t.length;
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
+                                   Level level) {
+  BitWriterLSB bw;
+  if (input.empty()) {
+    emit_fixed_block(bw, {}, true);
+    return bw.take();
+  }
+  const auto tokens = tokenize(input, level);
+  std::size_t raw_off = 0;  // input offset of the current block's first byte
+
+  for (std::size_t start = 0; start < tokens.size();
+       start += kTokensPerBlock) {
+    const std::size_t count =
+        std::min<std::size_t>(kTokensPerBlock, tokens.size() - start);
+    const auto block = std::span<const Token>(tokens).subspan(start, count);
+    const bool final_block = (start + count == tokens.size());
+    const std::size_t raw_len = token_raw_size(block);
+
+    const BlockFreqs freqs = count_freqs(block);
+    // Ensure at least one distance code exists so the dynamic header is
+    // always well-formed (a zero-frequency code still gets a slot).
+    auto dist_freq = freqs.dist;
+    if (std::all_of(dist_freq.begin(), dist_freq.end(),
+                    [](std::uint64_t f) { return f == 0; })) {
+      dist_freq[0] = 1;
+    }
+    const auto dyn_ll = huffman_code_lengths(freqs.litlen, 15);
+    const auto dyn_dd = huffman_code_lengths(dist_freq, 15);
+    const DynamicHeader header = build_dynamic_header(dyn_ll, dyn_dd);
+
+    const std::uint64_t cost_dyn =
+        3 + header.header_bits + token_cost_bits(block, dyn_ll, dyn_dd);
+    const auto fix_ll = fixed_litlen_lengths();
+    const auto fix_dd = fixed_dist_lengths();
+    const std::uint64_t cost_fix = 3 + token_cost_bits(block, fix_ll, fix_dd);
+    const std::uint64_t cost_stored =
+        (3 + 7 + 32) * ((raw_len + 65534) / 65535) +
+        8ull * static_cast<std::uint64_t>(raw_len);
+
+    if (cost_stored < cost_dyn && cost_stored < cost_fix) {
+      emit_stored_blocks(bw, input.subspan(raw_off, raw_len), final_block);
+    } else if (cost_fix <= cost_dyn) {
+      emit_fixed_block(bw, block, final_block);
+    } else {
+      emit_dynamic_block(bw, block, header, final_block);
+    }
+    raw_off += raw_len;
+  }
+  WAVESZ_ASSERT(raw_off == input.size(), "token coverage mismatch");
+  return bw.take();
+}
+
+namespace {
+
+/// Decode one code-length sequence (lit/len + dist) of a dynamic block.
+std::vector<std::uint8_t> read_dynamic_lengths(BitReaderLSB& br,
+                                               const CanonicalDecoder& clc,
+                                               std::size_t total) {
+  std::vector<std::uint8_t> lens;
+  lens.reserve(total);
+  while (lens.size() < total) {
+    const auto sym = clc.decode([&] { return br.bit(); });
+    if (sym <= 15) {
+      lens.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == 16) {
+      WAVESZ_REQUIRE(!lens.empty(), "repeat with no previous length");
+      const std::uint32_t rep = 3 + br.bits(2);
+      const std::uint8_t prev = lens.back();
+      for (std::uint32_t i = 0; i < rep; ++i) lens.push_back(prev);
+    } else if (sym == 17) {
+      const std::uint32_t rep = 3 + br.bits(3);
+      for (std::uint32_t i = 0; i < rep; ++i) lens.push_back(0);
+    } else {
+      const std::uint32_t rep = 11 + br.bits(7);
+      for (std::uint32_t i = 0; i < rep; ++i) lens.push_back(0);
+    }
+  }
+  WAVESZ_REQUIRE(lens.size() == total, "code-length run overshoots header");
+  return lens;
+}
+
+void inflate_block(BitReaderLSB& br, const CanonicalDecoder& litlen,
+                   const CanonicalDecoder& dist,
+                   std::vector<std::uint8_t>& out) {
+  for (;;) {
+    const auto sym = litlen.decode([&] { return br.bit(); });
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == kEndOfBlock) {
+      return;
+    } else {
+      WAVESZ_REQUIRE(sym <= 285, "invalid length symbol");
+      const std::size_t lc = sym - 257;
+      const std::uint32_t length =
+          kLengthBase[lc] + br.bits(kLengthExtra[lc]);
+      const auto dsym = dist.decode([&] { return br.bit(); });
+      WAVESZ_REQUIRE(dsym < kNumDist, "invalid distance symbol");
+      const std::uint32_t distance =
+          kDistBase[dsym] + br.bits(kDistExtra[dsym]);
+      WAVESZ_REQUIRE(distance <= out.size(),
+                     "distance reaches before stream start");
+      const std::size_t from = out.size() - distance;
+      for (std::uint32_t k = 0; k < length; ++k) {
+        out.push_back(out[from + k]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> input) {
+  BitReaderLSB br(input);
+  std::vector<std::uint8_t> out;
+  for (;;) {
+    const bool final_block = br.bit() != 0;
+    const std::uint32_t type = br.bits(2);
+    if (type == 0b00) {
+      br.align_byte();
+      const std::uint32_t len = br.byte() | (br.byte() << 8);
+      const std::uint32_t nlen = br.byte() | (br.byte() << 8);
+      WAVESZ_REQUIRE((len ^ 0xffffu) == nlen, "stored block LEN/NLEN mismatch");
+      for (std::uint32_t i = 0; i < len; ++i) out.push_back(br.byte());
+    } else if (type == 0b01) {
+      const auto ll = fixed_litlen_lengths();
+      const auto dd = fixed_dist_lengths();
+      inflate_block(br, CanonicalDecoder(ll), CanonicalDecoder(dd), out);
+    } else if (type == 0b10) {
+      const std::uint32_t hlit = br.bits(5) + 257;
+      const std::uint32_t hdist = br.bits(5) + 1;
+      const std::uint32_t hclen = br.bits(4) + 4;
+      WAVESZ_REQUIRE(hlit <= kNumLitLen && hdist <= kNumDist,
+                     "dynamic header counts out of range");
+      std::array<std::uint8_t, kNumClc> clc_lens{};
+      for (std::uint32_t i = 0; i < hclen; ++i) {
+        clc_lens[kClcOrder[i]] = static_cast<std::uint8_t>(br.bits(3));
+      }
+      const CanonicalDecoder clc(clc_lens);
+      const auto all = read_dynamic_lengths(br, clc, hlit + hdist);
+      std::vector<std::uint8_t> ll(all.begin(), all.begin() + hlit);
+      std::vector<std::uint8_t> dd(all.begin() + hlit, all.end());
+      WAVESZ_REQUIRE(ll[kEndOfBlock] > 0, "no end-of-block code");
+      inflate_block(br, CanonicalDecoder(ll), CanonicalDecoder(dd), out);
+    } else {
+      throw Error("reserved DEFLATE block type");
+    }
+    if (final_block) break;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
+                                        Level level) {
+  ByteWriter w;
+  w.u8(0x1f);
+  w.u8(0x8b);
+  w.u8(8);  // CM = deflate
+  w.u8(0);  // FLG
+  w.u32(0); // MTIME
+  w.u8(level == Level::Best ? 2 : 4);  // XFL: 2 = best, 4 = fastest
+  w.u8(255);                           // OS unknown
+  auto body = compress(input, level);
+  w.bytes(body);
+  w.u32(Crc32::of(input));
+  w.u32(static_cast<std::uint32_t>(input.size()));
+  return w.take();
+}
+
+std::vector<std::uint8_t> gzip_decompress(
+    std::span<const std::uint8_t> input) {
+  WAVESZ_REQUIRE(input.size() >= 18, "gzip member too short");
+  ByteReader r(input);
+  WAVESZ_REQUIRE(r.u8() == 0x1f && r.u8() == 0x8b, "bad gzip magic");
+  WAVESZ_REQUIRE(r.u8() == 8, "unsupported gzip compression method");
+  const std::uint8_t flg = r.u8();
+  WAVESZ_REQUIRE(flg == 0, "gzip optional header fields not supported");
+  (void)r.u32();  // MTIME
+  (void)r.u8();   // XFL
+  (void)r.u8();   // OS
+  const auto body = input.subspan(r.position(), input.size() - r.position() - 8);
+  auto out = decompress(body);
+  ByteReader tail(input.subspan(input.size() - 8));
+  const std::uint32_t crc = tail.u32();
+  const std::uint32_t isize = tail.u32();
+  WAVESZ_REQUIRE(crc == Crc32::of(out), "gzip CRC mismatch");
+  WAVESZ_REQUIRE(isize == static_cast<std::uint32_t>(out.size()),
+                 "gzip ISIZE mismatch");
+  return out;
+}
+
+}  // namespace wavesz::deflate

@@ -1,0 +1,32 @@
+// DEFLATE (RFC 1951) and gzip (RFC 1952) implemented from scratch.
+//
+// This is the lossless back end of every compressor in this repository: the
+// paper's FPGA designs (waveSZ, GhostSZ) push their quantization codes
+// through the Xilinx gzip core, and the SZ-1.4 CPU baseline runs gzip in
+// best_speed mode. Block types stored/fixed/dynamic are all implemented and
+// chosen per block by estimated cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "deflate/lz77.hpp"
+
+namespace wavesz::deflate {
+
+/// Raw DEFLATE stream (no framing).
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
+                                   Level level = Level::Fast);
+
+/// Inverse of compress(); throws wavesz::Error on malformed input.
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> input);
+
+/// gzip member (RFC 1952): 10-byte header + DEFLATE + CRC-32 + ISIZE.
+std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
+                                        Level level = Level::Fast);
+
+/// Inverse of gzip_compress(); validates magic, CRC-32 and ISIZE.
+std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> input);
+
+}  // namespace wavesz::deflate

@@ -1,0 +1,40 @@
+#include "deflate/deflate_tables.hpp"
+
+#include "util/error.hpp"
+
+namespace wavesz::deflate {
+
+int length_code(int length) {
+  WAVESZ_ASSERT(length >= 3 && length <= 258, "match length out of range");
+  // Linear scan is fine: 29 entries, and the encoder caches frequencies.
+  for (int c = 28; c >= 0; --c) {
+    if (length >= kLengthBase[static_cast<std::size_t>(c)]) return c;
+  }
+  return 0;
+}
+
+int distance_code(int distance) {
+  WAVESZ_ASSERT(distance >= 1 && distance <= 32768,
+                "match distance out of range");
+  for (int c = 29; c >= 0; --c) {
+    if (distance >= kDistBase[static_cast<std::size_t>(c)]) return c;
+  }
+  return 0;
+}
+
+std::array<std::uint8_t, kNumLitLen> fixed_litlen_lengths() {
+  std::array<std::uint8_t, kNumLitLen> lengths{};
+  for (int s = 0; s <= 143; ++s) lengths[static_cast<std::size_t>(s)] = 8;
+  for (int s = 144; s <= 255; ++s) lengths[static_cast<std::size_t>(s)] = 9;
+  for (int s = 256; s <= 279; ++s) lengths[static_cast<std::size_t>(s)] = 7;
+  for (int s = 280; s <= 287; ++s) lengths[static_cast<std::size_t>(s)] = 8;
+  return lengths;
+}
+
+std::array<std::uint8_t, kNumDist> fixed_dist_lengths() {
+  std::array<std::uint8_t, kNumDist> lengths{};
+  lengths.fill(5);
+  return lengths;
+}
+
+}  // namespace wavesz::deflate

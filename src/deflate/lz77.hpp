@@ -1,0 +1,38 @@
+// LZ77 match finder for the DEFLATE substrate (RFC 1951 semantics).
+//
+// Hash-chain matcher over a 32 KiB window producing a token stream of
+// literals and (length, distance) matches with length in [3, 258] and
+// distance in [1, 32768]. Two effort levels mirror gzip's --fast/--best,
+// which the paper's artifact uses for the SZ-1.4 baseline (best_speed) and
+// the ratio study.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wavesz::deflate {
+
+inline constexpr int kMinMatch = 3;
+inline constexpr int kMaxMatch = 258;
+inline constexpr std::size_t kWindowSize = 32768;
+
+enum class Level {
+  Fast,  ///< short hash chains, greedy parse (gzip --fast flavour)
+  Best,  ///< long chains, lazy one-step parse (gzip --best flavour)
+};
+
+struct Token {
+  std::uint16_t length = 0;    ///< 0 => literal
+  std::uint16_t distance = 0;  ///< valid when length >= kMinMatch
+  std::uint8_t literal = 0;    ///< valid when length == 0
+};
+
+/// Tokenize the whole input. The token stream, expanded, reproduces the
+/// input byte-for-byte (tested property).
+std::vector<Token> tokenize(std::span<const std::uint8_t> input, Level level);
+
+/// Expand a token stream back into bytes (reference decoder for tests).
+std::vector<std::uint8_t> expand(std::span<const Token> tokens);
+
+}  // namespace wavesz::deflate

@@ -1,0 +1,30 @@
+#include "fpga/calibration.hpp"
+
+namespace wavesz::fpga {
+
+int pqd_depth_base2(const OpLatencies& ops) {
+  return 2 * ops.fp_add       // Lorenzo: n + w - nw
+         + ops.fp_add         // diff = d - pred
+         + ops.exp_adjust     // |diff| / 2^e
+         + ops.float_to_int   // code0 cast
+         + ops.int_alu        // signum / halve / radius offset
+         + ops.int_to_float   // q back to float
+         + ops.exp_adjust     // * 2^(e+1)
+         + ops.fp_add         // reconstruct: pred + ...
+         + ops.fp_add         // overbound: d_re - d
+         + ops.fp_cmp         // <= p
+         + ops.output_mux + ops.axi_registers;
+}
+
+int pqd_depth_base10(const OpLatencies& ops) {
+  // exp_adjust pair replaced by a full divider and multiplier.
+  return pqd_depth_base2(ops) - 2 * ops.exp_adjust + ops.fp_div + ops.fp_mul;
+}
+
+int ghost_pred_depth(const OpLatencies& ops) {
+  // Quadratic unit dominates: 3*p1 - 3*p2 + p3 = mul, mul, add, add; the
+  // three units run in parallel, then a compare/select picks the bestfit.
+  return ops.fp_mul + 2 * ops.fp_add + ops.fp_cmp + ops.output_mux;
+}
+
+}  // namespace wavesz::fpga

@@ -1,0 +1,50 @@
+// Functional + timing co-simulation of the waveSZ device — the software
+// equivalent of running the HLS testbench: the input field is partitioned
+// into per-lane column chunks exactly as the throughput model assumes, each
+// lane runs the *real* waveSZ kernel over its chunk (producing real
+// compressed bytes), and the schedule simulator attaches the cycle count
+// that chunk would take on the ZC706. The result is an archive whose bytes
+// are genuine and whose latency/throughput figures come from the same
+// partitioning — keeping the functional library and the performance model
+// honest against each other (tested property: the co-sim throughput equals
+// wave_throughput() for the same geometry).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpga/model.hpp"
+#include "sz/compressor.hpp"
+#include "sz/config.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::fpga {
+
+struct LaneRun {
+  std::size_t first_column = 0;   ///< of the flattened 2D view
+  std::size_t column_count = 0;
+  ScheduleStats schedule;         ///< modeled cycles for this lane's chunk
+  std::size_t compressed_bytes = 0;
+};
+
+struct CoSimResult {
+  std::vector<std::uint8_t> archive;  ///< self-describing multi-lane bundle
+  std::vector<LaneRun> lanes;
+  double modeled_seconds = 0.0;       ///< slowest lane at the model clock
+  double modeled_raw_mbps = 0.0;      ///< schedule-only device throughput
+  double modeled_effective_mbps = 0.0;///< x interface efficiency
+  double ratio = 0.0;                 ///< real compression ratio achieved
+};
+
+/// Compress `data` as the device would: `lanes` parallel waveSZ pipelines
+/// over column-partitioned chunks of the flattened 2D view.
+CoSimResult compress_on_device(std::span<const float> data, const Dims& dims,
+                               const sz::Config& cfg, int lanes,
+                               const ModelConfig& model = {});
+
+/// Reassemble the full field from a co-sim archive.
+std::vector<float> device_decompress(std::span<const std::uint8_t> archive,
+                                     Dims* dims_out = nullptr);
+
+}  // namespace wavesz::fpga

@@ -1,0 +1,66 @@
+#include "fpga/huffman_model.hpp"
+
+#include <algorithm>
+
+#include "fpga/model.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::fpga {
+
+int huffman_table_bram() {
+  // Code table: 65,536 entries x (24-bit code + 5-bit length) = 1,900,544
+  // bits; histogram: 65,536 x 32-bit counters = 2,097,152 bits. BRAM_18K
+  // holds 18,432 bits.
+  constexpr std::uint64_t table_bits = 65536ull * (24 + 5);
+  constexpr std::uint64_t hist_bits = 65536ull * 32;
+  constexpr std::uint64_t bram_bits = 18 * 1024;
+  return static_cast<int>((table_bits + bram_bits - 1) / bram_bits +
+                          (hist_bits + bram_bits - 1) / bram_bits);
+}
+
+HuffmanStageModel huffman_stage(const HuffmanEncoderConfig& cfg,
+                                const ClockConfig& clock) {
+  WAVESZ_REQUIRE(cfg.encoders >= 1, "need at least one encoder");
+  WAVESZ_REQUIRE(cfg.chunk_symbols >= 1024, "chunk too small to amortize");
+  const double cycles_per_chunk =
+      2.0 * static_cast<double>(cfg.chunk_symbols);  // histogram + encode
+  const double chunk_seconds =
+      cycles_per_chunk / (clock.freq_mhz * 1e6);
+  // Double buffering overlaps the two passes of consecutive chunks, so the
+  // steady-state cost per chunk is one pass plus any host latency the DMA
+  // cannot hide behind the other buffer's pass.
+  const double pass_seconds = chunk_seconds / 2.0;
+  const double host_seconds = cfg.host_tree_build_us * 1e-6;
+  const double exposed_host = std::max(0.0, host_seconds - pass_seconds);
+  const double sustained_per_encoder =
+      static_cast<double>(cfg.chunk_symbols) /
+      (pass_seconds + exposed_host);
+
+  HuffmanStageModel out;
+  out.symbols_per_second =
+      sustained_per_encoder * static_cast<double>(cfg.encoders);
+  out.efficiency =
+      sustained_per_encoder / (clock.freq_mhz * 1e6);
+  // Per encoder: the tables plus a bit packer and control.
+  ResourceUsage per{huffman_table_bram(), 0, 2100, 3400};
+  out.resources = per * cfg.encoders;
+  return out;
+}
+
+FutureWaveSz future_wave_throughput(const Dims& dims,
+                                    const HuffmanEncoderConfig& cfg) {
+  const ModelConfig mc;
+  const auto pqd = wave_throughput(dims, cfg.encoders);
+  const auto huff = huffman_stage(cfg);
+  // Symbols are 1 per point; bytes are 4 per point.
+  const double huff_mbps = huff.symbols_per_second * 4.0 / 1e6 *
+                           mc.interface_efficiency;
+  FutureWaveSz out;
+  out.effective_mbps = std::min(pqd.effective_mbps, huff_mbps);
+  out.delivered_mbps = std::min(out.effective_mbps, mc.pcie.gen2_x4_mbps);
+  out.huffman_bound = huff_mbps < pqd.effective_mbps;
+  out.added_resources = huff.resources;
+  return out;
+}
+
+}  // namespace wavesz::fpga

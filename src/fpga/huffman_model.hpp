@@ -1,0 +1,57 @@
+// Model of the paper's FUTURE WORK (§6): a customized Huffman encoder on
+// the FPGA, which would lift waveSZ's ratio from the G* column of Table 7
+// to the H*G* column without routing codes through the host.
+//
+// Architecture modeled (standard two-pass canonical encoder):
+//   pass 1 — histogram the chunk's 16-bit symbols at 1 symbol/cycle into
+//            BRAM counters;
+//   host    — build the length-limited canonical table (the tree build is
+//            a poor fit for FPGA, as the paper's GPU discussion notes) and
+//            DMA the 65,536-entry code table back;
+//   pass 2 — table-lookup encode at 1 symbol/cycle into a bit packer.
+// Chunks are double-buffered, so at steady state the encoder sustains
+// 1 symbol/cycle and the end-to-end rate is min(PQD, Huffman) per lane
+// group, with the host tree build amortized per chunk.
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/calibration.hpp"
+#include "fpga/resources.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::fpga {
+
+struct HuffmanEncoderConfig {
+  std::size_t chunk_symbols = 1u << 20;  ///< symbols per double-buffered chunk
+  double host_tree_build_us = 900.0;     ///< measured-class host latency
+  int encoders = kWaveSzLanes;           ///< one per PQD lane to keep rate
+};
+
+struct HuffmanStageModel {
+  double symbols_per_second = 0.0;   ///< sustained, all encoders
+  double efficiency = 0.0;           ///< fraction of peak after tree builds
+  ResourceUsage resources;           ///< all encoders
+};
+
+/// Sustained rate and cost of the Huffman stage itself.
+HuffmanStageModel huffman_stage(const HuffmanEncoderConfig& cfg = {},
+                                const ClockConfig& clock = {});
+
+/// End-to-end waveSZ with the on-chip H* stage: min(PQD, Huffman) pipeline,
+/// same interface derating and PCIe cap as wave_throughput().
+struct FutureWaveSz {
+  double effective_mbps = 0.0;
+  double delivered_mbps = 0.0;
+  bool huffman_bound = false;  ///< true when H*, not PQD, limits the rate
+  ResourceUsage added_resources;
+};
+
+FutureWaveSz future_wave_throughput(const Dims& dims,
+                                    const HuffmanEncoderConfig& cfg = {});
+
+/// BRAM_18K blocks needed for one 65,536-entry code table (24-bit code +
+/// 5-bit length per symbol) plus the histogram counters.
+int huffman_table_bram();
+
+}  // namespace wavesz::fpga

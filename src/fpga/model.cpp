@@ -1,0 +1,83 @@
+#include "fpga/model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavesz::fpga {
+namespace {
+
+DesignThroughput finish(const ScheduleStats& lane_schedule,
+                        std::uint64_t total_points, double freq_mhz,
+                        const ModelConfig& cfg) {
+  DesignThroughput out;
+  out.schedule = lane_schedule;
+  out.seconds =
+      static_cast<double>(lane_schedule.makespan) / (freq_mhz * 1e6);
+  const double bytes = static_cast<double>(total_points) * sizeof(float);
+  out.raw_mbps = bytes / 1e6 / out.seconds;
+  out.effective_mbps = out.raw_mbps * cfg.interface_efficiency;
+  out.delivered_mbps = std::min(out.effective_mbps, cfg.pcie.gen2_x4_mbps);
+  return out;
+}
+
+/// Column-partition the flattened grid across lanes; the slowest lane (the
+/// one with the most columns) bounds the wall time.
+std::size_t widest_chunk(std::size_t d1, int lanes) {
+  const auto n = static_cast<std::size_t>(std::max(1, lanes));
+  return (d1 + n - 1) / n;
+}
+
+}  // namespace
+
+DesignThroughput wave_throughput(const Dims& dims, int lanes,
+                                 sz::EbBase base, const ModelConfig& cfg) {
+  WAVESZ_REQUIRE(lanes >= 1, "need at least one lane");
+  const Dims flat = dims.flatten2d();
+  const std::size_t d0 = flat[0];
+  const std::size_t d1 = flat.rank >= 2 ? flat[1] : 1;
+  ScheduleConfig sc;
+  sc.pii = 1;
+  sc.depth = (base == sz::EbBase::Two) ? pqd_depth_base2(cfg.ops)
+                                       : pqd_depth_base10(cfg.ops);
+  sc.dep_latency = sc.depth;  // dependents need the decompressed writeback
+  const auto lane = simulate_wavefront(d0, widest_chunk(d1, lanes), sc);
+  return finish(lane, dims.count(), cfg.clock.freq_mhz, cfg);
+}
+
+DesignThroughput ghost_throughput(const Dims& dims, int replicas,
+                                  const ModelConfig& cfg) {
+  WAVESZ_REQUIRE(replicas >= 1, "need at least one replica");
+  const Dims flat = dims.flatten2d();
+  const std::size_t d0 = flat[0];
+  const std::size_t d1 = flat.rank >= 2 ? flat[1] : 1;
+  ScheduleConfig sc;
+  sc.pii = kGhostPii;  // load-imbalanced Order-{0,1,2} units
+  sc.depth = pqd_depth_base10(cfg.ops);
+  sc.dep_latency = ghost_pred_depth(cfg.ops);  // prediction feedback only
+  const auto lane = simulate_ghost(d0, widest_chunk(d1, replicas), sc);
+  return finish(lane, dims.count(), cfg.clock.freq_mhz, cfg);
+}
+
+DesignThroughput naive_raster_throughput(const Dims& dims, sz::EbBase base,
+                                         const ModelConfig& cfg) {
+  const Dims flat = dims.flatten2d();
+  const std::size_t d0 = flat[0];
+  const std::size_t d1 = flat.rank >= 2 ? flat[1] : 1;
+  ScheduleConfig sc;
+  sc.pii = 1;
+  sc.depth = (base == sz::EbBase::Two) ? pqd_depth_base2(cfg.ops)
+                                       : pqd_depth_base10(cfg.ops);
+  sc.dep_latency = sc.depth;
+  const auto lane = simulate_raster(d0, d1, sc);
+  return finish(lane, dims.count(), cfg.clock.freq_mhz, cfg);
+}
+
+double omp_scaled_mbps(double single_core_mbps, int cores, double alpha) {
+  WAVESZ_REQUIRE(cores >= 1, "need at least one core");
+  const double n = static_cast<double>(cores);
+  const double efficiency = 1.0 / (1.0 + alpha * (n - 1.0));
+  return single_core_mbps * n * efficiency;
+}
+
+}  // namespace wavesz::fpga

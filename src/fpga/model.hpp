@@ -1,0 +1,52 @@
+// End-to-end FPGA throughput model: schedule simulation x clock x lanes,
+// derated by the calibrated interface efficiency and capped by PCIe
+// (paper Table 5 and Fig. 8).
+#pragma once
+
+#include <cstdint>
+
+#include "fpga/calibration.hpp"
+#include "fpga/schedule.hpp"
+#include "sz/config.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::fpga {
+
+struct DesignThroughput {
+  ScheduleStats schedule;      ///< one lane's schedule over its partition
+  double seconds = 0.0;        ///< wall time of the slowest lane
+  double raw_mbps = 0.0;       ///< schedule-only (no interface derating)
+  double effective_mbps = 0.0; ///< x interface efficiency
+  double delivered_mbps = 0.0; ///< min(effective, PCIe gen2 x4)
+};
+
+struct ModelConfig {
+  ClockConfig clock{};
+  OpLatencies ops{};
+  PcieConfig pcie{};
+  double interface_efficiency = kInterfaceEfficiency;
+};
+
+/// waveSZ: `lanes` parallel PQD pipelines over column-partitioned chunks of
+/// the flattened 2D view; pipeline depth Lambda = d0 - 1.
+DesignThroughput wave_throughput(const Dims& dims, int lanes,
+                                 sz::EbBase base = sz::EbBase::Two,
+                                 const ModelConfig& cfg = {});
+
+/// GhostSZ: one logical lane (three curve-fitting units), pII = 2, over the
+/// flattened 2D view. `replicas` scales the whole design for Fig. 8.
+DesignThroughput ghost_throughput(const Dims& dims, int replicas = 1,
+                                  const ModelConfig& cfg = {});
+
+/// Hypothetical raster-order SZ pipeline on the FPGA (the layout ablation:
+/// what waveSZ would cost without the wavefront transform).
+DesignThroughput naive_raster_throughput(const Dims& dims,
+                                         sz::EbBase base = sz::EbBase::Two,
+                                         const ModelConfig& cfg = {});
+
+/// SZ-1.4 (omp) series of Fig. 8: scale a measured single-core throughput
+/// by the calibrated sublinear efficiency curve.
+double omp_scaled_mbps(double single_core_mbps, int cores,
+                       double alpha = kOmpEfficiencyAlpha);
+
+}  // namespace wavesz::fpga

@@ -1,0 +1,59 @@
+// FPGA resource-utilization model (paper Table 6).
+//
+// Bottom-up: each design is an inventory of synthesized operators; each
+// operator has a BRAM/DSP/FF/LUT cost typical of Xilinx 7-series IPs in
+// logic-heavy (DSP-free where possible) configuration. The headline
+// structural facts the model must reproduce:
+//   * waveSZ's base-2 datapath uses NO DSP48E slices — exponent adjusts
+//     replace the divider and multiplier (paper Table 6 shows 0 DSPs);
+//   * GhostSZ burns DSPs in its curve-fitting multipliers and divider, and
+//     roughly 2.4x the logic of waveSZ's three PQD lanes;
+//   * the shared gzip core dominates BRAM (303 BRAM_18K per the Xilinx
+//     reference design the paper cites).
+#pragma once
+
+#include <string>
+
+namespace wavesz::fpga {
+
+struct ResourceUsage {
+  int bram_18k = 0;
+  int dsp48e = 0;
+  int ff = 0;
+  int lut = 0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o);
+  ResourceUsage operator*(int n) const;
+};
+
+/// ZC706 (XC7Z045) totals, paper Table 6.
+struct DeviceCapacity {
+  int bram_18k = 1090;
+  int dsp48e = 900;
+  int ff = 437200;
+  int lut = 218600;
+};
+
+/// One waveSZ PQD lane (base-2 datapath, pII = 1).
+ResourceUsage wave_pqd_lane_base2();
+
+/// One waveSZ PQD lane if the base-10 datapath were kept (ablation).
+ResourceUsage wave_pqd_lane_base10();
+
+/// GhostSZ's prediction/quantization engine: three Order-{0,1,2}
+/// curve-fitting units plus bestfit select and a base-10 quantizer.
+ResourceUsage ghost_engine();
+
+/// The Xilinx gzip core shared by both designs.
+ResourceUsage gzip_core();
+
+/// Whole-design totals as reported in Table 6 (compute kernels only; the
+/// paper's utilization excludes the gzip core, which it discusses as the
+/// scalability limit).
+ResourceUsage wave_design(int lanes);
+ResourceUsage ghost_design();
+
+/// Percent-of-device table row, e.g. "9 (0.83%)".
+std::string utilization_row(int used, int total);
+
+}  // namespace wavesz::fpga

@@ -1,0 +1,124 @@
+#include "fpga/schedule.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wavesz::fpga {
+namespace {
+
+/// Issue bookkeeping shared by all three simulators.
+class Issuer {
+ public:
+  explicit Issuer(const ScheduleConfig& cfg) : cfg_(cfg) {}
+
+  /// Issue one iteration whose dependencies are ready at `deps_ready`;
+  /// returns the cycle at which its *result* becomes consumable.
+  std::uint64_t issue(std::uint64_t deps_ready, bool border) {
+    std::uint64_t t = first_ ? 0 : last_issue_ + static_cast<std::uint64_t>(
+                                                     cfg_.pii);
+    if (deps_ready > t) {
+      stats_.stall_cycles += deps_ready - t;
+      t = deps_ready;
+    }
+    first_ = false;
+    last_issue_ = t;
+    const auto depth = static_cast<std::uint64_t>(
+        border ? cfg_.border_depth : cfg_.depth);
+    const auto dep_lat = static_cast<std::uint64_t>(
+        border ? cfg_.border_depth : cfg_.dep_latency);
+    stats_.makespan = std::max(stats_.makespan, t + depth);
+    ++stats_.points;
+    stats_.issue_span = t + static_cast<std::uint64_t>(cfg_.pii);
+    return t + dep_lat;
+  }
+
+  ScheduleStats stats() const { return stats_; }
+
+ private:
+  ScheduleConfig cfg_;
+  ScheduleStats stats_;
+  std::uint64_t last_issue_ = 0;
+  bool first_ = true;
+};
+
+}  // namespace
+
+ScheduleStats simulate_wavefront(std::size_t d0, std::size_t d1,
+                                 const ScheduleConfig& cfg) {
+  WAVESZ_REQUIRE(d0 > 0 && d1 > 0, "grid extents must be positive");
+  Issuer issuer(cfg);
+  // ready[x] = result-availability of the point in row x of a given column.
+  std::vector<std::uint64_t> prev1(d0, 0), prev2(d0, 0), cur(d0, 0);
+  const std::size_t cols = d0 + d1 - 1;
+  for (std::size_t h = 0; h < cols; ++h) {
+    const std::size_t x_lo = h >= d1 ? h - (d1 - 1) : 0;
+    const std::size_t x_hi = std::min(d0 - 1, h);
+    for (std::size_t x = x_lo; x <= x_hi; ++x) {
+      const std::size_t y = h - x;
+      const bool border = (x == 0 || y == 0);
+      std::uint64_t deps = 0;
+      if (!border) {
+        deps = std::max({prev1[x - 1],   // N  = (x-1, y),  column h-1
+                         prev1[x],       // W  = (x, y-1),  column h-1
+                         prev2[x - 1]}); // NW = (x-1,y-1), column h-2
+      }
+      cur[x] = issuer.issue(deps, border);
+    }
+    std::swap(prev2, prev1);
+    std::swap(prev1, cur);
+  }
+  return issuer.stats();
+}
+
+ScheduleStats simulate_raster(std::size_t d0, std::size_t d1,
+                              const ScheduleConfig& cfg) {
+  WAVESZ_REQUIRE(d0 > 0 && d1 > 0, "grid extents must be positive");
+  Issuer issuer(cfg);
+  std::vector<std::uint64_t> prev_row(d1, 0), cur_row(d1, 0);
+  for (std::size_t x = 0; x < d0; ++x) {
+    for (std::size_t y = 0; y < d1; ++y) {
+      const bool border = (x == 0 || y == 0);
+      std::uint64_t deps = 0;
+      if (!border) {
+        deps = std::max({prev_row[y],       // N
+                         cur_row[y - 1],    // W — finished one iteration ago!
+                         prev_row[y - 1]}); // NW
+      }
+      cur_row[y] = issuer.issue(deps, border);
+    }
+    std::swap(prev_row, cur_row);
+  }
+  return issuer.stats();
+}
+
+ScheduleStats simulate_ghost(std::size_t d0, std::size_t d1,
+                             const ScheduleConfig& cfg) {
+  WAVESZ_REQUIRE(d0 > 0 && d1 > 0, "grid extents must be positive");
+  Issuer issuer(cfg);
+  // Column-staged order across the d0 independent rows (Fig. 4b): the only
+  // timing-critical dependency is each row's previous point, whose
+  // *prediction* becomes available dep_latency after issue.
+  std::vector<std::uint64_t> west(d0, 0);
+  for (std::size_t c = 0; c < d1; ++c) {
+    for (std::size_t r = 0; r < d0; ++r) {
+      const bool border = (c == 0);  // row seeds are verbatim
+      const std::uint64_t deps = border ? 0 : west[r];
+      west[r] = issuer.issue(deps, border);
+    }
+  }
+  return issuer.stats();
+}
+
+std::uint64_t ideal_start_cycle(std::uint64_t r, std::uint64_t c,
+                                std::uint64_t lambda) {
+  return c * lambda + r;
+}
+
+std::uint64_t ideal_end_cycle(std::uint64_t r, std::uint64_t c,
+                              std::uint64_t lambda) {
+  return (c + 1) * lambda + r - 1;
+}
+
+}  // namespace wavesz::fpga

@@ -1,0 +1,71 @@
+// Cycle-level schedule simulator for the HLS pipeline designs (paper §3.2).
+//
+// Each grid point is one loop iteration of the synthesized PQD pipeline.
+// The simulator issues iterations in a design's program order, delaying an
+// issue until (a) one initiation interval after the previous issue and
+// (b) every data dependency is available. It therefore reproduces, cycle
+// by cycle, the stall structure that distinguishes:
+//
+//   * waveSZ      — wavefront column order, dependencies point to the two
+//                   previous anti-diagonal columns, dependents must wait the
+//                   full PQD depth (the in-loop decompression writeback);
+//   * original SZ — same dependencies walked in raster order: the west
+//                   neighbour finished only Delta cycles ago, so nearly
+//                   every iteration stalls (the Fig. 3 problem);
+//   * GhostSZ     — row-decorrelated, column-staged order (Fig. 4);
+//                   dependents wait only for the *prediction* (no error
+//                   correction), a much shorter chain.
+//
+// Memory is O(pipeline window), not O(points), so paper-scale grids
+// (512 x 262144) simulate in milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wavesz::fpga {
+
+struct ScheduleConfig {
+  int pii = 1;            ///< initiation interval of the pipeline
+  int depth = 117;        ///< iteration latency (the paper's Delta)
+  int dep_latency = 117;  ///< cycles until a dependent may consume the result
+  int border_depth = 2;   ///< pass-through latency of border points
+};
+
+struct ScheduleStats {
+  std::uint64_t points = 0;
+  std::uint64_t issue_span = 0;   ///< last issue cycle + pII
+  std::uint64_t makespan = 0;     ///< last finish cycle
+  std::uint64_t stall_cycles = 0; ///< issue delay beyond pII, summed
+  /// Average iterations issued per cycle (1.0 = fully pipelined at pII 1).
+  double occupancy() const {
+    return issue_span == 0
+               ? 0.0
+               : static_cast<double>(points) * 1.0 /
+                     static_cast<double>(issue_span);
+  }
+};
+
+/// waveSZ order: anti-diagonal columns left to right, rows top down.
+ScheduleStats simulate_wavefront(std::size_t d0, std::size_t d1,
+                                 const ScheduleConfig& cfg);
+
+/// Original SZ order: raster (row-major) with the same Lorenzo deps.
+ScheduleStats simulate_raster(std::size_t d0, std::size_t d1,
+                              const ScheduleConfig& cfg);
+
+/// GhostSZ order: rectangular columns staged across independent rows;
+/// dependency is the same-row west neighbour at dep_latency (prediction
+/// feedback only).
+ScheduleStats simulate_ghost(std::size_t d0, std::size_t d1,
+                             const ScheduleConfig& cfg);
+
+/// Paper §3.2 closed form for the ideal body schedule (Lambda == Delta):
+/// point (r, c), 1-based row r within a body column c, starts at c*Lambda+r
+/// and ends Lambda cycles later.
+std::uint64_t ideal_start_cycle(std::uint64_t r, std::uint64_t c,
+                                std::uint64_t lambda);
+std::uint64_t ideal_end_cycle(std::uint64_t r, std::uint64_t c,
+                              std::uint64_t lambda);
+
+}  // namespace wavesz::fpga

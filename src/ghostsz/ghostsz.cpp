@@ -1,0 +1,192 @@
+#include "ghostsz/ghostsz.hpp"
+
+#include "deflate/deflate.hpp"
+#include "metrics/stats.hpp"
+#include "sz/predictor.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::ghost {
+namespace {
+
+/// Rolling 3-deep history of a row's writeback values (pred for quantizable
+/// points, original for unpredictable ones — Algorithm 1 lines 9/12).
+struct RowHistory {
+  double p1 = 0.0, p2 = 0.0, p3 = 0.0;
+  int filled = 0;
+
+  void push(double v) {
+    p3 = p2;
+    p2 = p1;
+    p1 = v;
+    if (filled < 3) ++filled;
+  }
+};
+
+double predict_with_order(const RowHistory& h, std::uint8_t order) {
+  switch (order) {
+    case 0: return sz::curvefit_order0(h.p1);
+    case 1: return sz::curvefit_order1(h.p1, h.p2);
+    default: return sz::curvefit_order2(h.p1, h.p2, h.p3);
+  }
+}
+
+}  // namespace
+
+std::uint16_t pack_symbol(std::uint8_t order, std::uint16_t code) {
+  WAVESZ_ASSERT(order < 4, "order must fit in 2 bits");
+  WAVESZ_ASSERT(code < (1u << kGhostQuantBits), "code must fit in 14 bits");
+  return static_cast<std::uint16_t>((static_cast<unsigned>(order) << 14) |
+                                    code);
+}
+
+std::uint8_t symbol_order(std::uint16_t symbol) {
+  return static_cast<std::uint8_t>(symbol >> 14);
+}
+
+std::uint16_t symbol_code(std::uint16_t symbol) {
+  return static_cast<std::uint16_t>(symbol & ((1u << kGhostQuantBits) - 1));
+}
+
+sz::Pqd ghost_pqd(std::span<const float> data, const Dims& dims,
+                  const sz::LinearQuantizer& q) {
+  WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
+  WAVESZ_REQUIRE(q.capacity() == (1u << kGhostQuantBits),
+                 "GhostSZ requires a 14-bit quantizer");
+  const Dims flat = dims.flatten2d();
+  const std::size_t rows = flat.rank == 1 ? 1 : flat[0];
+  const std::size_t width = flat.rank == 1 ? flat[0] : flat[1];
+
+  sz::Pqd out;
+  out.codes.resize(data.size());
+  out.reconstructed.resize(data.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    RowHistory hist;
+    const std::size_t base = r * width;
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t i = base + c;
+      const double orig = static_cast<double>(data[i]);
+      if (hist.filled == 0) {
+        // Row seed: always verbatim.
+        out.codes[i] = pack_symbol(0, 0);
+        out.reconstructed[i] = data[i];
+        out.unpredictable.push_back(data[i]);
+        hist.push(orig);
+        continue;
+      }
+      const sz::BestFit fit =
+          sz::curvefit_best(orig, hist.p1, hist.p2, hist.p3, hist.filled);
+      const sz::QuantResult qr = q.quantize(fit.prediction, orig);
+      if (qr.code != 0) {
+        out.codes[i] = pack_symbol(fit.order, qr.code);
+        out.reconstructed[i] = qr.reconstructed;
+        hist.push(fit.prediction);  // line 9: pred, not d_re
+      } else {
+        out.codes[i] = pack_symbol(0, 0);
+        out.reconstructed[i] = data[i];
+        out.unpredictable.push_back(data[i]);
+        hist.push(orig);  // line 12: original re-anchors the chain
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> ghost_reconstruct(std::span<const std::uint16_t> symbols,
+                                     std::span<const float> unpredictable,
+                                     const Dims& dims,
+                                     const sz::LinearQuantizer& q) {
+  WAVESZ_REQUIRE(symbols.size() == dims.count(),
+                 "symbol count disagrees with dims");
+  const Dims flat = dims.flatten2d();
+  const std::size_t rows = flat.rank == 1 ? 1 : flat[0];
+  const std::size_t width = flat.rank == 1 ? flat[0] : flat[1];
+
+  std::vector<float> rec(symbols.size());
+  std::size_t next_unpred = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    RowHistory hist;
+    const std::size_t base = r * width;
+    for (std::size_t c = 0; c < width; ++c) {
+      const std::size_t i = base + c;
+      const std::uint16_t code = symbol_code(symbols[i]);
+      if (code == 0) {
+        WAVESZ_REQUIRE(next_unpred < unpredictable.size(),
+                       "unpredictable stream exhausted");
+        const float v = unpredictable[next_unpred++];
+        rec[i] = v;
+        hist.push(static_cast<double>(v));
+      } else {
+        const double pred = predict_with_order(hist, symbol_order(symbols[i]));
+        rec[i] = q.reconstruct(pred, code);
+        hist.push(pred);
+      }
+    }
+  }
+  WAVESZ_REQUIRE(next_unpred == unpredictable.size(),
+                 "unpredictable stream has trailing values");
+  return rec;
+}
+
+sz::Compressed compress(std::span<const float> data, const Dims& dims,
+                        const sz::Config& cfg) {
+  WAVESZ_REQUIRE(!data.empty(), "cannot compress an empty field");
+  const double range = metrics::value_range(data).span();
+  const double bound = resolve_bound(cfg, range);
+  const sz::LinearQuantizer q(bound, kGhostQuantBits);
+
+  sz::Pqd pqd = ghost_pqd(data, dims, q);
+
+  ByteWriter cw;
+  cw.u16s(pqd.codes);
+  const auto code_blob = deflate::gzip_compress(cw.data(), cfg.gzip_level);
+
+  ByteWriter uw;
+  uw.floats(pqd.unpredictable);
+  const auto unpred_blob = deflate::gzip_compress(uw.data(), cfg.gzip_level);
+
+  sz::Compressed out;
+  out.header.variant = sz::Variant::GhostSz;
+  out.header.dims = dims;
+  out.header.mode = cfg.mode;
+  out.header.base = cfg.base;
+  out.header.eb_requested = cfg.error_bound;
+  out.header.eb_absolute = bound;
+  out.header.quant_bits = kGhostQuantBits;
+  out.header.huffman = false;  // no customized Huffman on GhostSZ
+  out.header.gzip_level = cfg.gzip_level;
+  out.header.point_count = data.size();
+  out.header.unpredictable_count = pqd.unpredictable.size();
+  out.code_blob_bytes = code_blob.size();
+  out.unpred_blob_bytes = unpred_blob.size();
+
+  ByteWriter w;
+  sz::write_header(w, out.header);
+  sz::write_section(w, code_blob);
+  sz::write_section(w, unpred_blob);
+  out.bytes = w.take();
+  return out;
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out) {
+  ByteReader r(bytes);
+  const sz::ContainerHeader h = sz::read_header(r);
+  WAVESZ_REQUIRE(h.variant == sz::Variant::GhostSz,
+                 "container is not a GhostSZ stream");
+  const auto code_blob = sz::read_section(r);
+  const auto unpred_blob = sz::read_section(r);
+
+  const auto code_plain = deflate::gzip_decompress(code_blob);
+  ByteReader cr(code_plain);
+  const auto symbols = cr.u16s(h.point_count);
+
+  const auto unpred_plain = deflate::gzip_decompress(unpred_blob);
+  ByteReader ur(unpred_plain);
+  const auto unpred = ur.floats(h.unpredictable_count);
+
+  const sz::LinearQuantizer q(h.eb_absolute, h.quant_bits);
+  if (dims_out != nullptr) *dims_out = h.dims;
+  return ghost_reconstruct(symbols, unpred, h.dims, q);
+}
+
+}  // namespace wavesz::ghost

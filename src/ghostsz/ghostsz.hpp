@@ -1,0 +1,58 @@
+// GhostSZ baseline (Xiong et al., FCCM'19), reimplemented per the paper's
+// §2.2 and Algorithm 1.
+//
+// GhostSZ decorrelates the dataset into independent rows (Fig. 4) so each
+// row pipelines on the FPGA, at the cost of 1D-only prediction:
+//   * predictor: Order-{0,1,2} curve fitting along the row (CF-GhostSZ),
+//     fed by *predicted* values written back to history (Algorithm 1 line 9)
+//     rather than decompressed values — no error correction in the history;
+//   * unpredictable points write the *original* value back (line 12), which
+//     re-anchors the drifting prediction chain;
+//   * the 16-bit symbol budget loses 2 bits to the bestfit-order selector,
+//     leaving 16,384 quantization bins (14-bit), which raises the
+//     unpredictable count and thus lowers the ratio (paper §4.1);
+//   * the back end is gzip only (the Xilinx gzip core), no customized
+//     Huffman.
+//
+// 3D inputs are interpreted as d0 x (d1*d2) rows, exactly like the artifact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/compressor.hpp"
+#include "sz/config.hpp"
+#include "sz/quantizer.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::ghost {
+
+/// Quantization-bin width in bits after reserving 2 selector bits.
+inline constexpr int kGhostQuantBits = 14;
+
+/// Stored symbol layout: [15:14] bestfit order, [13:0] quantization code
+/// (0 = unpredictable; the selector bits of an unpredictable symbol are 0).
+std::uint16_t pack_symbol(std::uint8_t order, std::uint16_t code);
+std::uint8_t symbol_order(std::uint16_t symbol);
+std::uint16_t symbol_code(std::uint16_t symbol);
+
+/// Row-decorrelated CF-GhostSZ PQD pass over the flattened-2D view.
+/// Unpredictable originals are stored verbatim (4 bytes each).
+sz::Pqd ghost_pqd(std::span<const float> data, const Dims& dims,
+                  const sz::LinearQuantizer& q);
+
+/// Reference reconstruction from symbols + verbatim unpredictables.
+std::vector<float> ghost_reconstruct(std::span<const std::uint16_t> symbols,
+                                     std::span<const float> unpredictable,
+                                     const Dims& dims,
+                                     const sz::LinearQuantizer& q);
+
+/// Full GhostSZ compression (gzip back end, G* only).
+sz::Compressed compress(std::span<const float> data, const Dims& dims,
+                        const sz::Config& cfg);
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out = nullptr);
+
+}  // namespace wavesz::ghost

@@ -1,0 +1,95 @@
+#include "metrics/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wavesz::metrics {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  WAVESZ_REQUIRE(hi > lo, "histogram range must be non-empty");
+  WAVESZ_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double v) {
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    auto bin = static_cast<std::size_t>((v - lo_) / width_);
+    bin = std::min(bin, counts_.size() - 1);  // guard fp edge at hi_
+    ++counts_[bin];
+  }
+}
+
+void Histogram::add(std::span<const float> values) {
+  for (float v : values) add(static_cast<double>(v));
+}
+
+Histogram Histogram::of_errors(std::span<const float> a,
+                               std::span<const float> b, double lo, double hi,
+                               std::size_t bins) {
+  WAVESZ_REQUIRE(a.size() == b.size(), "of_errors: length mismatch");
+  Histogram h(lo, hi, bins);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    h.add(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return h;
+}
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t t = underflow_ + overflow_;
+  for (auto c : counts_) t += c;
+  return t;
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::fraction_within(double x) const {
+  const std::uint64_t t = total();
+  if (t == 0) return 0.0;
+  std::uint64_t inside = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double lo = lo_ + static_cast<double>(i) * width_;
+    const double hi = lo + width_;
+    if (lo >= -x && hi <= x) inside += counts_[i];
+  }
+  return static_cast<double>(inside) / static_cast<double>(t);
+}
+
+std::string Histogram::ascii(int max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int w = static_cast<int>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        max_width);
+    os << ' ';
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%+11.4g", bin_center(i));
+    os << buf << " |" << std::string(static_cast<std::size_t>(w), '#')
+       << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_ > 0) os << "  underflow: " << underflow_ << '\n';
+  if (overflow_ > 0) os << "  overflow:  " << overflow_ << '\n';
+  return os.str();
+}
+
+std::string Histogram::csv() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << bin_center(i) << ',' << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace wavesz::metrics

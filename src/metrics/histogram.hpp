@@ -1,0 +1,52 @@
+// Fixed-bin histograms for the error-distribution figures (paper Figs. 1, 9).
+//
+// The benches render these as ASCII bar charts and as CSV series so the
+// distributions can be compared against the paper's plots.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wavesz::metrics {
+
+class Histogram {
+ public:
+  /// Bins cover [lo, hi) uniformly; values outside are counted in
+  /// underflow/overflow.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double v);
+  void add(std::span<const float> values);
+
+  /// Histogram of pairwise differences a[i] - b[i].
+  static Histogram of_errors(std::span<const float> a,
+                             std::span<const float> b, double lo, double hi,
+                             std::size_t bins);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const;
+  double bin_center(std::size_t bin) const;
+  double bin_width() const { return width_; }
+
+  /// Fraction of samples inside [-x, x] (for "codes cover >99%" style claims).
+  double fraction_within(double x) const;
+
+  /// Simple ASCII rendering: one row per bin, bar scaled to `max_width`.
+  std::string ascii(int max_width = 60) const;
+
+  /// CSV rows "center,count".
+  std::string csv() const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+}  // namespace wavesz::metrics

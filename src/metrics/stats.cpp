@@ -1,0 +1,73 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wavesz::metrics {
+
+Range value_range(std::span<const float> data) {
+  WAVESZ_REQUIRE(!data.empty(), "value_range of empty data");
+  Range r{data[0], data[0]};
+  for (float v : data) {
+    r.min = std::min(r.min, static_cast<double>(v));
+    r.max = std::max(r.max, static_cast<double>(v));
+  }
+  return r;
+}
+
+DistortionStats distortion(std::span<const float> original,
+                           std::span<const float> decompressed) {
+  WAVESZ_REQUIRE(original.size() == decompressed.size(),
+                 "distortion: length mismatch");
+  WAVESZ_REQUIRE(!original.empty(), "distortion of empty data");
+  double sq_sum = 0.0, abs_sum = 0.0, max_abs = 0.0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double e = static_cast<double>(original[i]) -
+                     static_cast<double>(decompressed[i]);
+    sq_sum += e * e;
+    abs_sum += std::fabs(e);
+    max_abs = std::max(max_abs, std::fabs(e));
+  }
+  const double n = static_cast<double>(original.size());
+  DistortionStats s;
+  s.rmse = std::sqrt(sq_sum / n);
+  s.mean_abs_error = abs_sum / n;
+  s.max_abs_error = max_abs;
+  const double span = value_range(original).span();
+  s.psnr_db = (s.rmse > 0.0 && span > 0.0)
+                  ? 20.0 * std::log10(span / s.rmse)
+                  : std::numeric_limits<double>::infinity();
+  return s;
+}
+
+std::size_t first_violation(std::span<const float> original,
+                            std::span<const float> decompressed,
+                            double bound) {
+  WAVESZ_REQUIRE(original.size() == decompressed.size(),
+                 "first_violation: length mismatch");
+  // One float ulp of slack at the bound magnitude: reconstruction arithmetic
+  // is double but the stored value is float, so the last rounding step can
+  // land a hair past an exactly-met bound.
+  const double slack =
+      static_cast<double>(std::nextafter(static_cast<float>(bound),
+                                         std::numeric_limits<float>::max())) -
+      bound;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double e = std::fabs(static_cast<double>(original[i]) -
+                               static_cast<double>(decompressed[i]));
+    if (e > bound + slack) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool within_bound(std::span<const float> original,
+                  std::span<const float> decompressed, double bound) {
+  return first_violation(original, decompressed, bound) ==
+         static_cast<std::size_t>(-1);
+}
+
+}  // namespace wavesz::metrics

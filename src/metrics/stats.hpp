@@ -1,0 +1,50 @@
+// Distortion and ratio metrics used throughout the evaluation (paper §4.1).
+//
+// PSNR is defined exactly as in the paper:
+//   PSNR = 20 * log10((d_max - d_min) / RMSE)
+// with RMSE the root mean squared error between original and decompressed
+// values. Compression ratio is original bytes over compressed bytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wavesz::metrics {
+
+struct Range {
+  double min = 0.0;
+  double max = 0.0;
+  double span() const { return max - min; }
+};
+
+Range value_range(std::span<const float> data);
+
+struct DistortionStats {
+  double rmse = 0.0;
+  double psnr_db = 0.0;
+  double max_abs_error = 0.0;
+  double mean_abs_error = 0.0;
+};
+
+/// Compare original vs decompressed; spans must have equal length.
+DistortionStats distortion(std::span<const float> original,
+                           std::span<const float> decompressed);
+
+/// True iff every |original[i] - decompressed[i]| <= bound (with a 1-ulp
+/// slack to absorb double->float rounding at the bound edge).
+bool within_bound(std::span<const float> original,
+                  std::span<const float> decompressed, double bound);
+
+/// Index of the first element violating the bound, or SIZE_MAX if none.
+std::size_t first_violation(std::span<const float> original,
+                            std::span<const float> decompressed, double bound);
+
+inline double compression_ratio(std::size_t original_bytes,
+                                std::size_t compressed_bytes) {
+  return compressed_bytes == 0
+             ? 0.0
+             : static_cast<double>(original_bytes) /
+                   static_cast<double>(compressed_bytes);
+}
+
+}  // namespace wavesz::metrics

@@ -1,0 +1,376 @@
+#include "sz/compressor.hpp"
+
+#include <algorithm>
+#include <type_traits>
+
+#include "deflate/deflate.hpp"
+#include "metrics/stats.hpp"
+#include "sz/huffman_codec.hpp"
+#include "sz/predictor.hpp"
+#include "sz/unpredictable.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::sz {
+namespace {
+
+/// Zero-padded accessor over the reconstructed field: any index off the grid
+/// reads as 0.0, which collapses the Lorenzo stencil to its reduced-dimension
+/// form on borders.
+template <typename T>
+struct Padded {
+  const T* rec;
+  std::size_t d0, d1, d2;
+
+  double at(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t i2) const {
+    if (i0 < 0 || i1 < 0 || i2 < 0) return 0.0;
+    return rec[(static_cast<std::size_t>(i0) * d1 +
+                static_cast<std::size_t>(i1)) *
+                   d2 +
+               static_cast<std::size_t>(i2)];
+  }
+};
+
+template <typename T>
+double predict(const Padded<T>& p, int rank, PredictorKind kind,
+               std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t i2) {
+  if (kind == PredictorKind::Lorenzo2Layer) {
+    // Supported for 1D/2D (the 3D 2-layer stencil has 26 taps and is not
+    // part of this reproduction); enforced at compress() time.
+    if (rank == 1) {
+      return lorenzo1d_2layer(p.at(i0 - 1, 0, 0), p.at(i0 - 2, 0, 0));
+    }
+    return lorenzo2d_2layer(p.at(i0, i1 - 1, 0), p.at(i0, i1 - 2, 0),
+                            p.at(i0 - 1, i1, 0), p.at(i0 - 1, i1 - 1, 0),
+                            p.at(i0 - 1, i1 - 2, 0), p.at(i0 - 2, i1, 0),
+                            p.at(i0 - 2, i1 - 1, 0), p.at(i0 - 2, i1 - 2, 0));
+  }
+  switch (rank) {
+    case 1:
+      return lorenzo1d(p.at(i0 - 1, 0, 0));
+    case 2:
+      return lorenzo2d(p.at(i0 - 1, i1 - 1, 0), p.at(i0 - 1, i1, 0),
+                       p.at(i0, i1 - 1, 0));
+    default:
+      return lorenzo3d(p.at(i0 - 1, i1 - 1, i2 - 1), p.at(i0 - 1, i1 - 1, i2),
+                       p.at(i0 - 1, i1, i2 - 1), p.at(i0, i1 - 1, i2 - 1),
+                       p.at(i0 - 1, i1, i2), p.at(i0, i1 - 1, i2),
+                       p.at(i0, i1, i2 - 1));
+  }
+}
+
+struct Shape {
+  std::size_t n0, n1, n2;
+};
+
+/// Branch-free Lorenzo prediction for interior points (every coordinate
+/// > 0): direct strided loads, term order identical to lorenzo{1,2,3}d so
+/// the result is bit-equal to the generic Padded path.
+template <typename T>
+double predict_interior(const T* rec, int rank, std::size_t s0,
+                        std::size_t s1, std::size_t i) {
+  switch (rank) {
+    case 1:
+      return static_cast<double>(rec[i - 1]);
+    case 2:
+      // Row stride of a rank-2 grid is s0 (= n1, since n2 == 1).
+      return static_cast<double>(rec[i - s0]) +
+             static_cast<double>(rec[i - 1]) -
+             static_cast<double>(rec[i - s0 - 1]);
+    default:
+      return static_cast<double>(rec[i - s0]) +
+             static_cast<double>(rec[i - s1]) +
+             static_cast<double>(rec[i - 1]) -
+             static_cast<double>(rec[i - s0 - s1]) -
+             static_cast<double>(rec[i - s0 - 1]) -
+             static_cast<double>(rec[i - s1 - 1]) +
+             static_cast<double>(rec[i - s0 - s1 - 1]);
+  }
+}
+
+Shape shape_of(const Dims& dims) {
+  return {dims[0], dims.rank >= 2 ? dims[1] : 1,
+          dims.rank >= 3 ? dims[2] : 1};
+}
+
+/// Width-generic glue: the quantizer/truncation entry points differ between
+/// float32 and float64 but the PQD structure does not.
+template <typename T>
+struct FpOps;
+
+template <>
+struct FpOps<float> {
+  using PqdType = Pqd;
+  static constexpr std::uint8_t kDtype = 0;
+  static auto quantize(const LinearQuantizer& q, double pred, float orig) {
+    return q.quantize(pred, orig);
+  }
+  static float reconstruct(const LinearQuantizer& q, double pred,
+                           std::uint16_t code) {
+    return q.reconstruct(pred, code);
+  }
+  static float roundtrip(float v, double bound) {
+    return truncation_roundtrip(v, bound);
+  }
+  static std::vector<std::uint8_t> encode(std::span<const float> v,
+                                          double bound) {
+    return truncation_encode(v, bound);
+  }
+  static std::vector<float> decode(std::span<const std::uint8_t> blob,
+                                   std::size_t count, double bound) {
+    return truncation_decode(blob, count, bound);
+  }
+};
+
+template <>
+struct FpOps<double> {
+  using PqdType = Pqd64;
+  static constexpr std::uint8_t kDtype = 1;
+  static auto quantize(const LinearQuantizer& q, double pred, double orig) {
+    return q.quantize64(pred, orig);
+  }
+  static double reconstruct(const LinearQuantizer& q, double pred,
+                            std::uint16_t code) {
+    return q.reconstruct64(pred, code);
+  }
+  static double roundtrip(double v, double bound) {
+    return truncation_roundtrip64(v, bound);
+  }
+  static std::vector<std::uint8_t> encode(std::span<const double> v,
+                                          double bound) {
+    return truncation_encode64(v, bound);
+  }
+  static std::vector<double> decode(std::span<const std::uint8_t> blob,
+                                    std::size_t count, double bound) {
+    return truncation_decode64(blob, count, bound);
+  }
+};
+
+template <typename T>
+typename FpOps<T>::PqdType lorenzo_pqd_t(
+    std::span<const T> data, const Dims& dims, const LinearQuantizer& q,
+    PredictorKind kind = PredictorKind::Lorenzo1Layer) {
+  WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
+  const auto [n0, n1, n2] = shape_of(dims);
+  typename FpOps<T>::PqdType out;
+  out.codes.resize(data.size());
+  out.reconstructed.resize(data.size());
+  const Padded<T> padded{out.reconstructed.data(), n0, n1, n2};
+  const std::size_t s1 = n2, s0 = n1 * n2;
+  const bool one_layer = kind == PredictorKind::Lorenzo1Layer;
+  std::size_t i = 0;
+  for (std::size_t i0 = 0; i0 < n0; ++i0) {
+    for (std::size_t i1 = 0; i1 < n1; ++i1) {
+      for (std::size_t i2 = 0; i2 < n2; ++i2, ++i) {
+        const bool interior =
+            one_layer && i0 > 0 && (dims.rank < 2 || i1 > 0) &&
+            (dims.rank < 3 || i2 > 0);
+        const double pred =
+            interior
+                ? predict_interior(out.reconstructed.data(), dims.rank, s0,
+                                   s1, i)
+                : predict(padded, dims.rank, kind,
+                          static_cast<std::ptrdiff_t>(i0),
+                          static_cast<std::ptrdiff_t>(i1),
+                          static_cast<std::ptrdiff_t>(i2));
+        const auto r = FpOps<T>::quantize(q, pred, data[i]);
+        out.codes[i] = r.code;
+        if (r.code != 0) {
+          out.reconstructed[i] = r.reconstructed;
+        } else {
+          // History must hold what the decompressor will see: the
+          // truncation-decoded value, not the original.
+          out.reconstructed[i] = FpOps<T>::roundtrip(data[i], q.precision());
+          out.unpredictable.push_back(data[i]);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> lorenzo_reconstruct_t(
+    std::span<const std::uint16_t> codes, std::span<const T> unpredictable,
+    const Dims& dims, const LinearQuantizer& q,
+    PredictorKind kind = PredictorKind::Lorenzo1Layer) {
+  WAVESZ_REQUIRE(codes.size() == dims.count(),
+                 "code count disagrees with dims");
+  const auto [n0, n1, n2] = shape_of(dims);
+  std::vector<T> rec(codes.size());
+  const Padded<T> padded{rec.data(), n0, n1, n2};
+  const std::size_t s1 = n2, s0 = n1 * n2;
+  const bool one_layer = kind == PredictorKind::Lorenzo1Layer;
+  std::size_t next_unpred = 0;
+  std::size_t i = 0;
+  for (std::size_t i0 = 0; i0 < n0; ++i0) {
+    for (std::size_t i1 = 0; i1 < n1; ++i1) {
+      for (std::size_t i2 = 0; i2 < n2; ++i2, ++i) {
+        if (codes[i] == 0) {
+          WAVESZ_REQUIRE(next_unpred < unpredictable.size(),
+                         "unpredictable stream exhausted");
+          rec[i] = unpredictable[next_unpred++];
+        } else {
+          const bool interior =
+              one_layer && i0 > 0 && (dims.rank < 2 || i1 > 0) &&
+              (dims.rank < 3 || i2 > 0);
+          const double pred =
+              interior
+                  ? predict_interior(rec.data(), dims.rank, s0, s1, i)
+                  : predict(padded, dims.rank, kind,
+                            static_cast<std::ptrdiff_t>(i0),
+                            static_cast<std::ptrdiff_t>(i1),
+                            static_cast<std::ptrdiff_t>(i2));
+          rec[i] = FpOps<T>::reconstruct(q, pred, codes[i]);
+        }
+      }
+    }
+  }
+  WAVESZ_REQUIRE(next_unpred == unpredictable.size(),
+                 "unpredictable stream has trailing values");
+  return rec;
+}
+
+template <typename T>
+double range_of(std::span<const T> data) {
+  WAVESZ_REQUIRE(!data.empty(), "cannot compress an empty field");
+  double lo = static_cast<double>(data[0]);
+  double hi = lo;
+  for (T v : data) {
+    lo = std::min(lo, static_cast<double>(v));
+    hi = std::max(hi, static_cast<double>(v));
+  }
+  return hi - lo;
+}
+
+template <typename T>
+Compressed compress_t(std::span<const T> data, const Dims& dims,
+                      const Config& cfg) {
+  const double bound = resolve_bound(cfg, range_of(data));
+  const LinearQuantizer q(bound, cfg.quant_bits);
+  WAVESZ_REQUIRE(cfg.predictor == PredictorKind::Lorenzo1Layer ||
+                     dims.rank <= 2,
+                 "2-layer Lorenzo is implemented for 1D/2D data");
+
+  auto pqd = lorenzo_pqd_t<T>(data, dims, q, cfg.predictor);
+
+  // Code section: H* (customized Huffman) then G* (gzip), or raw codes
+  // straight into gzip when Huffman is disabled.
+  std::vector<std::uint8_t> code_plain;
+  if (cfg.huffman) {
+    code_plain = huffman_encode(pqd.codes);
+  } else {
+    ByteWriter cw;
+    cw.u16s(pqd.codes);
+    code_plain = cw.take();
+  }
+  const auto code_blob = deflate::gzip_compress(code_plain, cfg.gzip_level);
+
+  const auto unpred_plain = FpOps<T>::encode(pqd.unpredictable, bound);
+  const auto unpred_blob =
+      deflate::gzip_compress(unpred_plain, cfg.gzip_level);
+
+  Compressed out;
+  out.header.variant = Variant::Sz14;
+  out.header.dims = dims;
+  out.header.mode = cfg.mode;
+  out.header.base = cfg.base;
+  out.header.eb_requested = cfg.error_bound;
+  out.header.eb_absolute = bound;
+  out.header.quant_bits = cfg.quant_bits;
+  out.header.huffman = cfg.huffman;
+  out.header.gzip_level = cfg.gzip_level;
+  out.header.aux = static_cast<std::uint8_t>(cfg.predictor);
+  out.header.dtype = FpOps<T>::kDtype;
+  out.header.point_count = data.size();
+  out.header.unpredictable_count = pqd.unpredictable.size();
+  out.code_blob_bytes = code_blob.size();
+  out.unpred_blob_bytes = unpred_blob.size();
+
+  ByteWriter w;
+  write_header(w, out.header);
+  write_section(w, code_blob);
+  write_section(w, unpred_blob);
+  out.bytes = w.take();
+  return out;
+}
+
+template <typename T>
+std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
+                            Dims* dims_out) {
+  ByteReader r(bytes);
+  const ContainerHeader h = read_header(r);
+  WAVESZ_REQUIRE(h.variant == Variant::Sz14,
+                 "container is not an SZ-1.4 stream");
+  WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,
+                 "container value type mismatch (float32 vs float64)");
+  const auto code_blob = read_section(r);
+  const auto unpred_blob = read_section(r);
+
+  const auto code_plain = deflate::gzip_decompress(code_blob);
+  std::vector<std::uint16_t> codes;
+  if (h.huffman) {
+    codes = huffman_decode(code_plain);
+  } else {
+    ByteReader cr(code_plain);
+    codes = cr.u16s(h.point_count);
+  }
+  WAVESZ_REQUIRE(codes.size() == h.point_count, "code count mismatch");
+
+  const auto unpred_plain = deflate::gzip_decompress(unpred_blob);
+  const auto unpred = FpOps<T>::decode(
+      unpred_plain, h.unpredictable_count, h.eb_absolute);
+
+  WAVESZ_REQUIRE(h.aux <= 1, "unknown SZ-1.4 predictor kind");
+  const LinearQuantizer q(h.eb_absolute, h.quant_bits);
+  if (dims_out != nullptr) *dims_out = h.dims;
+  return lorenzo_reconstruct_t<T>(codes, unpred, h.dims, q,
+                                  static_cast<PredictorKind>(h.aux));
+}
+
+}  // namespace
+
+Pqd lorenzo_pqd(std::span<const float> data, const Dims& dims,
+                const LinearQuantizer& q) {
+  return lorenzo_pqd_t<float>(data, dims, q);
+}
+
+Pqd64 lorenzo_pqd64(std::span<const double> data, const Dims& dims,
+                    const LinearQuantizer& q) {
+  return lorenzo_pqd_t<double>(data, dims, q);
+}
+
+std::vector<float> lorenzo_reconstruct(std::span<const std::uint16_t> codes,
+                                       std::span<const float> unpredictable,
+                                       const Dims& dims,
+                                       const LinearQuantizer& q) {
+  return lorenzo_reconstruct_t<float>(codes, unpredictable, dims, q);
+}
+
+std::vector<double> lorenzo_reconstruct64(
+    std::span<const std::uint16_t> codes,
+    std::span<const double> unpredictable, const Dims& dims,
+    const LinearQuantizer& q) {
+  return lorenzo_reconstruct_t<double>(codes, unpredictable, dims, q);
+}
+
+Compressed compress(std::span<const float> data, const Dims& dims,
+                    const Config& cfg) {
+  return compress_t<float>(data, dims, cfg);
+}
+
+Compressed compress(std::span<const double> data, const Dims& dims,
+                    const Config& cfg) {
+  return compress_t<double>(data, dims, cfg);
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out) {
+  return decompress_t<float>(bytes, dims_out);
+}
+
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 Dims* dims_out) {
+  return decompress_t<double>(bytes, dims_out);
+}
+
+}  // namespace wavesz::sz

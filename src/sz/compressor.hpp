@@ -1,0 +1,80 @@
+// SZ-1.4 reference compressor (paper §2.1): Lorenzo prediction over
+// previously *decompressed* neighbours, linear-scaling quantization,
+// customized Huffman (H*), gzip, and truncation-coded unpredictable values.
+//
+// Border points are predicted with the reduced-dimension Lorenzo stencil
+// (implemented uniformly as zero-padding of the reconstructed field), which
+// is why SZ-1.4's ratio slightly exceeds waveSZ+H*G* in paper Table 7 —
+// waveSZ ships its border points verbatim instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/config.hpp"
+#include "sz/container.hpp"
+#include "sz/quantizer.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::sz {
+
+/// Raw prediction-quantization-decompression pass, exposed for the benches
+/// (Fig. 1 prediction errors, ablations) and for cross-implementation tests.
+struct Pqd {
+  std::vector<std::uint16_t> codes;    ///< one per point, 0 = unpredictable
+  std::vector<float> reconstructed;    ///< decompressor-visible values
+  std::vector<float> unpredictable;    ///< originals of code-0 points, in order
+};
+
+/// Lorenzo PQD in raster order with zero-padded borders (rank 1/2/3).
+Pqd lorenzo_pqd(std::span<const float> data, const Dims& dims,
+                const LinearQuantizer& q);
+
+/// Rebuild the reconstructed field from codes + unpredictable values; the
+/// unpredictable values must already be decompressor-visible (truncated).
+std::vector<float> lorenzo_reconstruct(std::span<const std::uint16_t> codes,
+                                       std::span<const float> unpredictable,
+                                       const Dims& dims,
+                                       const LinearQuantizer& q);
+
+/// float64 counterpart of Pqd.
+struct Pqd64 {
+  std::vector<std::uint16_t> codes;
+  std::vector<double> reconstructed;
+  std::vector<double> unpredictable;
+};
+
+Pqd64 lorenzo_pqd64(std::span<const double> data, const Dims& dims,
+                    const LinearQuantizer& q);
+
+std::vector<double> lorenzo_reconstruct64(
+    std::span<const std::uint16_t> codes,
+    std::span<const double> unpredictable, const Dims& dims,
+    const LinearQuantizer& q);
+
+struct Compressed {
+  std::vector<std::uint8_t> bytes;
+  ContainerHeader header;
+  std::size_t code_blob_bytes = 0;
+  std::size_t unpred_blob_bytes = 0;
+};
+
+/// Full SZ-1.4 compression of a float32 field.
+Compressed compress(std::span<const float> data, const Dims& dims,
+                    const Config& cfg);
+
+/// Full SZ-1.4 compression of a float64 field (SZ's `-d` mode).
+Compressed compress(std::span<const double> data, const Dims& dims,
+                    const Config& cfg);
+
+/// Inverse of compress() for float32 containers; optionally reports dims.
+/// Throws wavesz::Error when applied to a float64 container.
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out = nullptr);
+
+/// Inverse of compress() for float64 containers.
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 Dims* dims_out = nullptr);
+
+}  // namespace wavesz::sz

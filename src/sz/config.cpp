@@ -1,0 +1,23 @@
+#include "sz/config.hpp"
+
+#include "util/error.hpp"
+#include "util/float_bits.hpp"
+
+namespace wavesz::sz {
+
+double resolve_bound(const Config& cfg, double value_range) {
+  WAVESZ_REQUIRE(cfg.error_bound > 0.0, "error bound must be positive");
+  double bound = cfg.error_bound;
+  if (cfg.mode == EbMode::ValueRangeRelative) {
+    WAVESZ_REQUIRE(value_range >= 0.0, "negative value range");
+    // A constant field has zero range; any positive bound is vacuously met,
+    // so fall back to the relative bound itself to keep the math finite.
+    bound *= (value_range > 0.0 ? value_range : 1.0);
+  }
+  if (cfg.base == EbBase::Two) {
+    bound = pow2_tighten(bound);
+  }
+  return bound;
+}
+
+}  // namespace wavesz::sz

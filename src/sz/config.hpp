@@ -1,0 +1,42 @@
+// Shared compression configuration for the SZ family (SZ-1.4, GhostSZ,
+// waveSZ). Mirrors the paper's experimental setup (§4.1): value-range-based
+// relative error bound of 1e-3, 16-bit linear-scaling quantization (65,536
+// bins), customized Huffman (H*) optionally followed by gzip (G*).
+#pragma once
+
+#include <cstdint>
+
+#include "deflate/lz77.hpp"
+
+namespace wavesz::sz {
+
+enum class EbMode {
+  Absolute,           ///< bound applied as-is
+  ValueRangeRelative, ///< bound * (max - min) of the input field
+};
+
+enum class PredictorKind : std::uint8_t {
+  Lorenzo1Layer = 0,  ///< the paper's default (Fig. 2)
+  Lorenzo2Layer = 1,  ///< wider stencil; helps on very smooth 1D/2D data
+};
+
+enum class EbBase {
+  Ten,  ///< arbitrary decimal bound, full FP division in quantization
+  Two,  ///< bound tightened to the nearest smaller power of two (waveSZ §3.3)
+};
+
+struct Config {
+  double error_bound = 1e-3;
+  EbMode mode = EbMode::ValueRangeRelative;
+  EbBase base = EbBase::Ten;
+  int quant_bits = 16;        ///< 65,536 bins; GhostSZ effectively uses 14
+  PredictorKind predictor = PredictorKind::Lorenzo1Layer;  ///< SZ-1.4 only
+  bool huffman = true;        ///< customized Huffman (H*) before gzip
+  deflate::Level gzip_level = deflate::Level::Fast;  ///< gzip best_speed
+};
+
+/// Resolve the absolute bound for a field with the given value range,
+/// applying power-of-two tightening when base == Two.
+double resolve_bound(const Config& cfg, double value_range);
+
+}  // namespace wavesz::sz

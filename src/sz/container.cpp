@@ -1,0 +1,86 @@
+#include "sz/container.hpp"
+
+#include "util/error.hpp"
+
+namespace wavesz::sz {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x315a5357u;  // "WSZ1"
+
+}  // namespace
+
+void write_header(ByteWriter& w, const ContainerHeader& h) {
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(h.variant));
+  w.u8(static_cast<std::uint8_t>(h.dims.rank));
+  w.u8(static_cast<std::uint8_t>(h.mode));
+  w.u8(static_cast<std::uint8_t>(h.base));
+  for (int i = 0; i < 3; ++i) w.u64(h.dims.extent[static_cast<std::size_t>(i)]);
+  w.f64(h.eb_requested);
+  w.f64(h.eb_absolute);
+  w.u8(static_cast<std::uint8_t>(h.quant_bits));
+  w.u8(h.huffman ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(h.gzip_level));
+  w.u8(h.aux);
+  w.u8(h.dtype);
+  w.u64(h.point_count);
+  w.u64(h.unpredictable_count);
+}
+
+ContainerHeader read_header(ByteReader& r) {
+  WAVESZ_REQUIRE(r.u32() == kMagic, "not a waveSZ container (bad magic)");
+  ContainerHeader h;
+  const std::uint8_t variant = r.u8();
+  WAVESZ_REQUIRE(variant >= 1 && variant <= 3, "unknown container variant");
+  h.variant = static_cast<Variant>(variant);
+  const std::uint8_t rank = r.u8();
+  WAVESZ_REQUIRE(rank >= 1 && rank <= 3, "invalid rank");
+  const std::uint8_t mode = r.u8();
+  WAVESZ_REQUIRE(mode <= 1, "invalid error-bound mode");
+  h.mode = static_cast<EbMode>(mode);
+  const std::uint8_t base = r.u8();
+  WAVESZ_REQUIRE(base <= 1, "invalid error-bound base");
+  h.base = static_cast<EbBase>(base);
+  std::array<std::size_t, 3> ext{};
+  for (auto& e : ext) {
+    e = static_cast<std::size_t>(r.u64());
+    WAVESZ_REQUIRE(e > 0, "zero extent in container");
+  }
+  h.dims = Dims{ext, rank};
+  h.eb_requested = r.f64();
+  h.eb_absolute = r.f64();
+  WAVESZ_REQUIRE(h.eb_absolute > 0.0, "non-positive absolute bound");
+  h.quant_bits = r.u8();
+  WAVESZ_REQUIRE(h.quant_bits >= 2 && h.quant_bits <= 16,
+                 "invalid quantization width");
+  h.huffman = r.u8() != 0;
+  const std::uint8_t level = r.u8();
+  WAVESZ_REQUIRE(level <= 1, "invalid gzip level");
+  h.gzip_level = static_cast<deflate::Level>(level);
+  h.aux = r.u8();
+  h.dtype = r.u8();
+  WAVESZ_REQUIRE(h.dtype <= 1, "unknown value dtype");
+  h.point_count = r.u64();
+  h.unpredictable_count = r.u64();
+  WAVESZ_REQUIRE(h.point_count == h.dims.count(),
+                 "point count disagrees with dims");
+  return h;
+}
+
+void write_section(ByteWriter& w, std::span<const std::uint8_t> blob) {
+  w.u64(blob.size());
+  w.bytes(blob);
+}
+
+std::vector<std::uint8_t> read_section(ByteReader& r) {
+  const std::uint64_t size = r.u64();
+  auto view = r.bytes(size);
+  return {view.begin(), view.end()};
+}
+
+ContainerHeader inspect(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  return read_header(r);
+}
+
+}  // namespace wavesz::sz

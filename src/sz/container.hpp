@@ -1,0 +1,53 @@
+// Self-describing compressed container shared by SZ-1.4, GhostSZ and waveSZ.
+//
+// Layout (little-endian):
+//   u32 magic 'WSZ1' | u8 variant | u8 rank | u8 mode | u8 base
+//   u64 dims[3]
+//   f64 eb_requested | f64 eb_absolute
+//   u8 quant_bits | u8 huffman | u8 gzip_level | u8 aux | u8 dtype
+//   u64 point_count | u64 unpredictable_count
+//   u64 code_blob_size   | bytes  (gzip of Huffman bits or of raw u16 codes)
+//   u64 unpred_blob_size | bytes  (gzip of truncation bits or raw floats)
+//
+// The code stream marks unpredictable positions with symbol 0; their values
+// are consumed from the unpredictable section in stream order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/config.hpp"
+#include "util/bytes.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::sz {
+
+enum class Variant : std::uint8_t { Sz14 = 1, GhostSz = 2, WaveSz = 3 };
+
+struct ContainerHeader {
+  Variant variant = Variant::Sz14;
+  Dims dims = Dims::d1(1);
+  EbMode mode = EbMode::ValueRangeRelative;
+  EbBase base = EbBase::Ten;
+  double eb_requested = 1e-3;
+  double eb_absolute = 0.0;
+  int quant_bits = 16;
+  bool huffman = true;
+  deflate::Level gzip_level = deflate::Level::Fast;
+  std::uint8_t aux = 0;  ///< variant-specific (waveSZ: layout mode)
+  std::uint8_t dtype = 0;  ///< 0 = float32, 1 = float64
+  std::uint64_t point_count = 0;
+  std::uint64_t unpredictable_count = 0;
+};
+
+void write_header(ByteWriter& w, const ContainerHeader& h);
+ContainerHeader read_header(ByteReader& r);
+
+void write_section(ByteWriter& w, std::span<const std::uint8_t> blob);
+std::vector<std::uint8_t> read_section(ByteReader& r);
+
+/// Peek at the variant/dims of a serialized container without decoding it.
+ContainerHeader inspect(std::span<const std::uint8_t> bytes);
+
+}  // namespace wavesz::sz

@@ -1,0 +1,111 @@
+#include "sz/huffman_codec.hpp"
+
+#include <array>
+
+#include "util/bitio.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/huffman.hpp"
+
+namespace wavesz::sz {
+namespace {
+
+constexpr int kMaxCodeLength = 24;
+constexpr std::size_t kAlphabet = 65536;
+
+std::vector<std::uint64_t> frequencies(std::span<const std::uint16_t> codes) {
+  std::vector<std::uint64_t> freq(kAlphabet, 0);
+  for (std::uint16_t c : codes) ++freq[c];
+  return freq;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_encode(
+    std::span<const std::uint16_t> codes) {
+  const auto freq = frequencies(codes);
+  const auto lengths = huffman_code_lengths(freq, kMaxCodeLength);
+  const auto canon = canonical_codes(lengths);
+
+  ByteWriter w;
+  std::uint32_t distinct = 0;
+  for (auto l : lengths) {
+    if (l > 0) ++distinct;
+  }
+  w.u32(distinct);
+  w.u64(codes.size());
+  for (std::size_t s = 0; s < kAlphabet; ++s) {
+    if (lengths[s] > 0) {
+      w.u16(static_cast<std::uint16_t>(s));
+      w.u8(lengths[s]);
+    }
+  }
+  BitWriterMSB bw;
+  for (std::uint16_t c : codes) {
+    bw.bits(canon[c], lengths[c]);
+  }
+  const std::uint64_t payload_bits = bw.bit_count();
+  const auto payload = bw.take();
+  w.u64(payload_bits);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob) {
+  ByteReader r(blob);
+  const std::uint32_t distinct = r.u32();
+  const std::uint64_t count = r.u64();
+  std::vector<std::uint8_t> lengths(kAlphabet, 0);
+  for (std::uint32_t i = 0; i < distinct; ++i) {
+    const std::uint16_t sym = r.u16();
+    const std::uint8_t len = r.u8();
+    WAVESZ_REQUIRE(len >= 1 && len <= kMaxCodeLength,
+                   "Huffman table entry with invalid length");
+    WAVESZ_REQUIRE(lengths[sym] == 0, "duplicate Huffman table entry");
+    lengths[sym] = len;
+  }
+  WAVESZ_REQUIRE(kraft_complete(lengths),
+                 "Huffman table is not a complete prefix code");
+  const std::uint64_t payload_bits = r.u64();
+  const auto payload = r.bytes((payload_bits + 7) / 8);
+  // Every symbol costs at least one bit; anything else is a forged header
+  // trying to force a huge allocation.
+  WAVESZ_REQUIRE(count <= payload_bits || count == 0,
+                 "symbol count exceeds payload capacity");
+
+  std::vector<std::uint16_t> out;
+  out.reserve(count);
+  if (count == 0) return out;
+  if (distinct == 1) {
+    // Degenerate single-symbol stream: each symbol is one bit.
+    std::uint16_t only = 0;
+    for (std::size_t s = 0; s < kAlphabet; ++s) {
+      if (lengths[s] > 0) only = static_cast<std::uint16_t>(s);
+    }
+    WAVESZ_REQUIRE(payload_bits == count, "payload size mismatch");
+    out.assign(count, only);
+    return out;
+  }
+  const CanonicalDecoder dec(lengths);
+  BitReaderMSB br(payload);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(static_cast<std::uint16_t>(
+        dec.decode([&] { return br.bit(); })));
+  }
+  WAVESZ_REQUIRE(br.position() == payload_bits,
+                 "Huffman payload has trailing data");
+  return out;
+}
+
+double huffman_mean_bits(std::span<const std::uint16_t> codes) {
+  if (codes.empty()) return 0.0;
+  const auto freq = frequencies(codes);
+  const auto lengths = huffman_code_lengths(freq, kMaxCodeLength);
+  std::uint64_t bits = 0;
+  for (std::size_t s = 0; s < kAlphabet; ++s) {
+    bits += freq[s] * lengths[s];
+  }
+  return static_cast<double>(bits) / static_cast<double>(codes.size());
+}
+
+}  // namespace wavesz::sz

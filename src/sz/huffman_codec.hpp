@@ -1,0 +1,25 @@
+// Customized variable-length encoding of quantization codes (H*, paper
+// §2.1 step 4): a canonical Huffman code built over the 16-bit symbol
+// alphabet, serialized as (symbol, length) pairs plus an MSB-first payload.
+//
+// This is the coder whose absence on the FPGA limits waveSZ's ratio in
+// Table 7; applying it (H* followed by G*) recovers SZ-1.4-level ratios.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wavesz::sz {
+
+/// Self-contained encoding: [u32 distinct][u64 count][(u16 sym, u8 len)...]
+/// [u64 payload bits][payload bytes].
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes);
+
+/// Inverse of huffman_encode(); throws wavesz::Error on malformed input.
+std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob);
+
+/// Mean code length in bits for the given stream (diagnostics/benches).
+double huffman_mean_bits(std::span<const std::uint16_t> codes);
+
+}  // namespace wavesz::sz

@@ -1,0 +1,144 @@
+#include "sz/omp.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace wavesz::sz {
+namespace {
+
+constexpr std::uint32_t kOmpMagic = 0x4f5a5357u;  // "WSZO"
+
+struct Slab {
+  std::size_t offset_points = 0;
+  Dims dims = Dims::d1(1);
+};
+
+std::vector<Slab> partition(const Dims& dims, int blocks) {
+  const std::size_t n0 = dims[0];
+  const auto want = static_cast<std::size_t>(std::max(1, blocks));
+  const std::size_t count = std::min(want, n0);
+  const std::size_t stride =
+      dims.rank >= 2 ? dims[1] * (dims.rank >= 3 ? dims[2] : 1) : 1;
+  std::vector<Slab> slabs;
+  std::size_t start = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t rows = n0 / count + (b < n0 % count ? 1 : 0);
+    Slab s;
+    s.offset_points = start * stride;
+    if (dims.rank == 1) {
+      s.dims = Dims::d1(rows);
+    } else if (dims.rank == 2) {
+      s.dims = Dims::d2(rows, dims[1]);
+    } else {
+      s.dims = Dims::d3(rows, dims[1], dims[2]);
+    }
+    slabs.push_back(s);
+    start += rows;
+  }
+  return slabs;
+}
+
+}  // namespace
+
+OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
+                           const Config& cfg, int threads) {
+  WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
+  int nthreads = threads;
+#ifdef _OPENMP
+  if (nthreads <= 0) nthreads = omp_get_max_threads();
+#else
+  if (nthreads <= 0) nthreads = 1;
+#endif
+  const auto slabs = partition(dims, nthreads);
+  std::vector<std::vector<std::uint8_t>> pieces(slabs.size());
+
+  std::exception_ptr compress_failure;
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(nthreads) schedule(dynamic)
+#endif
+  for (std::size_t b = 0; b < slabs.size(); ++b) {
+    try {
+      const Slab& s = slabs[b];
+      pieces[b] = compress(data.subspan(s.offset_points, s.dims.count()),
+                           s.dims, cfg)
+                      .bytes;
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+      if (!compress_failure) compress_failure = std::current_exception();
+    }
+  }
+  if (compress_failure) std::rethrow_exception(compress_failure);
+
+  ByteWriter w;
+  w.u32(kOmpMagic);
+  w.u8(static_cast<std::uint8_t>(dims.rank));
+  for (int i = 0; i < 3; ++i) w.u64(dims.extent[static_cast<std::size_t>(i)]);
+  w.u32(static_cast<std::uint32_t>(pieces.size()));
+  for (const auto& p : pieces) {
+    w.u64(p.size());
+    w.bytes(p);
+  }
+  OmpCompressed out;
+  out.bytes = w.take();
+  out.block_count = pieces.size();
+  return out;
+}
+
+std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
+                                  Dims* dims_out) {
+  ByteReader r(bytes);
+  WAVESZ_REQUIRE(r.u32() == kOmpMagic, "not an OpenMP SZ container");
+  const int rank = r.u8();
+  WAVESZ_REQUIRE(rank >= 1 && rank <= 3, "invalid rank");
+  std::array<std::size_t, 3> ext{};
+  for (auto& e : ext) {
+    e = static_cast<std::size_t>(r.u64());
+    WAVESZ_REQUIRE(e > 0, "zero extent in container");
+  }
+  const Dims dims{ext, rank};
+  const std::uint32_t blocks = r.u32();
+  WAVESZ_REQUIRE(blocks > 0 && blocks <= dims[0],
+                 "implausible block count");
+
+  std::vector<std::vector<std::uint8_t>> pieces(blocks);
+  for (auto& p : pieces) {
+    const std::uint64_t size = r.u64();
+    auto view = r.bytes(size);
+    p.assign(view.begin(), view.end());
+  }
+
+  std::vector<std::vector<float>> parts(blocks);
+  // Exceptions must not escape an OpenMP region (that terminates the
+  // process); capture the first one and rethrow it afterwards.
+  std::exception_ptr failure;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (std::size_t b = 0; b < pieces.size(); ++b) {
+    try {
+      parts[b] = decompress(pieces[b]);
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  std::vector<float> out;
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  WAVESZ_REQUIRE(out.size() == dims.count(),
+                 "reassembled size disagrees with dims");
+  if (dims_out != nullptr) *dims_out = dims;
+  return out;
+}
+
+}  // namespace wavesz::sz

@@ -1,0 +1,32 @@
+// Blocked multi-core SZ-1.4 (the paper's "SZ-1.4 (omp)" baseline, Fig. 8).
+//
+// The field is split into independent slabs along the slowest-varying axis;
+// each slab is compressed as a standalone SZ-1.4 stream (its own borders,
+// its own Huffman table), so threads never share prediction state. This is
+// the same strategy as SZ's OpenMP implementation, whose scaling is
+// sublinear because slab compression is memory-bound and the final
+// concatenation is serial.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/compressor.hpp"
+
+namespace wavesz::sz {
+
+struct OmpCompressed {
+  std::vector<std::uint8_t> bytes;
+  std::size_t block_count = 0;
+};
+
+/// Compress with `threads` OpenMP threads (0 = library default). Falls back
+/// to sequential slab processing when built without OpenMP.
+OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
+                           const Config& cfg, int threads = 0);
+
+std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
+                                  Dims* dims_out = nullptr);
+
+}  // namespace wavesz::sz

@@ -1,0 +1,85 @@
+// Data predictors of the SZ family (paper §2.1, Fig. 2).
+//
+// Lorenzo predictors (SZ-1.4+): the single-layer stencil whose coefficient
+// for each neighbour at Manhattan distance L from the current point is
+// (-1)^(L+1). Curve-fitting predictors (SZ-1.0 / GhostSZ): Order-{0,1,2}
+// extrapolation along the fastest-varying dimension only.
+//
+// All predictors consume *previously reconstructed* values; which history
+// the caller passes in (decompressed values for SZ/waveSZ, raw predictions
+// for CF-GhostSZ) is exactly what distinguishes the variants.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace wavesz::sz {
+
+/// 1D Lorenzo (order-0 / previous value).
+inline double lorenzo1d(double w) { return w; }
+
+/// 2D single-layer Lorenzo: P(x,y) = d(x,y-1) + d(x-1,y) - d(x-1,y-1).
+inline double lorenzo2d(double nw, double n, double w) { return n + w - nw; }
+
+/// 3D single-layer Lorenzo over the 7 preceding corner neighbours.
+/// Arguments named by offset: dXYZ has offsets (x-X, y-Y, z-Z).
+inline double lorenzo3d(double d111, double d110, double d101, double d011,
+                        double d100, double d010, double d001) {
+  return d100 + d010 + d001 - d110 - d101 - d011 + d111;
+}
+
+/// 2-layer Lorenzo predictors (Ibarria et al.; SZ's layer-2 option). The
+/// k-layer coefficient of the neighbour at offset (i, j) is
+/// (-1)^(i+j+1) * C(k,i) * C(k,j); the residual is the mixed backward
+/// difference Dx^2 Dy^2 f, so any term of degree <= 1 in x or in y is
+/// predicted exactly (e.g. x^2, x*y, y^3 — but not x^2*y^2).
+inline double lorenzo1d_2layer(double w1, double w2) {
+  return 2.0 * w1 - w2;  // identical to order-1 extrapolation
+}
+
+/// dIJ holds the value at offset (x-I, y-J).
+inline double lorenzo2d_2layer(double d01, double d02, double d10,
+                               double d11, double d12, double d20,
+                               double d21, double d22) {
+  return 2.0 * d01 - d02 + 2.0 * d10 - 4.0 * d11 + 2.0 * d12 - d20 +
+         2.0 * d21 - d22;
+}
+
+/// Order-{0,1,2} 1D curve fitting (SZ-1.0). p1 is the nearest preceding
+/// value, p2/p3 further back along the same row.
+inline double curvefit_order0(double p1) { return p1; }
+inline double curvefit_order1(double p1, double p2) { return 2.0 * p1 - p2; }
+inline double curvefit_order2(double p1, double p2, double p3) {
+  return 3.0 * p1 - 3.0 * p2 + p3;
+}
+
+struct BestFit {
+  double prediction = 0.0;
+  std::uint8_t order = 0;  ///< 0, 1 or 2 — GhostSZ encodes this in 2 bits
+};
+
+/// Choose the candidate closest to the original value among the orders that
+/// have enough history (`available` = number of usable preceding values).
+inline BestFit curvefit_best(double orig, double p1, double p2, double p3,
+                             int available) {
+  BestFit best{curvefit_order0(p1), 0};
+  double err = std::fabs(orig - best.prediction);
+  if (available >= 2) {
+    const double c1 = curvefit_order1(p1, p2);
+    const double e1 = std::fabs(orig - c1);
+    if (e1 < err) {
+      best = {c1, 1};
+      err = e1;
+    }
+  }
+  if (available >= 3) {
+    const double c2 = curvefit_order2(p1, p2, p3);
+    const double e2 = std::fabs(orig - c2);
+    if (e2 < err) {
+      best = {c2, 2};
+    }
+  }
+  return best;
+}
+
+}  // namespace wavesz::sz

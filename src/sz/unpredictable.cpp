@@ -1,0 +1,187 @@
+#include "sz/unpredictable.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/bitio.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::sz {
+namespace {
+
+/// floor(log2(bound)) for a positive finite bound.
+int bound_exponent(double bound) {
+  WAVESZ_REQUIRE(bound > 0.0 && std::isfinite(bound),
+                 "truncation bound must be positive and finite");
+  int e = 0;
+  (void)std::frexp(bound, &e);  // bound == f * 2^e, f in [0.5, 1)
+  return e - 1;
+}
+
+/// Number of leading mantissa bits to keep so the truncation error of a
+/// normal float with unbiased exponent e_v stays <= 2^e_p <= bound.
+int mantissa_bits_needed(int e_v, int e_p) {
+  return std::clamp(e_v - e_p, 0, 23);
+}
+
+}  // namespace
+
+int truncation_bits(float value, double bound) {
+  if (std::fabs(static_cast<double>(value)) <= bound) return 1;
+  const auto bits = std::bit_cast<std::uint32_t>(value);
+  const int biased = static_cast<int>((bits >> 23) & 0xff);
+  const int k = (biased == 0)
+                    ? 23  // subnormal: keep everything (exact)
+                    : mantissa_bits_needed(biased - 127,
+                                           bound_exponent(bound));
+  return 1 + 5 + 1 + 8 + k;
+}
+
+float truncation_roundtrip(float value, double bound) {
+  if (std::fabs(static_cast<double>(value)) <= bound) return 0.0f;
+  const auto bits = std::bit_cast<std::uint32_t>(value);
+  const int biased = static_cast<int>((bits >> 23) & 0xff);
+  const int k = (biased == 0)
+                    ? 23
+                    : mantissa_bits_needed(biased - 127,
+                                           bound_exponent(bound));
+  const std::uint32_t keep_mask =
+      k == 0 ? 0u : (0x7fffffu >> (23 - k)) << (23 - k);
+  return std::bit_cast<float>(bits & (0xff800000u | keep_mask));
+}
+
+std::vector<std::uint8_t> truncation_encode(std::span<const float> values,
+                                            double bound) {
+  const int e_p = bound_exponent(bound);
+  BitWriterMSB bw;
+  for (float v : values) {
+    WAVESZ_REQUIRE(std::isfinite(v), "cannot truncation-encode non-finite");
+    if (std::fabs(static_cast<double>(v)) <= bound) {
+      bw.bits(0, 1);
+      continue;
+    }
+    bw.bits(1, 1);
+    const auto bits = std::bit_cast<std::uint32_t>(v);
+    const int biased = static_cast<int>((bits >> 23) & 0xff);
+    const int k =
+        (biased == 0) ? 23 : mantissa_bits_needed(biased - 127, e_p);
+    bw.bits(static_cast<std::uint32_t>(k), 5);
+    bw.bits(bits >> 31, 1);                           // sign
+    bw.bits(static_cast<std::uint32_t>(biased), 8);   // exponent
+    if (k > 0) {
+      bw.bits((bits & 0x7fffffu) >> (23 - k), k);     // top mantissa bits
+    }
+  }
+  return bw.take();
+}
+
+std::vector<float> truncation_decode(std::span<const std::uint8_t> blob,
+                                     std::size_t count, double bound) {
+  (void)bound;  // symmetric format: bound only affects how many bits exist
+  // Every value costs at least one bit; a larger count is a forged header.
+  WAVESZ_REQUIRE(count <= blob.size() * 8,
+                 "value count exceeds payload capacity");
+  BitReaderMSB br(blob);
+  std::vector<float> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (br.bit() == 0) {
+      out.push_back(0.0f);
+      continue;
+    }
+    const int k = static_cast<int>(br.bits(5));
+    WAVESZ_REQUIRE(k <= 23, "corrupt truncation stream");
+    const std::uint32_t sign = br.bit();
+    const std::uint32_t exp = br.bits(8);
+    std::uint32_t mant = 0;
+    if (k > 0) mant = br.bits(k) << (23 - k);
+    out.push_back(std::bit_cast<float>((sign << 31) | (exp << 23) | mant));
+  }
+  return out;
+}
+
+namespace {
+
+/// Mantissa bits to keep for a float64 with unbiased exponent e_v.
+int mantissa_bits_needed64(int e_v, int e_p) {
+  return std::clamp(e_v - e_p, 0, 52);
+}
+
+}  // namespace
+
+double truncation_roundtrip64(double value, double bound) {
+  if (std::fabs(value) <= bound) return 0.0;
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  const int biased = static_cast<int>((bits >> 52) & 0x7ff);
+  const int k = (biased == 0)
+                    ? 52
+                    : mantissa_bits_needed64(biased - 1023,
+                                             bound_exponent(bound));
+  const std::uint64_t mantissa_mask = 0xfffffffffffffull;
+  const std::uint64_t keep_mask =
+      k == 0 ? 0ull : (mantissa_mask >> (52 - k)) << (52 - k);
+  return std::bit_cast<double>(bits & (0xfff0000000000000ull | keep_mask));
+}
+
+std::vector<std::uint8_t> truncation_encode64(std::span<const double> values,
+                                              double bound) {
+  const int e_p = bound_exponent(bound);
+  BitWriterMSB bw;
+  for (double v : values) {
+    WAVESZ_REQUIRE(std::isfinite(v), "cannot truncation-encode non-finite");
+    if (std::fabs(v) <= bound) {
+      bw.bits(0, 1);
+      continue;
+    }
+    bw.bits(1, 1);
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    const int biased = static_cast<int>((bits >> 52) & 0x7ff);
+    const int k =
+        (biased == 0) ? 52 : mantissa_bits_needed64(biased - 1023, e_p);
+    bw.bits(static_cast<std::uint32_t>(k), 6);
+    bw.bits(static_cast<std::uint32_t>(bits >> 63), 1);          // sign
+    bw.bits(static_cast<std::uint32_t>(biased), 11);             // exponent
+    const std::uint64_t mant = bits & 0xfffffffffffffull;
+    if (k > 32) {
+      bw.bits(static_cast<std::uint32_t>(mant >> (52 - k + 32)), k - 32);
+      bw.bits(static_cast<std::uint32_t>((mant >> (52 - k)) & 0xffffffffull),
+              32);
+    } else if (k > 0) {
+      bw.bits(static_cast<std::uint32_t>(mant >> (52 - k)), k);
+    }
+  }
+  return bw.take();
+}
+
+std::vector<double> truncation_decode64(std::span<const std::uint8_t> blob,
+                                        std::size_t count, double bound) {
+  (void)bound;
+  WAVESZ_REQUIRE(count <= blob.size() * 8,
+                 "value count exceeds payload capacity");
+  BitReaderMSB br(blob);
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (br.bit() == 0) {
+      out.push_back(0.0);
+      continue;
+    }
+    const int k = static_cast<int>(br.bits(6));
+    WAVESZ_REQUIRE(k <= 52, "corrupt truncation stream");
+    const std::uint64_t sign = br.bit();
+    const std::uint64_t exp = br.bits(11);
+    std::uint64_t mant = 0;
+    if (k > 32) {
+      mant = static_cast<std::uint64_t>(br.bits(k - 32)) << 32;
+      mant |= br.bits(32);
+      mant <<= (52 - k);
+    } else if (k > 0) {
+      mant = static_cast<std::uint64_t>(br.bits(k)) << (52 - k);
+    }
+    out.push_back(std::bit_cast<double>((sign << 63) | (exp << 52) | mant));
+  }
+  return out;
+}
+
+}  // namespace wavesz::sz

@@ -1,0 +1,39 @@
+// Truncation-based binary analysis for unpredictable values (SZ-1.4; paper
+// §3.2 contrasts it with waveSZ's verbatim pass-through).
+//
+// Each float is stored as sign + exponent + only as many leading mantissa
+// bits as the absolute error bound requires; dropped low bits introduce an
+// error strictly below the bound. Values with |v| <= bound collapse to a
+// single "zero" bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wavesz::sz {
+
+/// Encode values so each decodes within `bound` of the original.
+std::vector<std::uint8_t> truncation_encode(std::span<const float> values,
+                                            double bound);
+
+/// Decode `count` values produced by truncation_encode with the same bound.
+std::vector<float> truncation_decode(std::span<const std::uint8_t> blob,
+                                     std::size_t count, double bound);
+
+/// Bits needed to represent one value at the given bound (for cost models).
+int truncation_bits(float value, double bound);
+
+/// The value the decoder will reconstruct for `value` at this bound. The
+/// compressor writes this back into its history so that prediction stays
+/// closed over decompressor-visible values.
+float truncation_roundtrip(float value, double bound);
+
+/// float64 variants: sign + 11-bit exponent + up to 52 kept mantissa bits.
+std::vector<std::uint8_t> truncation_encode64(std::span<const double> values,
+                                              double bound);
+std::vector<double> truncation_decode64(std::span<const std::uint8_t> blob,
+                                        std::size_t count, double bound);
+double truncation_roundtrip64(double value, double bound);
+
+}  // namespace wavesz::sz

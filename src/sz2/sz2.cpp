@@ -1,0 +1,507 @@
+#include "sz2/sz2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "deflate/deflate.hpp"
+#include "metrics/stats.hpp"
+#include "sz/huffman_codec.hpp"
+#include "sz/predictor.hpp"
+#include "sz/quantizer.hpp"
+#include "sz/unpredictable.hpp"
+#include "util/bitio.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::sz2 {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x325a5357u;  // "WSZ2"
+
+struct Shape {
+  std::size_t n0, n1, n2;
+  int rank;
+};
+
+Shape shape_of(const Dims& dims) {
+  return {dims[0], dims.rank >= 2 ? dims[1] : 1,
+          dims.rank >= 3 ? dims[2] : 1, dims.rank};
+}
+
+std::size_t default_block_side(int rank) { return rank >= 3 ? 8 : 16; }
+
+/// Quantized hyperplane coefficients of one regression block. Slopes are in
+/// units of eb/(8*side), the intercept in units of eb/8, so decoder-side
+/// prediction shifts stay well inside the quantization cell.
+struct RegressionCoeffs {
+  std::int32_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+};
+
+struct CoeffQuant {
+  double q0, qs;
+
+  CoeffQuant(double eb, std::size_t side)
+      : q0(eb / 8.0), qs(eb / (8.0 * static_cast<double>(side))) {}
+
+  static std::int32_t round_to(double v, double q) {
+    return static_cast<std::int32_t>(std::llround(v / q));
+  }
+  RegressionCoeffs quantize(double b0, double b1, double b2,
+                            double b3) const {
+    return {round_to(b0, q0), round_to(b1, qs), round_to(b2, qs),
+            round_to(b3, qs)};
+  }
+  double predict(const RegressionCoeffs& c, std::size_t i0, std::size_t i1,
+                 std::size_t i2) const {
+    return static_cast<double>(c.c0) * q0 +
+           static_cast<double>(c.c1) * qs * static_cast<double>(i0) +
+           static_cast<double>(c.c2) * qs * static_cast<double>(i1) +
+           static_cast<double>(c.c3) * qs * static_cast<double>(i2);
+  }
+};
+
+struct Block {
+  std::size_t o0, o1, o2;  // origin
+  std::size_t l0, l1, l2;  // extents (edge blocks may be short)
+};
+
+std::vector<Block> make_blocks(const Shape& s, std::size_t side) {
+  std::vector<Block> blocks;
+  for (std::size_t b0 = 0; b0 < s.n0; b0 += side) {
+    for (std::size_t b1 = 0; b1 < s.n1; b1 += (s.rank >= 2 ? side : s.n1)) {
+      for (std::size_t b2 = 0; b2 < s.n2;
+           b2 += (s.rank >= 3 ? side : s.n2)) {
+        Block b;
+        b.o0 = b0;
+        b.o1 = b1;
+        b.o2 = b2;
+        b.l0 = std::min(side, s.n0 - b0);
+        b.l1 = s.rank >= 2 ? std::min(side, s.n1 - b1) : s.n1;
+        b.l2 = s.rank >= 3 ? std::min(side, s.n2 - b2) : s.n2;
+        blocks.push_back(b);
+      }
+    }
+  }
+  return blocks;
+}
+
+/// Least-squares hyperplane fit over a rectangular block. The coordinate
+/// axes of a full tensor grid are orthogonal, so each slope separates.
+void fit_plane(std::span<const float> data, const Shape& s, const Block& b,
+               double out[4]) {
+  const double n = static_cast<double>(b.l0 * b.l1 * b.l2);
+  double mean = 0.0;
+  for (std::size_t i0 = 0; i0 < b.l0; ++i0) {
+    for (std::size_t i1 = 0; i1 < b.l1; ++i1) {
+      for (std::size_t i2 = 0; i2 < b.l2; ++i2) {
+        mean += data[((b.o0 + i0) * s.n1 + (b.o1 + i1)) * s.n2 + b.o2 + i2];
+      }
+    }
+  }
+  mean /= n;
+  const double m0 = static_cast<double>(b.l0 - 1) / 2.0;
+  const double m1 = static_cast<double>(b.l1 - 1) / 2.0;
+  const double m2 = static_cast<double>(b.l2 - 1) / 2.0;
+  double num0 = 0, num1 = 0, num2 = 0, den0 = 0, den1 = 0, den2 = 0;
+  for (std::size_t i0 = 0; i0 < b.l0; ++i0) {
+    for (std::size_t i1 = 0; i1 < b.l1; ++i1) {
+      for (std::size_t i2 = 0; i2 < b.l2; ++i2) {
+        const double f =
+            data[((b.o0 + i0) * s.n1 + (b.o1 + i1)) * s.n2 + b.o2 + i2];
+        num0 += (static_cast<double>(i0) - m0) * f;
+        num1 += (static_cast<double>(i1) - m1) * f;
+        num2 += (static_cast<double>(i2) - m2) * f;
+      }
+    }
+  }
+  const double cnt12 = static_cast<double>(b.l1 * b.l2);
+  const double cnt02 = static_cast<double>(b.l0 * b.l2);
+  const double cnt01 = static_cast<double>(b.l0 * b.l1);
+  for (std::size_t i = 0; i < b.l0; ++i) {
+    den0 += (static_cast<double>(i) - m0) * (static_cast<double>(i) - m0);
+  }
+  for (std::size_t i = 0; i < b.l1; ++i) {
+    den1 += (static_cast<double>(i) - m1) * (static_cast<double>(i) - m1);
+  }
+  for (std::size_t i = 0; i < b.l2; ++i) {
+    den2 += (static_cast<double>(i) - m2) * (static_cast<double>(i) - m2);
+  }
+  den0 *= cnt12;
+  den1 *= cnt02;
+  den2 *= cnt01;
+  out[1] = den0 > 0 ? num0 / den0 : 0.0;
+  out[2] = den1 > 0 ? num1 / den1 : 0.0;
+  out[3] = den2 > 0 ? num2 / den2 : 0.0;
+  out[0] = mean - out[1] * m0 - out[2] * m1 - out[3] * m2;
+}
+
+std::uint32_t zigzag(std::int32_t v) {
+  return (static_cast<std::uint32_t>(v) << 1) ^
+         static_cast<std::uint32_t>(v >> 31);
+}
+
+std::int32_t unzigzag(std::uint32_t v) {
+  return static_cast<std::int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Zero-padded accessor over a reconstructed field (Lorenzo borders).
+struct Padded {
+  const float* rec;
+  Shape s;
+  double at(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t i2) const {
+    if (i0 < 0 || i1 < 0 || i2 < 0) return 0.0;
+    return rec[(static_cast<std::size_t>(i0) * s.n1 +
+                static_cast<std::size_t>(i1)) *
+                   s.n2 +
+               static_cast<std::size_t>(i2)];
+  }
+};
+
+double lorenzo_predict(const Padded& p, int rank, std::ptrdiff_t i0,
+                       std::ptrdiff_t i1, std::ptrdiff_t i2) {
+  switch (rank) {
+    case 1: return sz::lorenzo1d(p.at(i0 - 1, 0, 0));
+    case 2:
+      return sz::lorenzo2d(p.at(i0 - 1, i1 - 1, 0), p.at(i0 - 1, i1, 0),
+                           p.at(i0, i1 - 1, 0));
+    default:
+      return sz::lorenzo3d(p.at(i0 - 1, i1 - 1, i2 - 1),
+                           p.at(i0 - 1, i1 - 1, i2), p.at(i0 - 1, i1, i2 - 1),
+                           p.at(i0, i1 - 1, i2 - 1), p.at(i0 - 1, i1, i2),
+                           p.at(i0, i1 - 1, i2), p.at(i0, i1, i2 - 1));
+  }
+}
+
+/// Logarithmic preprocessing for pointwise-relative bounds: 2-bit class per
+/// point (zero/positive/negative) + log2|x| magnitudes.
+struct LogTransformed {
+  std::vector<float> log_values;   ///< log2|x|, 0 where class == zero
+  std::vector<std::uint8_t> classes;  ///< 0 zero, 1 positive, 2 negative
+};
+
+LogTransformed log_forward(std::span<const float> data) {
+  LogTransformed out;
+  out.log_values.resize(data.size());
+  out.classes.resize(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const float v = data[i];
+    WAVESZ_REQUIRE(std::isfinite(v),
+                   "pointwise-relative mode requires finite data");
+    if (v == 0.0f) {
+      out.classes[i] = 0;
+      out.log_values[i] = 0.0f;
+    } else {
+      out.classes[i] = v > 0.0f ? 1 : 2;
+      out.log_values[i] =
+          static_cast<float>(std::log2(std::fabs(static_cast<double>(v))));
+    }
+  }
+  return out;
+}
+
+std::vector<float> log_inverse(std::span<const float> log_values,
+                               std::span<const std::uint8_t> classes) {
+  std::vector<float> out(log_values.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (classes[i] == 0) {
+      out[i] = 0.0f;
+    } else {
+      const double mag = std::exp2(static_cast<double>(log_values[i]));
+      out[i] = static_cast<float>(classes[i] == 1 ? mag : -mag);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> pack_classes(
+    std::span<const std::uint8_t> classes) {
+  BitWriterMSB bw;
+  for (auto c : classes) bw.bits(c, 2);
+  return bw.take();
+}
+
+std::vector<std::uint8_t> unpack_classes(std::span<const std::uint8_t> blob,
+                                         std::size_t count) {
+  BitReaderMSB br(blob);
+  std::vector<std::uint8_t> out(count);
+  for (auto& c : out) c = static_cast<std::uint8_t>(br.bits(2));
+  return out;
+}
+
+}  // namespace
+
+double log_domain_bound(double pointwise_eb) {
+  WAVESZ_REQUIRE(pointwise_eb > 0.0 && pointwise_eb < 1.0,
+                 "pointwise-relative bound must be in (0, 1)");
+  // Slightly shrunk so the final double->float rounding of exp2 stays
+  // inside the user's bound.
+  return std::log2(1.0 + 0.999 * pointwise_eb);
+}
+
+Compressed compress(std::span<const float> data, const Dims& dims,
+                    const Config& cfg) {
+  WAVESZ_REQUIRE(!data.empty(), "cannot compress an empty field");
+  WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
+  const Shape s = shape_of(dims);
+  const std::size_t side =
+      cfg.block_side > 0 ? cfg.block_side : default_block_side(s.rank);
+  WAVESZ_REQUIRE(side >= 2, "block side must be at least 2");
+
+  // Resolve the working domain and the absolute bound within it.
+  LogTransformed logt;
+  std::span<const float> work = data;
+  double bound = cfg.error_bound;
+  if (cfg.mode == Config::Mode::PointwiseRelative) {
+    logt = log_forward(data);
+    work = logt.log_values;
+    bound = log_domain_bound(cfg.error_bound);
+  } else if (cfg.mode == Config::Mode::ValueRangeRelative) {
+    const double range = metrics::value_range(data).span();
+    bound *= (range > 0.0 ? range : 1.0);
+  }
+  const sz::LinearQuantizer q(bound, cfg.quant_bits);
+  const CoeffQuant cq(bound, side);
+
+  const auto blocks = make_blocks(s, side);
+  std::vector<float> rec(work.begin(), work.end());
+  std::vector<std::uint16_t> codes(work.size());
+  std::vector<float> unpred;
+  std::vector<std::uint8_t> modes;
+  std::vector<std::uint32_t> coeff_stream;
+  std::size_t regression_blocks = 0;
+
+  const Padded padded{rec.data(), s};
+  for (const Block& b : blocks) {
+    // Fit and quantize the hyperplane.
+    double beta[4];
+    fit_plane(work, s, b, beta);
+    const RegressionCoeffs rc = cq.quantize(beta[0], beta[1], beta[2],
+                                            beta[3]);
+    // Estimate both predictors on the original values (selection only).
+    double err_reg = 0.0, err_lor = 0.0;
+    for (std::size_t i0 = 0; i0 < b.l0; ++i0) {
+      for (std::size_t i1 = 0; i1 < b.l1; ++i1) {
+        for (std::size_t i2 = 0; i2 < b.l2; ++i2) {
+          const std::size_t g0 = b.o0 + i0, g1 = b.o1 + i1, g2 = b.o2 + i2;
+          const std::size_t gi = (g0 * s.n1 + g1) * s.n2 + g2;
+          const double f = work[gi];
+          err_reg += std::fabs(f - cq.predict(rc, i0, i1, i2));
+          auto orig_at = [&](std::ptrdiff_t a, std::ptrdiff_t bb,
+                             std::ptrdiff_t c) {
+            if (a < 0 || bb < 0 || c < 0) return 0.0;
+            return static_cast<double>(
+                work[(static_cast<std::size_t>(a) * s.n1 +
+                      static_cast<std::size_t>(bb)) *
+                         s.n2 +
+                     static_cast<std::size_t>(c)]);
+          };
+          double pl;
+          const auto p0 = static_cast<std::ptrdiff_t>(g0);
+          const auto p1 = static_cast<std::ptrdiff_t>(g1);
+          const auto p2 = static_cast<std::ptrdiff_t>(g2);
+          switch (s.rank) {
+            case 1: pl = orig_at(p0 - 1, 0, 0); break;
+            case 2:
+              pl = sz::lorenzo2d(orig_at(p0 - 1, p1 - 1, 0),
+                                 orig_at(p0 - 1, p1, 0),
+                                 orig_at(p0, p1 - 1, 0));
+              break;
+            default:
+              pl = sz::lorenzo3d(
+                  orig_at(p0 - 1, p1 - 1, p2 - 1), orig_at(p0 - 1, p1 - 1, p2),
+                  orig_at(p0 - 1, p1, p2 - 1), orig_at(p0, p1 - 1, p2 - 1),
+                  orig_at(p0 - 1, p1, p2), orig_at(p0, p1 - 1, p2),
+                  orig_at(p0, p1, p2 - 1));
+          }
+          err_lor += std::fabs(f - pl);
+        }
+      }
+    }
+    const bool use_regression = err_reg < err_lor;
+    modes.push_back(use_regression ? 1 : 0);
+    if (use_regression) {
+      ++regression_blocks;
+      coeff_stream.push_back(zigzag(rc.c0));
+      coeff_stream.push_back(zigzag(rc.c1));
+      if (s.rank >= 2) coeff_stream.push_back(zigzag(rc.c2));
+      if (s.rank >= 3) coeff_stream.push_back(zigzag(rc.c3));
+    }
+
+    // PQD over the block with the chosen predictor.
+    for (std::size_t i0 = 0; i0 < b.l0; ++i0) {
+      for (std::size_t i1 = 0; i1 < b.l1; ++i1) {
+        for (std::size_t i2 = 0; i2 < b.l2; ++i2) {
+          const std::size_t g0 = b.o0 + i0, g1 = b.o1 + i1, g2 = b.o2 + i2;
+          const std::size_t gi = (g0 * s.n1 + g1) * s.n2 + g2;
+          const double pred =
+              use_regression
+                  ? cq.predict(rc, i0, i1, i2)
+                  : lorenzo_predict(padded, s.rank,
+                                    static_cast<std::ptrdiff_t>(g0),
+                                    static_cast<std::ptrdiff_t>(g1),
+                                    static_cast<std::ptrdiff_t>(g2));
+          const auto r = q.quantize(pred, work[gi]);
+          codes[gi] = r.code;
+          if (r.code != 0) {
+            rec[gi] = r.reconstructed;
+          } else {
+            rec[gi] = sz::truncation_roundtrip(work[gi], bound);
+            unpred.push_back(work[gi]);
+          }
+        }
+      }
+    }
+  }
+
+  // Serialize.
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(static_cast<std::uint8_t>(dims.rank));
+  for (int i = 0; i < 3; ++i) w.u64(dims.extent[static_cast<std::size_t>(i)]);
+  w.u8(static_cast<std::uint8_t>(cfg.mode));
+  w.f64(cfg.error_bound);
+  w.f64(bound);
+  w.u8(static_cast<std::uint8_t>(cfg.quant_bits));
+  w.u8(static_cast<std::uint8_t>(cfg.gzip_level));
+  w.u64(side);
+  w.u64(blocks.size());
+  w.u64(unpred.size());
+
+  auto section = [&](std::span<const std::uint8_t> plain) {
+    const auto blob = deflate::gzip_compress(plain, cfg.gzip_level);
+    w.u64(blob.size());
+    w.bytes(blob);
+  };
+  // Modes bitmap.
+  {
+    BitWriterMSB bw;
+    for (auto m : modes) bw.bits(m, 1);
+    const auto bits = bw.take();
+    section(bits);
+  }
+  // Coefficients.
+  {
+    ByteWriter cw;
+    for (auto c : coeff_stream) cw.u32(c);
+    section(cw.data());
+  }
+  // Quantization codes (customized Huffman, as in SZ-1.4).
+  section(sz::huffman_encode(codes));
+  // Unpredictables (truncation in the working domain).
+  section(sz::truncation_encode(unpred, bound));
+  // Sign/zero plane for the log transform.
+  if (cfg.mode == Config::Mode::PointwiseRelative) {
+    section(pack_classes(logt.classes));
+  }
+
+  Compressed out;
+  out.bytes = w.take();
+  out.eb_absolute = bound;
+  out.block_count = blocks.size();
+  out.regression_blocks = regression_blocks;
+  out.unpredictable_count = unpred.size();
+  return out;
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out) {
+  ByteReader r(bytes);
+  WAVESZ_REQUIRE(r.u32() == kMagic, "not an SZ-2.0 container");
+  const int rank = r.u8();
+  WAVESZ_REQUIRE(rank >= 1 && rank <= 3, "invalid rank");
+  std::array<std::size_t, 3> ext{};
+  for (auto& e : ext) {
+    e = static_cast<std::size_t>(r.u64());
+    WAVESZ_REQUIRE(e > 0, "zero extent");
+  }
+  const Dims dims{ext, rank};
+  const auto mode = static_cast<Config::Mode>(r.u8());
+  WAVESZ_REQUIRE(mode <= Config::Mode::PointwiseRelative, "invalid mode");
+  (void)r.f64();  // requested bound (informational)
+  const double bound = r.f64();
+  WAVESZ_REQUIRE(bound > 0.0, "non-positive bound");
+  const int quant_bits = r.u8();
+  (void)r.u8();  // gzip level
+  const std::size_t side = static_cast<std::size_t>(r.u64());
+  WAVESZ_REQUIRE(side >= 2, "invalid block side");
+  const std::uint64_t block_count = r.u64();
+  const std::uint64_t unpred_count = r.u64();
+
+  auto section = [&]() {
+    const std::uint64_t size = r.u64();
+    auto view = r.bytes(size);
+    return deflate::gzip_decompress({view.begin(), view.end()});
+  };
+  const auto modes_bits = section();
+  const auto coeff_plain = section();
+  const auto codes_blob = section();
+  const auto unpred_blob = section();
+
+  // Validate the point count against real decoded data before sizing any
+  // geometry-derived structure (forged dims must not drive allocations).
+  const auto codes = sz::huffman_decode(codes_blob);
+  WAVESZ_REQUIRE(codes.size() == dims.count(), "code count mismatch");
+
+  const Shape s = shape_of(dims);
+  const auto blocks = make_blocks(s, side);
+  WAVESZ_REQUIRE(blocks.size() == block_count, "block count mismatch");
+  WAVESZ_REQUIRE(modes_bits.size() * 8 >= blocks.size(),
+                 "modes bitmap too small");
+
+  BitReaderMSB mb(modes_bits);
+  std::vector<std::uint8_t> modes(blocks.size());
+  for (auto& m : modes) m = static_cast<std::uint8_t>(mb.bit());
+
+  ByteReader cr(coeff_plain);
+  const auto unpred = sz::truncation_decode(unpred_blob, unpred_count, bound);
+
+  const sz::LinearQuantizer q(bound, quant_bits);
+  const CoeffQuant cq(bound, side);
+  std::vector<float> rec(dims.count());
+  const Padded padded{rec.data(), s};
+  std::size_t next_unpred = 0;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& b = blocks[bi];
+    RegressionCoeffs rc;
+    if (modes[bi] == 1) {
+      rc.c0 = unzigzag(cr.u32());
+      rc.c1 = unzigzag(cr.u32());
+      if (s.rank >= 2) rc.c2 = unzigzag(cr.u32());
+      if (s.rank >= 3) rc.c3 = unzigzag(cr.u32());
+    }
+    for (std::size_t i0 = 0; i0 < b.l0; ++i0) {
+      for (std::size_t i1 = 0; i1 < b.l1; ++i1) {
+        for (std::size_t i2 = 0; i2 < b.l2; ++i2) {
+          const std::size_t g0 = b.o0 + i0, g1 = b.o1 + i1, g2 = b.o2 + i2;
+          const std::size_t gi = (g0 * s.n1 + g1) * s.n2 + g2;
+          if (codes[gi] == 0) {
+            WAVESZ_REQUIRE(next_unpred < unpred.size(),
+                           "unpredictable stream exhausted");
+            rec[gi] = unpred[next_unpred++];
+            continue;
+          }
+          const double pred =
+              modes[bi] == 1
+                  ? cq.predict(rc, i0, i1, i2)
+                  : lorenzo_predict(padded, s.rank,
+                                    static_cast<std::ptrdiff_t>(g0),
+                                    static_cast<std::ptrdiff_t>(g1),
+                                    static_cast<std::ptrdiff_t>(g2));
+          rec[gi] = q.reconstruct(pred, codes[gi]);
+        }
+      }
+    }
+  }
+  WAVESZ_REQUIRE(next_unpred == unpred.size(),
+                 "unpredictable stream has trailing values");
+  if (dims_out != nullptr) *dims_out = dims;
+
+  if (mode == Config::Mode::PointwiseRelative) {
+    const auto classes_blob = section();
+    const auto classes = unpack_classes(classes_blob, dims.count());
+    return log_inverse(rec, classes);
+  }
+  return rec;
+}
+
+}  // namespace wavesz::sz2

@@ -1,0 +1,62 @@
+// SZ-2.0-style compressor (paper §2.1 and Table 2's "2.0+" row; Liang et
+// al. 2018). Three additions over SZ-1.4, all implemented here:
+//
+//   * block decomposition — the field is cut into fixed blocks (16x16 in
+//     2D, 8x8x8 in 3D);
+//   * per-block predictor selection between the single-layer Lorenzo
+//     stencil and a linear-regression (hyperplane) predictor whose
+//     quantized coefficients ship with the stream — regression needs no
+//     neighbour feedback, which is what helps at coarse bounds;
+//   * logarithmic preprocessing for *pointwise-relative* error bounds
+//     (SZ-2.0's [31]): compress log2|d| under an absolute bound of
+//     log2(1 + eb), plus a 2-bit sign/zero plane, so that
+//     |d - d*| <= eb * |d| holds pointwise.
+//
+// The paper's §2.1 claim — SZ-2.0 helps mainly in the low-precision
+// regime and is on par with (or slightly behind) SZ-1.4 at tight bounds —
+// is evaluated by bench/sz2_vs_sz14.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sz/compressor.hpp"
+#include "sz/config.hpp"
+#include "util/dims.hpp"
+
+namespace wavesz::sz2 {
+
+enum class Predictor : std::uint8_t { Lorenzo = 0, Regression = 1 };
+
+struct Config {
+  double error_bound = 1e-3;
+  enum class Mode {
+    Absolute,
+    ValueRangeRelative,
+    PointwiseRelative,  ///< via the logarithmic transform
+  } mode = Mode::ValueRangeRelative;
+  int quant_bits = 16;
+  std::size_t block_side = 0;  ///< 0 = default (16 in 2D, 8 in 3D)
+  deflate::Level gzip_level = deflate::Level::Fast;
+};
+
+struct Compressed {
+  std::vector<std::uint8_t> bytes;
+  double eb_absolute = 0.0;       ///< bound in the (possibly log) domain
+  std::size_t block_count = 0;
+  std::size_t regression_blocks = 0;
+  std::size_t unpredictable_count = 0;
+};
+
+Compressed compress(std::span<const float> data, const Dims& dims,
+                    const Config& cfg);
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              Dims* dims_out = nullptr);
+
+/// The log-domain absolute bound that guarantees a pointwise-relative
+/// bound of eb: log2(1 + eb) / 2 (symmetric two-sided cell).
+double log_domain_bound(double pointwise_eb);
+
+}  // namespace wavesz::sz2

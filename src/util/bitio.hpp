@@ -1,0 +1,170 @@
+// Bit-level I/O in both bit orders.
+//
+// DEFLATE (RFC 1951) packs bits LSB-first within each byte, while the
+// customized Huffman coder of SZ (and most textbook canonical coders) is most
+// naturally expressed MSB-first. Both flavours are provided; each reader
+// raises wavesz::Error on overrun so corrupted streams fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wavesz {
+
+/// LSB-first bit writer (RFC 1951 convention).
+class BitWriterLSB {
+ public:
+  void bits(std::uint32_t value, int n) {
+    WAVESZ_ASSERT(n >= 0 && n <= 32, "bit count out of range");
+    acc_ |= static_cast<std::uint64_t>(value & mask(n)) << fill_;
+    fill_ += n;
+    while (fill_ >= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  /// Pad to a byte boundary with zero bits (DEFLATE stored-block alignment).
+  void align_byte() {
+    if (fill_ > 0) {
+      buf_.push_back(static_cast<std::uint8_t>(acc_ & 0xff));
+      acc_ = 0;
+      fill_ = 0;
+    }
+  }
+
+  void byte(std::uint8_t b) {
+    WAVESZ_ASSERT(fill_ == 0, "byte() requires byte alignment");
+    buf_.push_back(b);
+  }
+
+  std::size_t bit_count() const { return buf_.size() * 8 + fill_; }
+  std::vector<std::uint8_t> take() {
+    align_byte();
+    return std::move(buf_);
+  }
+
+ private:
+  static std::uint32_t mask(int n) {
+    return n >= 32 ? 0xffffffffu : ((1u << n) - 1u);
+  }
+  std::vector<std::uint8_t> buf_;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+/// LSB-first bit reader (RFC 1951 convention).
+class BitReaderLSB {
+ public:
+  explicit BitReaderLSB(std::span<const std::uint8_t> s) : s_(s) {}
+
+  std::uint32_t bits(int n) {
+    WAVESZ_ASSERT(n >= 0 && n <= 32, "bit count out of range");
+    while (fill_ < n) {
+      WAVESZ_REQUIRE(pos_ < s_.size(), "bitstream truncated");
+      acc_ |= static_cast<std::uint64_t>(s_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    auto v = static_cast<std::uint32_t>(acc_ & ((n >= 32) ? ~0ull
+                                                          : ((1ull << n) - 1)));
+    acc_ >>= n;
+    fill_ -= n;
+    return v;
+  }
+
+  std::uint32_t bit() { return bits(1); }
+
+  /// Drop buffered bits up to the next byte boundary.
+  void align_byte() {
+    const int drop = fill_ % 8;
+    acc_ >>= drop;
+    fill_ -= drop;
+  }
+
+  std::uint8_t byte() {
+    if (fill_ >= 8) {
+      auto v = static_cast<std::uint8_t>(acc_ & 0xff);
+      acc_ >>= 8;
+      fill_ -= 8;
+      return v;
+    }
+    WAVESZ_ASSERT(fill_ == 0, "byte() requires byte alignment");
+    WAVESZ_REQUIRE(pos_ < s_.size(), "bitstream truncated");
+    return s_[pos_++];
+  }
+
+  /// Bytes consumed from the underlying span (buffered bits count as read).
+  std::size_t consumed() const { return pos_ - fill_ / 8; }
+
+ private:
+  std::span<const std::uint8_t> s_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
+};
+
+/// MSB-first bit writer (customized Huffman convention).
+class BitWriterMSB {
+ public:
+  void bits(std::uint32_t value, int n) {
+    WAVESZ_ASSERT(n >= 0 && n <= 32, "bit count out of range");
+    for (int i = n - 1; i >= 0; --i) {
+      cur_ = static_cast<std::uint8_t>((cur_ << 1) | ((value >> i) & 1u));
+      if (++fill_ == 8) {
+        buf_.push_back(cur_);
+        cur_ = 0;
+        fill_ = 0;
+      }
+    }
+    nbits_ += static_cast<std::size_t>(n);
+  }
+
+  std::size_t bit_count() const { return nbits_; }
+
+  std::vector<std::uint8_t> take() {
+    if (fill_ > 0) {
+      buf_.push_back(static_cast<std::uint8_t>(cur_ << (8 - fill_)));
+      cur_ = 0;
+      fill_ = 0;
+    }
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::uint8_t cur_ = 0;
+  int fill_ = 0;
+  std::size_t nbits_ = 0;
+};
+
+/// MSB-first bit reader (customized Huffman convention).
+class BitReaderMSB {
+ public:
+  explicit BitReaderMSB(std::span<const std::uint8_t> s) : s_(s) {}
+
+  std::uint32_t bit() {
+    const std::size_t byte_idx = pos_ >> 3;
+    WAVESZ_REQUIRE(byte_idx < s_.size(), "bitstream truncated");
+    const int shift = 7 - static_cast<int>(pos_ & 7);
+    ++pos_;
+    return (s_[byte_idx] >> shift) & 1u;
+  }
+
+  std::uint32_t bits(int n) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < n; ++i) v = (v << 1) | bit();
+    return v;
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wavesz

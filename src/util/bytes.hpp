@@ -1,0 +1,125 @@
+// Little-endian byte-oriented serialization used by every container format.
+//
+// ByteWriter grows an owned std::vector<std::uint8_t>; ByteReader walks a
+// borrowed span with hard bounds checks so that a truncated or corrupted
+// container raises wavesz::Error instead of reading out of bounds.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wavesz {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  void bytes(std::span<const std::uint8_t> s) { raw(s.data(), s.size()); }
+
+  void floats(std::span<const float> s) {
+    raw(s.data(), s.size() * sizeof(float));
+  }
+
+  void doubles(std::span<const double> s) {
+    raw(s.data(), s.size() * sizeof(double));
+  }
+
+  void u16s(std::span<const std::uint16_t> s) {
+    raw(s.data(), s.size() * sizeof(std::uint16_t));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    static_assert(std::endian::native == std::endian::little,
+                  "serialization assumes a little-endian host");
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> s) : s_(s) {}
+
+  std::uint8_t u8() { return read<std::uint8_t>(); }
+  std::uint16_t u16() { return read<std::uint16_t>(); }
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  float f32() { return read<float>(); }
+  double f64() { return read<double>(); }
+
+  std::span<const std::uint8_t> bytes(std::size_t n) {
+    require(n);
+    auto out = s_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::vector<float> floats(std::size_t n) {
+    require(n * sizeof(float));
+    std::vector<float> out(n);
+    std::memcpy(out.data(), s_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return out;
+  }
+
+  std::vector<double> doubles(std::size_t n) {
+    require(n * sizeof(double));
+    std::vector<double> out(n);
+    std::memcpy(out.data(), s_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+    return out;
+  }
+
+  std::vector<std::uint16_t> u16s(std::size_t n) {
+    require(n * sizeof(std::uint16_t));
+    std::vector<std::uint16_t> out(n);
+    std::memcpy(out.data(), s_.data() + pos_, n * sizeof(std::uint16_t));
+    pos_ += n * sizeof(std::uint16_t);
+    return out;
+  }
+
+  std::size_t remaining() const { return s_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool done() const { return pos_ == s_.size(); }
+
+ private:
+  template <typename T>
+  T read() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, s_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void require(std::size_t n) const {
+    WAVESZ_REQUIRE(pos_ + n <= s_.size(),
+                   "container truncated: need " + std::to_string(n) +
+                       " bytes at offset " + std::to_string(pos_) +
+                       " but only " + std::to_string(s_.size() - pos_) +
+                       " remain");
+  }
+
+  std::span<const std::uint8_t> s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wavesz

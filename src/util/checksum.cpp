@@ -1,0 +1,36 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace wavesz {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  const auto& t = table();
+  std::uint32_t c = state_;
+  for (std::uint8_t b : data) {
+    c = t[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+}  // namespace wavesz

@@ -1,0 +1,29 @@
+// CRC-32 (ISO 3309 / RFC 1952 polynomial 0xEDB88320), table-driven.
+//
+// Used by the gzip framing layer and by container integrity checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace wavesz {
+
+class Crc32 {
+ public:
+  /// Feed a chunk; can be called repeatedly for streaming updates.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalized CRC value of everything fed so far.
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+  static std::uint32_t of(std::span<const std::uint8_t> data) {
+    Crc32 c;
+    c.update(data);
+    return c.value();
+  }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace wavesz

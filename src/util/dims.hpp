@@ -1,0 +1,60 @@
+// Dataset dimensionality descriptor used across all compressors.
+//
+// Conventions follow the waveSZ artifact: dims are listed from the slowest-
+// varying (outer loop) to the fastest-varying (inner loop) axis, so a
+// CESM-ATM field is Dims::d2(1800, 3600) and Hurricane is
+// Dims::d3(100, 500, 500). `flatten2d()` reproduces the artifact's practice
+// of interpreting a 3D dataset as d0 x (d1*d2) for the FPGA designs.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace wavesz {
+
+struct Dims {
+  std::array<std::size_t, 3> extent{1, 1, 1};
+  int rank = 1;
+
+  static Dims d1(std::size_t n) {
+    WAVESZ_REQUIRE(n > 0, "1D extent must be positive");
+    return Dims{{n, 1, 1}, 1};
+  }
+  static Dims d2(std::size_t rows, std::size_t cols) {
+    WAVESZ_REQUIRE(rows > 0 && cols > 0, "2D extents must be positive");
+    return Dims{{rows, cols, 1}, 2};
+  }
+  static Dims d3(std::size_t planes, std::size_t rows, std::size_t cols) {
+    WAVESZ_REQUIRE(planes > 0 && rows > 0 && cols > 0,
+                   "3D extents must be positive");
+    return Dims{{planes, rows, cols}, 3};
+  }
+
+  std::size_t count() const { return extent[0] * extent[1] * extent[2]; }
+
+  std::size_t operator[](int axis) const {
+    return extent[static_cast<std::size_t>(axis)];
+  }
+
+  /// Interpret a 3D dataset as a 2D one of shape d0 x (d1*d2), exactly as the
+  /// waveSZ/GhostSZ artifact does (e.g. Hurricane 100x500x500 -> 100x250000).
+  Dims flatten2d() const {
+    if (rank <= 2) return *this;
+    return Dims::d2(extent[0], extent[1] * extent[2]);
+  }
+
+  bool operator==(const Dims& o) const {
+    return rank == o.rank && extent == o.extent;
+  }
+
+  std::string str() const {
+    std::string s = std::to_string(extent[0]);
+    for (int i = 1; i < rank; ++i) s += "x" + std::to_string(extent[i]);
+    return s;
+  }
+};
+
+}  // namespace wavesz

@@ -1,0 +1,39 @@
+// Error handling primitives shared by every waveSZ module.
+//
+// All recoverable failures (corrupt containers, bad arguments from callers
+// that cross the public API boundary) are reported via wavesz::Error so that
+// downstream tools can catch a single type. Internal invariants use
+// WAVESZ_ASSERT, which is active in all build types: a violated invariant in
+// a compressor is a data-corruption bug, never something to optimize away.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wavesz {
+
+/// Exception type for all recoverable waveSZ failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw wavesz::Error with a formatted location prefix when `cond` is false.
+/// Used to validate user-facing inputs and serialized containers.
+#define WAVESZ_REQUIRE(cond, msg)                                        \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      throw ::wavesz::Error(std::string(__func__) + ": " + (msg));       \
+    }                                                                    \
+  } while (0)
+
+/// Internal invariant check, active in every build type.
+#define WAVESZ_ASSERT(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      throw ::wavesz::Error(std::string("internal invariant failed in ") \
+                            + __func__ + ": " + (msg));                  \
+    }                                                                    \
+  } while (0)
+
+}  // namespace wavesz

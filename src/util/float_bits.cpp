@@ -1,0 +1,55 @@
+#include "util/float_bits.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wavesz {
+
+int pow2_tighten_exp(double x) {
+  WAVESZ_REQUIRE(std::isfinite(x) && x > 0.0,
+                 "power-of-two tightening needs a positive finite bound");
+  int e = 0;
+  const double frac = std::frexp(x, &e);  // x == frac * 2^e, frac in [0.5, 1)
+  // frexp returns frac == 0.5 exactly when x is a power of two; then
+  // 2^(e-1) == x and the tightened bound equals x itself.
+  (void)frac;
+  return e - 1;
+}
+
+double pow2_tighten(double x) { return std::ldexp(1.0, pow2_tighten_exp(x)); }
+
+bool is_pow2(double x) {
+  if (!(x > 0.0) || !std::isfinite(x)) return false;
+  int e = 0;
+  return std::frexp(x, &e) == 0.5;
+}
+
+double scale_pow2(double x, int e) { return std::ldexp(x, e); }
+
+MantissaDecomposition decompose(double value, int bits_to_show) {
+  WAVESZ_REQUIRE(std::isfinite(value) && value > 0.0,
+                 "decompose needs a positive finite value");
+  MantissaDecomposition out;
+  int e = 0;
+  double frac = std::frexp(value, &e);  // frac in [0.5, 1)
+  frac *= 2.0;                          // now in [1, 2): the 1.xxx form
+  out.exponent = e - 1;
+  frac -= 1.0;
+  out.mantissa_bits.reserve(static_cast<std::size_t>(bits_to_show));
+  for (int i = 0; i < bits_to_show; ++i) {
+    frac *= 2.0;
+    if (frac >= 1.0) {
+      out.mantissa_bits.push_back('1');
+      out.mantissa_is_zero = false;
+      frac -= 1.0;
+    } else {
+      out.mantissa_bits.push_back('0');
+    }
+  }
+  if (frac != 0.0) out.mantissa_is_zero = false;
+  return out;
+}
+
+}  // namespace wavesz

@@ -1,0 +1,40 @@
+// IEEE-754 bit-level helpers backing the base-2 co-optimization (paper §3.3).
+//
+// The original SZ accepts an arbitrary decimal error bound, whose binary
+// mantissa is a 0/1 mix (paper Table 3); dividing by it needs a full FP
+// divider. waveSZ tightens the bound to the nearest *smaller* power of two so
+// the quantization division becomes an exponent add/subtract. These helpers
+// implement that tightening, expose the mantissa decomposition used to print
+// Table 3, and provide the exponent-only scaling primitive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace wavesz {
+
+/// Largest power of two that is <= x (x must be positive and finite).
+/// E.g. pow2_tighten(1e-3) == 2^-10 == 1/1024.
+double pow2_tighten(double x);
+
+/// Exponent k of the tightened bound: pow2_tighten(x) == 2^k.
+int pow2_tighten_exp(double x);
+
+/// True when x is exactly a (possibly subnormal) power of two.
+bool is_pow2(double x);
+
+/// x * 2^e computed by exponent manipulation; the base-2 quantization path
+/// uses this in place of division by the error bound.
+double scale_pow2(double x, int e);
+
+/// Decomposition of a double into normalized significand bits and exponent,
+/// for reproducing paper Table 3: value == (1.<mantissa bits>)_2 x 2^exp.
+struct MantissaDecomposition {
+  std::string mantissa_bits;  ///< leading significand bits after "1."
+  int exponent = 0;
+  bool mantissa_is_zero = true;  ///< true iff the value is a power of two
+};
+
+MantissaDecomposition decompose(double value, int bits_to_show = 13);
+
+}  // namespace wavesz

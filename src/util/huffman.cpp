@@ -1,0 +1,168 @@
+#include "util/huffman.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wavesz {
+namespace {
+
+/// Entry in a package-merge list: either a leaf (symbol index) or a package
+/// of two entries from the previous level.
+struct PmNode {
+  std::uint64_t weight;
+  std::int32_t symbol;         // >= 0 for leaves
+  std::int32_t left = -1;      // package children: indices into prev level
+  std::int32_t right = -1;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, int max_length) {
+  WAVESZ_REQUIRE(max_length >= 1 && max_length <= 31,
+                 "max code length out of range");
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  // Leaves sorted by (weight, symbol) — deterministic.
+  std::vector<PmNode> leaves;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (freqs[s] > 0) {
+      leaves.push_back(PmNode{freqs[s], static_cast<std::int32_t>(s)});
+    }
+  }
+  if (leaves.empty()) return lengths;
+  if (leaves.size() == 1) {
+    lengths[static_cast<std::size_t>(leaves[0].symbol)] = 1;
+    return lengths;
+  }
+  WAVESZ_REQUIRE(static_cast<std::uint64_t>(leaves.size()) <=
+                     (1ull << max_length),
+                 "alphabet too large for requested code-length limit");
+  std::sort(leaves.begin(), leaves.end(), [](const PmNode& a,
+                                             const PmNode& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    return a.symbol < b.symbol;
+  });
+
+  // Package-merge (Larmore & Hirschberg): build L levels of sorted lists,
+  // each level = leaves merged with pairwise packages of the previous level.
+  // Selecting the cheapest 2n-2 entries of the last level yields optimal,
+  // Kraft-complete code lengths bounded by max_length.
+  std::vector<std::vector<PmNode>> levels;
+  levels.reserve(static_cast<std::size_t>(max_length));
+  levels.push_back(leaves);
+  for (int level = 1; level < max_length; ++level) {
+    const auto& prev = levels.back();
+    std::vector<PmNode> packages;
+    packages.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      packages.push_back(PmNode{prev[i].weight + prev[i + 1].weight, -1,
+                                static_cast<std::int32_t>(i),
+                                static_cast<std::int32_t>(i + 1)});
+    }
+    std::vector<PmNode> merged;
+    merged.reserve(leaves.size() + packages.size());
+    std::merge(leaves.begin(), leaves.end(), packages.begin(), packages.end(),
+               std::back_inserter(merged),
+               [](const PmNode& a, const PmNode& b) {
+                 // Leaves before packages on weight ties keeps the tree flat.
+                 if (a.weight != b.weight) return a.weight < b.weight;
+                 return (a.symbol >= 0) > (b.symbol >= 0);
+               });
+    levels.push_back(std::move(merged));
+  }
+
+  // Count, per symbol, in how many selected entries it participates.
+  // Iterative expansion: a work item is (level, index).
+  std::vector<std::pair<int, std::int32_t>> stack;
+  const std::size_t take = 2 * leaves.size() - 2;
+  WAVESZ_ASSERT(levels.back().size() >= take,
+                "package-merge produced too few entries");
+  for (std::size_t i = 0; i < take; ++i) {
+    stack.emplace_back(static_cast<int>(levels.size()) - 1,
+                       static_cast<std::int32_t>(i));
+  }
+  while (!stack.empty()) {
+    const auto [level, idx] = stack.back();
+    stack.pop_back();
+    const PmNode& node =
+        levels[static_cast<std::size_t>(level)][static_cast<std::size_t>(idx)];
+    if (node.symbol >= 0) {
+      ++lengths[static_cast<std::size_t>(node.symbol)];
+    } else {
+      stack.emplace_back(level - 1, node.left);
+      stack.emplace_back(level - 1, node.right);
+    }
+  }
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  int max_len = 0;
+  for (auto l : lengths) max_len = std::max(max_len, static_cast<int>(l));
+  std::vector<std::uint32_t> bl_count(static_cast<std::size_t>(max_len) + 1,
+                                      0);
+  for (auto l : lengths) {
+    if (l > 0) ++bl_count[l];
+  }
+  std::vector<std::uint32_t> next_code(static_cast<std::size_t>(max_len) + 1,
+                                       0);
+  std::uint32_t code = 0;
+  for (int bits = 1; bits <= max_len; ++bits) {
+    code = (code + bl_count[static_cast<std::size_t>(bits) - 1]) << 1;
+    next_code[static_cast<std::size_t>(bits)] = code;
+  }
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) codes[s] = next_code[lengths[s]]++;
+  }
+  return codes;
+}
+
+bool kraft_complete(std::span<const std::uint8_t> lengths) {
+  // Sum of 2^(32-len) over used symbols must equal 2^32 exactly.
+  std::uint64_t sum = 0;
+  std::size_t used = 0;
+  for (auto l : lengths) {
+    if (l == 0) continue;
+    ++used;
+    sum += 1ull << (32 - l);
+  }
+  if (used == 0) return true;
+  if (used == 1) return true;  // degenerate 1-bit code
+  return sum == (1ull << 32);
+}
+
+CanonicalDecoder::CanonicalDecoder(std::span<const std::uint8_t> lengths) {
+  for (auto l : lengths) max_len_ = std::max(max_len_, static_cast<int>(l));
+  first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  count_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  first_index_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  for (auto l : lengths) {
+    if (l > 0) ++count_[l];
+  }
+  std::uint32_t code = 0, index = 0;
+  for (int len = 1; len <= max_len_; ++len) {
+    code = (code + (len > 1 ? count_[static_cast<std::size_t>(len) - 1] : 0))
+           << 1;
+    first_code_[static_cast<std::size_t>(len)] = code;
+    first_index_[static_cast<std::size_t>(len)] = index;
+    index += count_[static_cast<std::size_t>(len)];
+  }
+  sorted_symbols_.resize(index);
+  std::vector<std::uint32_t> next(first_index_);
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) {
+      sorted_symbols_[next[lengths[s]]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+}
+
+void CanonicalDecoder::throw_bad_code() {
+  throw Error("invalid Huffman code in bitstream");
+}
+
+}  // namespace wavesz

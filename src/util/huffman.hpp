@@ -1,0 +1,64 @@
+// Canonical, length-limited Huffman code machinery.
+//
+// Shared by the DEFLATE substrate (lit/len, distance and code-length
+// alphabets, limits 15/15/7) and by SZ's customized Huffman coder over
+// 16-bit quantization symbols (limit 24). Lengths are produced by a heap
+// Huffman build followed by the classic zlib-style overflow fix, which keeps
+// the Kraft sum exactly 1; codes are assigned canonically per RFC 1951.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wavesz {
+
+/// Code lengths (0 = symbol unused) for the given frequencies, with every
+/// used symbol's length in [1, max_length]. A single used symbol gets
+/// length 1. Deterministic for fixed input.
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs, int max_length);
+
+/// Canonical code values per RFC 1951 (shorter codes numerically first;
+/// ties broken by symbol order). codes[i] is meaningful iff lengths[i] > 0.
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+/// Verify sum over used symbols of 2^-length == 1 (complete code) or the
+/// degenerate single-symbol case. Returns false for over-subscribed sets.
+bool kraft_complete(std::span<const std::uint8_t> lengths);
+
+/// Canonical decoder: O(length) per symbol via first-code/first-index
+/// tables; bits must be fed MSB-of-code first.
+class CanonicalDecoder {
+ public:
+  explicit CanonicalDecoder(std::span<const std::uint8_t> lengths);
+
+  /// Decode one symbol; `next_bit` is a callable returning 0/1.
+  template <typename NextBit>
+  std::uint32_t decode(NextBit&& next_bit) const {
+    std::uint32_t acc = 0;
+    for (int len = 1; len <= max_len_; ++len) {
+      acc = (acc << 1) | (next_bit() & 1u);
+      const std::uint32_t offset = acc - first_code_[len];
+      if (acc >= first_code_[len] && offset < count_[len]) {
+        return sorted_symbols_[first_index_[len] + offset];
+      }
+    }
+    throw_bad_code();
+  }
+
+  int max_length() const { return max_len_; }
+  bool empty() const { return sorted_symbols_.empty(); }
+
+ private:
+  [[noreturn]] static void throw_bad_code();
+
+  int max_len_ = 0;
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> count_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint32_t> sorted_symbols_;
+};
+
+}  // namespace wavesz

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for throughput measurements.
+//
+// Matches the paper's measurement convention: latency is the span from the
+// moment the compressor receives the in-memory data until the compressed
+// bytes are produced (file I/O excluded).
+#pragma once
+
+#include <chrono>
+
+namespace wavesz {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// MB/s given the number of uncompressed input bytes processed.
+  double mbps(std::size_t bytes) const {
+    const double s = seconds();
+    return s > 0.0 ? static_cast<double>(bytes) / 1e6 / s : 0.0;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace wavesz

@@ -1,0 +1,163 @@
+// Unit tests for the synthetic dataset substrate: determinism, geometry,
+// persona structure, and raw float32 file I/O.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/stats.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::data {
+namespace {
+
+TEST(Synthetic, GenerationIsDeterministic) {
+  FieldRecipe r;
+  r.seed = 42;
+  const auto a = generate(r, Dims::d2(16, 16));
+  const auto b = generate(r, Dims::d2(16, 16));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Synthetic, SeedChangesField) {
+  FieldRecipe a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(generate(a, Dims::d2(8, 8)), generate(b, Dims::d2(8, 8)));
+}
+
+TEST(Synthetic, MatchesPointwiseEvaluation) {
+  FieldRecipe r;
+  r.seed = 9;
+  const Dims dims = Dims::d2(4, 6);
+  const auto grid = generate(r, dims);
+  // For rank 2, axis 0 maps to the z coordinate and axis 1 to y (x = 0).
+  const float v = grid[2 * 6 + 3];
+  EXPECT_FLOAT_EQ(v, static_cast<float>(
+                         evaluate(r, 0.0, 3.0 / 6.0, 2.0 / 4.0)));
+}
+
+TEST(Synthetic, PlateauGainSaturatesToUnitInterval) {
+  FieldRecipe r;
+  r.seed = 5;
+  r.plateau_gain = 2.5;
+  const auto grid = generate(r, Dims::d2(32, 32));
+  for (float v : grid) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  // Saturation must actually produce flat regions at the rails.
+  int at_rails = 0;
+  for (float v : grid) {
+    if (v == 0.0f || v == 1.0f) ++at_rails;
+  }
+  EXPECT_GT(at_rails, 16);
+}
+
+TEST(Synthetic, LognormalIsPositiveAndWideRange) {
+  FieldRecipe r;
+  r.seed = 7;
+  r.lognormal = true;
+  r.amplitude = 1e9;
+  const auto grid = generate(r, Dims::d3(8, 16, 16));
+  const auto range = wavesz::metrics::value_range(grid);
+  EXPECT_GT(range.min, 0.0);
+  EXPECT_GT(range.max / range.min, 10.0);
+}
+
+TEST(Synthetic, HashNoiseIsBoundedAndPure) {
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const double n = hash_noise(1, i, i * 3, i * 7);
+    EXPECT_GE(n, -1.0);
+    EXPECT_LE(n, 1.0);
+    EXPECT_EQ(n, hash_noise(1, i, i * 3, i * 7));
+  }
+}
+
+TEST(Datasets, PersonaDimsMatchPaperTable4) {
+  EXPECT_EQ(persona_dims(Persona::CesmAtm), Dims::d2(1800, 3600));
+  EXPECT_EQ(persona_dims(Persona::Hurricane), Dims::d3(100, 500, 500));
+  EXPECT_EQ(persona_dims(Persona::Nyx), Dims::d3(512, 512, 512));
+}
+
+TEST(Datasets, ScaleShrinksButClampsToMinimum) {
+  const auto d = persona_dims(Persona::CesmAtm, 10);
+  EXPECT_EQ(d, Dims::d2(180, 360));
+  const auto tiny = persona_dims(Persona::Hurricane, 1000);
+  EXPECT_GE(tiny[0], 8u);
+}
+
+TEST(Datasets, EveryPersonaHasFieldsAndUniqueNames) {
+  for (auto p : all_personas()) {
+    const auto fs = fields(p, 50);
+    EXPECT_GE(fs.size(), 4u);
+    for (std::size_t i = 0; i < fs.size(); ++i) {
+      for (std::size_t j = i + 1; j < fs.size(); ++j) {
+        EXPECT_NE(fs[i].name, fs[j].name);
+      }
+      EXPECT_EQ(fs[i].dims, persona_dims(p, 50));
+    }
+  }
+}
+
+TEST(Datasets, NamedLookupAndUnknownField) {
+  const auto f = field(Persona::CesmAtm, "CLDLOW", 50);
+  EXPECT_EQ(f.name, "CLDLOW");
+  const auto grid = f.materialize();
+  EXPECT_EQ(grid.size(), f.dims.count());
+  EXPECT_THROW(field(Persona::Nyx, "DOES_NOT_EXIST", 50), Error);
+}
+
+TEST(Datasets, CloudFieldsAreSmootherThanNoise) {
+  // The recipes must produce spatially correlated data, or the whole
+  // compression study is meaningless: neighbouring values should be far
+  // closer than the field's range.
+  const auto f = field(Persona::CesmAtm, "CLDLOW", 20).materialize();
+  const auto dims = persona_dims(Persona::CesmAtm, 20);
+  const auto range = wavesz::metrics::value_range(f).span();
+  double sum_adjacent = 0.0;
+  std::size_t count = 0;
+  for (std::size_t x = 0; x < dims[0]; ++x) {
+    for (std::size_t y = 1; y < dims[1]; ++y) {
+      sum_adjacent += std::abs(static_cast<double>(f[x * dims[1] + y]) -
+                               static_cast<double>(f[x * dims[1] + y - 1]));
+      ++count;
+    }
+  }
+  EXPECT_LT(sum_adjacent / static_cast<double>(count), 0.05 * range);
+}
+
+TEST(Io, Float32RoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "wavesz_io_test.f32";
+  const std::vector<float> data{1.5f, -2.25f, 3.75f, 0.0f};
+  write_f32(path, data);
+  EXPECT_EQ(read_f32(path), data);
+  std::filesystem::remove(path);
+}
+
+TEST(Io, BytesRoundTripAndMissingFileThrows) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "wavesz_io_test.bin";
+  const std::vector<std::uint8_t> data{1, 2, 3, 255};
+  write_bytes(path, data);
+  EXPECT_EQ(read_bytes(path), data);
+  std::filesystem::remove(path);
+  EXPECT_THROW(read_bytes(path), Error);
+}
+
+TEST(Io, NonFloatSizeRejected) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "wavesz_io_test_odd.bin";
+  const std::vector<std::uint8_t> data{1, 2, 3};  // not a multiple of 4
+  write_bytes(path, data);
+  EXPECT_THROW(read_f32(path), Error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace wavesz::data

@@ -1,0 +1,392 @@
+// Tests for the FPGA pipeline simulator: schedule semantics (stall
+// structure of wavefront vs raster vs GhostSZ orders), the paper's closed-
+// form timing, the throughput model, and the Table 6 resource model.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "fpga/calibration.hpp"
+#include "fpga/model.hpp"
+#include "fpga/resources.hpp"
+#include "fpga/schedule.hpp"
+#include "util/dims.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::fpga {
+namespace {
+
+// ------------------------------------------------------------ calibration
+
+TEST(Calibration, DepthsMatchDocumentedValues) {
+  EXPECT_EQ(pqd_depth_base2(), 117);
+  EXPECT_EQ(pqd_depth_base10(), 152);
+  EXPECT_GT(pqd_depth_base10(), pqd_depth_base2());  // the §3.3 win
+  EXPECT_LT(ghost_pred_depth(), pqd_depth_base2());  // why GhostSZ pipelines
+}
+
+// --------------------------------------------------------------- schedule
+
+ScheduleConfig wave_cfg(int depth = 117) {
+  ScheduleConfig c;
+  c.pii = 1;
+  c.depth = depth;
+  c.dep_latency = depth;
+  return c;
+}
+
+TEST(Schedule, WavefrontBodyIsStallFreeWhenLambdaCoversDelta) {
+  // Lambda = d0 - 1 = 199 >= Delta = 117: occupancy ~ 1 (paper §3.2).
+  const auto s = simulate_wavefront(200, 2000, wave_cfg());
+  EXPECT_EQ(s.points, 200u * 2000u);
+  EXPECT_GT(s.occupancy(), 0.96);  // only head/tail warmup is imperfect
+  EXPECT_LT(s.stall_cycles, s.points / 20);
+}
+
+TEST(Schedule, WavefrontStallsWhenLambdaShorterThanDelta) {
+  // Hurricane geometry: Lambda = 99 < Delta = 117 -> per-column stalls,
+  // occupancy ~ Lambda/Delta.
+  const auto s = simulate_wavefront(100, 20000, wave_cfg());
+  EXPECT_LT(s.occupancy(), 0.92);
+  EXPECT_GT(s.occupancy(), 0.75);
+  EXPECT_GT(s.stall_cycles, 0u);
+}
+
+TEST(Schedule, RasterOrderStallsOnEveryInteriorPoint) {
+  // The west neighbour finished Delta cycles after it issued, one iteration
+  // earlier: every interior point waits ~Delta (the Fig. 3 pathology).
+  const ScheduleConfig cfg = wave_cfg();
+  const auto s = simulate_raster(64, 64, cfg);
+  const auto interior = static_cast<std::uint64_t>(63 * 63);
+  EXPECT_GT(s.stall_cycles,
+            interior * static_cast<std::uint64_t>(cfg.depth - 5));
+  EXPECT_LT(s.occupancy(), 0.02);
+}
+
+TEST(Schedule, WavefrontBeatsRasterByOrderDelta) {
+  const auto wf = simulate_wavefront(256, 1024, wave_cfg());
+  const auto ra = simulate_raster(256, 1024, wave_cfg());
+  EXPECT_GT(static_cast<double>(ra.makespan) /
+                static_cast<double>(wf.makespan),
+            50.0);
+}
+
+TEST(Schedule, GhostHidesPredictionLatencyAcrossRows) {
+  // Column staging interleaves d0 independent rows; with d0 * pII well above
+  // the prediction chain, the pipeline sustains its initiation interval.
+  ScheduleConfig cfg;
+  cfg.pii = kGhostPii;
+  cfg.depth = 152;
+  cfg.dep_latency = ghost_pred_depth();
+  const auto s = simulate_ghost(100, 5000, cfg);
+  EXPECT_NEAR(s.occupancy(), 1.0 / kGhostPii, 0.02);
+}
+
+TEST(Schedule, GhostStallsWhenTooFewRows) {
+  // With only 4 rows, the west dependency (45 cycles) dominates the 8-cycle
+  // round trip of the column stage: throughput collapses.
+  ScheduleConfig cfg;
+  cfg.pii = kGhostPii;
+  cfg.depth = 152;
+  cfg.dep_latency = ghost_pred_depth();
+  const auto s = simulate_ghost(4, 5000, cfg);
+  EXPECT_LT(s.occupancy(), 0.2);
+}
+
+TEST(Schedule, SinglePointAndSingleRowEdgeCases) {
+  const auto one = simulate_wavefront(1, 1, wave_cfg());
+  EXPECT_EQ(one.points, 1u);
+  EXPECT_EQ(one.stall_cycles, 0u);
+  // A single row is all border in the wavefront design: no stalls.
+  const auto row = simulate_wavefront(1, 100, wave_cfg());
+  EXPECT_EQ(row.stall_cycles, 0u);
+  EXPECT_THROW(simulate_wavefront(0, 5, wave_cfg()), Error);
+}
+
+TEST(Schedule, IdealClosedFormMatchesPaper) {
+  // Paper §3.2: start(r, c) = c*Lambda + r; end(r, c) = (c+1)*Lambda + r-1;
+  // the start of (r, c+1) is one cycle after the end of (r, c).
+  const std::uint64_t lambda = 57;
+  for (std::uint64_t c = 0; c < 5; ++c) {
+    for (std::uint64_t r = 1; r <= lambda; ++r) {
+      EXPECT_EQ(ideal_end_cycle(r, c, lambda) + 1,
+                ideal_start_cycle(r, c + 1, lambda));
+      EXPECT_EQ(ideal_end_cycle(r, c, lambda) - ideal_start_cycle(r, c, lambda),
+                lambda - 1);
+    }
+  }
+}
+
+TEST(Schedule, SimulatorReproducesIdealBodySpacing) {
+  // When Lambda == Delta the body maps ∆ perfectly onto Λ points: columns
+  // start exactly Lambda cycles apart, i.e. the issue span equals
+  // columns * Lambda with no body stalls (only the head/tail warmup).
+  const std::size_t d0 = 118;  // Lambda = 117 = Delta
+  const std::size_t d1 = 10000;
+  const auto s = simulate_wavefront(d0, d1, wave_cfg(117));
+  // Head/tail warmup is ~Lambda^2 cycles; with a long body it amortizes to
+  // the ideal one-issue-per-cycle mapping of Delta onto Lambda points.
+  const double per_point = static_cast<double>(s.issue_span) /
+                           static_cast<double>(s.points);
+  EXPECT_NEAR(per_point, 1.0, 0.05);
+}
+
+// ------------------------------------------------------------- throughput
+
+TEST(Throughput, Table5OrderingHolds) {
+  const ModelConfig cfg;
+  const auto cesm = Dims::d2(1800, 3600);
+  const auto wave = wave_throughput(cesm, kWaveSzLanes);
+  const auto ghost = ghost_throughput(cesm);
+  EXPECT_GT(wave.effective_mbps, 900.0);
+  EXPECT_LT(wave.effective_mbps, 1100.0);   // paper: 995 MB/s
+  EXPECT_GT(ghost.effective_mbps, 120.0);
+  EXPECT_LT(ghost.effective_mbps, 220.0);   // paper: 185 MB/s
+  EXPECT_GT(wave.effective_mbps / ghost.effective_mbps, 4.0);
+  (void)cfg;
+}
+
+TEST(Throughput, HurricaneDipsBelowCesmAndNyx) {
+  // Table 5 shape: 995 / 838 / 986 — the short Hurricane pipeline stalls.
+  const auto cesm = wave_throughput(Dims::d2(1800, 3600), kWaveSzLanes);
+  const auto hurr =
+      wave_throughput(Dims::d3(100, 500, 500), kWaveSzLanes);
+  const auto nyx = wave_throughput(Dims::d3(512, 512, 512), kWaveSzLanes);
+  EXPECT_LT(hurr.effective_mbps, cesm.effective_mbps * 0.95);
+  EXPECT_LT(hurr.effective_mbps, nyx.effective_mbps * 0.95);
+  EXPECT_NEAR(cesm.effective_mbps / nyx.effective_mbps, 1.0, 0.1);
+}
+
+TEST(Throughput, Base10DatapathIsSlowerOnShortPipelines) {
+  const auto dims = Dims::d3(100, 500, 500);  // Lambda = 99
+  const auto b2 = wave_throughput(dims, kWaveSzLanes, sz::EbBase::Two);
+  const auto b10 = wave_throughput(dims, kWaveSzLanes, sz::EbBase::Ten);
+  EXPECT_GT(b2.effective_mbps, b10.effective_mbps * 1.1);
+}
+
+TEST(Throughput, NaiveRasterIsCatastrophic) {
+  const auto naive = naive_raster_throughput(Dims::d2(1800, 3600));
+  const auto wave = wave_throughput(Dims::d2(1800, 3600), kWaveSzLanes);
+  EXPECT_GT(wave.effective_mbps / naive.effective_mbps, 30.0);
+}
+
+TEST(Throughput, LanesScaleUntilPcieCap) {
+  const auto dims = Dims::d3(512, 512, 512);
+  const auto one = wave_throughput(dims, 3);
+  const auto two = wave_throughput(dims, 6);
+  const auto many = wave_throughput(dims, 48);
+  EXPECT_NEAR(two.effective_mbps / one.effective_mbps, 2.0, 0.2);
+  EXPECT_EQ(many.delivered_mbps, ModelConfig{}.pcie.gen2_x4_mbps);
+  EXPECT_GT(many.effective_mbps, many.delivered_mbps);  // roofline binds
+}
+
+TEST(Throughput, OmpModelMatchesPaperEfficiencyAnchor) {
+  // Paper: parallel efficiency drops to 59% at 32 cores.
+  const double base = 122.0;  // Hurricane single-core MB/s
+  const double t32 = omp_scaled_mbps(base, 32);
+  EXPECT_NEAR(t32 / (32.0 * base), 0.59, 0.01);
+  EXPECT_EQ(omp_scaled_mbps(base, 1), base);
+  // Monotone increasing in cores over the relevant range.
+  double prev = 0.0;
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    const double t = omp_scaled_mbps(base, n);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Throughput, RejectsBadArguments) {
+  EXPECT_THROW(wave_throughput(Dims::d2(8, 8), 0), Error);
+  EXPECT_THROW(omp_scaled_mbps(100.0, 0), Error);
+}
+
+// -------------------------------------------------------------- resources
+
+TEST(Resources, WaveDesignMatchesTable6Exactly) {
+  const auto r = wave_design(kWaveSzLanes);
+  EXPECT_EQ(r.bram_18k, 9);
+  EXPECT_EQ(r.dsp48e, 0);  // base-2: no divider, no multiplier
+  EXPECT_EQ(r.ff, 4473);
+  EXPECT_EQ(r.lut, 8208);
+}
+
+TEST(Resources, GhostDesignMatchesTable6Exactly) {
+  const auto r = ghost_design();
+  EXPECT_EQ(r.bram_18k, 20);
+  EXPECT_EQ(r.dsp48e, 51);
+  EXPECT_EQ(r.ff, 12615);
+  EXPECT_EQ(r.lut, 19718);
+}
+
+TEST(Resources, Base10LaneNeedsDsps) {
+  const auto b2 = wave_pqd_lane_base2();
+  const auto b10 = wave_pqd_lane_base10();
+  EXPECT_EQ(b2.dsp48e, 0);
+  EXPECT_GT(b10.dsp48e, 0);
+  EXPECT_GT(b10.lut, b2.lut);
+}
+
+TEST(Resources, GzipCoreDominatesBram) {
+  // Paper: scalability limited by gzip's 303 BRAM_18K.
+  EXPECT_EQ(gzip_core().bram_18k, 303);
+  EXPECT_GT(gzip_core().bram_18k, wave_design(kWaveSzLanes).bram_18k * 10);
+}
+
+TEST(Resources, UtilizationRowFormatting) {
+  const DeviceCapacity zc706;
+  const auto row = utilization_row(9, zc706.bram_18k);
+  EXPECT_NE(row.find("9"), std::string::npos);
+  EXPECT_NE(row.find("0.83%"), std::string::npos);
+}
+
+TEST(Resources, ArithmeticOperators) {
+  ResourceUsage a{1, 2, 3, 4};
+  const ResourceUsage b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.bram_18k, 11);
+  EXPECT_EQ(a.lut, 44);
+  const auto c = b * 3;
+  EXPECT_EQ(c.dsp48e, 60);
+}
+
+}  // namespace
+}  // namespace wavesz::fpga
+
+// ------------------------------------------------- future-work Huffman
+
+#include "fpga/huffman_model.hpp"
+
+namespace wavesz::fpga {
+namespace {
+
+TEST(FutureHuffman, TableNeedsHundredsOfBram) {
+  // 65,536-entry code table + histogram: the reason the paper deferred the
+  // on-chip H* stage.
+  EXPECT_GT(huffman_table_bram(), 150);
+  EXPECT_LT(huffman_table_bram(), 300);
+}
+
+TEST(FutureHuffman, StageSustainsNearLineRate) {
+  const auto s = huffman_stage();
+  // Double-buffered two-pass encoder: ~1 symbol/cycle per encoder.
+  EXPECT_GT(s.efficiency, 0.9);
+  EXPECT_LE(s.efficiency, 1.0 + 1e-9);
+  EXPECT_NEAR(s.symbols_per_second,
+              3.0 * 156.25e6 * s.efficiency, 1e6);
+}
+
+TEST(FutureHuffman, TinyChunksExposeHostTreeBuild) {
+  HuffmanEncoderConfig cfg;
+  cfg.chunk_symbols = 2048;  // pass time << host tree build
+  const auto s = huffman_stage(cfg);
+  EXPECT_LT(s.efficiency, 0.2);
+  EXPECT_THROW(huffman_stage(HuffmanEncoderConfig{512, 900.0, 3}), Error);
+}
+
+TEST(FutureHuffman, EndToEndStaysPqdBoundAtDefaults) {
+  for (auto dims : {Dims::d2(1800, 3600), Dims::d3(512, 512, 512)}) {
+    const auto fut = future_wave_throughput(dims);
+    EXPECT_FALSE(fut.huffman_bound);
+    const auto now = wave_throughput(dims, kWaveSzLanes);
+    EXPECT_NEAR(fut.effective_mbps, now.effective_mbps, 1.0);
+    EXPECT_GT(fut.added_resources.bram_18k, 400);
+  }
+}
+
+TEST(FutureHuffman, FitsOnZc706NextToGzip) {
+  const DeviceCapacity dev;
+  const auto fut = future_wave_throughput(Dims::d2(1800, 3600));
+  const int total = wave_design(kWaveSzLanes).bram_18k +
+                    gzip_core().bram_18k + fut.added_resources.bram_18k;
+  EXPECT_LT(total, dev.bram_18k);   // feasible...
+  EXPECT_GT(total, dev.bram_18k / 2);  // ...but dominates the budget
+}
+
+}  // namespace
+}  // namespace wavesz::fpga
+
+// --------------------------------------------------- device co-simulation
+
+#include "core/wavesz.hpp"
+#include "data/synthetic.hpp"
+#include "fpga/device.hpp"
+#include "metrics/stats.hpp"
+
+namespace wavesz::fpga {
+namespace {
+
+std::vector<float> cosim_field(const Dims& dims) {
+  data::FieldRecipe r;
+  r.seed = 31;
+  r.base_frequency = 0.8;
+  return data::generate(r, dims);
+}
+
+TEST(DeviceCoSim, ArchiveRoundTripsWithinBound) {
+  const Dims dims = Dims::d3(12, 40, 30);
+  const auto field = cosim_field(dims);
+  auto cfg = wavesz::wave::default_config();
+  const auto run = compress_on_device(field, dims, cfg, 3);
+  EXPECT_EQ(run.lanes.size(), 3u);
+  Dims out_dims;
+  const auto restored = device_decompress(run.archive, &out_dims);
+  EXPECT_EQ(out_dims, dims);
+  const double bound =
+      sz::resolve_bound(cfg, metrics::value_range(field).span());
+  EXPECT_TRUE(metrics::within_bound(field, restored, bound));
+  EXPECT_GT(run.ratio, 1.0);
+}
+
+TEST(DeviceCoSim, ThroughputMatchesTheAnalyticModel) {
+  // The co-sim and wave_throughput() partition identically, so the modeled
+  // throughput must agree exactly — the property that keeps the functional
+  // kernels and the performance model from drifting apart.
+  const Dims dims = Dims::d3(16, 64, 32);
+  const auto field = cosim_field(dims);
+  const auto run = compress_on_device(field, dims, wavesz::wave::default_config(),
+                                      kWaveSzLanes);
+  const auto model = wave_throughput(dims, kWaveSzLanes);
+  EXPECT_NEAR(run.modeled_effective_mbps, model.effective_mbps,
+              model.effective_mbps * 1e-9);
+}
+
+TEST(DeviceCoSim, LanesPartitionAllColumns) {
+  const Dims dims = Dims::d2(20, 101);  // deliberately not divisible
+  const auto field = cosim_field(dims);
+  const auto run =
+      compress_on_device(field, dims, wavesz::wave::default_config(), 4);
+  std::size_t covered = 0;
+  for (const auto& lane : run.lanes) {
+    EXPECT_EQ(lane.first_column, covered);
+    covered += lane.column_count;
+  }
+  EXPECT_EQ(covered, 101u);
+  EXPECT_EQ(device_decompress(run.archive), device_decompress(run.archive));
+}
+
+TEST(DeviceCoSim, SingleLaneEqualsPlainWaveSz) {
+  const Dims dims = Dims::d2(24, 48);
+  const auto field = cosim_field(dims);
+  const auto cfg = wavesz::wave::default_config();
+  const auto run = compress_on_device(field, dims, cfg, 1);
+  const auto direct = wavesz::wave::compress(field, dims, cfg);
+  ASSERT_EQ(run.lanes.size(), 1u);
+  EXPECT_EQ(run.lanes[0].compressed_bytes, direct.bytes.size());
+  EXPECT_EQ(device_decompress(run.archive), wavesz::wave::decompress(direct.bytes));
+}
+
+TEST(DeviceCoSim, CorruptArchiveFailsLoudly) {
+  const Dims dims = Dims::d2(16, 32);
+  const auto field = cosim_field(dims);
+  const auto run =
+      compress_on_device(field, dims, wavesz::wave::default_config(), 2);
+  auto bad = run.archive;
+  bad[1] ^= 0xFF;
+  EXPECT_THROW(device_decompress(bad), Error);
+  std::vector<std::uint8_t> cut(run.archive.begin(),
+                                run.archive.begin() + 40);
+  EXPECT_THROW(device_decompress(cut), Error);
+}
+
+}  // namespace
+}  // namespace wavesz::fpga

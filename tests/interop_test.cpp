@@ -1,0 +1,109 @@
+// Interoperability of the from-scratch gzip implementation with the system
+// gzip(1): our members must gunzip cleanly, and system-gzip members must
+// inflate through our decoder. This pins the DEFLATE substrate to the real
+// RFC 1951/1952, not merely to itself. Skipped when gzip(1) is absent.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "data/io.hpp"
+#include "deflate/deflate.hpp"
+
+namespace wavesz::deflate {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool have_gzip() { return std::system("gzip --version > /dev/null 2>&1") == 0; }
+
+fs::path tmp(const std::string& name) {
+  return fs::temp_directory_path() / ("wavesz_interop_" + name);
+}
+
+std::vector<std::uint8_t> sample_payload(int flavour, std::size_t size) {
+  std::vector<std::uint8_t> data(size);
+  std::mt19937 rng(static_cast<unsigned>(flavour * 7 + 1));
+  switch (flavour) {
+    case 0:
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+      break;
+    case 1:
+      for (std::size_t i = 0; i < size; ++i) {
+        data[i] = static_cast<std::uint8_t>("scientific data "[i % 16]);
+      }
+      break;
+    default:
+      for (std::size_t i = 0; i < size; ++i) {
+        data[i] = static_cast<std::uint8_t>((i / 300) % 11 + (rng() % 2));
+      }
+  }
+  return data;
+}
+
+class GzipInterop : public ::testing::TestWithParam<std::tuple<int, Level>> {
+ protected:
+  void SetUp() override {
+    if (!have_gzip()) GTEST_SKIP() << "gzip(1) not available";
+  }
+};
+
+TEST_P(GzipInterop, SystemGunzipReadsOurMembers) {
+  const auto [flavour, level] = GetParam();
+  const auto payload = sample_payload(flavour, 100'000);
+  const auto member = gzip_compress(payload, level);
+  const auto gz = tmp("ours.gz");
+  const auto out = tmp("ours.out");
+  data::write_bytes(gz, member);
+  const std::string cmd = "gunzip -c '" + gz.string() + "' > '" +
+                          out.string() + "' 2>/dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  EXPECT_EQ(data::read_bytes(out), payload);
+  fs::remove(gz);
+  fs::remove(out);
+}
+
+TEST_P(GzipInterop, WeReadSystemGzipMembers) {
+  const auto [flavour, level] = GetParam();
+  const auto payload = sample_payload(flavour, 100'000);
+  const auto raw = tmp("sys.raw");
+  const auto gz = tmp("sys.raw.gz");
+  data::write_bytes(raw, payload);
+  const std::string cmd =
+      std::string("gzip -c ") + (level == Level::Best ? "-9" : "-1") +
+      " -n < '" + raw.string() + "' > '" + gz.string() + "'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  const auto member = data::read_bytes(gz);
+  EXPECT_EQ(gzip_decompress(member), payload);
+  fs::remove(raw);
+  fs::remove(gz);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PayloadsAndLevels, GzipInterop,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(Level::Fast, Level::Best)));
+
+TEST(GzipInterop, EmptyMemberBothWays) {
+  if (!have_gzip()) GTEST_SKIP();
+  const auto gz = tmp("empty.gz");
+  const auto out = tmp("empty.out");
+  data::write_bytes(gz, gzip_compress({}, Level::Fast));
+  ASSERT_EQ(std::system(("gunzip -c '" + gz.string() + "' > '" +
+                         out.string() + "'")
+                            .c_str()),
+            0);
+  EXPECT_TRUE(data::read_bytes(out).empty());
+  ASSERT_EQ(std::system(("printf '' | gzip -c -n > '" + gz.string() + "'")
+                            .c_str()),
+            0);
+  EXPECT_TRUE(gzip_decompress(data::read_bytes(gz)).empty());
+  fs::remove(gz);
+  fs::remove(out);
+}
+
+}  // namespace
+}  // namespace wavesz::deflate

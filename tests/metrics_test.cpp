@@ -1,0 +1,127 @@
+// Unit tests for the metrics layer: PSNR/RMSE per the paper's definitions,
+// error-bound verification, and the histogram used for Figs. 1 and 9.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "metrics/histogram.hpp"
+#include "metrics/stats.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::metrics {
+namespace {
+
+TEST(Stats, ValueRange) {
+  const std::vector<float> v{3.0f, -1.5f, 2.0f, 7.25f};
+  const auto r = value_range(v);
+  EXPECT_EQ(r.min, -1.5);
+  EXPECT_EQ(r.max, 7.25);
+  EXPECT_EQ(r.span(), 8.75);
+  EXPECT_THROW(value_range({}), Error);
+}
+
+TEST(Stats, PerfectReconstructionHasInfinitePsnr) {
+  const std::vector<float> v{1.0f, 2.0f, 3.0f};
+  const auto s = distortion(v, v);
+  EXPECT_EQ(s.rmse, 0.0);
+  EXPECT_EQ(s.max_abs_error, 0.0);
+  EXPECT_TRUE(std::isinf(s.psnr_db));
+}
+
+TEST(Stats, PsnrMatchesPaperFormula) {
+  // range = 10, constant error 0.1 -> RMSE 0.1, PSNR = 20*log10(100) = 40 dB.
+  std::vector<float> orig(100), dec(100);
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    orig[i] = static_cast<float>(i % 11);  // range [0, 10]
+    dec[i] = orig[i] + 0.1f;
+  }
+  const auto s = distortion(orig, dec);
+  EXPECT_NEAR(s.rmse, 0.1, 1e-6);
+  EXPECT_NEAR(s.psnr_db, 40.0, 1e-3);
+  EXPECT_NEAR(s.mean_abs_error, 0.1, 1e-6);
+  EXPECT_NEAR(s.max_abs_error, 0.1, 1e-6);
+}
+
+TEST(Stats, MismatchedLengthsThrow) {
+  const std::vector<float> a{1.0f, 2.0f};
+  const std::vector<float> b{1.0f};
+  EXPECT_THROW(distortion(a, b), Error);
+  EXPECT_THROW(within_bound(a, b, 1.0), Error);
+}
+
+TEST(Stats, WithinBoundDetectsViolations) {
+  const std::vector<float> orig{0.0f, 1.0f, 2.0f};
+  std::vector<float> dec{0.05f, 1.0f, 2.0f};
+  EXPECT_TRUE(within_bound(orig, dec, 0.1));
+  dec[2] = 2.2f;
+  EXPECT_FALSE(within_bound(orig, dec, 0.1));
+  EXPECT_EQ(first_violation(orig, dec, 0.1), 2u);
+}
+
+TEST(Stats, BoundEdgeGetsUlpSlack) {
+  // A reconstruction exactly at the bound must pass despite float rounding.
+  const std::vector<float> orig{1.0f};
+  const std::vector<float> dec{1.0f + 0.25f};
+  EXPECT_TRUE(within_bound(orig, dec, 0.25));
+}
+
+TEST(Stats, CompressionRatio) {
+  EXPECT_EQ(compression_ratio(1000, 100), 10.0);
+  EXPECT_EQ(compression_ratio(1000, 0), 0.0);
+}
+
+TEST(Histogram, BinningAndTotals) {
+  Histogram h(-1.0, 1.0, 4);
+  h.add(-0.99);  // bin 0
+  h.add(-0.01);  // bin 1
+  h.add(0.0);    // bin 2
+  h.add(0.99);   // bin 3
+  h.add(-5.0);   // underflow
+  h.add(5.0);    // overflow
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), -0.75);
+}
+
+TEST(Histogram, OfErrorsMatchesManualDifferences) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{1.1f, 1.9f, 3.0f};
+  const auto h = Histogram::of_errors(a, b, -0.5, 0.5, 10);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_NEAR(h.fraction_within(0.5), 1.0, 1e-12);
+}
+
+TEST(Histogram, FractionWithin) {
+  Histogram h(-1.0, 1.0, 100);
+  for (int i = 0; i < 99; ++i) h.add(0.001);
+  h.add(0.9);
+  EXPECT_NEAR(h.fraction_within(0.1), 0.99, 1e-12);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(Histogram, AsciiAndCsvRender) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.add(0.6);
+  h.add(0.7);
+  const auto art = h.ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  const auto csv = h.csv();
+  EXPECT_NE(csv.find("0.25,1"), std::string::npos);
+  EXPECT_NE(csv.find("0.75,2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wavesz::metrics

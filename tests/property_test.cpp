@@ -1,0 +1,142 @@
+// Cross-cutting property tests: monotonicity of ratio/PSNR in the error
+// bound, determinism of every compressor, and idempotence of a
+// compress-decompress-compress cycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "data/synthetic.hpp"
+#include "ghostsz/ghostsz.hpp"
+#include "metrics/stats.hpp"
+#include "sz/compressor.hpp"
+#include "sz2/sz2.hpp"
+
+namespace wavesz {
+namespace {
+
+std::vector<float> test_field(std::uint64_t seed) {
+  data::FieldRecipe r;
+  r.seed = seed;
+  r.base_frequency = 0.6;
+  r.noise_amplitude = 1e-4;
+  return data::generate(r, Dims::d2(96, 96));
+}
+
+const Dims kDims = Dims::d2(96, 96);
+const double kEbs[] = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+
+template <typename CompressFn, typename DecompressFn>
+void check_monotone(CompressFn&& comp, DecompressFn&& dec,
+                    const std::vector<float>& field) {
+  double prev_size = 0.0;
+  double prev_psnr = -1.0;
+  for (double eb : kEbs) {
+    const auto bytes = comp(field, eb);
+    const auto restored = dec(bytes);
+    const double psnr = metrics::distortion(field, restored).psnr_db;
+    // Tighter bound => never (meaningfully) smaller output, never lower
+    // fidelity. 2% slack absorbs entropy-coding noise.
+    EXPECT_GE(static_cast<double>(bytes.size()) * 1.02, prev_size)
+        << "at eb " << eb;
+    EXPECT_GT(psnr, prev_psnr) << "at eb " << eb;
+    prev_size = static_cast<double>(bytes.size());
+    prev_psnr = psnr;
+  }
+}
+
+TEST(Monotonicity, Sz14SizeAndPsnrFollowTheBound) {
+  const auto field = test_field(1);
+  check_monotone(
+      [&](const auto& f, double eb) {
+        sz::Config cfg;
+        cfg.error_bound = eb;
+        return sz::compress(f, kDims, cfg).bytes;
+      },
+      [](const auto& b) { return sz::decompress(b); }, field);
+}
+
+TEST(Monotonicity, WaveSzSizeAndPsnrFollowTheBound) {
+  const auto field = test_field(2);
+  check_monotone(
+      [&](const auto& f, double eb) {
+        auto cfg = wave::default_config();
+        cfg.error_bound = eb;
+        return wave::compress(f, kDims, cfg).bytes;
+      },
+      [](const auto& b) { return wave::decompress(b); }, field);
+}
+
+TEST(Monotonicity, GhostSzSizeAndPsnrFollowTheBound) {
+  const auto field = test_field(3);
+  check_monotone(
+      [&](const auto& f, double eb) {
+        sz::Config cfg;
+        cfg.error_bound = eb;
+        return ghost::compress(f, kDims, cfg).bytes;
+      },
+      [](const auto& b) { return ghost::decompress(b); }, field);
+}
+
+TEST(Monotonicity, Sz2SizeAndPsnrFollowTheBound) {
+  const auto field = test_field(4);
+  check_monotone(
+      [&](const auto& f, double eb) {
+        sz2::Config cfg;
+        cfg.error_bound = eb;
+        return sz2::compress(f, kDims, cfg).bytes;
+      },
+      [](const auto& b) { return sz2::decompress(b); }, field);
+}
+
+TEST(Determinism, SameInputSameBytesAcrossAllVariants) {
+  const auto field = test_field(5);
+  sz::Config cfg;
+  EXPECT_EQ(sz::compress(field, kDims, cfg).bytes,
+            sz::compress(field, kDims, cfg).bytes);
+  EXPECT_EQ(ghost::compress(field, kDims, cfg).bytes,
+            ghost::compress(field, kDims, cfg).bytes);
+  EXPECT_EQ(wave::compress(field, kDims, wave::default_config()).bytes,
+            wave::compress(field, kDims, wave::default_config()).bytes);
+  sz2::Config cfg2;
+  EXPECT_EQ(sz2::compress(field, kDims, cfg2).bytes,
+            sz2::compress(field, kDims, cfg2).bytes);
+}
+
+TEST(Idempotence, RecompressingTheDecompressedFieldIsStable) {
+  // Decompressed data lies on the quantization lattice, so a second
+  // compress-decompress cycle at the same absolute bound must reproduce
+  // data within the bound of the first reconstruction, and the second
+  // archive must not blow up in size.
+  const auto field = test_field(6);
+  sz::Config cfg;
+  cfg.mode = sz::EbMode::Absolute;
+  cfg.error_bound = 1e-3;
+  const auto first = sz::compress(field, kDims, cfg);
+  const auto restored1 = sz::decompress(first.bytes);
+  const auto second = sz::compress(restored1, kDims, cfg);
+  const auto restored2 = sz::decompress(second.bytes);
+  EXPECT_TRUE(metrics::within_bound(restored1, restored2, 1e-3));
+  EXPECT_LT(second.bytes.size(), first.bytes.size() * 2);
+}
+
+TEST(Property, WaveF64KernelMatchesF32OnFloatRepresentableData) {
+  // On data that is exactly float-representable with a coarse bound, the
+  // float64 pipeline must emit the same quantization decisions.
+  std::vector<float> f32 = test_field(7);
+  std::vector<double> f64(f32.begin(), f32.end());
+  auto cfg = wave::default_config();
+  cfg.mode = sz::EbMode::Absolute;
+  cfg.error_bound = 0.01;
+  const auto c32 = wave::compress(std::span<const float>(f32), kDims, cfg);
+  const auto c64 = wave::compress(std::span<const double>(f64), kDims, cfg);
+  EXPECT_EQ(c32.header.unpredictable_count, c64.header.unpredictable_count);
+  const auto d32 = wave::decompress(c32.bytes);
+  const auto d64 = wave::decompress64(c64.bytes);
+  for (std::size_t i = 0; i < d32.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(d32[i]), d64[i], 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace wavesz

@@ -1,0 +1,261 @@
+// Tests for the SZ-2.0-style compressor: block decomposition, hyperplane
+// regression, predictor selection, the logarithmic transform for
+// pointwise-relative bounds, and the paper's §2.1 regime claim.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/stats.hpp"
+#include "sz/compressor.hpp"
+#include "sz2/sz2.hpp"
+#include "util/error.hpp"
+
+namespace wavesz::sz2 {
+namespace {
+
+std::vector<float> affine_field(const Dims& dims) {
+  std::vector<float> out(dims.count());
+  const std::size_t n1 = dims.rank >= 2 ? dims[1] : 1;
+  const std::size_t n2 = dims.rank >= 3 ? dims[2] : 1;
+  std::size_t i = 0;
+  for (std::size_t a = 0; a < dims[0]; ++a) {
+    for (std::size_t b = 0; b < n1; ++b) {
+      for (std::size_t c = 0; c < n2; ++c, ++i) {
+        out[i] = 3.0f + 0.25f * static_cast<float>(a) -
+                 0.5f * static_cast<float>(b) +
+                 0.125f * static_cast<float>(c);
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Sz2, LogDomainBoundGuaranteesRelativeError) {
+  for (double eb : {1e-1, 1e-2, 1e-3, 1e-5}) {
+    const double delta = log_domain_bound(eb);
+    // Worst-case relative error of a log-domain perturbation of +-delta.
+    EXPECT_LE(std::exp2(delta) - 1.0, eb);
+    EXPECT_GT(delta, 0.0);
+  }
+  EXPECT_THROW(log_domain_bound(0.0), Error);
+  EXPECT_THROW(log_domain_bound(1.5), Error);
+}
+
+TEST(Sz2, AffineFieldCollapses) {
+  // A hyperplane field: both predictors are exact (regression by
+  // construction, Lorenzo on affine data), so whatever the per-block choice,
+  // the stream collapses and the bound holds trivially.
+  const Dims dims = Dims::d3(16, 16, 16);
+  const auto field = affine_field(dims);
+  Config cfg;
+  cfg.error_bound = 1e-4;
+  cfg.mode = Config::Mode::Absolute;
+  const auto c = compress(field, dims, cfg);
+  EXPECT_EQ(c.unpredictable_count, 0u);
+  EXPECT_LT(c.bytes.size(), 2000u);
+  const auto decoded = decompress(c.bytes);
+  EXPECT_TRUE(metrics::within_bound(field, decoded, 1e-4));
+}
+
+TEST(Sz2, NoisyAffineFieldPrefersRegression) {
+  // iid noise on a plane: the Lorenzo stencil amplifies it (4 taps) while
+  // the block-wide plane fit averages it away — every block must pick
+  // regression. This is exactly the regime SZ-2.0 was designed for.
+  const Dims dims = Dims::d2(64, 64);
+  auto field = affine_field(dims);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] += 0.02f * static_cast<float>(
+                            data::hash_noise(3, i, i / 64, 0));
+  }
+  Config cfg;
+  cfg.error_bound = 0.05;
+  cfg.mode = Config::Mode::Absolute;
+  const auto c = compress(field, dims, cfg);
+  EXPECT_EQ(c.regression_blocks, c.block_count);
+  const auto decoded = decompress(c.bytes);
+  EXPECT_TRUE(metrics::within_bound(field, decoded, 0.05));
+}
+
+TEST(Sz2, LorenzoWinsOnLocallyCorrelatedData) {
+  // A smooth non-planar field: Lorenzo tracks curvature that a per-block
+  // plane cannot, so at a tight bound most blocks pick Lorenzo.
+  const Dims dims = Dims::d2(64, 64);
+  data::FieldRecipe r;
+  r.seed = 5;
+  r.base_frequency = 2.0;
+  const auto field = data::generate(r, dims);
+  Config cfg;
+  cfg.error_bound = 1e-4;
+  const auto c = compress(field, dims, cfg);
+  EXPECT_LT(c.regression_blocks, c.block_count / 2);
+}
+
+class Sz2RoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Sz2RoundTrip, AbsoluteAndRangeRelativeBoundsHold) {
+  const auto [rank, eb] = GetParam();
+  const Dims dims = rank == 1   ? Dims::d1(4000)
+                    : rank == 2 ? Dims::d2(70, 90)
+                                : Dims::d3(20, 18, 22);
+  data::FieldRecipe r;
+  r.seed = static_cast<std::uint64_t>(rank) * 7 + 1;
+  const auto field = data::generate(r, dims);
+  Config cfg;
+  cfg.error_bound = eb;
+  const auto c = compress(field, dims, cfg);
+  Dims out_dims;
+  const auto decoded = decompress(c.bytes, &out_dims);
+  EXPECT_EQ(out_dims, dims);
+  EXPECT_TRUE(metrics::within_bound(field, decoded, c.eb_absolute))
+      << metrics::first_violation(field, decoded, c.eb_absolute);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndBounds, Sz2RoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(1e-2, 1e-3, 1e-4)));
+
+class Sz2Pointwise : public ::testing::TestWithParam<double> {};
+
+TEST_P(Sz2Pointwise, PointwiseRelativeBoundHoldsOnLognormalData) {
+  // The log transform is exactly for high-dynamic-range positive data
+  // (NYX baryon density spans decades).
+  const double eb = GetParam();
+  const auto f = data::field(data::Persona::Nyx, "baryon_density", 16);
+  const auto field = f.materialize();
+  Config cfg;
+  cfg.error_bound = eb;
+  cfg.mode = Config::Mode::PointwiseRelative;
+  const auto c = compress(field, f.dims, cfg);
+  const auto decoded = decompress(c.bytes);
+  ASSERT_EQ(decoded.size(), field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const double d = field[i];
+    const double rel =
+        d == 0.0 ? std::fabs(static_cast<double>(decoded[i]))
+                 : std::fabs(static_cast<double>(decoded[i]) - d) /
+                       std::fabs(d);
+    ASSERT_LE(rel, eb * (1.0 + 1e-6)) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, Sz2Pointwise,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4));
+
+TEST(Sz2, PointwiseModeHandlesSignsAndZeros) {
+  const Dims dims = Dims::d2(16, 16);
+  std::vector<float> field(dims.count());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    field[i] = (i % 5 == 0) ? 0.0f
+                            : ((i % 2 == 0) ? 1.0f : -1.0f) *
+                                  static_cast<float>(i) * 0.75f;
+  }
+  Config cfg;
+  cfg.error_bound = 1e-3;
+  cfg.mode = Config::Mode::PointwiseRelative;
+  const auto decoded = decompress(compress(field, dims, cfg).bytes);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == 0.0f) {
+      EXPECT_EQ(decoded[i], 0.0f);
+    } else {
+      EXPECT_EQ(std::signbit(decoded[i]), std::signbit(field[i]));
+      EXPECT_LE(std::fabs(static_cast<double>(decoded[i] - field[i])),
+                1e-3 * std::fabs(static_cast<double>(field[i])) * 1.001);
+    }
+  }
+}
+
+TEST(Sz2, PointwiseModeRejectsNonFinite) {
+  const Dims dims = Dims::d1(4);
+  const std::vector<float> field{
+      1.0f, std::numeric_limits<float>::infinity(), 2.0f, 3.0f};
+  Config cfg;
+  cfg.mode = Config::Mode::PointwiseRelative;
+  EXPECT_THROW(compress(field, dims, cfg), Error);
+}
+
+TEST(Sz2, EdgeBlocksAndOddShapes) {
+  // Dims that are not multiples of the block side exercise partial blocks.
+  for (auto dims : {Dims::d2(17, 19), Dims::d2(16, 33), Dims::d3(9, 10, 11)}) {
+    data::FieldRecipe r;
+    r.seed = dims.count();
+    const auto field = data::generate(r, dims);
+    Config cfg;
+    const auto c = compress(field, dims, cfg);
+    const auto decoded = decompress(c.bytes);
+    EXPECT_TRUE(metrics::within_bound(field, decoded, c.eb_absolute))
+        << dims.str();
+  }
+}
+
+TEST(Sz2, CustomBlockSide) {
+  const Dims dims = Dims::d2(64, 64);
+  data::FieldRecipe r;
+  r.seed = 9;
+  const auto field = data::generate(r, dims);
+  Config cfg;
+  cfg.block_side = 4;
+  const auto c = compress(field, dims, cfg);
+  EXPECT_EQ(c.block_count, 16u * 16u);
+  EXPECT_TRUE(
+      metrics::within_bound(field, decompress(c.bytes), c.eb_absolute));
+  Config bad;
+  bad.block_side = 1;
+  EXPECT_THROW(compress(field, dims, bad), Error);
+}
+
+TEST(Sz2, CorruptContainerFailsLoudly) {
+  const Dims dims = Dims::d2(32, 32);
+  const auto field = affine_field(dims);
+  Config cfg;
+  cfg.mode = Config::Mode::Absolute;
+  cfg.error_bound = 0.01;
+  auto c = compress(field, dims, cfg);
+  auto bad = c.bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_THROW(decompress(bad), Error);
+  std::vector<std::uint8_t> cut(c.bytes.begin(),
+                                c.bytes.begin() + c.bytes.size() - 8);
+  EXPECT_THROW(decompress(cut), Error);
+}
+
+TEST(Sz2, RegimeClaimFromPaperSection21) {
+  // §2.1: SZ-2.0 is more effective in the low-precision (coarse-bound)
+  // regime and similar or slightly worse at tight bounds. Check both ends
+  // on a piecewise-planar field with noise, which favours regression when
+  // the bound is coarse.
+  const Dims dims = Dims::d2(96, 96);
+  data::FieldRecipe r;
+  r.seed = 77;
+  r.wave_components = 2;
+  r.base_frequency = 0.4;
+  r.noise_amplitude = 5e-3;  // noise Lorenzo amplifies but planes ignore
+  const auto field = data::generate(r, dims);
+  const double raw = static_cast<double>(field.size() * sizeof(float));
+
+  auto ratio_sz2 = [&](double eb) {
+    Config cfg;
+    cfg.error_bound = eb;
+    return raw / static_cast<double>(compress(field, dims, cfg).bytes.size());
+  };
+  auto ratio_sz14 = [&](double eb) {
+    sz::Config cfg;
+    cfg.error_bound = eb;
+    return raw /
+           static_cast<double>(sz::compress(field, dims, cfg).bytes.size());
+  };
+  // Coarse bound: regression shines.
+  EXPECT_GT(ratio_sz2(5e-2), ratio_sz14(5e-2));
+  // Tight bound: within 25% of SZ-1.4 either way ("very similar or
+  // slightly worse").
+  const double tight2 = ratio_sz2(1e-4), tight14 = ratio_sz14(1e-4);
+  EXPECT_GT(tight2, 0.75 * tight14);
+}
+
+}  // namespace
+}  // namespace wavesz::sz2

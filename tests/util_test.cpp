@@ -1,0 +1,411 @@
+// Unit tests for the util layer: bit I/O in both orders, byte serialization,
+// CRC-32, IEEE-754 helpers, and the shared canonical Huffman machinery.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "util/bitio.hpp"
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+#include "util/dims.hpp"
+#include "util/error.hpp"
+#include "util/float_bits.hpp"
+#include "util/huffman.hpp"
+
+namespace wavesz {
+namespace {
+
+// ---------------------------------------------------------------- bit I/O
+
+TEST(BitIoLsb, RoundTripMixedWidths) {
+  BitWriterLSB bw;
+  bw.bits(0b101, 3);
+  bw.bits(0xABCD, 16);
+  bw.bits(1, 1);
+  bw.bits(0x12345678, 32);
+  const auto bytes = bw.take();
+  BitReaderLSB br(bytes);
+  EXPECT_EQ(br.bits(3), 0b101u);
+  EXPECT_EQ(br.bits(16), 0xABCDu);
+  EXPECT_EQ(br.bit(), 1u);
+  EXPECT_EQ(br.bits(32), 0x12345678u);
+}
+
+TEST(BitIoLsb, LsbFirstWithinByte) {
+  BitWriterLSB bw;
+  bw.bits(1, 1);  // lowest bit of first byte
+  bw.bits(0, 1);
+  bw.bits(1, 1);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0b101);
+}
+
+TEST(BitIoLsb, AlignByteThenRawByte) {
+  BitWriterLSB bw;
+  bw.bits(0b11, 2);
+  bw.align_byte();
+  bw.byte(0x5A);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0b11);
+  EXPECT_EQ(bytes[1], 0x5A);
+  BitReaderLSB br(bytes);
+  EXPECT_EQ(br.bits(2), 0b11u);
+  br.align_byte();
+  EXPECT_EQ(br.byte(), 0x5A);
+}
+
+TEST(BitIoLsb, TruncatedStreamThrows) {
+  std::vector<std::uint8_t> one{0xFF};
+  BitReaderLSB br(one);
+  EXPECT_EQ(br.bits(8), 0xFFu);
+  EXPECT_THROW(br.bit(), Error);
+}
+
+TEST(BitIoMsb, RoundTripMixedWidths) {
+  BitWriterMSB bw;
+  bw.bits(0b110, 3);
+  bw.bits(0x1F2E, 13);
+  bw.bits(0, 1);
+  bw.bits(0x0FEDCBA9, 28);
+  const auto bytes = bw.take();
+  BitReaderMSB br(bytes);
+  EXPECT_EQ(br.bits(3), 0b110u);
+  EXPECT_EQ(br.bits(13), 0x1F2Eu);
+  EXPECT_EQ(br.bit(), 0u);
+  EXPECT_EQ(br.bits(28), 0x0FEDCBA9u);
+}
+
+TEST(BitIoMsb, MsbFirstWithinByte) {
+  BitWriterMSB bw;
+  bw.bits(1, 1);
+  const auto bytes = bw.take();
+  ASSERT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(bytes[0], 0x80);  // padded with zeros on the right
+}
+
+TEST(BitIoMsb, BitCountTracksExactly) {
+  BitWriterMSB bw;
+  bw.bits(0x3, 2);
+  bw.bits(0x7F, 7);
+  EXPECT_EQ(bw.bit_count(), 9u);
+}
+
+TEST(BitIoMsb, TruncatedStreamThrows) {
+  std::vector<std::uint8_t> one{0xAA};
+  BitReaderMSB br(one);
+  br.bits(8);
+  EXPECT_THROW(br.bit(), Error);
+}
+
+// Property: arbitrary (value, width) sequences survive both bit orders.
+TEST(BitIo, RandomSequencesRoundTripBothOrders) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<std::uint32_t, int>> items;
+    for (int i = 0; i < 200; ++i) {
+      const int n = 1 + static_cast<int>(rng() % 24);
+      const std::uint32_t v = rng() & ((n >= 32) ? ~0u : ((1u << n) - 1));
+      items.emplace_back(v, n);
+    }
+    BitWriterLSB wl;
+    BitWriterMSB wm;
+    for (auto [v, n] : items) {
+      wl.bits(v, n);
+      wm.bits(v, n);
+    }
+    const auto bl = wl.take();
+    const auto bm = wm.take();
+    BitReaderLSB rl(bl);
+    BitReaderMSB rm(bm);
+    for (auto [v, n] : items) {
+      EXPECT_EQ(rl.bits(n), v);
+      EXPECT_EQ(rm.bits(n), v);
+    }
+  }
+}
+
+// ------------------------------------------------------------- byte I/O
+
+TEST(Bytes, RoundTripAllTypes) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.f32(3.5f);
+  w.f64(-2.25);
+  const std::vector<float> fs{1.0f, -2.0f, 0.5f};
+  w.floats(fs);
+  const std::vector<std::uint16_t> us{7, 8, 9};
+  w.u16s(us);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.f32(), 3.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.floats(3), fs);
+  EXPECT_EQ(r.u16s(3), us);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, OverrunThrows) {
+  ByteWriter w;
+  w.u16(1);
+  ByteReader r(w.data());
+  (void)r.u8();
+  EXPECT_THROW(r.u32(), Error);
+}
+
+// ---------------------------------------------------------------- CRC-32
+
+TEST(Crc32, KnownVector) {
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32::of({reinterpret_cast<const std::uint8_t*>(s.data()),
+                       s.size()}),
+            0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(Crc32::of({}), 0u); }
+
+TEST(Crc32, StreamingEqualsOneShot) {
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  Crc32 streaming;
+  streaming.update({data.data(), 400});
+  streaming.update({data.data() + 400, 600});
+  EXPECT_EQ(streaming.value(), Crc32::of(data));
+}
+
+// ----------------------------------------------------------------- dims
+
+TEST(Dims, CountsAndFlatten) {
+  const auto d = Dims::d3(100, 500, 500);
+  EXPECT_EQ(d.count(), 25'000'000u);
+  const auto f = d.flatten2d();
+  EXPECT_EQ(f.rank, 2);
+  EXPECT_EQ(f[0], 100u);
+  EXPECT_EQ(f[1], 250'000u);
+  EXPECT_EQ(f.count(), d.count());
+  EXPECT_EQ(Dims::d2(1800, 3600).str(), "1800x3600");
+}
+
+TEST(Dims, RejectsZeroExtents) {
+  EXPECT_THROW(Dims::d1(0), Error);
+  EXPECT_THROW(Dims::d2(0, 5), Error);
+  EXPECT_THROW(Dims::d3(5, 0, 5), Error);
+}
+
+// ----------------------------------------------------------- float bits
+
+TEST(FloatBits, TightenMatchesPaperExample) {
+  // Paper §3.3: 1e-3 tightens to 2^-10 = 1/1024.
+  EXPECT_EQ(pow2_tighten(1e-3), std::ldexp(1.0, -10));
+  EXPECT_EQ(pow2_tighten_exp(1e-3), -10);
+}
+
+TEST(FloatBits, TightenIsIdentityOnPowersOfTwo) {
+  for (int e = -30; e <= 30; ++e) {
+    const double p = std::ldexp(1.0, e);
+    EXPECT_EQ(pow2_tighten(p), p);
+    EXPECT_TRUE(is_pow2(p));
+  }
+}
+
+TEST(FloatBits, TightenNeverExceedsInput) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> dist(1e-9, 1e3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = dist(rng);
+    const double t = pow2_tighten(x);
+    EXPECT_LE(t, x);
+    EXPECT_GT(t, x / 2.0);  // nearest smaller power of two
+    EXPECT_TRUE(is_pow2(t));
+  }
+}
+
+TEST(FloatBits, RejectsNonPositive) {
+  EXPECT_THROW(pow2_tighten(0.0), Error);
+  EXPECT_THROW(pow2_tighten(-1.0), Error);
+  EXPECT_FALSE(is_pow2(0.0));
+  EXPECT_FALSE(is_pow2(-4.0));
+}
+
+TEST(FloatBits, ScalePow2MatchesMultiplication) {
+  EXPECT_EQ(scale_pow2(3.0, 4), 48.0);
+  EXPECT_EQ(scale_pow2(48.0, -4), 3.0);
+}
+
+TEST(FloatBits, DecomposeTable3Entries) {
+  // Paper Table 3 rows: binary representation of decimal bases.
+  const auto d1 = decompose(0.1);
+  EXPECT_EQ(d1.exponent, -4);
+  EXPECT_EQ(d1.mantissa_bits, "1001100110011");
+  const auto d3 = decompose(0.001);
+  EXPECT_EQ(d3.exponent, -10);
+  EXPECT_EQ(d3.mantissa_bits, "0000011000100");
+  const auto d7 = decompose(0.0000001);
+  EXPECT_EQ(d7.exponent, -24);
+  EXPECT_EQ(d7.mantissa_bits, "1010110101111");
+  EXPECT_FALSE(d1.mantissa_is_zero);
+}
+
+TEST(FloatBits, DecomposePowerOfTwoHasZeroMantissa) {
+  const auto d = decompose(0.25);
+  EXPECT_EQ(d.exponent, -2);
+  EXPECT_TRUE(d.mantissa_is_zero);
+  EXPECT_EQ(d.mantissa_bits, std::string(13, '0'));
+}
+
+// -------------------------------------------------------------- Huffman
+
+TEST(Huffman, EmptyAndSingleSymbol) {
+  std::vector<std::uint64_t> none(8, 0);
+  auto lengths = huffman_code_lengths(none, 15);
+  EXPECT_TRUE(std::all_of(lengths.begin(), lengths.end(),
+                          [](std::uint8_t l) { return l == 0; }));
+  std::vector<std::uint64_t> one(8, 0);
+  one[3] = 42;
+  lengths = huffman_code_lengths(one, 15);
+  EXPECT_EQ(lengths[3], 1);
+  EXPECT_TRUE(kraft_complete(lengths));
+}
+
+TEST(Huffman, TwoSymbolsGetOneBitEach) {
+  std::vector<std::uint64_t> f{10, 0, 90, 0};
+  const auto lengths = huffman_code_lengths(f, 15);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[2], 1);
+  EXPECT_TRUE(kraft_complete(lengths));
+}
+
+TEST(Huffman, MoreFrequentNeverLonger) {
+  std::vector<std::uint64_t> f{1, 2, 4, 8, 16, 32, 64, 128};
+  const auto lengths = huffman_code_lengths(f, 15);
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    EXPECT_GE(lengths[i - 1], lengths[i]);
+  }
+  EXPECT_TRUE(kraft_complete(lengths));
+}
+
+TEST(Huffman, LengthLimitIsEnforcedAndKraftComplete) {
+  // Fibonacci-ish frequencies force deep optimal trees.
+  std::vector<std::uint64_t> f(40);
+  std::uint64_t a = 1, b = 1;
+  for (auto& x : f) {
+    x = a;
+    const auto next = a + b;
+    a = b;
+    b = next;
+  }
+  for (int limit : {7, 10, 15}) {
+    const auto lengths = huffman_code_lengths(f, limit);
+    for (auto l : lengths) EXPECT_LE(static_cast<int>(l), limit);
+    EXPECT_TRUE(kraft_complete(lengths));
+  }
+}
+
+TEST(Huffman, AlphabetTooLargeForLimitThrows) {
+  std::vector<std::uint64_t> f(32, 1);  // 32 symbols cannot fit 4-bit codes...
+  // 2^4 = 16 < 32 used symbols
+  EXPECT_THROW(huffman_code_lengths(f, 4), Error);
+}
+
+TEST(Huffman, CanonicalCodesAreOrderedAndPrefixFree) {
+  std::vector<std::uint8_t> lengths{2, 1, 3, 3};
+  const auto codes = canonical_codes(lengths);
+  // RFC 1951 convention: symbol 1 (len 1) -> 0; symbol 0 (len 2) -> 10;
+  // symbols 2,3 (len 3) -> 110, 111.
+  EXPECT_EQ(codes[1], 0u);
+  EXPECT_EQ(codes[0], 0b10u);
+  EXPECT_EQ(codes[2], 0b110u);
+  EXPECT_EQ(codes[3], 0b111u);
+}
+
+TEST(Huffman, DecoderInvertsEncoder) {
+  std::mt19937 rng(11);
+  std::vector<std::uint64_t> freqs(64);
+  for (auto& f : freqs) f = rng() % 1000;
+  freqs[0] = 100000;  // strongly skewed
+  const auto lengths = huffman_code_lengths(freqs, 15);
+  const auto codes = canonical_codes(lengths);
+  const CanonicalDecoder dec(lengths);
+
+  std::vector<std::uint32_t> symbols;
+  for (std::uint32_t s = 0; s < freqs.size(); ++s) {
+    if (lengths[s] > 0) symbols.push_back(s);
+  }
+  BitWriterMSB bw;
+  std::vector<std::uint32_t> message;
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = symbols[rng() % symbols.size()];
+    message.push_back(s);
+    bw.bits(codes[s], lengths[s]);
+  }
+  const auto bytes = bw.take();
+  BitReaderMSB br(bytes);
+  for (auto expected : message) {
+    EXPECT_EQ(dec.decode([&] { return br.bit(); }), expected);
+  }
+}
+
+TEST(Huffman, DecoderRejectsOversubscribedStream) {
+  // With lengths {1,1}, the code space is full; any decoder walk terminates
+  // at depth 1, so feed a decoder built from a deliberately sparse table.
+  std::vector<std::uint8_t> lengths{3, 0, 0, 0};
+  const CanonicalDecoder dec(lengths);
+  int calls = 0;
+  // bits 111... never matches the only code (000 at depth 3 is code 0).
+  EXPECT_THROW(dec.decode([&] {
+    ++calls;
+    return 1u;
+  }),
+               Error);
+  EXPECT_LE(calls, 4);
+}
+
+// Parameterized Kraft/limit sweep across alphabet sizes and skews.
+class HuffmanSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(HuffmanSweep, LengthsAreKraftCompleteWithinLimit) {
+  const auto [alphabet, limit] = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(alphabet * 131 + limit));
+  std::vector<std::uint64_t> freqs(static_cast<std::size_t>(alphabet));
+  for (auto& f : freqs) {
+    f = (rng() % 7 == 0) ? 0 : (1 + rng() % 100000);
+  }
+  const std::uint64_t used = static_cast<std::uint64_t>(
+      std::count_if(freqs.begin(), freqs.end(),
+                    [](std::uint64_t f) { return f > 0; }));
+  if (used > (1ull << limit)) {
+    // More used symbols than the code space allows: must refuse loudly.
+    EXPECT_THROW(huffman_code_lengths(freqs, limit), Error);
+    return;
+  }
+  const auto lengths = huffman_code_lengths(freqs, limit);
+  EXPECT_TRUE(kraft_complete(lengths));
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    EXPECT_EQ(lengths[s] > 0, freqs[s] > 0);
+    EXPECT_LE(static_cast<int>(lengths[s]), limit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphabetsAndLimits, HuffmanSweep,
+    ::testing::Combine(::testing::Values(2, 5, 19, 30, 288, 1000, 65536),
+                       ::testing::Values(7, 15, 24)));
+
+}  // namespace
+}  // namespace wavesz

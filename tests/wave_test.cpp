@@ -1,0 +1,287 @@
+// Tests for the waveSZ core: wavefront layout bijectivity and index math,
+// kernel equivalence against a raster-order reference, base-2 bound
+// tightening, and full round trips in both layout modes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "core/wavefront.hpp"
+#include "core/wavesz.hpp"
+#include "data/datasets.hpp"
+#include "metrics/stats.hpp"
+#include "sz/predictor.hpp"
+#include "util/error.hpp"
+#include "util/float_bits.hpp"
+
+namespace wavesz::wave {
+namespace {
+
+// --------------------------------------------------------------- layout
+
+TEST(Wavefront, PaperFigure5SmallGrid) {
+  // 6 x 10 grid from Figs. 3/5: column h collects all (x, y) with x+y == h.
+  const WavefrontLayout layout(6, 10);
+  EXPECT_EQ(layout.column_count(), 15u);
+  EXPECT_EQ(layout.column_length(0), 1u);
+  EXPECT_EQ(layout.column_length(5), 6u);   // full anti-diagonal
+  EXPECT_EQ(layout.column_length(9), 6u);   // last body column
+  EXPECT_EQ(layout.column_length(14), 1u);  // tail tip
+  // Column 3 holds (0,3), (1,2), (2,1), (3,0) in row order.
+  EXPECT_EQ(layout.offset(0, 3), layout.column_start(3));
+  EXPECT_EQ(layout.offset(3, 0), layout.column_start(3) + 3);
+}
+
+TEST(Wavefront, OffsetAndPointAtAreInverse) {
+  const WavefrontLayout layout(7, 13);
+  for (std::size_t x = 0; x < 7; ++x) {
+    for (std::size_t y = 0; y < 13; ++y) {
+      const auto off = layout.offset(x, y);
+      const auto [px, py] = layout.point_at(off);
+      EXPECT_EQ(px, x);
+      EXPECT_EQ(py, y);
+    }
+  }
+}
+
+TEST(Wavefront, ColumnsPartitionTheGrid) {
+  const WavefrontLayout layout(9, 4);  // also exercise d0 > d1
+  std::size_t total = 0;
+  for (std::size_t h = 0; h < layout.column_count(); ++h) {
+    total += layout.column_length(h);
+    EXPECT_EQ(layout.column_start(h) + layout.column_length(h),
+              h + 1 < layout.column_count() ? layout.column_start(h + 1)
+                                            : layout.count());
+  }
+  EXPECT_EQ(total, 36u);
+}
+
+class WavefrontShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(WavefrontShapes, TransformIsABijection) {
+  const auto [d0, d1] = GetParam();
+  const WavefrontLayout layout(d0, d1);
+  std::vector<float> raster(d0 * d1);
+  std::iota(raster.begin(), raster.end(), 0.0f);
+  const auto wf = to_wavefront(raster, layout);
+  EXPECT_EQ(from_wavefront(wf, layout), raster);
+  // Every value appears exactly once.
+  auto sorted = wf;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, raster);
+}
+
+TEST_P(WavefrontShapes, ColumnsHoldEqualManhattanDistance) {
+  const auto [d0, d1] = GetParam();
+  const WavefrontLayout layout(d0, d1);
+  for (std::size_t h = 0; h < layout.column_count(); ++h) {
+    for (std::size_t k = 0; k < layout.column_length(h); ++k) {
+      const auto [x, y] = layout.point_at(layout.column_start(h) + k);
+      EXPECT_EQ(x + y, h);  // same L1 distance from the pivot (Fig. 5b)
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WavefrontShapes,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(1, 9),
+                      std::make_pair<std::size_t, std::size_t>(9, 1),
+                      std::make_pair<std::size_t, std::size_t>(2, 2),
+                      std::make_pair<std::size_t, std::size_t>(6, 10),
+                      std::make_pair<std::size_t, std::size_t>(10, 6),
+                      std::make_pair<std::size_t, std::size_t>(31, 57),
+                      std::make_pair<std::size_t, std::size_t>(128, 128)));
+
+// ---------------------------------------------------------------- kernel
+
+/// Reference implementation: raster-order Lorenzo PQD with the same
+/// verbatim-border policy. waveSZ must produce the identical code multiset
+/// (wavefront order is a permutation of raster order that respects deps).
+struct ReferencePqd {
+  std::vector<std::uint16_t> codes_raster;
+  std::vector<float> reconstructed;
+};
+
+ReferencePqd raster_reference(std::span<const float> data, std::size_t d0,
+                              std::size_t d1, const sz::LinearQuantizer& q) {
+  ReferencePqd out;
+  out.codes_raster.resize(data.size());
+  out.reconstructed.assign(data.begin(), data.end());
+  for (std::size_t x = 0; x < d0; ++x) {
+    for (std::size_t y = 0; y < d1; ++y) {
+      const std::size_t i = x * d1 + y;
+      if (x == 0 || y == 0) {
+        out.codes_raster[i] = 0;  // verbatim border, value stays exact
+        continue;
+      }
+      const double pred = sz::lorenzo2d(out.reconstructed[i - d1 - 1],
+                                        out.reconstructed[i - d1],
+                                        out.reconstructed[i - 1]);
+      const auto r = q.quantize(pred, data[i]);
+      out.codes_raster[i] = r.code;
+      if (r.code != 0) out.reconstructed[i] = r.reconstructed;
+    }
+  }
+  return out;
+}
+
+TEST(WaveKernel, MatchesRasterReferenceExactly) {
+  const Dims dims = Dims::d2(40, 56);
+  const auto field =
+      data::field(data::Persona::CesmAtm, "FSNS", 50).materialize();
+  std::vector<float> grid(field.begin(), field.begin() + dims.count());
+  const sz::LinearQuantizer q(0.05, 16);
+  const WavefrontLayout layout(dims[0], dims[1]);
+
+  auto wf = to_wavefront(grid, layout);
+  const auto kr = wave_pqd_2d(wf, layout, q);
+
+  const auto ref = raster_reference(grid, dims[0], dims[1], q);
+  // Codes: the kernel emits in wavefront order; map back per point.
+  std::size_t i = 0;
+  for (std::size_t h = 0; h < layout.column_count(); ++h) {
+    for (std::size_t k = 0; k < layout.column_length(h); ++k, ++i) {
+      const auto [x, y] = layout.point_at(layout.column_start(h) + k);
+      EXPECT_EQ(kr.codes[i], ref.codes_raster[x * dims[1] + y])
+          << "at (" << x << "," << y << ")";
+    }
+  }
+  // In-place writeback must equal the reference reconstruction.
+  EXPECT_EQ(from_wavefront(wf, layout), ref.reconstructed);
+}
+
+TEST(WaveKernel, ReconstructInvertsKernel) {
+  const Dims dims = Dims::d2(33, 47);
+  data::FieldRecipe recipe;
+  recipe.seed = 4;
+  const auto grid = data::generate(recipe, dims);
+  const sz::LinearQuantizer q(0.01, 16);
+  const WavefrontLayout layout(dims[0], dims[1]);
+  auto wf = to_wavefront(grid, layout);
+  const auto original_wf = to_wavefront(grid, layout);
+  const auto kr = wave_pqd_2d(wf, layout, q);
+  std::size_t next = 0;
+  const auto rec = wave_reconstruct_2d(kr.codes, kr.verbatim, &next, layout,
+                                       q);
+  EXPECT_EQ(next, kr.verbatim.size());
+  EXPECT_EQ(rec, std::vector<float>(wf.begin(), wf.end()));
+  // And every reconstructed value respects the bound vs the true original.
+  EXPECT_TRUE(metrics::within_bound(original_wf, rec, 0.01));
+}
+
+TEST(WaveKernel, BorderCountMatchesGeometry) {
+  const Dims dims = Dims::d2(20, 30);
+  const std::vector<float> grid(dims.count(), 1.0f);
+  const sz::LinearQuantizer q(0.5, 16);
+  const WavefrontLayout layout(dims[0], dims[1]);
+  auto wf = to_wavefront(grid, layout);
+  const auto kr = wave_pqd_2d(wf, layout, q);
+  // First row + first column share the pivot: d0 + d1 - 1 border points,
+  // and on a constant field nothing else is unpredictable.
+  EXPECT_EQ(kr.verbatim.size(), 20u + 30u - 1u);
+}
+
+// ------------------------------------------------------------ compressor
+
+class WaveRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, double, LayoutMode>> {};
+
+TEST_P(WaveRoundTrip, BoundHolds) {
+  const auto [rank, eb, mode] = GetParam();
+  if (mode == LayoutMode::True3D && rank != 3) GTEST_SKIP();
+  const Dims dims = rank == 2 ? Dims::d2(48, 64) : Dims::d3(10, 24, 18);
+  data::FieldRecipe recipe;
+  recipe.seed = static_cast<std::uint64_t>(rank) * 31 + 7;
+  const auto field = data::generate(recipe, dims);
+  auto cfg = default_config();
+  cfg.error_bound = eb;
+  const auto c = wave::compress(field, dims, cfg, mode);
+  Dims out_dims;
+  const auto decoded = decompress(c.bytes, &out_dims);
+  EXPECT_EQ(out_dims, dims);
+  EXPECT_TRUE(metrics::within_bound(field, decoded, c.header.eb_absolute))
+      << "violation at "
+      << metrics::first_violation(field, decoded, c.header.eb_absolute);
+  // Base-2 default: the absolute bound is a power of two no larger than the
+  // requested relative bound (paper §3.3).
+  EXPECT_TRUE(is_pow2(c.header.eb_absolute));
+  EXPECT_LE(c.header.eb_absolute,
+            eb * metrics::value_range(field).span());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, WaveRoundTrip,
+    ::testing::Combine(::testing::Values(2, 3),
+                       ::testing::Values(1e-2, 1e-3, 1e-4),
+                       ::testing::Values(LayoutMode::Flatten2D,
+                                         LayoutMode::True3D)));
+
+TEST(WaveCompressor, HuffmanModeShrinksContainer) {
+  const Dims dims = Dims::d2(96, 96);
+  data::FieldRecipe recipe;
+  recipe.seed = 12;
+  const auto field = data::generate(recipe, dims);
+  auto gstar = default_config();
+  auto hstar = default_config();
+  hstar.huffman = true;
+  const auto g = wave::compress(field, dims, gstar);
+  const auto h = wave::compress(field, dims, hstar);
+  EXPECT_LT(h.bytes.size(), g.bytes.size());  // Table 7: H*G* beats G*
+  EXPECT_EQ(decompress(g.bytes), decompress(h.bytes));
+}
+
+TEST(WaveCompressor, True3dBeatsFlattenOnVolumetricData) {
+  // The 3D Lorenzo stencil exploits inter-slice correlation that the
+  // artifact's flattened view throws away.
+  const Dims dims = Dims::d3(16, 32, 32);
+  data::FieldRecipe recipe;
+  recipe.seed = 19;
+  recipe.base_frequency = 2.0;
+  const auto field = data::generate(recipe, dims);
+  auto cfg = default_config();
+  cfg.huffman = true;
+  const auto flat = wave::compress(field, dims, cfg, LayoutMode::Flatten2D);
+  const auto vol = wave::compress(field, dims, cfg, LayoutMode::True3D);
+  EXPECT_LT(vol.bytes.size(), flat.bytes.size());
+}
+
+TEST(WaveCompressor, RejectsRankOne) {
+  const std::vector<float> field(100, 1.0f);
+  EXPECT_THROW(wave::compress(field, Dims::d1(100), default_config()), Error);
+}
+
+TEST(WaveCompressor, True3dRequiresRankThree) {
+  const std::vector<float> field(64, 1.0f);
+  EXPECT_THROW(
+      wave::compress(field, Dims::d2(8, 8), default_config(), LayoutMode::True3D),
+      Error);
+}
+
+TEST(WaveCompressor, CorruptContainerFailsLoudly) {
+  const Dims dims = Dims::d2(24, 24);
+  const std::vector<float> field(dims.count(), 2.0f);
+  const auto c = wave::compress(field, dims, default_config());
+  auto bad = c.bytes;
+  bad[bad.size() - 3] ^= 0x40;
+  EXPECT_THROW(decompress(bad), Error);
+  std::vector<std::uint8_t> cut(c.bytes.begin(), c.bytes.begin() + 30);
+  EXPECT_THROW(decompress(cut), Error);
+}
+
+TEST(WaveCompressor, FlattensHurricaneShapeLikeArtifact) {
+  // 3D (4, 10, 25) must be processed as a 4 x 250 wavefront: the verbatim
+  // border is d0' + d1' - 1 = 4 + 250 - 1 on a constant field.
+  const Dims dims = Dims::d3(4, 10, 25);
+  const std::vector<float> field(dims.count(), 1.0f);
+  const auto c = wave::compress(field, dims, default_config());
+  EXPECT_EQ(c.header.unpredictable_count, 4u + 250u - 1u);
+}
+
+}  // namespace
+}  // namespace wavesz::wave
