@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_base2.dir/ablation_base2.cpp.o"
+  "CMakeFiles/ablation_base2.dir/ablation_base2.cpp.o.d"
+  "ablation_base2"
+  "ablation_base2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_base2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

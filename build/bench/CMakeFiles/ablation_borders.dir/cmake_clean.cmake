@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_borders.dir/ablation_borders.cpp.o"
+  "CMakeFiles/ablation_borders.dir/ablation_borders.cpp.o.d"
+  "ablation_borders"
+  "ablation_borders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_borders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompression_throughput.dir/decompression_throughput.cpp.o"
+  "CMakeFiles/decompression_throughput.dir/decompression_throughput.cpp.o.d"
+  "decompression_throughput"
+  "decompression_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompression_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure1_pred_error.dir/figure1_pred_error.cpp.o"
+  "CMakeFiles/figure1_pred_error.dir/figure1_pred_error.cpp.o.d"
+  "figure1_pred_error"
+  "figure1_pred_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure1_pred_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure2_stencil.dir/figure2_stencil.cpp.o"
+  "CMakeFiles/figure2_stencil.dir/figure2_stencil.cpp.o.d"
+  "figure2_stencil"
+  "figure2_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure2_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

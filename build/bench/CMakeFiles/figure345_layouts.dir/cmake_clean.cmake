@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure345_layouts.dir/figure345_layouts.cpp.o"
+  "CMakeFiles/figure345_layouts.dir/figure345_layouts.cpp.o.d"
+  "figure345_layouts"
+  "figure345_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure345_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

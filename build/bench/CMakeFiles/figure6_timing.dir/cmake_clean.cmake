@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6_timing.dir/figure6_timing.cpp.o"
+  "CMakeFiles/figure6_timing.dir/figure6_timing.cpp.o.d"
+  "figure6_timing"
+  "figure6_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7_architecture.dir/figure7_architecture.cpp.o"
+  "CMakeFiles/figure7_architecture.dir/figure7_architecture.cpp.o.d"
+  "figure7_architecture"
+  "figure7_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

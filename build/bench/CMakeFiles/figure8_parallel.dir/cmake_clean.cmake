@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure8_parallel.dir/figure8_parallel.cpp.o"
+  "CMakeFiles/figure8_parallel.dir/figure8_parallel.cpp.o.d"
+  "figure8_parallel"
+  "figure8_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure8_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

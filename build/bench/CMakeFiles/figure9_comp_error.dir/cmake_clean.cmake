@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_comp_error.dir/figure9_comp_error.cpp.o"
+  "CMakeFiles/figure9_comp_error.dir/figure9_comp_error.cpp.o.d"
+  "figure9_comp_error"
+  "figure9_comp_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_comp_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

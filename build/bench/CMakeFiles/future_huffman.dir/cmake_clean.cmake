@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_huffman.dir/future_huffman.cpp.o"
+  "CMakeFiles/future_huffman.dir/future_huffman.cpp.o.d"
+  "future_huffman"
+  "future_huffman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_huffman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

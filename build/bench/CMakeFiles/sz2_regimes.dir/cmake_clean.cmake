@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sz2_regimes.dir/sz2_regimes.cpp.o"
+  "CMakeFiles/sz2_regimes.dir/sz2_regimes.cpp.o.d"
+  "sz2_regimes"
+  "sz2_regimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sz2_regimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sz2_regimes.
+# This may be replaced when dependencies are built.

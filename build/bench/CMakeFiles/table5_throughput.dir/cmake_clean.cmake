@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_throughput.dir/table5_throughput.cpp.o"
+  "CMakeFiles/table5_throughput.dir/table5_throughput.cpp.o.d"
+  "table5_throughput"
+  "table5_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

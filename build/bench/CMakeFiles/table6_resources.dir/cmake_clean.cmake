@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_resources.dir/table6_resources.cpp.o"
+  "CMakeFiles/table6_resources.dir/table6_resources.cpp.o.d"
+  "table6_resources"
+  "table6_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

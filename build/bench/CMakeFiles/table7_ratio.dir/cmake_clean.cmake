@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ratio.dir/table7_ratio.cpp.o"
+  "CMakeFiles/table7_ratio.dir/table7_ratio.cpp.o.d"
+  "table7_ratio"
+  "table7_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

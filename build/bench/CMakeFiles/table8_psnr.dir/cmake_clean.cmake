@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_psnr.dir/table8_psnr.cpp.o"
+  "CMakeFiles/table8_psnr.dir/table8_psnr.cpp.o.d"
+  "table8_psnr"
+  "table8_psnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_psnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

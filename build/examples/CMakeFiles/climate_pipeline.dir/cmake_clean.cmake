@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_pipeline.dir/climate_pipeline.cpp.o"
+  "CMakeFiles/climate_pipeline.dir/climate_pipeline.cpp.o.d"
+  "climate_pipeline"
+  "climate_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

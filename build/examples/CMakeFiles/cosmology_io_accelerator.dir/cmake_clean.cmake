@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology_io_accelerator.dir/cosmology_io_accelerator.cpp.o"
+  "CMakeFiles/cosmology_io_accelerator.dir/cosmology_io_accelerator.cpp.o.d"
+  "cosmology_io_accelerator"
+  "cosmology_io_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_io_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_distortion.dir/rate_distortion.cpp.o"
+  "CMakeFiles/rate_distortion.dir/rate_distortion.cpp.o.d"
+  "rate_distortion"
+  "rate_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_cli.dir/wavesz_cli.cpp.o"
+  "CMakeFiles/wavesz_cli.dir/wavesz_cli.cpp.o.d"
+  "wavesz_cli"
+  "wavesz_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

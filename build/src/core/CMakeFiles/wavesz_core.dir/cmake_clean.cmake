@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_core.dir/stream.cpp.o"
+  "CMakeFiles/wavesz_core.dir/stream.cpp.o.d"
+  "CMakeFiles/wavesz_core.dir/wavefront.cpp.o"
+  "CMakeFiles/wavesz_core.dir/wavefront.cpp.o.d"
+  "CMakeFiles/wavesz_core.dir/wavesz.cpp.o"
+  "CMakeFiles/wavesz_core.dir/wavesz.cpp.o.d"
+  "libwavesz_core.a"
+  "libwavesz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_data.dir/datasets.cpp.o"
+  "CMakeFiles/wavesz_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/wavesz_data.dir/io.cpp.o"
+  "CMakeFiles/wavesz_data.dir/io.cpp.o.d"
+  "CMakeFiles/wavesz_data.dir/synthetic.cpp.o"
+  "CMakeFiles/wavesz_data.dir/synthetic.cpp.o.d"
+  "libwavesz_data.a"
+  "libwavesz_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deflate/deflate.cpp" "src/deflate/CMakeFiles/wavesz_deflate.dir/deflate.cpp.o" "gcc" "src/deflate/CMakeFiles/wavesz_deflate.dir/deflate.cpp.o.d"
+  "/root/repo/src/deflate/deflate_tables.cpp" "src/deflate/CMakeFiles/wavesz_deflate.dir/deflate_tables.cpp.o" "gcc" "src/deflate/CMakeFiles/wavesz_deflate.dir/deflate_tables.cpp.o.d"
+  "/root/repo/src/deflate/lz77.cpp" "src/deflate/CMakeFiles/wavesz_deflate.dir/lz77.cpp.o" "gcc" "src/deflate/CMakeFiles/wavesz_deflate.dir/lz77.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavesz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_deflate.dir/deflate.cpp.o"
+  "CMakeFiles/wavesz_deflate.dir/deflate.cpp.o.d"
+  "CMakeFiles/wavesz_deflate.dir/deflate_tables.cpp.o"
+  "CMakeFiles/wavesz_deflate.dir/deflate_tables.cpp.o.d"
+  "CMakeFiles/wavesz_deflate.dir/lz77.cpp.o"
+  "CMakeFiles/wavesz_deflate.dir/lz77.cpp.o.d"
+  "libwavesz_deflate.a"
+  "libwavesz_deflate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fpga/calibration.cpp" "src/fpga/CMakeFiles/wavesz_fpga.dir/calibration.cpp.o" "gcc" "src/fpga/CMakeFiles/wavesz_fpga.dir/calibration.cpp.o.d"
+  "/root/repo/src/fpga/device.cpp" "src/fpga/CMakeFiles/wavesz_fpga.dir/device.cpp.o" "gcc" "src/fpga/CMakeFiles/wavesz_fpga.dir/device.cpp.o.d"
+  "/root/repo/src/fpga/huffman_model.cpp" "src/fpga/CMakeFiles/wavesz_fpga.dir/huffman_model.cpp.o" "gcc" "src/fpga/CMakeFiles/wavesz_fpga.dir/huffman_model.cpp.o.d"
+  "/root/repo/src/fpga/model.cpp" "src/fpga/CMakeFiles/wavesz_fpga.dir/model.cpp.o" "gcc" "src/fpga/CMakeFiles/wavesz_fpga.dir/model.cpp.o.d"
+  "/root/repo/src/fpga/resources.cpp" "src/fpga/CMakeFiles/wavesz_fpga.dir/resources.cpp.o" "gcc" "src/fpga/CMakeFiles/wavesz_fpga.dir/resources.cpp.o.d"
+  "/root/repo/src/fpga/schedule.cpp" "src/fpga/CMakeFiles/wavesz_fpga.dir/schedule.cpp.o" "gcc" "src/fpga/CMakeFiles/wavesz_fpga.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavesz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sz/CMakeFiles/wavesz_sz.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wavesz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/wavesz_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/wavesz_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

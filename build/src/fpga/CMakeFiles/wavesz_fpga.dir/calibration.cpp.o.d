@@ -1,0 +1,3 @@
+src/fpga/CMakeFiles/wavesz_fpga.dir/calibration.cpp.o: \
+ /root/repo/src/fpga/calibration.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/fpga/calibration.hpp

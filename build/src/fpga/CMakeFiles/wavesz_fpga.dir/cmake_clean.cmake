@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_fpga.dir/calibration.cpp.o"
+  "CMakeFiles/wavesz_fpga.dir/calibration.cpp.o.d"
+  "CMakeFiles/wavesz_fpga.dir/device.cpp.o"
+  "CMakeFiles/wavesz_fpga.dir/device.cpp.o.d"
+  "CMakeFiles/wavesz_fpga.dir/huffman_model.cpp.o"
+  "CMakeFiles/wavesz_fpga.dir/huffman_model.cpp.o.d"
+  "CMakeFiles/wavesz_fpga.dir/model.cpp.o"
+  "CMakeFiles/wavesz_fpga.dir/model.cpp.o.d"
+  "CMakeFiles/wavesz_fpga.dir/resources.cpp.o"
+  "CMakeFiles/wavesz_fpga.dir/resources.cpp.o.d"
+  "CMakeFiles/wavesz_fpga.dir/schedule.cpp.o"
+  "CMakeFiles/wavesz_fpga.dir/schedule.cpp.o.d"
+  "libwavesz_fpga.a"
+  "libwavesz_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

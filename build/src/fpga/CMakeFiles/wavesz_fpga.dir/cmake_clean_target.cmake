@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavesz_fpga.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_ghost.dir/ghostsz.cpp.o"
+  "CMakeFiles/wavesz_ghost.dir/ghostsz.cpp.o.d"
+  "libwavesz_ghost.a"
+  "libwavesz_ghost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_ghost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

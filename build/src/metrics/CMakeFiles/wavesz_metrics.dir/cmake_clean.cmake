@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_metrics.dir/histogram.cpp.o"
+  "CMakeFiles/wavesz_metrics.dir/histogram.cpp.o.d"
+  "CMakeFiles/wavesz_metrics.dir/stats.cpp.o"
+  "CMakeFiles/wavesz_metrics.dir/stats.cpp.o.d"
+  "libwavesz_metrics.a"
+  "libwavesz_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sz/compressor.cpp" "src/sz/CMakeFiles/wavesz_sz.dir/compressor.cpp.o" "gcc" "src/sz/CMakeFiles/wavesz_sz.dir/compressor.cpp.o.d"
+  "/root/repo/src/sz/config.cpp" "src/sz/CMakeFiles/wavesz_sz.dir/config.cpp.o" "gcc" "src/sz/CMakeFiles/wavesz_sz.dir/config.cpp.o.d"
+  "/root/repo/src/sz/container.cpp" "src/sz/CMakeFiles/wavesz_sz.dir/container.cpp.o" "gcc" "src/sz/CMakeFiles/wavesz_sz.dir/container.cpp.o.d"
+  "/root/repo/src/sz/huffman_codec.cpp" "src/sz/CMakeFiles/wavesz_sz.dir/huffman_codec.cpp.o" "gcc" "src/sz/CMakeFiles/wavesz_sz.dir/huffman_codec.cpp.o.d"
+  "/root/repo/src/sz/omp.cpp" "src/sz/CMakeFiles/wavesz_sz.dir/omp.cpp.o" "gcc" "src/sz/CMakeFiles/wavesz_sz.dir/omp.cpp.o.d"
+  "/root/repo/src/sz/unpredictable.cpp" "src/sz/CMakeFiles/wavesz_sz.dir/unpredictable.cpp.o" "gcc" "src/sz/CMakeFiles/wavesz_sz.dir/unpredictable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wavesz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/deflate/CMakeFiles/wavesz_deflate.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/wavesz_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_sz.dir/compressor.cpp.o"
+  "CMakeFiles/wavesz_sz.dir/compressor.cpp.o.d"
+  "CMakeFiles/wavesz_sz.dir/config.cpp.o"
+  "CMakeFiles/wavesz_sz.dir/config.cpp.o.d"
+  "CMakeFiles/wavesz_sz.dir/container.cpp.o"
+  "CMakeFiles/wavesz_sz.dir/container.cpp.o.d"
+  "CMakeFiles/wavesz_sz.dir/huffman_codec.cpp.o"
+  "CMakeFiles/wavesz_sz.dir/huffman_codec.cpp.o.d"
+  "CMakeFiles/wavesz_sz.dir/omp.cpp.o"
+  "CMakeFiles/wavesz_sz.dir/omp.cpp.o.d"
+  "CMakeFiles/wavesz_sz.dir/unpredictable.cpp.o"
+  "CMakeFiles/wavesz_sz.dir/unpredictable.cpp.o.d"
+  "libwavesz_sz.a"
+  "libwavesz_sz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_sz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_sz2.dir/sz2.cpp.o"
+  "CMakeFiles/wavesz_sz2.dir/sz2.cpp.o.d"
+  "libwavesz_sz2.a"
+  "libwavesz_sz2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_sz2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwavesz_sz2.a"
+)

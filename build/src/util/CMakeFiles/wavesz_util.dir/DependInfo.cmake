@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/checksum.cpp" "src/util/CMakeFiles/wavesz_util.dir/checksum.cpp.o" "gcc" "src/util/CMakeFiles/wavesz_util.dir/checksum.cpp.o.d"
+  "/root/repo/src/util/float_bits.cpp" "src/util/CMakeFiles/wavesz_util.dir/float_bits.cpp.o" "gcc" "src/util/CMakeFiles/wavesz_util.dir/float_bits.cpp.o.d"
+  "/root/repo/src/util/huffman.cpp" "src/util/CMakeFiles/wavesz_util.dir/huffman.cpp.o" "gcc" "src/util/CMakeFiles/wavesz_util.dir/huffman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

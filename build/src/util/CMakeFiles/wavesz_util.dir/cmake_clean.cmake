@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavesz_util.dir/checksum.cpp.o"
+  "CMakeFiles/wavesz_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/wavesz_util.dir/float_bits.cpp.o"
+  "CMakeFiles/wavesz_util.dir/float_bits.cpp.o.d"
+  "CMakeFiles/wavesz_util.dir/huffman.cpp.o"
+  "CMakeFiles/wavesz_util.dir/huffman.cpp.o.d"
+  "libwavesz_util.a"
+  "libwavesz_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavesz_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

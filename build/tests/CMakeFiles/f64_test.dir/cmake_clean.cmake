@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/f64_test.dir/f64_test.cpp.o"
+  "CMakeFiles/f64_test.dir/f64_test.cpp.o.d"
+  "f64_test"
+  "f64_test.pdb"
+  "f64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sz2_test.dir/sz2_test.cpp.o"
+  "CMakeFiles/sz2_test.dir/sz2_test.cpp.o.d"
+  "sz2_test"
+  "sz2_test.pdb"
+  "sz2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sz2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sz_test.dir/sz_test.cpp.o"
+  "CMakeFiles/sz_test.dir/sz_test.cpp.o.d"
+  "sz_test"
+  "sz_test.pdb"
+  "sz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

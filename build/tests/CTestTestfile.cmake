@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/deflate_test[1]_include.cmake")
+include("/root/repo/build/tests/sz_test[1]_include.cmake")
+include("/root/repo/build/tests/ghost_test[1]_include.cmake")
+include("/root/repo/build/tests/wave_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sz2_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_test[1]_include.cmake")
+include("/root/repo/build/tests/f64_test[1]_include.cmake")
+include("/root/repo/build/tests/interop_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
