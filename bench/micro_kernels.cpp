@@ -10,6 +10,7 @@
 #include "core/wavesz.hpp"
 #include "data/synthetic.hpp"
 #include "deflate/deflate.hpp"
+#include "deflate/parallel.hpp"
 #include "sz/compressor.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/quantizer.hpp"
@@ -133,6 +134,38 @@ void BM_DeflateFast(benchmark::State& state) {
                           static_cast<std::int64_t>(input.size()));
 }
 BENCHMARK(BM_DeflateFast);
+
+// Isolates the LZ77 hash-chain matcher (the memory-traffic-bound stage the
+// uint32 head/prev shrink targets; run before/after to size the win).
+void BM_Lz77TokenizeBest(benchmark::State& state) {
+  std::vector<std::uint8_t> input(1 << 18);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>((i / 64) % 23 + (i % 7 == 0));
+  }
+  for (auto _ : state) {
+    auto tokens = deflate::tokenize(input, deflate::Level::Best);
+    benchmark::DoNotOptimize(tokens.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_Lz77TokenizeBest);
+
+void BM_DeflateParallel(benchmark::State& state) {
+  std::vector<std::uint8_t> input(4 << 20);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<std::uint8_t>((i / 64) % 23);
+  }
+  const deflate::ParallelOptions opts{
+      256 * 1024, static_cast<int>(state.range(0)), true};
+  for (auto _ : state) {
+    auto out = deflate::compress_parallel(input, deflate::Level::Fast, opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_DeflateParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_Inflate(benchmark::State& state) {
   std::vector<std::uint8_t> input(1 << 18);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "deflate/deflate.hpp"
+#include "deflate/parallel.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/predictor.hpp"
 #include "util/error.hpp"
@@ -202,17 +203,12 @@ void wave_reconstruct_slice3d(std::span<const std::uint16_t> codes,
   }
 }
 
-std::vector<std::uint8_t> encode_codes(
+std::vector<std::uint8_t> plain_codes(
     std::span<const std::uint16_t> codes, const sz::Config& cfg) {
-  std::vector<std::uint8_t> plain;
-  if (cfg.huffman) {
-    plain = sz::huffman_encode(codes);
-  } else {
-    ByteWriter cw;
-    cw.u16s(codes);
-    plain = cw.take();
-  }
-  return deflate::gzip_compress(plain, cfg.gzip_level);
+  if (cfg.huffman) return sz::huffman_encode(codes);
+  ByteWriter cw;
+  cw.u16s(codes);
+  return cw.take();
 }
 
 template <typename T>
@@ -267,10 +263,16 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
     }
   }
 
-  const auto code_blob = encode_codes(kr.codes, cfg);
+  const auto code_plain = plain_codes(kr.codes, cfg);
   ByteWriter vw;
   FpOps<T>::write_values(vw, kr.verbatim);
-  const auto verbatim_blob = deflate::gzip_compress(vw.data(), cfg.gzip_level);
+  // Code-section and verbatim-section encodes share one chunked-DEFLATE
+  // task pool (serial and bit-identical at the default codec_threads == 1).
+  const std::span<const std::uint8_t> sections[] = {code_plain, vw.data()};
+  auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
+                                            cfg.deflate_options());
+  const auto code_blob = std::move(blobs[0]);
+  const auto verbatim_blob = std::move(blobs[1]);
 
   sz::Compressed out;
   out.header.variant = sz::Variant::WaveSz;

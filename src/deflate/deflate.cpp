@@ -261,22 +261,24 @@ std::size_t token_raw_size(std::span<const Token> tokens) {
 
 }  // namespace
 
-std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
-                                   Level level) {
-  BitWriterLSB bw;
-  if (input.empty()) {
-    emit_fixed_block(bw, {}, true);
-    return bw.take();
+namespace detail {
+
+void deflate_blocks(BitWriterLSB& bw, std::span<const std::uint8_t> covered,
+                    std::span<const Token> tokens, bool mark_final) {
+  if (tokens.empty()) {
+    WAVESZ_ASSERT(covered.empty(), "token coverage mismatch");
+    if (mark_final) emit_fixed_block(bw, {}, true);
+    return;
   }
-  const auto tokens = tokenize(input, level);
-  std::size_t raw_off = 0;  // input offset of the current block's first byte
+  std::size_t raw_off = 0;  // offset of the current block's first byte
 
   for (std::size_t start = 0; start < tokens.size();
        start += kTokensPerBlock) {
     const std::size_t count =
         std::min<std::size_t>(kTokensPerBlock, tokens.size() - start);
-    const auto block = std::span<const Token>(tokens).subspan(start, count);
-    const bool final_block = (start + count == tokens.size());
+    const auto block = tokens.subspan(start, count);
+    const bool final_block =
+        mark_final && (start + count == tokens.size());
     const std::size_t raw_len = token_raw_size(block);
 
     const BlockFreqs freqs = count_freqs(block);
@@ -301,7 +303,7 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
         8ull * static_cast<std::uint64_t>(raw_len);
 
     if (cost_stored < cost_dyn && cost_stored < cost_fix) {
-      emit_stored_blocks(bw, input.subspan(raw_off, raw_len), final_block);
+      emit_stored_blocks(bw, covered.subspan(raw_off, raw_len), final_block);
     } else if (cost_fix <= cost_dyn) {
       emit_fixed_block(bw, block, final_block);
     } else {
@@ -309,7 +311,26 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
     }
     raw_off += raw_len;
   }
-  WAVESZ_ASSERT(raw_off == input.size(), "token coverage mismatch");
+  WAVESZ_ASSERT(raw_off == covered.size(), "token coverage mismatch");
+}
+
+void sync_flush(BitWriterLSB& bw) {
+  bw.bits(0u, 1);     // BFINAL = 0
+  bw.bits(0b00u, 2);  // stored
+  bw.align_byte();
+  bw.byte(0x00);
+  bw.byte(0x00);
+  bw.byte(0xff);
+  bw.byte(0xff);
+}
+
+}  // namespace detail
+
+std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
+                                   Level level) {
+  BitWriterLSB bw;
+  const auto tokens = tokenize(input, level);
+  detail::deflate_blocks(bw, input, tokens, /*mark_final=*/true);
   return bw.take();
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "deflate/lz77.hpp"
+#include "util/bitio.hpp"
 
 namespace wavesz::deflate {
 
@@ -28,5 +29,24 @@ std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
 
 /// Inverse of gzip_compress(); validates magic, CRC-32 and ISIZE.
 std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> input);
+
+namespace detail {
+
+/// Emit the DEFLATE blocks encoding `tokens`, which must expand exactly to
+/// `covered` (needed for the stored-block fallback). Blocks are split every
+/// 64 Ki tokens and each picks stored/fixed/dynamic by estimated cost. When
+/// `mark_final` is set the last block carries BFINAL=1 (empty token streams
+/// then emit one empty fixed block); otherwise the stream is left open for
+/// further blocks. Shared by the serial compress() and the parallel chunked
+/// engine (parallel.hpp).
+void deflate_blocks(BitWriterLSB& bw, std::span<const std::uint8_t> covered,
+                    std::span<const Token> tokens, bool mark_final);
+
+/// Z_SYNC_FLUSH marker: a non-final empty stored block. Pads the stream to
+/// a byte boundary, so whatever is appended next starts byte-aligned — the
+/// property the chunk stitcher relies on for interior stored blocks.
+void sync_flush(BitWriterLSB& bw);
+
+}  // namespace detail
 
 }  // namespace wavesz::deflate

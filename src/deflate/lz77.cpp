@@ -31,6 +31,10 @@ MatcherConfig config_for(Level level) {
   return {8, false, 32};
 }
 
+/// Hash-chain store with 32-bit indices: half the memory traffic of the
+/// obvious 64-bit layout, which matters because the matcher is bound by
+/// pointer-chasing through `prev_`. Positions must stay below kIndexLimit;
+/// tokenize() guards that with a windowed-segment fallback.
 class HashChains {
  public:
   explicit HashChains(std::size_t input_size)
@@ -39,7 +43,7 @@ class HashChains {
   void insert(const std::uint8_t* base, std::size_t pos) {
     const std::uint32_t h = hash3(base + pos);
     prev_[pos] = head_[h];
-    head_[h] = static_cast<std::int64_t>(pos);
+    head_[h] = static_cast<std::uint32_t>(pos);
   }
 
   /// Longest match at `pos` looking back through the chain, within window.
@@ -53,10 +57,9 @@ class HashChains {
     const int max_len = static_cast<int>(
         std::min<std::size_t>(kMaxMatch, input_size - pos));
     if (max_len < kMinMatch) return {0, 0};
-    std::int64_t cand = head_[hash3(base + pos)];
+    std::uint32_t cand = head_[hash3(base + pos)];
     int chain = cfg.max_chain;
-    while (cand >= 0 && static_cast<std::size_t>(cand) >= limit &&
-           chain-- > 0) {
+    while (cand != kNil && cand >= limit && chain-- > 0) {
       const auto c = static_cast<std::size_t>(cand);
       if (c < pos) {
         int len = 0;
@@ -77,24 +80,54 @@ class HashChains {
   }
 
  private:
-  static constexpr std::int64_t kNil = -1;
-  std::vector<std::int64_t> head_;
-  std::vector<std::int64_t> prev_;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> prev_;
 };
+
+/// Largest span the 32-bit chain indices can address (kNil is reserved).
+constexpr std::size_t kIndexLimit = 0xffffffffull;
 
 }  // namespace
 
 std::vector<Token> tokenize(std::span<const std::uint8_t> input,
-                            Level level) {
+                            Level level, std::size_t dict_len) {
+  WAVESZ_REQUIRE(dict_len <= input.size(),
+                 "dictionary longer than the input span");
+  if (input.size() >= kIndexLimit) {
+    // Windowed-segment fallback for inputs the 32-bit chains cannot index:
+    // tokenize 1 GiB pieces, each primed with the previous kWindowSize
+    // bytes so matches still cross the seams. Token semantics (positions
+    // relative to the covered bytes) are unchanged.
+    constexpr std::size_t kSegment = 1ull << 30;
+    std::vector<Token> out;
+    out.reserve(input.size() / 4 + 16);
+    std::size_t start = dict_len;
+    while (start < input.size()) {
+      const std::size_t take = std::min(kSegment, input.size() - start);
+      const std::size_t primed = std::min(kWindowSize, start);
+      const auto part =
+          tokenize(input.subspan(start - primed, primed + take), level,
+                   primed);
+      out.insert(out.end(), part.begin(), part.end());
+      start += take;
+    }
+    return out;
+  }
   const MatcherConfig cfg = config_for(level);
   std::vector<Token> out;
-  out.reserve(input.size() / 4 + 16);
+  out.reserve((input.size() - dict_len) / 4 + 16);
   const std::size_t n = input.size();
-  if (n == 0) return out;
+  if (n == 0 || dict_len == n) return out;
   HashChains chains(n);
   const std::uint8_t* base = input.data();
+  // Seed the window with every dictionary position (including the last two,
+  // whose hash windows straddle the boundary into live data).
+  for (std::size_t p = 0; p < dict_len && p + kMinMatch <= n; ++p) {
+    chains.insert(base, p);
+  }
 
-  std::size_t pos = 0;
+  std::size_t pos = dict_len;
   while (pos < n) {
     if (pos + kMinMatch > n) {
       out.push_back(Token{0, 0, base[pos]});

@@ -28,9 +28,18 @@ struct Token {
   std::uint8_t literal = 0;    ///< valid when length == 0
 };
 
-/// Tokenize the whole input. The token stream, expanded, reproduces the
-/// input byte-for-byte (tested property).
-std::vector<Token> tokenize(std::span<const std::uint8_t> input, Level level);
+/// Tokenize `input[dict_len..]`. The first `dict_len` bytes (at most
+/// kWindowSize is useful) act as a priming dictionary: they emit no tokens
+/// but seed the match window, so matches may reach back into them — exactly
+/// the cross-chunk history a later chunk of one DEFLATE stream sees. With
+/// dict_len == 0 the token stream, expanded, reproduces the input
+/// byte-for-byte (tested property).
+///
+/// Chain indices are 32-bit to halve matcher memory traffic; inputs at or
+/// beyond 4 GiB transparently fall back to windowed segments (matches still
+/// cross segment seams up to kWindowSize).
+std::vector<Token> tokenize(std::span<const std::uint8_t> input, Level level,
+                            std::size_t dict_len = 0);
 
 /// Expand a token stream back into bytes (reference decoder for tests).
 std::vector<std::uint8_t> expand(std::span<const Token> tokens);

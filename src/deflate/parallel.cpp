@@ -1,0 +1,167 @@
+#include "deflate/parallel.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/bytes.hpp"
+#include "util/checksum.hpp"
+#include "util/error.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace wavesz::deflate {
+namespace {
+
+int resolve_threads(int requested) {
+#ifdef _OPENMP
+  return requested <= 0 ? omp_get_max_threads() : requested;
+#else
+  (void)requested;
+  return 1;
+#endif
+}
+
+/// One chunk of one input buffer, scheduled as an independent task.
+struct ChunkTask {
+  std::size_t input_index = 0;
+  std::size_t chunk_index = 0;
+  std::size_t offset = 0;  ///< chunk start within its input
+  std::size_t length = 0;
+  bool final_chunk = false;
+};
+
+/// A chunk's emitted bit string. Non-final chunks end with a sync-flush
+/// marker, so nbits is a multiple of 8 for them and the stitcher's append
+/// stays on its memcpy fast path; the machinery handles any phase.
+struct ChunkBits {
+  std::vector<std::uint8_t> bytes;
+  std::size_t nbits = 0;
+};
+
+ChunkBits compress_chunk(std::span<const std::uint8_t> whole,
+                         const ChunkTask& t, Level level,
+                         bool prime_dictionary) {
+  const std::size_t dict =
+      prime_dictionary ? std::min(kWindowSize, t.offset) : 0;
+  const auto window = whole.subspan(t.offset - dict, dict + t.length);
+  const auto tokens = tokenize(window, level, dict);
+  BitWriterLSB bw;
+  detail::deflate_blocks(bw, window.subspan(dict), tokens, t.final_chunk);
+  if (!t.final_chunk) detail::sync_flush(bw);
+  ChunkBits out;
+  out.nbits = bw.bit_count();
+  out.bytes = bw.take();
+  return out;
+}
+
+/// Raw DEFLATE streams for every input, all chunks through one task list.
+std::vector<std::vector<std::uint8_t>> deflate_batch(
+    std::span<const std::span<const std::uint8_t>> inputs, Level level,
+    const ParallelOptions& opts) {
+  WAVESZ_REQUIRE(opts.chunk_bytes > 0, "chunk size must be positive");
+  const int threads = resolve_threads(opts.threads);
+  std::vector<std::vector<std::uint8_t>> out(inputs.size());
+
+  if (threads == 1) {
+    // Serial reference path: bit-identical to compress().
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out[i] = compress(inputs[i], level);
+    }
+    return out;
+  }
+
+  std::vector<ChunkTask> tasks;
+  std::vector<std::vector<ChunkBits>> pieces(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::size_t n = inputs[i].size();
+    const std::size_t chunks =
+        std::max<std::size_t>(1, (n + opts.chunk_bytes - 1) / opts.chunk_bytes);
+    pieces[i].resize(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      ChunkTask t;
+      t.input_index = i;
+      t.chunk_index = c;
+      t.offset = c * opts.chunk_bytes;
+      t.length = std::min(opts.chunk_bytes, n - t.offset);
+      t.final_chunk = (c + 1 == chunks);
+      tasks.push_back(t);
+    }
+  }
+
+  // Exceptions must not escape an OpenMP region (that terminates the
+  // process); capture the first one and rethrow it afterwards.
+  std::exception_ptr failure;
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(threads) schedule(dynamic)
+#endif
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    try {
+      const ChunkTask& task = tasks[t];
+      pieces[task.input_index][task.chunk_index] = compress_chunk(
+          inputs[task.input_index], task, level, opts.prime_dictionary);
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  // Stitch: bit-level concatenation of the chunk streams. Chunk k+1 was
+  // emitted assuming it starts byte-aligned, which the sync-flush tail of
+  // chunk k guarantees.
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    BitWriterLSB bw;
+    for (const ChunkBits& p : pieces[i]) bw.append(p.bytes, p.nbits);
+    out[i] = bw.take();
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> gzip_wrap(std::span<const std::uint8_t> input,
+                                    Level level,
+                                    std::vector<std::uint8_t> body) {
+  ByteWriter w;
+  w.u8(0x1f);
+  w.u8(0x8b);
+  w.u8(8);  // CM = deflate
+  w.u8(0);  // FLG
+  w.u32(0); // MTIME
+  w.u8(level == Level::Best ? 2 : 4);  // XFL: 2 = best, 4 = fastest
+  w.u8(255);                           // OS unknown
+  w.bytes(body);
+  w.u32(Crc32::of(input));
+  w.u32(static_cast<std::uint32_t>(input.size()));
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> compress_parallel(
+    std::span<const std::uint8_t> input, Level level,
+    const ParallelOptions& opts) {
+  const std::span<const std::uint8_t> one[] = {input};
+  return std::move(deflate_batch(one, level, opts)[0]);
+}
+
+std::vector<std::uint8_t> gzip_compress_parallel(
+    std::span<const std::uint8_t> input, Level level,
+    const ParallelOptions& opts) {
+  return gzip_wrap(input, level, compress_parallel(input, level, opts));
+}
+
+std::vector<std::vector<std::uint8_t>> gzip_compress_batch(
+    std::span<const std::span<const std::uint8_t>> inputs, Level level,
+    const ParallelOptions& opts) {
+  auto bodies = deflate_batch(inputs, level, opts);
+  std::vector<std::vector<std::uint8_t>> out(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out[i] = gzip_wrap(inputs[i], level, std::move(bodies[i]));
+  }
+  return out;
+}
+
+}  // namespace wavesz::deflate

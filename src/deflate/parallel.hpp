@@ -1,0 +1,60 @@
+// Parallel chunked DEFLATE engine (pigz-style).
+//
+// The input is split into fixed-size chunks; each chunk is tokenized with
+// its own hash-chain matcher on a worker thread (OpenMP) and emitted as one
+// or more complete DEFLATE blocks, optionally priming the matcher with the
+// previous kWindowSize bytes so cross-chunk matches survive and the ratio
+// stays within noise of the serial stream. The per-chunk bit strings are
+// then stitched into a single valid DEFLATE stream / gzip member: every
+// non-final chunk ends with a Z_SYNC_FLUSH marker (an empty stored block,
+// byte-aligning the stream), and a bit-level concatenator joins the pieces.
+// The output inflates with the ordinary decompress()/gzip_decompress() —
+// no side channel, no framing change.
+//
+// threads == 1 (or a single chunk) is the serial reference path and emits
+// the exact byte stream of compress()/gzip_compress().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "deflate/deflate.hpp"
+
+namespace wavesz::deflate {
+
+/// Default worker granularity: big enough that the per-chunk sync marker
+/// (~5 bytes) and the 32 KiB re-primed window are noise, small enough that
+/// a handful of chunks keeps 4-16 threads busy on MB-sized sections.
+inline constexpr std::size_t kDefaultChunkBytes = 256 * 1024;
+
+struct ParallelOptions {
+  std::size_t chunk_bytes = kDefaultChunkBytes;
+  /// 0 = all OpenMP threads, 1 = serial reference path, n = at most n.
+  int threads = 0;
+  /// Prime each chunk's matcher with the previous kWindowSize bytes.
+  /// Costs a little tokenization time, buys back nearly all of the ratio
+  /// loss from independent chunks; disable only for benchmarking.
+  bool prime_dictionary = true;
+};
+
+/// Raw DEFLATE stream (no framing), chunk-parallel.
+std::vector<std::uint8_t> compress_parallel(
+    std::span<const std::uint8_t> input, Level level,
+    const ParallelOptions& opts = {});
+
+/// gzip member (RFC 1952), chunk-parallel body.
+std::vector<std::uint8_t> gzip_compress_parallel(
+    std::span<const std::uint8_t> input, Level level,
+    const ParallelOptions& opts = {});
+
+/// Compress several independent buffers into gzip members over ONE thread
+/// pool: all (buffer, chunk) pairs become a single task list, so a large
+/// section keeps the threads that finished a small section busy. This is
+/// how the SZ compressors run their code-section and unpredictable-section
+/// encodes concurrently without nesting parallel regions.
+std::vector<std::vector<std::uint8_t>> gzip_compress_batch(
+    std::span<const std::span<const std::uint8_t>> inputs, Level level,
+    const ParallelOptions& opts = {});
+
+}  // namespace wavesz::deflate

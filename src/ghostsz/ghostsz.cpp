@@ -1,6 +1,7 @@
 #include "ghostsz/ghostsz.hpp"
 
 #include "deflate/deflate.hpp"
+#include "deflate/parallel.hpp"
 #include "metrics/stats.hpp"
 #include "sz/predictor.hpp"
 #include "util/error.hpp"
@@ -138,11 +139,15 @@ sz::Compressed compress(std::span<const float> data, const Dims& dims,
 
   ByteWriter cw;
   cw.u16s(pqd.codes);
-  const auto code_blob = deflate::gzip_compress(cw.data(), cfg.gzip_level);
-
   ByteWriter uw;
   uw.floats(pqd.unpredictable);
-  const auto unpred_blob = deflate::gzip_compress(uw.data(), cfg.gzip_level);
+  // Both sections through one chunked-DEFLATE task pool (serial and
+  // bit-identical at the default codec_threads == 1).
+  const std::span<const std::uint8_t> sections[] = {cw.data(), uw.data()};
+  auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
+                                            cfg.deflate_options());
+  const auto code_blob = std::move(blobs[0]);
+  const auto unpred_blob = std::move(blobs[1]);
 
   sz::Compressed out;
   out.header.variant = sz::Variant::GhostSz;

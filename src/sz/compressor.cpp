@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "deflate/deflate.hpp"
+#include "deflate/parallel.hpp"
 #include "metrics/stats.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/predictor.hpp"
@@ -263,11 +264,16 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
     cw.u16s(pqd.codes);
     code_plain = cw.take();
   }
-  const auto code_blob = deflate::gzip_compress(code_plain, cfg.gzip_level);
-
   const auto unpred_plain = FpOps<T>::encode(pqd.unpredictable, bound);
-  const auto unpred_blob =
-      deflate::gzip_compress(unpred_plain, cfg.gzip_level);
+
+  // Both sections go through one chunked-DEFLATE task pool, so the code and
+  // unpredictable encodes run concurrently under cfg.codec_threads (the
+  // serial budget of 1 reproduces the historical streams bit-for-bit).
+  const std::span<const std::uint8_t> sections[] = {code_plain, unpred_plain};
+  auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
+                                            cfg.deflate_options());
+  const auto code_blob = std::move(blobs[0]);
+  const auto unpred_blob = std::move(blobs[1]);
 
   Compressed out;
   out.header.variant = Variant::Sz14;

@@ -4,9 +4,11 @@
 // bins), customized Huffman (H*) optionally followed by gzip (G*).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "deflate/lz77.hpp"
+#include "deflate/parallel.hpp"
 
 namespace wavesz::sz {
 
@@ -33,6 +35,21 @@ struct Config {
   PredictorKind predictor = PredictorKind::Lorenzo1Layer;  ///< SZ-1.4 only
   bool huffman = true;        ///< customized Huffman (H*) before gzip
   deflate::Level gzip_level = deflate::Level::Fast;  ///< gzip best_speed
+
+  /// Thread budget for the entropy back-end (chunked DEFLATE over the code
+  /// and unpredictable sections): 1 = serial reference stream (the default;
+  /// bit-identical to the historical output), 0 = all OpenMP threads, n =
+  /// at most n. This is a *budget*, shared with slab-level parallelism:
+  /// compress_omp() owns the threads and pins the per-slab back-end to 1 so
+  /// the two levels never multiply. Not recorded in the container — the
+  /// emitted stream is plain gzip either way.
+  int codec_threads = 1;
+  /// Worker granularity of the chunked DEFLATE engine.
+  std::size_t deflate_chunk_bytes = deflate::kDefaultChunkBytes;
+
+  deflate::ParallelOptions deflate_options() const {
+    return {deflate_chunk_bytes, codec_threads, /*prime_dictionary=*/true};
+  }
 };
 
 /// Resolve the absolute bound for a field with the given value range,

@@ -1,6 +1,8 @@
 #include "sz/omp.hpp"
 
 #include <algorithm>
+#include <new>
+#include <stdexcept>
 
 #include "util/error.hpp"
 
@@ -57,6 +59,14 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
   const auto slabs = partition(dims, nthreads);
   std::vector<std::vector<std::uint8_t>> pieces(slabs.size());
 
+  // Slab-level parallelism owns the thread budget here: pin the per-slab
+  // entropy back-end to the serial path so the two levels never multiply
+  // (slab-level × chunk-level oversubscription). A degenerate single-slab
+  // partition keeps the caller's codec_threads and parallelizes inside the
+  // gzip stage instead.
+  Config slab_cfg = cfg;
+  if (slabs.size() > 1) slab_cfg.codec_threads = 1;
+
   std::exception_ptr compress_failure;
 #ifdef _OPENMP
 #pragma omp parallel for num_threads(nthreads) schedule(dynamic)
@@ -65,7 +75,7 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
     try {
       const Slab& s = slabs[b];
       pieces[b] = compress(data.subspan(s.offset_points, s.dims.count()),
-                           s.dims, cfg)
+                           s.dims, slab_cfg)
                       .bytes;
     } catch (...) {
 #ifdef _OPENMP
@@ -114,7 +124,24 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
     p.assign(view.begin(), view.end());
   }
 
-  std::vector<std::vector<float>> parts(blocks);
+  // The compressor partitioned deterministically, so re-deriving the slab
+  // layout gives every block's final offset up front: allocate the output
+  // once and let each thread decode straight into its slot — no per-part
+  // buffers surviving the loop, no serial insert-per-part reassembly.
+  // Mutated containers can claim absurd extents; allocation failure is a
+  // parse error here, not a process-level OOM.
+  WAVESZ_REQUIRE(blocks <= 0x7fffffffu, "implausible block count");
+  std::vector<Slab> slabs;
+  std::vector<float> out;
+  try {
+    slabs = partition(dims, static_cast<int>(blocks));
+    out.resize(dims.count());
+  } catch (const std::bad_alloc&) {
+    throw Error("container claims an implausible field size");
+  } catch (const std::length_error&) {
+    throw Error("container claims an implausible field size");
+  }
+  WAVESZ_REQUIRE(slabs.size() == blocks, "slab layout disagrees with count");
   // Exceptions must not escape an OpenMP region (that terminates the
   // process); capture the first one and rethrow it afterwards.
   std::exception_ptr failure;
@@ -123,7 +150,17 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
 #endif
   for (std::size_t b = 0; b < pieces.size(); ++b) {
     try {
-      parts[b] = decompress(pieces[b]);
+      const auto part = decompress(pieces[b]);
+      WAVESZ_REQUIRE(part.size() == slabs[b].dims.count(),
+                     "slab payload size disagrees with layout");
+      // Overflow-safe bound: extents this large wrap count(), so the slab
+      // offsets cannot be trusted against the allocated size.
+      WAVESZ_REQUIRE(slabs[b].offset_points <= out.size() &&
+                         part.size() <= out.size() - slabs[b].offset_points,
+                     "slab offset outside the reassembled field");
+      std::copy(part.begin(), part.end(),
+                out.begin() + static_cast<std::ptrdiff_t>(
+                                  slabs[b].offset_points));
     } catch (...) {
 #ifdef _OPENMP
 #pragma omp critical
@@ -133,10 +170,6 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
   }
   if (failure) std::rethrow_exception(failure);
 
-  std::vector<float> out;
-  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
-  WAVESZ_REQUIRE(out.size() == dims.count(),
-                 "reassembled size disagrees with dims");
   if (dims_out != nullptr) *dims_out = dims;
   return out;
 }

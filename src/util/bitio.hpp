@@ -42,6 +42,31 @@ class BitWriterLSB {
     buf_.push_back(b);
   }
 
+  /// Append the first `nbits` bits of `src` (LSB-first within each byte),
+  /// regardless of this writer's current bit phase. This is the primitive
+  /// behind stitching independently produced DEFLATE chunk streams into one
+  /// member; when both sides are byte-aligned it degenerates to a memcpy.
+  void append(std::span<const std::uint8_t> src, std::size_t nbits) {
+    WAVESZ_ASSERT(nbits <= src.size() * 8, "append past end of source");
+    const std::size_t full = nbits / 8;
+    if (fill_ == 0) {
+      buf_.insert(buf_.end(), src.begin(),
+                  src.begin() + static_cast<std::ptrdiff_t>(full));
+    } else {
+      std::size_t i = 0;
+      for (; i + 4 <= full; i += 4) {
+        bits(static_cast<std::uint32_t>(src[i]) |
+                 (static_cast<std::uint32_t>(src[i + 1]) << 8) |
+                 (static_cast<std::uint32_t>(src[i + 2]) << 16) |
+                 (static_cast<std::uint32_t>(src[i + 3]) << 24),
+             32);
+      }
+      for (; i < full; ++i) bits(src[i], 8);
+    }
+    const int rem = static_cast<int>(nbits % 8);
+    if (rem > 0) bits(src[full], rem);
+  }
+
   std::size_t bit_count() const { return buf_.size() * 8 + fill_; }
   std::vector<std::uint8_t> take() {
     align_byte();

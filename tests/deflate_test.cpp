@@ -10,6 +10,7 @@
 #include "deflate/deflate.hpp"
 #include "deflate/deflate_tables.hpp"
 #include "deflate/lz77.hpp"
+#include "deflate/parallel.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::deflate {
@@ -291,6 +292,133 @@ TEST(Gzip, TooShortRejected) {
 TEST(Gzip, EmptyPayloadRoundTrips) {
   const auto g = gzip_compress({}, Level::Fast);
   EXPECT_TRUE(gzip_decompress(g).empty());
+}
+
+// -------------------------------------------------------- parallel chunks
+
+std::vector<std::uint8_t> patterned(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (i % 6 == 0) ? static_cast<std::uint8_t>(rng())
+                        : static_cast<std::uint8_t>((i / 48) % 19);
+  }
+  return v;
+}
+
+TEST(ParallelDeflate, SingleThreadIsBitIdenticalToSerial) {
+  const auto input = patterned(300000, 1);
+  for (auto level : {Level::Fast, Level::Best}) {
+    const ParallelOptions one{64 * 1024, /*threads=*/1, true};
+    EXPECT_EQ(compress_parallel(input, level, one), compress(input, level));
+    EXPECT_EQ(gzip_compress_parallel(input, level, one),
+              gzip_compress(input, level));
+  }
+}
+
+TEST(ParallelDeflate, EmptyInputRoundTrips) {
+  const ParallelOptions opts{4096, 4, true};
+  const auto g = gzip_compress_parallel({}, Level::Fast, opts);
+  EXPECT_TRUE(gzip_decompress(g).empty());
+  EXPECT_TRUE(decompress(compress_parallel({}, Level::Best, opts)).empty());
+}
+
+class ParallelChunkBoundary
+    : public ::testing::TestWithParam<std::tuple<std::size_t, Level>> {};
+
+TEST_P(ParallelChunkBoundary, RoundTripsThroughSerialInflate) {
+  const auto [size, level] = GetParam();
+  constexpr std::size_t kChunk = 4096;
+  const auto input = patterned(size, static_cast<unsigned>(size + 7));
+  const ParallelOptions opts{kChunk, 4, true};
+  const auto raw = compress_parallel(input, level, opts);
+  EXPECT_EQ(decompress(raw), input);
+  const auto g = gzip_compress_parallel(input, level, opts);
+  EXPECT_EQ(gzip_decompress(g), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundarySizes, ParallelChunkBoundary,
+    ::testing::Combine(
+        // 0/1/chunk-1/chunk/chunk+1 plus multi-chunk interior and seam sizes
+        ::testing::Values(0, 1, 4095, 4096, 4097, 8192, 12289, 100000),
+        ::testing::Values(Level::Fast, Level::Best)));
+
+TEST(ParallelDeflate, MoreThreadsThanChunks) {
+  const auto input = patterned(10000, 3);  // 3 chunks of 4 KiB
+  const ParallelOptions opts{4096, 16, true};
+  const auto g = gzip_compress_parallel(input, Level::Best, opts);
+  EXPECT_EQ(gzip_decompress(g), input);
+}
+
+TEST(ParallelDeflate, IncompressibleRandomStaysNearRaw) {
+  std::mt19937 rng(77);
+  std::vector<std::uint8_t> input(1 << 20);
+  for (auto& b : input) b = static_cast<std::uint8_t>(rng());
+  const ParallelOptions opts{128 * 1024, 4, true};
+  const auto g = gzip_compress_parallel(input, Level::Best, opts);
+  // Stored blocks + per-chunk sync markers: overhead stays tiny.
+  EXPECT_LT(g.size(), input.size() + 1024);
+  EXPECT_EQ(gzip_decompress(g), input);
+}
+
+TEST(ParallelDeflate, RatioWithinTwoPercentOfSerial) {
+  const auto input = patterned(2 << 20, 9);
+  for (auto level : {Level::Fast, Level::Best}) {
+    const auto serial = compress(input, level);
+    const ParallelOptions opts{256 * 1024, 4, true};
+    const auto par = compress_parallel(input, level, opts);
+    EXPECT_LE(static_cast<double>(par.size()),
+              static_cast<double>(serial.size()) * 1.02);
+    EXPECT_EQ(decompress(par), input);
+  }
+}
+
+TEST(ParallelDeflate, DictionaryPrimingNeverHurtsRatio) {
+  // Repetitive data whose matches cross chunk boundaries: priming must
+  // recover them (primed <= unprimed + noise).
+  std::vector<std::uint8_t> input;
+  const auto motif = patterned(1500, 4);
+  while (input.size() < 64 * 1024) {
+    input.insert(input.end(), motif.begin(), motif.end());
+  }
+  ParallelOptions primed{4096, 4, true};
+  ParallelOptions unprimed{4096, 4, false};
+  const auto with = compress_parallel(input, Level::Best, primed);
+  const auto without = compress_parallel(input, Level::Best, unprimed);
+  EXPECT_LE(with.size(), without.size());
+  EXPECT_EQ(decompress(with), input);
+  EXPECT_EQ(decompress(without), input);
+}
+
+TEST(ParallelDeflate, BatchMatchesIndividualCompression) {
+  const auto a = patterned(50000, 5);
+  const auto b = patterned(3, 6);
+  const std::vector<std::uint8_t> c;  // empty member of a batch
+  const ParallelOptions opts{4096, 4, true};
+  const std::span<const std::uint8_t> inputs[] = {a, b, c};
+  const auto blobs = gzip_compress_batch(inputs, Level::Fast, opts);
+  ASSERT_EQ(blobs.size(), 3u);
+  EXPECT_EQ(blobs[0], gzip_compress_parallel(a, Level::Fast, opts));
+  EXPECT_EQ(blobs[1], gzip_compress_parallel(b, Level::Fast, opts));
+  EXPECT_EQ(blobs[2], gzip_compress_parallel(c, Level::Fast, opts));
+  EXPECT_EQ(gzip_decompress(blobs[0]), a);
+  EXPECT_EQ(gzip_decompress(blobs[1]), b);
+  EXPECT_TRUE(gzip_decompress(blobs[2]).empty());
+}
+
+TEST(ParallelDeflate, TokenizeWithDictionaryFindsCrossBoundaryMatches) {
+  // The second half repeats the first: with the first half as dictionary,
+  // the tokenizer should cover the live half almost entirely with matches.
+  const auto half = patterned(2000, 8);
+  std::vector<std::uint8_t> full(half);
+  full.insert(full.end(), half.begin(), half.end());
+  const auto tokens = tokenize(full, Level::Best, half.size());
+  std::size_t covered = 0;
+  for (const Token& t : tokens) covered += (t.length == 0) ? 1 : t.length;
+  EXPECT_EQ(covered, half.size());  // tokens describe only the live half
+  const auto undicted = tokenize(half, Level::Best);
+  EXPECT_LT(tokens.size(), undicted.size() / 2);
 }
 
 TEST(Gzip, FastVersusBestTradeoff) {
