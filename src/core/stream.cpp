@@ -172,7 +172,7 @@ std::size_t stream_chunk_count(std::span<const std::uint8_t> bytes) {
 }
 
 StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
-                                    std::size_t index) {
+                                    std::size_t index, int pqd_threads) {
   ByteReader r(bytes);
   const auto idx = parse_index(bytes, r);
   WAVESZ_REQUIRE(index < idx.chunks.size(), "chunk index out of range");
@@ -181,7 +181,7 @@ StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
   out.first_plane = index * idx.chunk_planes;
   Dims cdims;
   out.data = wave::decompress(bytes.subspan(idx.payload_base + offset, size),
-                        &cdims);
+                              &cdims, pqd_threads);
   out.plane_count = cdims[0];
   WAVESZ_REQUIRE(out.first_plane + out.plane_count <= idx.dims[0],
                  "chunk exceeds archive geometry");
@@ -189,13 +189,13 @@ StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
 }
 
 std::vector<float> stream_decompress(std::span<const std::uint8_t> bytes,
-                                     Dims* dims_out) {
+                                     Dims* dims_out, int pqd_threads) {
   ByteReader r(bytes);
   const auto idx = parse_index(bytes, r);
   std::vector<float> out;
   std::size_t planes_seen = 0;
   for (std::size_t i = 0; i < idx.chunks.size(); ++i) {
-    const auto chunk = stream_decompress_chunk(bytes, i);
+    const auto chunk = stream_decompress_chunk(bytes, i, pqd_threads);
     WAVESZ_REQUIRE(chunk.first_plane == planes_seen,
                    "chunk sequence is not contiguous");
     planes_seen += chunk.plane_count;
@@ -207,7 +207,7 @@ std::vector<float> stream_decompress(std::span<const std::uint8_t> bytes,
 }
 
 std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
-                                        Dims* dims_out) {
+                                        Dims* dims_out, int pqd_threads) {
   ByteReader r(bytes);
   const auto idx = parse_index(bytes, r);
   std::vector<double> out;
@@ -215,7 +215,7 @@ std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
   for (const auto& [offset, size] : idx.chunks) {
     Dims cdims;
     const auto chunk = wave::decompress64(
-        bytes.subspan(idx.payload_base + offset, size), &cdims);
+        bytes.subspan(idx.payload_base + offset, size), &cdims, pqd_threads);
     planes_seen += cdims[0];
     out.insert(out.end(), chunk.begin(), chunk.end());
     (void)col;

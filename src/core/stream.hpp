@@ -59,13 +59,17 @@ class StreamCompressor {
   bool finished_ = false;
 };
 
-/// Decode a whole streamed archive back into the full field.
+/// Decode a whole streamed archive back into the full field. `pqd_threads`
+/// is a budget (Config::pqd_threads semantics) for each chunk's Lorenzo
+/// reconstruction sweep; results are value-identical for every budget.
 std::vector<float> stream_decompress(std::span<const std::uint8_t> bytes,
-                                     Dims* dims_out = nullptr);
+                                     Dims* dims_out = nullptr,
+                                     int pqd_threads = 1);
 
 /// float64 counterpart (archives written from double feeds).
 std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
-                                        Dims* dims_out = nullptr);
+                                        Dims* dims_out = nullptr,
+                                        int pqd_threads = 1);
 
 /// Number of independently decodable chunks in a streamed archive.
 std::size_t stream_chunk_count(std::span<const std::uint8_t> bytes);
@@ -77,6 +81,6 @@ struct StreamChunk {
   std::vector<float> data;
 };
 StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
-                                    std::size_t index);
+                                    std::size_t index, int pqd_threads = 1);
 
 }  // namespace wavesz::wave

@@ -97,6 +97,68 @@ typename FpOps<T>::Kernel wave_pqd_2d_t(std::span<T> wavefront,
   return out;
 }
 
+// Tiled anti-diagonal schedule over the (x, y) grid, mirroring the sz::
+// wavefront kernels: the 2D Lorenzo taps reach only coordinate-wise smaller
+// points, so a tile's dependencies live in coordinate-wise <= tiles — all on
+// strictly earlier diagonals t0 + t1. Each diagonal is one parallel batch;
+// the implicit barrier of the omp-for is the hyperplane boundary.
+constexpr std::size_t kTile0 = 64;
+constexpr std::size_t kTile1 = 64;
+
+/// Wavefront-parallel twin of wave_pqd_2d_t. Codes are written by storage
+/// offset (the serial kernel's push order *is* storage order), the verbatim
+/// stream is rebuilt by a post-scan: code-0 points never get a writeback, so
+/// `wavefront` still holds their exact originals.
+template <typename T>
+typename FpOps<T>::Kernel wave_pqd_2d_par_t(std::span<T> wavefront,
+                                            const WavefrontLayout& layout,
+                                            const sz::LinearQuantizer& q,
+                                            int nt) {
+  WAVESZ_REQUIRE(wavefront.size() == layout.count(),
+                 "wavefront size disagrees with layout");
+  typename FpOps<T>::Kernel out;
+  out.codes.assign(wavefront.size(), 0);
+  std::uint16_t* const codes = out.codes.data();
+  T* const wf = wavefront.data();
+  const std::size_t e0 = (layout.rows() + kTile0 - 1) / kTile0;
+  const std::size_t e1 = (layout.cols() + kTile1 - 1) / kTile1;
+#ifdef _OPENMP
+#pragma omp parallel num_threads(nt)
+#endif
+  for (std::size_t d = 0; d < e0 + e1 - 1; ++d) {
+    const std::size_t t0_lo = d >= e1 ? d - e1 + 1 : 0;
+    const std::size_t t0_hi = std::min(e0 - 1, d);
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+    for (std::size_t t0 = t0_lo; t0 <= t0_hi; ++t0) {
+      const std::size_t t1 = d - t0;
+      const std::size_t x_hi = std::min(layout.rows(), (t0 + 1) * kTile0);
+      const std::size_t y_hi = std::min(layout.cols(), (t1 + 1) * kTile1);
+      for (std::size_t x = t0 * kTile0; x < x_hi; ++x) {
+        for (std::size_t y = t1 * kTile1; y < y_hi; ++y) {
+          if (x == 0 || y == 0) continue;  // border: code 0, original stays
+          const std::size_t off = layout.offset(x, y);
+          const double pred =
+              sz::lorenzo2d(wf[layout.offset(x - 1, y - 1)],
+                            wf[layout.offset(x - 1, y)],
+                            wf[layout.offset(x, y - 1)]);
+          const auto r = FpOps<T>::quantize(q, pred, wf[off]);
+          if (r.code != 0) {
+            codes[off] = r.code;
+            wf[off] = r.reconstructed;
+          }
+        }
+      }
+    }
+    // implicit omp-for barrier: diagonal d is complete before d + 1 starts
+  }
+  for (std::size_t i = 0; i < out.codes.size(); ++i) {
+    if (codes[i] == 0) out.verbatim.push_back(wavefront[i]);
+  }
+  return out;
+}
+
 template <typename T>
 std::vector<T> wave_reconstruct_2d_t(std::span<const std::uint16_t> codes,
                                      std::span<const T> verbatim,
@@ -129,6 +191,82 @@ std::vector<T> wave_reconstruct_2d_t(std::span<const std::uint16_t> codes,
     }
   }
   return rec;
+}
+
+/// Wavefront-parallel twin of wave_reconstruct_2d_t. Verbatim points are
+/// prefilled serially (they consume the stream in storage order and depend
+/// on nothing); the tiled sweep then reads them like any completed history.
+template <typename T>
+std::vector<T> wave_reconstruct_2d_par_t(std::span<const std::uint16_t> codes,
+                                         std::span<const T> verbatim,
+                                         std::size_t* next_verbatim,
+                                         const WavefrontLayout& layout,
+                                         const sz::LinearQuantizer& q,
+                                         int nt) {
+  WAVESZ_REQUIRE(codes.size() == layout.count(),
+                 "code count disagrees with layout");
+  std::vector<T> rec(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] == 0) {
+      WAVESZ_REQUIRE(*next_verbatim < verbatim.size(),
+                     "verbatim stream exhausted");
+      rec[i] = verbatim[(*next_verbatim)++];
+    }
+  }
+  T* const r = rec.data();
+  const std::size_t e0 = (layout.rows() + kTile0 - 1) / kTile0;
+  const std::size_t e1 = (layout.cols() + kTile1 - 1) / kTile1;
+#ifdef _OPENMP
+#pragma omp parallel num_threads(nt)
+#endif
+  for (std::size_t d = 0; d < e0 + e1 - 1; ++d) {
+    const std::size_t t0_lo = d >= e1 ? d - e1 + 1 : 0;
+    const std::size_t t0_hi = std::min(e0 - 1, d);
+#ifdef _OPENMP
+#pragma omp for schedule(dynamic)
+#endif
+    for (std::size_t t0 = t0_lo; t0 <= t0_hi; ++t0) {
+      const std::size_t t1 = d - t0;
+      const std::size_t x_hi = std::min(layout.rows(), (t0 + 1) * kTile0);
+      const std::size_t y_hi = std::min(layout.cols(), (t1 + 1) * kTile1);
+      for (std::size_t x = t0 * kTile0; x < x_hi; ++x) {
+        for (std::size_t y = t1 * kTile1; y < y_hi; ++y) {
+          const std::size_t off = layout.offset(x, y);
+          if (codes[off] == 0) continue;  // prefilled verbatim point
+          const double pred =
+              sz::lorenzo2d(r[layout.offset(x - 1, y - 1)],
+                            r[layout.offset(x - 1, y)],
+                            r[layout.offset(x, y - 1)]);
+          r[off] = FpOps<T>::reconstruct(q, pred, codes[off]);
+        }
+      }
+    }
+  }
+  return rec;
+}
+
+/// Budget-dispatched entry points shared by the kernels' public wrappers and
+/// the compress/decompress drivers.
+template <typename T>
+typename FpOps<T>::Kernel wave_pqd_2d_auto(std::span<T> wavefront,
+                                           const WavefrontLayout& layout,
+                                           const sz::LinearQuantizer& q,
+                                           int nt) {
+  return nt > 1 ? wave_pqd_2d_par_t<T>(wavefront, layout, q, nt)
+                : wave_pqd_2d_t<T>(wavefront, layout, q);
+}
+
+template <typename T>
+std::vector<T> wave_reconstruct_2d_auto(std::span<const std::uint16_t> codes,
+                                        std::span<const T> verbatim,
+                                        std::size_t* next_verbatim,
+                                        const WavefrontLayout& layout,
+                                        const sz::LinearQuantizer& q,
+                                        int nt) {
+  return nt > 1 ? wave_reconstruct_2d_par_t<T>(codes, verbatim, next_verbatim,
+                                               layout, q, nt)
+                : wave_reconstruct_2d_t<T>(codes, verbatim, next_verbatim,
+                                           layout, q);
 }
 
 /// 3D-Lorenzo PQD for one slice, the previous slice already reconstructed
@@ -204,23 +342,12 @@ void wave_reconstruct_slice3d(std::span<const std::uint16_t> codes,
 }
 
 std::vector<std::uint8_t> plain_codes(
-    std::span<const std::uint16_t> codes, const sz::Config& cfg) {
-  if (cfg.huffman) return sz::huffman_encode(codes);
+    std::span<const std::uint16_t> codes, const sz::Config& cfg,
+    int threads) {
+  if (cfg.huffman) return sz::huffman_encode(codes, threads);
   ByteWriter cw;
   cw.u16s(codes);
   return cw.take();
-}
-
-template <typename T>
-double range_of(std::span<const T> data) {
-  WAVESZ_REQUIRE(!data.empty(), "cannot compress an empty field");
-  double lo = static_cast<double>(data[0]);
-  double hi = lo;
-  for (T v : data) {
-    lo = std::min(lo, static_cast<double>(v));
-    hi = std::max(hi, static_cast<double>(v));
-  }
-  return hi - lo;
 }
 
 template <typename T>
@@ -229,7 +356,8 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   WAVESZ_REQUIRE(dims.rank >= 2,
                  "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
-  const double bound = resolve_bound(cfg, range_of(data));
+  const int pqd_nt = sz::resolve_thread_budget(cfg.pqd_threads);
+  const double bound = resolve_bound(cfg, sz::value_range(data, pqd_nt));
   const sz::LinearQuantizer q(bound, cfg.quant_bits);
   if (mode == LayoutMode::True3D) {
     WAVESZ_REQUIRE(dims.rank == 3, "True3D layout requires a 3D dataset");
@@ -240,7 +368,7 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
     const Dims flat = dims.flatten2d();
     const WavefrontLayout layout(flat[0], flat[1]);
     auto wf = to_wavefront(data, layout);
-    kr = wave_pqd_2d_t<T>(wf, layout, q);
+    kr = wave_pqd_2d_auto<T>(std::span<T>(wf), layout, q, pqd_nt);
   } else {
     const std::size_t planes = dims[0];
     const WavefrontLayout layout(dims[1], dims[2]);
@@ -251,7 +379,8 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
       auto cur =
           to_wavefront(data.subspan(z * slice_points, slice_points), layout);
       if (z == 0) {
-        auto first = wave_pqd_2d_t<T>(std::span<T>(cur), layout, q);
+        auto first = wave_pqd_2d_auto<T>(std::span<T>(cur), layout, q,
+                                         pqd_nt);
         kr.codes.insert(kr.codes.end(), first.codes.begin(),
                         first.codes.end());
         kr.verbatim.insert(kr.verbatim.end(), first.verbatim.begin(),
@@ -263,7 +392,7 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
     }
   }
 
-  const auto code_plain = plain_codes(kr.codes, cfg);
+  const auto code_plain = plain_codes(kr.codes, cfg, pqd_nt);
   ByteWriter vw;
   FpOps<T>::write_values(vw, kr.verbatim);
   // Code-section and verbatim-section encodes share one chunked-DEFLATE
@@ -271,8 +400,6 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   const std::span<const std::uint8_t> sections[] = {code_plain, vw.data()};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
                                             cfg.deflate_options());
-  const auto code_blob = std::move(blobs[0]);
-  const auto verbatim_blob = std::move(blobs[1]);
 
   sz::Compressed out;
   out.header.variant = sz::Variant::WaveSz;
@@ -288,20 +415,22 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   out.header.dtype = FpOps<T>::kDtype;
   out.header.point_count = data.size();
   out.header.unpredictable_count = kr.verbatim.size();
-  out.code_blob_bytes = code_blob.size();
-  out.unpred_blob_bytes = verbatim_blob.size();
+  out.code_blob_bytes = blobs[0].size();
+  out.unpred_blob_bytes = blobs[1].size();
 
+  // Serialize the sections straight from the batch output — no named copies
+  // of the (potentially large) blobs survive past this point.
   ByteWriter w;
   sz::write_header(w, out.header);
-  sz::write_section(w, code_blob);
-  sz::write_section(w, verbatim_blob);
+  sz::write_section(w, blobs[0]);
+  sz::write_section(w, blobs[1]);
   out.bytes = w.take();
   return out;
 }
 
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
-                            Dims* dims_out) {
+                            Dims* dims_out, int pqd_threads) {
   ByteReader r(bytes);
   const sz::ContainerHeader h = sz::read_header(r);
   WAVESZ_REQUIRE(h.variant == sz::Variant::WaveSz,
@@ -330,12 +459,13 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   const sz::LinearQuantizer q(h.eb_absolute, h.quant_bits);
   if (dims_out != nullptr) *dims_out = h.dims;
 
+  const int pqd_nt = sz::resolve_thread_budget(pqd_threads);
   std::size_t next_verbatim = 0;
   if (mode == LayoutMode::Flatten2D || h.dims.rank <= 2) {
     const Dims flat = h.dims.flatten2d();
     const WavefrontLayout layout(flat[0], flat.rank >= 2 ? flat[1] : 1);
-    auto rec_wf = wave_reconstruct_2d_t<T>(codes, verbatim, &next_verbatim,
-                                           layout, q);
+    auto rec_wf = wave_reconstruct_2d_auto<T>(codes, verbatim, &next_verbatim,
+                                              layout, q, pqd_nt);
     WAVESZ_REQUIRE(next_verbatim == verbatim.size(),
                    "verbatim stream has trailing values");
     return from_wavefront(std::span<const T>(rec_wf), layout);
@@ -353,8 +483,8 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                                                       slice_points);
     std::vector<T> cur;
     if (z == 0) {
-      cur = wave_reconstruct_2d_t<T>(slice_codes, verbatim, &next_verbatim,
-                                     layout, q);
+      cur = wave_reconstruct_2d_auto<T>(slice_codes, verbatim, &next_verbatim,
+                                        layout, q, pqd_nt);
     } else {
       cur.resize(slice_points);
       wave_reconstruct_slice3d<T>(slice_codes, verbatim, &next_verbatim,
@@ -380,23 +510,27 @@ sz::Config default_config() {
 
 KernelResult wave_pqd_2d(std::span<float> wavefront,
                          const WavefrontLayout& layout,
-                         const sz::LinearQuantizer& q) {
-  return wave_pqd_2d_t<float>(wavefront, layout, q);
+                         const sz::LinearQuantizer& q, int threads) {
+  return wave_pqd_2d_auto<float>(wavefront, layout, q,
+                                 sz::resolve_thread_budget(threads));
 }
 
 KernelResult64 wave_pqd_2d_64(std::span<double> wavefront,
                               const WavefrontLayout& layout,
-                              const sz::LinearQuantizer& q) {
-  return wave_pqd_2d_t<double>(wavefront, layout, q);
+                              const sz::LinearQuantizer& q, int threads) {
+  return wave_pqd_2d_auto<double>(wavefront, layout, q,
+                                  sz::resolve_thread_budget(threads));
 }
 
 std::vector<float> wave_reconstruct_2d(std::span<const std::uint16_t> codes,
                                        std::span<const float> verbatim,
                                        std::size_t* next_verbatim,
                                        const WavefrontLayout& layout,
-                                       const sz::LinearQuantizer& q) {
-  return wave_reconstruct_2d_t<float>(codes, verbatim, next_verbatim, layout,
-                                      q);
+                                       const sz::LinearQuantizer& q,
+                                       int threads) {
+  return wave_reconstruct_2d_auto<float>(codes, verbatim, next_verbatim,
+                                         layout, q,
+                                         sz::resolve_thread_budget(threads));
 }
 
 sz::Compressed compress(std::span<const float> data, const Dims& dims,
@@ -410,13 +544,13 @@ sz::Compressed compress(std::span<const double> data, const Dims& dims,
 }
 
 std::vector<float> decompress(std::span<const std::uint8_t> bytes,
-                              Dims* dims_out) {
-  return decompress_t<float>(bytes, dims_out);
+                              Dims* dims_out, int pqd_threads) {
+  return decompress_t<float>(bytes, dims_out, pqd_threads);
 }
 
 std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
-                                 Dims* dims_out) {
-  return decompress_t<double>(bytes, dims_out);
+                                 Dims* dims_out, int pqd_threads) {
+  return decompress_t<double>(bytes, dims_out, pqd_threads);
 }
 
 }  // namespace wavesz::wave

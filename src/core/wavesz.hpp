@@ -42,16 +42,22 @@ struct KernelResult {
 /// Run prediction-quantization-decompression over `wavefront` (mutated in
 /// place to hold decompressor-visible values, as the HLS kernel writes back
 /// d_re — Listing 1). 2D Lorenzo only; borders x==0 / y==0 go verbatim.
+/// `threads` is a budget with Config::pqd_threads semantics; budgets > 1
+/// run the grid as a tiled anti-diagonal wavefront (paper §3.2 on CPU) with
+/// bit-identical codes, writeback and verbatim stream.
 KernelResult wave_pqd_2d(std::span<float> wavefront,
                          const WavefrontLayout& layout,
-                         const sz::LinearQuantizer& q);
+                         const sz::LinearQuantizer& q, int threads = 1);
 
-/// Inverse kernel: rebuild the wavefront-layout reconstruction.
+/// Inverse kernel: rebuild the wavefront-layout reconstruction. Same
+/// `threads` semantics (and the same bit-exactness guarantee) as
+/// wave_pqd_2d().
 std::vector<float> wave_reconstruct_2d(std::span<const std::uint16_t> codes,
                                        std::span<const float> verbatim,
                                        std::size_t* next_verbatim,
                                        const WavefrontLayout& layout,
-                                       const sz::LinearQuantizer& q);
+                                       const sz::LinearQuantizer& q,
+                                       int threads = 1);
 
 /// float64 counterpart of KernelResult.
 struct KernelResult64 {
@@ -61,7 +67,7 @@ struct KernelResult64 {
 
 KernelResult64 wave_pqd_2d_64(std::span<double> wavefront,
                               const WavefrontLayout& layout,
-                              const sz::LinearQuantizer& q);
+                              const sz::LinearQuantizer& q, int threads = 1);
 
 /// Full waveSZ compression (float32).
 sz::Compressed compress(std::span<const float> data, const Dims& dims,
@@ -74,11 +80,15 @@ sz::Compressed compress(std::span<const double> data, const Dims& dims,
                         LayoutMode mode = LayoutMode::Flatten2D);
 
 /// Inverse for float32 containers; throws on a float64 container.
+/// `pqd_threads` parallelizes the Lorenzo reconstruction sweep
+/// (Config::pqd_threads semantics); the result is value-identical for every
+/// budget. True3D containers reconstruct slice-serially regardless.
 std::vector<float> decompress(std::span<const std::uint8_t> bytes,
-                              Dims* dims_out = nullptr);
+                              Dims* dims_out = nullptr, int pqd_threads = 1);
 
 /// Inverse for float64 containers.
 std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
-                                 Dims* dims_out = nullptr);
+                                 Dims* dims_out = nullptr,
+                                 int pqd_threads = 1);
 
 }  // namespace wavesz::wave

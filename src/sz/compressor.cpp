@@ -1,244 +1,65 @@
 #include "sz/compressor.hpp"
 
 #include <algorithm>
-#include <type_traits>
 
 #include "deflate/deflate.hpp"
 #include "deflate/parallel.hpp"
 #include "metrics/stats.hpp"
 #include "sz/huffman_codec.hpp"
-#include "sz/predictor.hpp"
+#include "sz/pqd_detail.hpp"
 #include "sz/unpredictable.hpp"
+#include "sz/wavefront_pqd.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::sz {
 namespace {
 
-/// Zero-padded accessor over the reconstructed field: any index off the grid
-/// reads as 0.0, which collapses the Lorenzo stencil to its reduced-dimension
-/// form on borders.
+using detail::FpOps;
+
+/// Serial-identical min/max scan, split across up to `threads` OpenMP
+/// workers. Every accumulator is seeded with data[0] and folded with the
+/// same std::min/std::max calls as the serial loop, so the result (including
+/// the NaN-poisoning behaviour of a NaN first element) does not depend on
+/// the chunking.
 template <typename T>
-struct Padded {
-  const T* rec;
-  std::size_t d0, d1, d2;
-
-  double at(std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t i2) const {
-    if (i0 < 0 || i1 < 0 || i2 < 0) return 0.0;
-    return rec[(static_cast<std::size_t>(i0) * d1 +
-                static_cast<std::size_t>(i1)) *
-                   d2 +
-               static_cast<std::size_t>(i2)];
-  }
-};
-
-template <typename T>
-double predict(const Padded<T>& p, int rank, PredictorKind kind,
-               std::ptrdiff_t i0, std::ptrdiff_t i1, std::ptrdiff_t i2) {
-  if (kind == PredictorKind::Lorenzo2Layer) {
-    // Supported for 1D/2D (the 3D 2-layer stencil has 26 taps and is not
-    // part of this reproduction); enforced at compress() time.
-    if (rank == 1) {
-      return lorenzo1d_2layer(p.at(i0 - 1, 0, 0), p.at(i0 - 2, 0, 0));
-    }
-    return lorenzo2d_2layer(p.at(i0, i1 - 1, 0), p.at(i0, i1 - 2, 0),
-                            p.at(i0 - 1, i1, 0), p.at(i0 - 1, i1 - 1, 0),
-                            p.at(i0 - 1, i1 - 2, 0), p.at(i0 - 2, i1, 0),
-                            p.at(i0 - 2, i1 - 1, 0), p.at(i0 - 2, i1 - 2, 0));
-  }
-  switch (rank) {
-    case 1:
-      return lorenzo1d(p.at(i0 - 1, 0, 0));
-    case 2:
-      return lorenzo2d(p.at(i0 - 1, i1 - 1, 0), p.at(i0 - 1, i1, 0),
-                       p.at(i0, i1 - 1, 0));
-    default:
-      return lorenzo3d(p.at(i0 - 1, i1 - 1, i2 - 1), p.at(i0 - 1, i1 - 1, i2),
-                       p.at(i0 - 1, i1, i2 - 1), p.at(i0, i1 - 1, i2 - 1),
-                       p.at(i0 - 1, i1, i2), p.at(i0, i1 - 1, i2),
-                       p.at(i0, i1, i2 - 1));
-  }
-}
-
-struct Shape {
-  std::size_t n0, n1, n2;
-};
-
-/// Branch-free Lorenzo prediction for interior points (every coordinate
-/// > 0): direct strided loads, term order identical to lorenzo{1,2,3}d so
-/// the result is bit-equal to the generic Padded path.
-template <typename T>
-double predict_interior(const T* rec, int rank, std::size_t s0,
-                        std::size_t s1, std::size_t i) {
-  switch (rank) {
-    case 1:
-      return static_cast<double>(rec[i - 1]);
-    case 2:
-      // Row stride of a rank-2 grid is s0 (= n1, since n2 == 1).
-      return static_cast<double>(rec[i - s0]) +
-             static_cast<double>(rec[i - 1]) -
-             static_cast<double>(rec[i - s0 - 1]);
-    default:
-      return static_cast<double>(rec[i - s0]) +
-             static_cast<double>(rec[i - s1]) +
-             static_cast<double>(rec[i - 1]) -
-             static_cast<double>(rec[i - s0 - s1]) -
-             static_cast<double>(rec[i - s0 - 1]) -
-             static_cast<double>(rec[i - s1 - 1]) +
-             static_cast<double>(rec[i - s0 - s1 - 1]);
-  }
-}
-
-Shape shape_of(const Dims& dims) {
-  return {dims[0], dims.rank >= 2 ? dims[1] : 1,
-          dims.rank >= 3 ? dims[2] : 1};
-}
-
-/// Width-generic glue: the quantizer/truncation entry points differ between
-/// float32 and float64 but the PQD structure does not.
-template <typename T>
-struct FpOps;
-
-template <>
-struct FpOps<float> {
-  using PqdType = Pqd;
-  static constexpr std::uint8_t kDtype = 0;
-  static auto quantize(const LinearQuantizer& q, double pred, float orig) {
-    return q.quantize(pred, orig);
-  }
-  static float reconstruct(const LinearQuantizer& q, double pred,
-                           std::uint16_t code) {
-    return q.reconstruct(pred, code);
-  }
-  static float roundtrip(float v, double bound) {
-    return truncation_roundtrip(v, bound);
-  }
-  static std::vector<std::uint8_t> encode(std::span<const float> v,
-                                          double bound) {
-    return truncation_encode(v, bound);
-  }
-  static std::vector<float> decode(std::span<const std::uint8_t> blob,
-                                   std::size_t count, double bound) {
-    return truncation_decode(blob, count, bound);
-  }
-};
-
-template <>
-struct FpOps<double> {
-  using PqdType = Pqd64;
-  static constexpr std::uint8_t kDtype = 1;
-  static auto quantize(const LinearQuantizer& q, double pred, double orig) {
-    return q.quantize64(pred, orig);
-  }
-  static double reconstruct(const LinearQuantizer& q, double pred,
-                            std::uint16_t code) {
-    return q.reconstruct64(pred, code);
-  }
-  static double roundtrip(double v, double bound) {
-    return truncation_roundtrip64(v, bound);
-  }
-  static std::vector<std::uint8_t> encode(std::span<const double> v,
-                                          double bound) {
-    return truncation_encode64(v, bound);
-  }
-  static std::vector<double> decode(std::span<const std::uint8_t> blob,
-                                    std::size_t count, double bound) {
-    return truncation_decode64(blob, count, bound);
-  }
-};
-
-template <typename T>
-typename FpOps<T>::PqdType lorenzo_pqd_t(
-    std::span<const T> data, const Dims& dims, const LinearQuantizer& q,
-    PredictorKind kind = PredictorKind::Lorenzo1Layer) {
-  WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
-  const auto [n0, n1, n2] = shape_of(dims);
-  typename FpOps<T>::PqdType out;
-  out.codes.resize(data.size());
-  out.reconstructed.resize(data.size());
-  const Padded<T> padded{out.reconstructed.data(), n0, n1, n2};
-  const std::size_t s1 = n2, s0 = n1 * n2;
-  const bool one_layer = kind == PredictorKind::Lorenzo1Layer;
-  std::size_t i = 0;
-  for (std::size_t i0 = 0; i0 < n0; ++i0) {
-    for (std::size_t i1 = 0; i1 < n1; ++i1) {
-      for (std::size_t i2 = 0; i2 < n2; ++i2, ++i) {
-        const bool interior =
-            one_layer && i0 > 0 && (dims.rank < 2 || i1 > 0) &&
-            (dims.rank < 3 || i2 > 0);
-        const double pred =
-            interior
-                ? predict_interior(out.reconstructed.data(), dims.rank, s0,
-                                   s1, i)
-                : predict(padded, dims.rank, kind,
-                          static_cast<std::ptrdiff_t>(i0),
-                          static_cast<std::ptrdiff_t>(i1),
-                          static_cast<std::ptrdiff_t>(i2));
-        const auto r = FpOps<T>::quantize(q, pred, data[i]);
-        out.codes[i] = r.code;
-        if (r.code != 0) {
-          out.reconstructed[i] = r.reconstructed;
-        } else {
-          // History must hold what the decompressor will see: the
-          // truncation-decoded value, not the original.
-          out.reconstructed[i] = FpOps<T>::roundtrip(data[i], q.precision());
-          out.unpredictable.push_back(data[i]);
-        }
-      }
-    }
-  }
-  return out;
-}
-
-template <typename T>
-std::vector<T> lorenzo_reconstruct_t(
-    std::span<const std::uint16_t> codes, std::span<const T> unpredictable,
-    const Dims& dims, const LinearQuantizer& q,
-    PredictorKind kind = PredictorKind::Lorenzo1Layer) {
-  WAVESZ_REQUIRE(codes.size() == dims.count(),
-                 "code count disagrees with dims");
-  const auto [n0, n1, n2] = shape_of(dims);
-  std::vector<T> rec(codes.size());
-  const Padded<T> padded{rec.data(), n0, n1, n2};
-  const std::size_t s1 = n2, s0 = n1 * n2;
-  const bool one_layer = kind == PredictorKind::Lorenzo1Layer;
-  std::size_t next_unpred = 0;
-  std::size_t i = 0;
-  for (std::size_t i0 = 0; i0 < n0; ++i0) {
-    for (std::size_t i1 = 0; i1 < n1; ++i1) {
-      for (std::size_t i2 = 0; i2 < n2; ++i2, ++i) {
-        if (codes[i] == 0) {
-          WAVESZ_REQUIRE(next_unpred < unpredictable.size(),
-                         "unpredictable stream exhausted");
-          rec[i] = unpredictable[next_unpred++];
-        } else {
-          const bool interior =
-              one_layer && i0 > 0 && (dims.rank < 2 || i1 > 0) &&
-              (dims.rank < 3 || i2 > 0);
-          const double pred =
-              interior
-                  ? predict_interior(rec.data(), dims.rank, s0, s1, i)
-                  : predict(padded, dims.rank, kind,
-                            static_cast<std::ptrdiff_t>(i0),
-                            static_cast<std::ptrdiff_t>(i1),
-                            static_cast<std::ptrdiff_t>(i2));
-          rec[i] = FpOps<T>::reconstruct(q, pred, codes[i]);
-        }
-      }
-    }
-  }
-  WAVESZ_REQUIRE(next_unpred == unpredictable.size(),
-                 "unpredictable stream has trailing values");
-  return rec;
-}
-
-template <typename T>
-double range_of(std::span<const T> data) {
+double range_of(std::span<const T> data, int threads) {
   WAVESZ_REQUIRE(!data.empty(), "cannot compress an empty field");
-  double lo = static_cast<double>(data[0]);
-  double hi = lo;
-  for (T v : data) {
-    lo = std::min(lo, static_cast<double>(v));
-    hi = std::max(hi, static_cast<double>(v));
+  const double seed = static_cast<double>(data[0]);
+  double lo = seed;
+  double hi = seed;
+  // Below ~1 MiB the scan is memory-latency bound on one core anyway.
+  constexpr std::size_t kMinPerThread = 1u << 18;
+  const int nt = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_thread_budget(threads)),
+      std::max<std::size_t>(1, data.size() / kMinPerThread)));
+  if (nt > 1) {
+#ifdef _OPENMP
+#pragma omp parallel num_threads(nt)
+#endif
+    {
+      double llo = seed, lhi = seed;
+#ifdef _OPENMP
+#pragma omp for schedule(static) nowait
+#endif
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const double v = static_cast<double>(data[i]);
+        llo = std::min(llo, v);
+        lhi = std::max(lhi, v);
+      }
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+      {
+        lo = std::min(lo, llo);
+        hi = std::max(hi, lhi);
+      }
+    }
+  } else {
+    for (T v : data) {
+      const double d = static_cast<double>(v);
+      lo = std::min(lo, d);
+      hi = std::max(hi, d);
+    }
   }
   return hi - lo;
 }
@@ -246,19 +67,27 @@ double range_of(std::span<const T> data) {
 template <typename T>
 Compressed compress_t(std::span<const T> data, const Dims& dims,
                       const Config& cfg) {
-  const double bound = resolve_bound(cfg, range_of(data));
+  const int pqd_nt = resolve_thread_budget(cfg.pqd_threads);
+  const double bound = resolve_bound(cfg, range_of<T>(data, pqd_nt));
   const LinearQuantizer q(bound, cfg.quant_bits);
   WAVESZ_REQUIRE(cfg.predictor == PredictorKind::Lorenzo1Layer ||
                      dims.rank <= 2,
                  "2-layer Lorenzo is implemented for 1D/2D data");
 
-  auto pqd = lorenzo_pqd_t<T>(data, dims, q, cfg.predictor);
+  // pqd_threads > 1 switches to the tiled anti-diagonal wavefront schedule;
+  // the two kernels share per-point arithmetic (pqd_detail.hpp), so the
+  // codes, history and unpredictable stream are bit-identical either way.
+  auto pqd =
+      pqd_nt > 1 && dims.rank >= 2
+          ? detail::lorenzo_pqd_wavefront_t<T>(data, dims, q, cfg.predictor,
+                                               pqd_nt)
+          : detail::lorenzo_pqd_t<T>(data, dims, q, cfg.predictor);
 
   // Code section: H* (customized Huffman) then G* (gzip), or raw codes
   // straight into gzip when Huffman is disabled.
   std::vector<std::uint8_t> code_plain;
   if (cfg.huffman) {
-    code_plain = huffman_encode(pqd.codes);
+    code_plain = huffman_encode(pqd.codes, pqd_nt);
   } else {
     ByteWriter cw;
     cw.u16s(pqd.codes);
@@ -272,8 +101,6 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   const std::span<const std::uint8_t> sections[] = {code_plain, unpred_plain};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
                                             cfg.deflate_options());
-  const auto code_blob = std::move(blobs[0]);
-  const auto unpred_blob = std::move(blobs[1]);
 
   Compressed out;
   out.header.variant = Variant::Sz14;
@@ -289,20 +116,22 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   out.header.dtype = FpOps<T>::kDtype;
   out.header.point_count = data.size();
   out.header.unpredictable_count = pqd.unpredictable.size();
-  out.code_blob_bytes = code_blob.size();
-  out.unpred_blob_bytes = unpred_blob.size();
+  out.code_blob_bytes = blobs[0].size();
+  out.unpred_blob_bytes = blobs[1].size();
 
+  // Serialize the sections straight from the batch output — no named copies
+  // of the (potentially large) blobs survive past this point.
   ByteWriter w;
   write_header(w, out.header);
-  write_section(w, code_blob);
-  write_section(w, unpred_blob);
+  write_section(w, blobs[0]);
+  write_section(w, blobs[1]);
   out.bytes = w.take();
   return out;
 }
 
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
-                            Dims* dims_out) {
+                            Dims* dims_out, int pqd_threads) {
   ByteReader r(bytes);
   const ContainerHeader h = read_header(r);
   WAVESZ_REQUIRE(h.variant == Variant::Sz14,
@@ -327,36 +156,52 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
       unpred_plain, h.unpredictable_count, h.eb_absolute);
 
   WAVESZ_REQUIRE(h.aux <= 1, "unknown SZ-1.4 predictor kind");
+  const auto kind = static_cast<PredictorKind>(h.aux);
   const LinearQuantizer q(h.eb_absolute, h.quant_bits);
   if (dims_out != nullptr) *dims_out = h.dims;
-  return lorenzo_reconstruct_t<T>(codes, unpred, h.dims, q,
-                                  static_cast<PredictorKind>(h.aux));
+  const int pqd_nt = resolve_thread_budget(pqd_threads);
+  if (pqd_nt > 1 && h.dims.rank >= 2) {
+    return detail::lorenzo_reconstruct_wavefront_t<T>(codes, unpred, h.dims,
+                                                      q, kind, pqd_nt);
+  }
+  return detail::lorenzo_reconstruct_t<T>(codes, unpred, h.dims, q, kind);
 }
 
 }  // namespace
 
+double value_range(std::span<const float> data, int threads) {
+  return range_of<float>(data, threads);
+}
+
+double value_range(std::span<const double> data, int threads) {
+  return range_of<double>(data, threads);
+}
+
 Pqd lorenzo_pqd(std::span<const float> data, const Dims& dims,
-                const LinearQuantizer& q) {
-  return lorenzo_pqd_t<float>(data, dims, q);
+                const LinearQuantizer& q, PredictorKind kind) {
+  return detail::lorenzo_pqd_t<float>(data, dims, q, kind);
 }
 
 Pqd64 lorenzo_pqd64(std::span<const double> data, const Dims& dims,
-                    const LinearQuantizer& q) {
-  return lorenzo_pqd_t<double>(data, dims, q);
+                    const LinearQuantizer& q, PredictorKind kind) {
+  return detail::lorenzo_pqd_t<double>(data, dims, q, kind);
 }
 
 std::vector<float> lorenzo_reconstruct(std::span<const std::uint16_t> codes,
                                        std::span<const float> unpredictable,
                                        const Dims& dims,
-                                       const LinearQuantizer& q) {
-  return lorenzo_reconstruct_t<float>(codes, unpredictable, dims, q);
+                                       const LinearQuantizer& q,
+                                       PredictorKind kind) {
+  return detail::lorenzo_reconstruct_t<float>(codes, unpredictable, dims, q,
+                                              kind);
 }
 
 std::vector<double> lorenzo_reconstruct64(
     std::span<const std::uint16_t> codes,
     std::span<const double> unpredictable, const Dims& dims,
-    const LinearQuantizer& q) {
-  return lorenzo_reconstruct_t<double>(codes, unpredictable, dims, q);
+    const LinearQuantizer& q, PredictorKind kind) {
+  return detail::lorenzo_reconstruct_t<double>(codes, unpredictable, dims, q,
+                                               kind);
 }
 
 Compressed compress(std::span<const float> data, const Dims& dims,
@@ -370,13 +215,13 @@ Compressed compress(std::span<const double> data, const Dims& dims,
 }
 
 std::vector<float> decompress(std::span<const std::uint8_t> bytes,
-                              Dims* dims_out) {
-  return decompress_t<float>(bytes, dims_out);
+                              Dims* dims_out, int pqd_threads) {
+  return decompress_t<float>(bytes, dims_out, pqd_threads);
 }
 
 std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
-                                 Dims* dims_out) {
-  return decompress_t<double>(bytes, dims_out);
+                                 Dims* dims_out, int pqd_threads) {
+  return decompress_t<double>(bytes, dims_out, pqd_threads);
 }
 
 }  // namespace wavesz::sz

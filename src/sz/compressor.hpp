@@ -29,14 +29,15 @@ struct Pqd {
 
 /// Lorenzo PQD in raster order with zero-padded borders (rank 1/2/3).
 Pqd lorenzo_pqd(std::span<const float> data, const Dims& dims,
-                const LinearQuantizer& q);
+                const LinearQuantizer& q,
+                PredictorKind kind = PredictorKind::Lorenzo1Layer);
 
 /// Rebuild the reconstructed field from codes + unpredictable values; the
 /// unpredictable values must already be decompressor-visible (truncated).
-std::vector<float> lorenzo_reconstruct(std::span<const std::uint16_t> codes,
-                                       std::span<const float> unpredictable,
-                                       const Dims& dims,
-                                       const LinearQuantizer& q);
+std::vector<float> lorenzo_reconstruct(
+    std::span<const std::uint16_t> codes, std::span<const float> unpredictable,
+    const Dims& dims, const LinearQuantizer& q,
+    PredictorKind kind = PredictorKind::Lorenzo1Layer);
 
 /// float64 counterpart of Pqd.
 struct Pqd64 {
@@ -46,12 +47,22 @@ struct Pqd64 {
 };
 
 Pqd64 lorenzo_pqd64(std::span<const double> data, const Dims& dims,
-                    const LinearQuantizer& q);
+                    const LinearQuantizer& q,
+                    PredictorKind kind = PredictorKind::Lorenzo1Layer);
 
 std::vector<double> lorenzo_reconstruct64(
     std::span<const std::uint16_t> codes,
     std::span<const double> unpredictable, const Dims& dims,
-    const LinearQuantizer& q);
+    const LinearQuantizer& q,
+    PredictorKind kind = PredictorKind::Lorenzo1Layer);
+
+/// Value range (max - min) of a field, computed with up to `threads` OpenMP
+/// threads (budget semantics of Config::pqd_threads). Deterministic and
+/// identical to the serial scan for every budget: per-chunk min/max combine
+/// order-independently, and NaN handling matches the serial loop (NaNs are
+/// skipped unless data[0] itself is NaN, which poisons the result).
+double value_range(std::span<const float> data, int threads = 1);
+double value_range(std::span<const double> data, int threads = 1);
 
 struct Compressed {
   std::vector<std::uint8_t> bytes;
@@ -69,12 +80,15 @@ Compressed compress(std::span<const double> data, const Dims& dims,
                     const Config& cfg);
 
 /// Inverse of compress() for float32 containers; optionally reports dims.
-/// Throws wavesz::Error when applied to a float64 container.
+/// Throws wavesz::Error when applied to a float64 container. `pqd_threads`
+/// is a thread budget for the Lorenzo reconstruction (Config::pqd_threads
+/// semantics); the result is value-identical for every budget.
 std::vector<float> decompress(std::span<const std::uint8_t> bytes,
-                              Dims* dims_out = nullptr);
+                              Dims* dims_out = nullptr, int pqd_threads = 1);
 
 /// Inverse of compress() for float64 containers.
 std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
-                                 Dims* dims_out = nullptr);
+                                 Dims* dims_out = nullptr,
+                                 int pqd_threads = 1);
 
 }  // namespace wavesz::sz

@@ -47,6 +47,18 @@ struct Config {
   /// Worker granularity of the chunked DEFLATE engine.
   std::size_t deflate_chunk_bytes = deflate::kDefaultChunkBytes;
 
+  /// Thread budget for the prediction-quantization hot path (Lorenzo PQD on
+  /// compress, Lorenzo reconstruction on decompress) plus its serial
+  /// stragglers (the Huffman encode histogram/bitpack and the value-range
+  /// scan). Same semantics as codec_threads: 1 = serial raster reference
+  /// (the default), 0 = all OpenMP threads, n = at most n. Budgets > 1
+  /// switch the kernels to the tiled anti-diagonal wavefront schedule
+  /// (paper §3.2 on CPU); the output container is bit-identical either way
+  /// — only the visit order moves — so the knob is not recorded in the
+  /// header. compress_omp() owns the threads at slab level and pins the
+  /// per-slab PQD to 1 so the two levels never multiply.
+  int pqd_threads = 1;
+
   deflate::ParallelOptions deflate_options() const {
     return {deflate_chunk_bytes, codec_threads, /*prime_dictionary=*/true};
   }
@@ -55,5 +67,10 @@ struct Config {
 /// Resolve the absolute bound for a field with the given value range,
 /// applying power-of-two tightening when base == Two.
 double resolve_bound(const Config& cfg, double value_range);
+
+/// Resolve a thread budget (codec_threads / pqd_threads semantics) to a
+/// concrete thread count: 0 or negative = all OpenMP threads, otherwise the
+/// budget itself; always 1 in builds without OpenMP.
+int resolve_thread_budget(int budget);
 
 }  // namespace wavesz::sz

@@ -1,33 +1,154 @@
 #include "sz/huffman_codec.hpp"
 
+#include <algorithm>
 #include <array>
 
+#include "sz/config.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 #include "util/huffman.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace wavesz::sz {
 namespace {
 
 constexpr int kMaxCodeLength = 24;
 constexpr std::size_t kAlphabet = 65536;
+/// Below this many symbols per worker the table/merge overhead wins.
+constexpr std::size_t kMinSymbolsPerThread = 1u << 15;
 
-std::vector<std::uint64_t> frequencies(std::span<const std::uint16_t> codes) {
+int clamp_threads(int budget, std::size_t symbols) {
+  const auto cap = std::max<std::size_t>(1, symbols / kMinSymbolsPerThread);
+  return static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_thread_budget(budget)), cap));
+}
+
+/// Contiguous chunk boundaries for splitting `n` symbols over `parts`.
+std::vector<std::size_t> chunk_bounds(std::size_t n, int parts) {
+  std::vector<std::size_t> b(static_cast<std::size_t>(parts) + 1, 0);
+  for (int k = 0; k < parts; ++k) {
+    b[static_cast<std::size_t>(k) + 1] =
+        n * (static_cast<std::size_t>(k) + 1) /
+        static_cast<std::size_t>(parts);
+  }
+  return b;
+}
+
+std::vector<std::uint64_t> frequencies(std::span<const std::uint16_t> codes,
+                                       int nt) {
   std::vector<std::uint64_t> freq(kAlphabet, 0);
-  for (std::uint16_t c : codes) ++freq[c];
+  if (nt <= 1) {
+    for (std::uint16_t c : codes) ++freq[c];
+    return freq;
+  }
+  // Per-thread histograms, reduced serially: 65536 * nt adds, trivial next
+  // to the counting pass itself.
+  const auto bounds = chunk_bounds(codes.size(), nt);
+  std::vector<std::vector<std::uint64_t>> local(
+      static_cast<std::size_t>(nt));
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(nt) schedule(static)
+#endif
+  for (int t = 0; t < nt; ++t) {
+    auto& mine = local[static_cast<std::size_t>(t)];
+    mine.assign(kAlphabet, 0);
+    const std::size_t lo = bounds[static_cast<std::size_t>(t)];
+    const std::size_t hi = bounds[static_cast<std::size_t>(t) + 1];
+    for (std::size_t i = lo; i < hi; ++i) ++mine[codes[i]];
+  }
+  for (const auto& mine : local) {
+    for (std::size_t s = 0; s < kAlphabet; ++s) freq[s] += mine[s];
+  }
   return freq;
+}
+
+/// MSB-first bit-pack of the payload in `nt` independent chunks. Each chunk
+/// is packed locally with its global bit phase (start % 8) as leading zero
+/// bits, then spliced at byte granularity: OR for the boundary byte shared
+/// with the previous chunk, copy for the rest. The concatenated bit
+/// sequence — hence the byte stream — is identical to one serial
+/// BitWriterMSB pass.
+std::vector<std::uint8_t> pack_payload(std::span<const std::uint16_t> codes,
+                                       std::span<const std::uint32_t> canon,
+                                       std::span<const std::uint8_t> lengths,
+                                       int nt, std::uint64_t* payload_bits) {
+  if (nt <= 1) {
+    BitWriterMSB bw;
+    for (std::uint16_t c : codes) bw.bits(canon[c], lengths[c]);
+    *payload_bits = bw.bit_count();
+    return bw.take();
+  }
+  const auto bounds = chunk_bounds(codes.size(), nt);
+  // Exclusive prefix of per-chunk bit counts gives every chunk's start bit.
+  std::vector<std::uint64_t> start(static_cast<std::size_t>(nt) + 1, 0);
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(nt) schedule(static)
+#endif
+  for (int t = 0; t < nt; ++t) {
+    std::uint64_t bits = 0;
+    const std::size_t lo = bounds[static_cast<std::size_t>(t)];
+    const std::size_t hi = bounds[static_cast<std::size_t>(t) + 1];
+    for (std::size_t i = lo; i < hi; ++i) bits += lengths[codes[i]];
+    start[static_cast<std::size_t>(t) + 1] = bits;
+  }
+  for (int t = 0; t < nt; ++t) {
+    start[static_cast<std::size_t>(t) + 1] +=
+        start[static_cast<std::size_t>(t)];
+  }
+  const std::uint64_t total = start[static_cast<std::size_t>(nt)];
+
+  std::vector<std::vector<std::uint8_t>> local(
+      static_cast<std::size_t>(nt));
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(nt) schedule(static)
+#endif
+  for (int t = 0; t < nt; ++t) {
+    BitWriterMSB bw;
+    bw.bits(0, static_cast<int>(start[static_cast<std::size_t>(t)] % 8));
+    const std::size_t lo = bounds[static_cast<std::size_t>(t)];
+    const std::size_t hi = bounds[static_cast<std::size_t>(t) + 1];
+    for (std::size_t i = lo; i < hi; ++i) {
+      bw.bits(canon[codes[i]], lengths[codes[i]]);
+    }
+    local[static_cast<std::size_t>(t)] = bw.take();
+  }
+
+  std::vector<std::uint8_t> out((total + 7) / 8, 0);
+  for (int t = 0; t < nt; ++t) {
+    const auto& piece = local[static_cast<std::size_t>(t)];
+    if (piece.empty()) continue;
+    const std::size_t byte0 =
+        static_cast<std::size_t>(start[static_cast<std::size_t>(t)] / 8);
+    out[byte0] |= piece[0];  // shared boundary byte with the previous chunk
+    std::copy(piece.begin() + 1, piece.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(byte0) + 1);
+  }
+  *payload_bits = total;
+  return out;
 }
 
 }  // namespace
 
-std::vector<std::uint8_t> huffman_encode(
-    std::span<const std::uint16_t> codes) {
-  const auto freq = frequencies(codes);
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
+                                         int threads) {
+  ByteWriter w;
+  if (codes.empty()) {
+    // Bit-identical to the general path on an empty stream (no table
+    // entries, zero counts) without ever allocating the frequency table.
+    w.u32(0);
+    w.u64(0);
+    w.u64(0);
+    return w.take();
+  }
+  const int nt = clamp_threads(threads, codes.size());
+  const auto freq = frequencies(codes, nt);
   const auto lengths = huffman_code_lengths(freq, kMaxCodeLength);
   const auto canon = canonical_codes(lengths);
 
-  ByteWriter w;
   std::uint32_t distinct = 0;
   for (auto l : lengths) {
     if (l > 0) ++distinct;
@@ -40,12 +161,8 @@ std::vector<std::uint8_t> huffman_encode(
       w.u8(lengths[s]);
     }
   }
-  BitWriterMSB bw;
-  for (std::uint16_t c : codes) {
-    bw.bits(canon[c], lengths[c]);
-  }
-  const std::uint64_t payload_bits = bw.bit_count();
-  const auto payload = bw.take();
+  std::uint64_t payload_bits = 0;
+  const auto payload = pack_payload(codes, canon, lengths, nt, &payload_bits);
   w.u64(payload_bits);
   w.bytes(payload);
   return w.take();
@@ -99,7 +216,7 @@ std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob) {
 
 double huffman_mean_bits(std::span<const std::uint16_t> codes) {
   if (codes.empty()) return 0.0;
-  const auto freq = frequencies(codes);
+  const auto freq = frequencies(codes, 1);
   const auto lengths = huffman_code_lengths(freq, kMaxCodeLength);
   std::uint64_t bits = 0;
   for (std::size_t s = 0; s < kAlphabet; ++s) {

@@ -13,8 +13,14 @@
 namespace wavesz::sz {
 
 /// Self-contained encoding: [u32 distinct][u64 count][(u16 sym, u8 len)...]
-/// [u64 payload bits][payload bytes].
-std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes);
+/// [u64 payload bits][payload bytes]. `threads` is a budget with
+/// Config::pqd_threads semantics (0 = all OpenMP threads, 1 = serial): the
+/// symbol histogram is built as a per-thread reduction and the payload is
+/// bit-packed in independent chunks spliced at byte granularity, producing
+/// the serial byte stream bit-for-bit at every budget. Empty inputs skip
+/// the 512 KiB frequency table entirely.
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
+                                         int threads = 1);
 
 /// Inverse of huffman_encode(); throws wavesz::Error on malformed input.
 std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob);

@@ -60,12 +60,15 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
   std::vector<std::vector<std::uint8_t>> pieces(slabs.size());
 
   // Slab-level parallelism owns the thread budget here: pin the per-slab
-  // entropy back-end to the serial path so the two levels never multiply
-  // (slab-level × chunk-level oversubscription). A degenerate single-slab
-  // partition keeps the caller's codec_threads and parallelizes inside the
-  // gzip stage instead.
+  // entropy back-end and PQD kernels to the serial path so the two levels
+  // never multiply (slab-level × chunk-level oversubscription). A degenerate
+  // single-slab partition keeps the caller's codec_threads/pqd_threads and
+  // parallelizes inside the slab instead.
   Config slab_cfg = cfg;
-  if (slabs.size() > 1) slab_cfg.codec_threads = 1;
+  if (slabs.size() > 1) {
+    slab_cfg.codec_threads = 1;
+    slab_cfg.pqd_threads = 1;
+  }
 
   std::exception_ptr compress_failure;
 #ifdef _OPENMP
