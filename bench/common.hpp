@@ -5,11 +5,18 @@
 //               values that preserve the paper-native border fractions)
 //   --full      run at the paper-native dimensions (2-3 GB of field data;
 //               slow on a laptop, exact geometry)
+//   --repeat N  time each measured kernel N times and report the median
+//               wall time (default 1)
+//   --json F    additionally dump every per-field row to F as JSON, so the
+//               BENCH_*.json fixtures regenerate without stdout copy-paste
 // and prints the paper's reference numbers next to the reproduced ones.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/wavesz.hpp"
@@ -25,6 +32,8 @@ namespace wavesz::bench {
 struct Options {
   unsigned scale_override = 0;  // 0 = per-persona default
   bool full = false;
+  unsigned repeat = 1;          // median-of-N for reported wall times
+  std::string json_path;        // empty = no JSON row dump
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -34,8 +43,14 @@ struct Options {
         o.full = true;
       } else if (a == "--scale" && i + 1 < argc) {
         o.scale_override = static_cast<unsigned>(std::stoul(argv[++i]));
+      } else if (a == "--repeat" && i + 1 < argc) {
+        o.repeat = static_cast<unsigned>(std::stoul(argv[++i]));
+        if (o.repeat == 0) o.repeat = 1;
+      } else if (a == "--json" && i + 1 < argc) {
+        o.json_path = argv[++i];
       } else if (a == "--help" || a == "-h") {
-        std::printf("usage: %s [--scale N] [--full]\n", argv[0]);
+        std::printf("usage: %s [--scale N] [--full] [--repeat N] "
+                    "[--json <out.json>]\n", argv[0]);
         std::exit(0);
       }
     }
@@ -72,6 +87,23 @@ struct PersonaSummary {
   }
 };
 
+/// Run `fn` `repeat` times and return the median wall time in seconds.
+/// Reporting the median (not the first or the mean) makes timed columns
+/// stable under cold caches and scheduler noise.
+template <typename Fn>
+double median_seconds(unsigned repeat, Fn&& fn) {
+  std::vector<double> secs;
+  secs.reserve(repeat);
+  for (unsigned r = 0; r < repeat; ++r) {
+    Stopwatch sw;
+    fn();
+    secs.push_back(sw.seconds());
+  }
+  std::sort(secs.begin(), secs.end());
+  const std::size_t n = secs.size();
+  return n % 2 == 1 ? secs[n / 2] : 0.5 * (secs[n / 2 - 1] + secs[n / 2]);
+}
+
 inline PersonaSummary sweep_persona(data::Persona p, const Options& opts,
                                     bool want_psnr = true) {
   PersonaSummary out;
@@ -81,9 +113,12 @@ inline PersonaSummary sweep_persona(data::Persona p, const Options& opts,
     FieldRow row;
     row.name = f.name;
 
-    Stopwatch sw;
-    const auto c_sz = sz::compress(grid, f.dims, sz::Config{});
-    row.mbps_sz = sw.mbps(grid.size() * sizeof(float));
+    sz::Compressed c_sz;
+    const double sz_secs = median_seconds(opts.repeat, [&] {
+      c_sz = sz::compress(grid, f.dims, sz::Config{});
+    });
+    row.mbps_sz =
+        static_cast<double>(grid.size() * sizeof(float)) / 1e6 / sz_secs;
     row.ratio_sz = raw / static_cast<double>(c_sz.bytes.size());
 
     const auto c_ghost = ghost::compress(grid, f.dims, sz::Config{});
@@ -125,6 +160,70 @@ inline void print_scale_note(const Options& opts) {
     std::printf("(synthetic personas at reduced scale; pass --full for "
                 "paper-native dims)\n");
   }
+  if (opts.repeat > 1) {
+    std::printf("(timings are the median of %u runs)\n", opts.repeat);
+  }
+}
+
+namespace detail {
+
+inline void json_escape_to(std::FILE* f, const std::string& s) {
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      std::fputc('\\', f);
+      std::fputc(ch, f);
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      std::fprintf(f, "\\u%04x", static_cast<unsigned>(ch));
+    } else {
+      std::fputc(ch, f);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Dump every per-field row gathered by a bench to `opts.json_path` (no-op
+/// when --json was not given). The schema is one object per persona with
+/// the full FieldRow contents, so BENCH_*.json fixtures regenerate from a
+/// single flag instead of copy-pasting stdout.
+inline void write_rows_json(
+    const Options& opts, const char* bench_name,
+    const std::vector<std::pair<std::string, PersonaSummary>>& personas) {
+  if (opts.json_path.empty()) return;
+  std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"full\": %s,\n"
+               "  \"scale_override\": %u,\n  \"repeat\": %u,\n"
+               "  \"personas\": [",
+               bench_name, opts.full ? "true" : "false", opts.scale_override,
+               opts.repeat);
+  bool first_p = true;
+  for (const auto& [name, summary] : personas) {
+    std::fprintf(f, "%s\n    {\"name\": \"", first_p ? "" : ",");
+    first_p = false;
+    detail::json_escape_to(f, name);
+    std::fprintf(f, "\", \"rows\": [");
+    bool first_r = true;
+    for (const auto& r : summary.rows) {
+      std::fprintf(f, "%s\n      {\"field\": \"", first_r ? "" : ",");
+      first_r = false;
+      detail::json_escape_to(f, r.name);
+      std::fprintf(f,
+                   "\", \"ratio_sz\": %.10g, \"ratio_ghost\": %.10g, "
+                   "\"ratio_wave_g\": %.10g, \"ratio_wave_hg\": %.10g, "
+                   "\"psnr_sz\": %.10g, \"psnr_ghost\": %.10g, "
+                   "\"psnr_wave\": %.10g, \"mbps_sz\": %.10g}",
+                   r.ratio_sz, r.ratio_ghost, r.ratio_wave_g, r.ratio_wave_hg,
+                   r.psnr_sz, r.psnr_ghost, r.psnr_wave, r.mbps_sz);
+    }
+    std::fprintf(f, "\n    ]}");
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nrows dumped to %s\n", opts.json_path.c_str());
 }
 
 }  // namespace wavesz::bench

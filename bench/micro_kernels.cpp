@@ -1,6 +1,6 @@
 // google-benchmark microbenchmarks of the hot kernels: quantization (both
-// datapaths), Lorenzo PQD, wavefront transform, customized Huffman, DEFLATE
-// and truncation coding.
+// datapaths), Lorenzo PQD, wavefront transform, customized Huffman, DEFLATE,
+// truncation coding, and the telemetry enabled/disabled overhead pair.
 #include <benchmark/benchmark.h>
 
 #include <random>
@@ -15,6 +15,7 @@
 #include "sz/huffman_codec.hpp"
 #include "sz/quantizer.hpp"
 #include "sz/unpredictable.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -181,6 +182,35 @@ void BM_Inflate(benchmark::State& state) {
                           static_cast<std::int64_t>(input.size()));
 }
 BENCHMARK(BM_Inflate);
+
+// The telemetry overhead pair: a full sz::compress with collection off
+// (the default — one relaxed atomic load per stage) and with a live
+// Session. EXPERIMENTS.md quotes the delta; the budget is <= 2%.
+void BM_SzCompressTelemetryOff(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto field = test_field(n, n);
+  for (auto _ : state) {
+    auto c = sz::compress(field, Dims::d2(n, n), sz::Config{});
+    benchmark::DoNotOptimize(c.bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 4));
+}
+BENCHMARK(BM_SzCompressTelemetryOff)->Arg(256)->Arg(512);
+
+void BM_SzCompressTelemetryOn(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto field = test_field(n, n);
+  telemetry::Session session;
+  for (auto _ : state) {
+    auto c = sz::compress(field, Dims::d2(n, n), sz::Config{});
+    benchmark::DoNotOptimize(c.bytes.data());
+  }
+  (void)session.stop();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 4));
+}
+BENCHMARK(BM_SzCompressTelemetryOn)->Arg(256)->Arg(512);
 
 void BM_TruncationEncode(benchmark::State& state) {
   std::vector<float> values(1 << 15);

@@ -14,15 +14,18 @@ int main(int argc, char** argv) {
               "SZ/Ghost", "paper SZ/Ghost");
   const double paper_ratio[3] = {31.2 / 7.9, 21.4 / 6.2, 33.8 / 6.6};
   int i = 0;
+  std::vector<std::pair<std::string, bench::PersonaSummary>> dump;
   for (auto p : data::all_personas()) {
-    const auto s = bench::sweep_persona(p, opts, /*want_psnr=*/false);
+    auto s = bench::sweep_persona(p, opts, /*want_psnr=*/false);
     const double ghost = s.avg(&bench::FieldRow::ratio_ghost);
     const double sz = s.avg(&bench::FieldRow::ratio_sz);
     std::printf("%-12s %10.1f %10.1f %10.2f  %14.2f\n",
                 std::string(data::persona_name(p)).c_str(), ghost, sz,
                 sz / ghost, paper_ratio[i++]);
+    dump.emplace_back(std::string(data::persona_name(p)), std::move(s));
   }
   std::printf("\nshape check: SZ-1.4 must lead GhostSZ on every dataset "
               "(paper: 2.7x - 5.1x).\n");
+  bench::write_rows_json(opts, "table1_ratio_baseline", dump);
   return 0;
 }

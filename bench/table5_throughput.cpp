@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
               "paper (w, g, cpu)");
   int i = 0;
   double sum_wg = 0, sum_wc = 0;
+  std::vector<std::pair<std::string, bench::PersonaSummary>> dump;
   for (auto p : data::all_personas()) {
     const Dims native = data::persona_dims(p, 1);
     const auto wave_t = fpga::wave_throughput(native, fpga::kWaveSzLanes);
@@ -33,8 +34,9 @@ int main(int argc, char** argv) {
 
     // Measure SZ-1.4 on a reduced grid (the kernel is O(n); MB/s is
     // scale-invariant up to cache effects).
-    const auto sweep = bench::sweep_persona(p, opts, /*want_psnr=*/false);
+    auto sweep = bench::sweep_persona(p, opts, /*want_psnr=*/false);
     const double cpu = sweep.avg(&bench::FieldRow::mbps_sz);
+    dump.emplace_back(std::string(data::persona_name(p)), std::move(sweep));
 
     const double w_over_c = wave_t.effective_mbps / cpu;
     const double w_over_g = wave_t.effective_mbps / ghost_t.effective_mbps;
@@ -52,5 +54,6 @@ int main(int argc, char** argv) {
               sum_wc / 3.0, sum_wg / 3.0);
   std::printf("note: the CPU column depends on this machine; the paper used "
               "a Xeon Gold 6148.\n");
+  bench::write_rows_json(opts, "table5_throughput", dump);
   return 0;
 }

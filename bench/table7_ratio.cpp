@@ -41,8 +41,9 @@ int main(int argc, char** argv) {
               "GhostSZ", "waveSZ G*", "waveSZ H*G*", "SZ-1.4",
               "G* max-CR*", "wave/ghost (paper 2.1x avg)");
   double sum_gain = 0;
+  std::vector<std::pair<std::string, bench::PersonaSummary>> dump;
   for (auto p : data::all_personas()) {
-    const auto s = bench::sweep_persona(p, opts, /*want_psnr=*/false);
+    auto s = bench::sweep_persona(p, opts, /*want_psnr=*/false);
     const double ghost = s.avg(&bench::FieldRow::ratio_ghost);
     const double wg = s.avg(&bench::FieldRow::ratio_wave_g);
     const double whg = s.avg(&bench::FieldRow::ratio_wave_hg);
@@ -51,7 +52,9 @@ int main(int argc, char** argv) {
     std::printf("%-12s %10.1f %12.1f %12.1f %10.1f %12.1f    %10.2fx\n",
                 std::string(data::persona_name(p)).c_str(), ghost, wg, whg,
                 sz, max_possible_ratio(p, opts), wg / ghost);
+    dump.emplace_back(std::string(data::persona_name(p)), std::move(s));
   }
+  bench::write_rows_json(opts, "table7_ratio", dump);
   std::printf("\n(* artifact appendix A.4.2: the 'maximal possible "
               "compression ratio' excludes\n   the verbatim border stream "
               "from the compressed size.)\n");

@@ -2,15 +2,36 @@
 // error bound, and print the numbers you care about.
 //
 //   $ ./examples/quickstart
+//   $ ./examples/quickstart --trace trace.json --stats   # stage telemetry
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/wavesz.hpp"
 #include "data/synthetic.hpp"
 #include "metrics/stats.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace wavesz;
+
+  std::string trace_path;
+  bool stats_flag = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (a == "--stats") {
+      stats_flag = true;
+    }
+  }
+  std::unique_ptr<telemetry::Session> session;
+  if (!trace_path.empty() || stats_flag) {
+    session = std::make_unique<telemetry::Session>();
+  }
 
   // 1. Get a 2D float field (here: a synthetic climate-like field; swap in
   //    data::read_f32("myfield.f32") for your own data).
@@ -47,5 +68,19 @@ int main() {
   std::printf("restored: %s, PSNR %.1f dB, max |err| %.3g — bound %s\n",
               out_dims.str().c_str(), stats.psnr_db, stats.max_abs_error,
               ok ? "HOLDS" : "VIOLATED");
+
+  // 5. Optional: where did the time go? (--trace opens in ui.perfetto.dev)
+  if (session) {
+    const telemetry::Report report = session->stop();
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path, std::ios::binary);
+      out << telemetry::chrome_trace_json(report);
+      if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+        return 1;
+      }
+    }
+    if (stats_flag) std::fputs(telemetry::summary_table(report).c_str(), stdout);
+  }
   return ok ? 0 : 1;
 }

@@ -7,10 +7,15 @@
 //   wavesz_cli decompress <in.wsz> <out.f32>
 //   wavesz_cli info       <in.wsz>
 //
+// Global flags (any subcommand): --trace <out.json> writes a Chrome
+// trace-event file of the run (open in ui.perfetto.dev), --stats prints the
+// per-stage breakdown and pipeline counters to stderr.
+//
 // Example (artifact equivalent of `cpurun 1800 3600 1 -3 base10 F wave`):
 //   wavesz_cli compress F.dat F.wsz 1800 3600 --mode wave --eb 1e-3
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +25,8 @@
 #include "metrics/stats.hpp"
 #include "sz/compressor.hpp"
 #include "sz/container.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -34,7 +41,8 @@ int usage() {
                "             [--mode wave|ghost|sz] [--eb 1e-3] [--abs]\n"
                "             [--base10] [--huffman] [--best]\n"
                "  wavesz_cli decompress <in.wsz> <out.f32>\n"
-               "  wavesz_cli info       <in.wsz>\n");
+               "  wavesz_cli info       <in.wsz>\n"
+               "global flags: [--trace <out.json>] [--stats]\n");
   return 2;
 }
 
@@ -182,14 +190,54 @@ int do_info(const char* in) {
 
 int main(int argc, char** argv) {
   try {
-    if (argc < 2) return usage();
-    const std::string cmd = argv[1];
-    if (cmd == "compress") return do_compress(argc - 2, argv + 2);
-    if (cmd == "decompress" && argc == 4) {
-      return do_decompress(argv[2], argv[3]);
+    // Strip the global telemetry flags before subcommand dispatch.
+    std::string trace_path;
+    bool stats = false;
+    std::vector<char*> args;
+    for (int i = 0; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--trace" && i + 1 < argc) {
+        trace_path = argv[++i];
+      } else if (a == "--stats") {
+        stats = true;
+      } else {
+        args.push_back(argv[i]);
+      }
     }
-    if (cmd == "info" && argc == 3) return do_info(argv[2]);
-    return usage();
+    const int n = static_cast<int>(args.size());
+    if (n < 2) return usage();
+
+    std::unique_ptr<telemetry::Session> session;
+    if (!trace_path.empty() || stats) {
+      session = std::make_unique<telemetry::Session>();
+    }
+    int rc = 2;
+    const std::string cmd = args[1];
+    if (cmd == "compress") {
+      rc = do_compress(n - 2, args.data() + 2);
+    } else if (cmd == "decompress" && n == 4) {
+      rc = do_decompress(args[2], args[3]);
+    } else if (cmd == "info" && n == 3) {
+      rc = do_info(args[2]);
+    } else {
+      return usage();
+    }
+
+    if (session) {
+      const telemetry::Report report = session->stop();
+      if (!trace_path.empty()) {
+        const std::string json = telemetry::chrome_trace_json(report);
+        data::write_bytes(trace_path,
+                          {reinterpret_cast<const std::uint8_t*>(json.data()),
+                           json.size()});
+        std::fprintf(stderr, "trace: %zu spans -> %s\n",
+                     report.events.size(), trace_path.c_str());
+      }
+      if (stats) {
+        std::fputs(telemetry::summary_table(report).c_str(), stderr);
+      }
+    }
+    return rc;
   } catch (const wavesz::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

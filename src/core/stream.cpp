@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
 
@@ -110,6 +111,8 @@ void StreamCompressor::feed(std::span<const double> planes) {
 }
 
 void StreamCompressor::emit_chunk() {
+  telemetry::Span span("stream.chunk");
+  telemetry::counter_add(telemetry::Counter::StreamChunks, 1);
   const bool f64 = dtype_ == 1;
   const std::size_t buffered =
       f64 ? pending64_.size() : pending_.size();
@@ -173,6 +176,8 @@ std::size_t stream_chunk_count(std::span<const std::uint8_t> bytes) {
 
 StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
                                     std::size_t index, int pqd_threads) {
+  telemetry::Span span("stream.decode_chunk");
+  telemetry::counter_add(telemetry::Counter::StreamChunks, 1);
   ByteReader r(bytes);
   const auto idx = parse_index(bytes, r);
   WAVESZ_REQUIRE(index < idx.chunks.size(), "chunk index out of range");

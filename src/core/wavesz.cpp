@@ -6,6 +6,7 @@
 #include "deflate/parallel.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/predictor.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::wave {
@@ -122,6 +123,8 @@ typename FpOps<T>::Kernel wave_pqd_2d_par_t(std::span<T> wavefront,
   T* const wf = wavefront.data();
   const std::size_t e0 = (layout.rows() + kTile0 - 1) / kTile0;
   const std::size_t e1 = (layout.cols() + kTile1 - 1) / kTile1;
+  telemetry::counter_add(telemetry::Counter::PqdDiagonalBatches,
+                         e0 + e1 - 1);
 #ifdef _OPENMP
 #pragma omp parallel num_threads(nt)
 #endif
@@ -216,6 +219,8 @@ std::vector<T> wave_reconstruct_2d_par_t(std::span<const std::uint16_t> codes,
   T* const r = rec.data();
   const std::size_t e0 = (layout.rows() + kTile0 - 1) / kTile0;
   const std::size_t e1 = (layout.cols() + kTile1 - 1) / kTile1;
+  telemetry::counter_add(telemetry::Counter::PqdDiagonalBatches,
+                         e0 + e1 - 1);
 #ifdef _OPENMP
 #pragma omp parallel num_threads(nt)
 #endif
@@ -353,11 +358,17 @@ std::vector<std::uint8_t> plain_codes(
 template <typename T>
 sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
                           const sz::Config& cfg, LayoutMode mode) {
+  telemetry::Span span_all("wave::compress");
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   WAVESZ_REQUIRE(dims.rank >= 2,
                  "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
   const int pqd_nt = sz::resolve_thread_budget(cfg.pqd_threads);
-  const double bound = resolve_bound(cfg, sz::value_range(data, pqd_nt));
+  double range = 0.0;
+  {
+    telemetry::Span span("value_range");
+    range = sz::value_range(data, pqd_nt);
+  }
+  const double bound = resolve_bound(cfg, range);
   const sz::LinearQuantizer q(bound, cfg.quant_bits);
   if (mode == LayoutMode::True3D) {
     WAVESZ_REQUIRE(dims.rank == 3, "True3D layout requires a 3D dataset");
@@ -365,11 +376,13 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
 
   typename FpOps<T>::Kernel kr;
   if (mode == LayoutMode::Flatten2D || dims.rank <= 2) {
+    telemetry::Span span_pqd("wave.pqd");
     const Dims flat = dims.flatten2d();
     const WavefrontLayout layout(flat[0], flat[1]);
     auto wf = to_wavefront(data, layout);
     kr = wave_pqd_2d_auto<T>(std::span<T>(wf), layout, q, pqd_nt);
   } else {
+    telemetry::Span span_pqd("wave.pqd3d");
     const std::size_t planes = dims[0];
     const WavefrontLayout layout(dims[1], dims[2]);
     const std::size_t slice_points = layout.count();
@@ -392,14 +405,28 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
     }
   }
 
-  const auto code_plain = plain_codes(kr.codes, cfg, pqd_nt);
+  telemetry::counter_add(telemetry::Counter::QuantUnpredictable,
+                         kr.verbatim.size());
+  telemetry::counter_add(telemetry::Counter::QuantPredictable,
+                         kr.codes.size() - kr.verbatim.size());
+  std::vector<std::uint8_t> code_plain;
+  {
+    telemetry::Span span("encode.codes");
+    code_plain = plain_codes(kr.codes, cfg, pqd_nt);
+  }
   ByteWriter vw;
   FpOps<T>::write_values(vw, kr.verbatim);
   // Code-section and verbatim-section encodes share one chunked-DEFLATE
   // task pool (serial and bit-identical at the default codec_threads == 1).
+  telemetry::Span span_tail("deflate+serialize");
   const std::span<const std::uint8_t> sections[] = {code_plain, vw.data()};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
                                             cfg.deflate_options());
+  telemetry::counter_add(telemetry::Counter::CodeBytesIn, code_plain.size());
+  telemetry::counter_add(telemetry::Counter::CodeBytesOut, blobs[0].size());
+  telemetry::counter_add(telemetry::Counter::UnpredBytesIn, vw.data().size());
+  telemetry::counter_add(telemetry::Counter::UnpredBytesOut,
+                         blobs[1].size());
 
   sz::Compressed out;
   out.header.variant = sz::Variant::WaveSz;
@@ -431,6 +458,7 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                             Dims* dims_out, int pqd_threads) {
+  telemetry::Span span_all("wave::decompress");
   ByteReader r(bytes);
   const sz::ContainerHeader h = sz::read_header(r);
   WAVESZ_REQUIRE(h.variant == sz::Variant::WaveSz,
@@ -442,16 +470,20 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   const auto code_blob = sz::read_section(r);
   const auto verbatim_blob = sz::read_section(r);
 
-  const auto code_plain = deflate::gzip_decompress(code_blob);
   std::vector<std::uint16_t> codes;
-  if (h.huffman) {
-    codes = sz::huffman_decode(code_plain);
-  } else {
-    ByteReader cr(code_plain);
-    codes = cr.u16s(h.point_count);
+  {
+    telemetry::Span span("decode.codes");
+    const auto code_plain = deflate::gzip_decompress(code_blob);
+    if (h.huffman) {
+      codes = sz::huffman_decode(code_plain);
+    } else {
+      ByteReader cr(code_plain);
+      codes = cr.u16s(h.point_count);
+    }
   }
   WAVESZ_REQUIRE(codes.size() == h.point_count, "code count mismatch");
 
+  telemetry::Span span_body("wave.reconstruct");
   const auto verbatim_plain = deflate::gzip_decompress(verbatim_blob);
   ByteReader ur(verbatim_plain);
   const auto verbatim = FpOps<T>::read_values(ur, h.unpredictable_count);

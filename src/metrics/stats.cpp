@@ -57,8 +57,21 @@ std::size_t first_violation(std::span<const float> original,
                                          std::numeric_limits<float>::max())) -
       bound;
   for (std::size_t i = 0; i < original.size(); ++i) {
-    const double e = std::fabs(static_cast<double>(original[i]) -
-                               static_cast<double>(decompressed[i]));
+    const float o = original[i], d = decompressed[i];
+    // Bit-for-bit identical non-finite values (NaN payload aside: any NaN
+    // pairs with any NaN) count as reconstructed; everything else involving
+    // a NaN or an infinite difference is a violation — `e > bound` alone
+    // would let NaN errors pass silently because every NaN compare is false.
+    if (std::isnan(o) || std::isnan(d)) {
+      if (std::isnan(o) && std::isnan(d)) continue;
+      return i;
+    }
+    if (std::isinf(o) || std::isinf(d)) {
+      if (o == d) continue;
+      return i;
+    }
+    const double e = std::fabs(static_cast<double>(o) -
+                               static_cast<double>(d));
     if (e > bound + slack) return i;
   }
   return static_cast<std::size_t>(-1);

@@ -31,7 +31,10 @@ DistortionStats distortion(std::span<const float> original,
                            std::span<const float> decompressed);
 
 /// True iff every |original[i] - decompressed[i]| <= bound (with a 1-ulp
-/// slack to absorb double->float rounding at the bound edge).
+/// slack to absorb double->float rounding at the bound edge). Non-finite
+/// values must reproduce exactly: NaN pairs with NaN, an infinity only with
+/// the same-signed infinity; any other non-finite pairing is a violation.
+/// Delegates to first_violation, so both agree by construction.
 bool within_bound(std::span<const float> original,
                   std::span<const float> decompressed, double bound);
 

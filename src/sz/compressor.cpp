@@ -9,6 +9,7 @@
 #include "sz/pqd_detail.hpp"
 #include "sz/unpredictable.hpp"
 #include "sz/wavefront_pqd.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::sz {
@@ -67,8 +68,14 @@ double range_of(std::span<const T> data, int threads) {
 template <typename T>
 Compressed compress_t(std::span<const T> data, const Dims& dims,
                       const Config& cfg) {
+  telemetry::Span span_all("sz::compress");
   const int pqd_nt = resolve_thread_budget(cfg.pqd_threads);
-  const double bound = resolve_bound(cfg, range_of<T>(data, pqd_nt));
+  double range = 0.0;
+  {
+    telemetry::Span span("value_range");
+    range = range_of<T>(data, pqd_nt);
+  }
+  const double bound = resolve_bound(cfg, range);
   const LinearQuantizer q(bound, cfg.quant_bits);
   WAVESZ_REQUIRE(cfg.predictor == PredictorKind::Lorenzo1Layer ||
                      dims.rank <= 2,
@@ -77,30 +84,52 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   // pqd_threads > 1 switches to the tiled anti-diagonal wavefront schedule;
   // the two kernels share per-point arithmetic (pqd_detail.hpp), so the
   // codes, history and unpredictable stream are bit-identical either way.
-  auto pqd =
-      pqd_nt > 1 && dims.rank >= 2
-          ? detail::lorenzo_pqd_wavefront_t<T>(data, dims, q, cfg.predictor,
-                                               pqd_nt)
-          : detail::lorenzo_pqd_t<T>(data, dims, q, cfg.predictor);
+  const bool wavefront = pqd_nt > 1 && dims.rank >= 2;
+  typename FpOps<T>::PqdType pqd;
+  {
+    telemetry::Span span(wavefront ? "pqd.wavefront" : "pqd.raster");
+    pqd = wavefront ? detail::lorenzo_pqd_wavefront_t<T>(data, dims, q,
+                                                         cfg.predictor,
+                                                         pqd_nt)
+                    : detail::lorenzo_pqd_t<T>(data, dims, q, cfg.predictor);
+  }
+  telemetry::counter_add(telemetry::Counter::QuantUnpredictable,
+                         pqd.unpredictable.size());
+  telemetry::counter_add(telemetry::Counter::QuantPredictable,
+                         pqd.codes.size() - pqd.unpredictable.size());
 
   // Code section: H* (customized Huffman) then G* (gzip), or raw codes
   // straight into gzip when Huffman is disabled.
   std::vector<std::uint8_t> code_plain;
-  if (cfg.huffman) {
-    code_plain = huffman_encode(pqd.codes, pqd_nt);
-  } else {
-    ByteWriter cw;
-    cw.u16s(pqd.codes);
-    code_plain = cw.take();
+  {
+    telemetry::Span span("encode.codes");
+    if (cfg.huffman) {
+      code_plain = huffman_encode(pqd.codes, pqd_nt);
+    } else {
+      ByteWriter cw;
+      cw.u16s(pqd.codes);
+      code_plain = cw.take();
+    }
   }
-  const auto unpred_plain = FpOps<T>::encode(pqd.unpredictable, bound);
+  std::vector<std::uint8_t> unpred_plain;
+  {
+    telemetry::Span span("encode.unpred");
+    unpred_plain = FpOps<T>::encode(pqd.unpredictable, bound);
+  }
 
   // Both sections go through one chunked-DEFLATE task pool, so the code and
   // unpredictable encodes run concurrently under cfg.codec_threads (the
   // serial budget of 1 reproduces the historical streams bit-for-bit).
+  telemetry::Span span_tail("deflate+serialize");
   const std::span<const std::uint8_t> sections[] = {code_plain, unpred_plain};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
                                             cfg.deflate_options());
+  telemetry::counter_add(telemetry::Counter::CodeBytesIn, code_plain.size());
+  telemetry::counter_add(telemetry::Counter::CodeBytesOut, blobs[0].size());
+  telemetry::counter_add(telemetry::Counter::UnpredBytesIn,
+                         unpred_plain.size());
+  telemetry::counter_add(telemetry::Counter::UnpredBytesOut,
+                         blobs[1].size());
 
   Compressed out;
   out.header.variant = Variant::Sz14;
@@ -132,6 +161,7 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                             Dims* dims_out, int pqd_threads) {
+  telemetry::Span span_all("sz::decompress");
   ByteReader r(bytes);
   const ContainerHeader h = read_header(r);
   WAVESZ_REQUIRE(h.variant == Variant::Sz14,
@@ -141,19 +171,26 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   const auto code_blob = read_section(r);
   const auto unpred_blob = read_section(r);
 
-  const auto code_plain = deflate::gzip_decompress(code_blob);
   std::vector<std::uint16_t> codes;
-  if (h.huffman) {
-    codes = huffman_decode(code_plain);
-  } else {
-    ByteReader cr(code_plain);
-    codes = cr.u16s(h.point_count);
+  {
+    telemetry::Span span("decode.codes");
+    const auto code_plain = deflate::gzip_decompress(code_blob);
+    if (h.huffman) {
+      codes = huffman_decode(code_plain);
+    } else {
+      ByteReader cr(code_plain);
+      codes = cr.u16s(h.point_count);
+    }
   }
   WAVESZ_REQUIRE(codes.size() == h.point_count, "code count mismatch");
 
-  const auto unpred_plain = deflate::gzip_decompress(unpred_blob);
-  const auto unpred = FpOps<T>::decode(
-      unpred_plain, h.unpredictable_count, h.eb_absolute);
+  std::vector<T> unpred;
+  {
+    telemetry::Span span("decode.unpred");
+    const auto unpred_plain = deflate::gzip_decompress(unpred_blob);
+    unpred = FpOps<T>::decode(unpred_plain, h.unpredictable_count,
+                              h.eb_absolute);
+  }
 
   WAVESZ_REQUIRE(h.aux <= 1, "unknown SZ-1.4 predictor kind");
   const auto kind = static_cast<PredictorKind>(h.aux);
@@ -161,9 +198,11 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   if (dims_out != nullptr) *dims_out = h.dims;
   const int pqd_nt = resolve_thread_budget(pqd_threads);
   if (pqd_nt > 1 && h.dims.rank >= 2) {
+    telemetry::Span span("reconstruct.wavefront");
     return detail::lorenzo_reconstruct_wavefront_t<T>(codes, unpred, h.dims,
                                                       q, kind, pqd_nt);
   }
+  telemetry::Span span("reconstruct.raster");
   return detail::lorenzo_reconstruct_t<T>(codes, unpred, h.dims, q, kind);
 }
 

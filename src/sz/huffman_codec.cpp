@@ -4,6 +4,7 @@
 #include <array>
 
 #include "sz/config.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
 #include "util/error.hpp"
@@ -145,9 +146,21 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
     return w.take();
   }
   const int nt = clamp_threads(threads, codes.size());
-  const auto freq = frequencies(codes, nt);
-  const auto lengths = huffman_code_lengths(freq, kMaxCodeLength);
-  const auto canon = canonical_codes(lengths);
+  std::vector<std::uint64_t> freq;
+  std::vector<std::uint8_t> lengths;
+  std::vector<std::uint32_t> canon;
+  {
+    telemetry::Span span("huffman.table");
+    const std::uint64_t t0 =
+        telemetry::enabled() ? telemetry::detail::now_ns() : 0;
+    freq = frequencies(codes, nt);
+    lengths = huffman_code_lengths(freq, kMaxCodeLength);
+    canon = canonical_codes(lengths);
+    if (telemetry::enabled()) {
+      telemetry::counter_add(telemetry::Counter::HuffmanTableBuildNs,
+                             telemetry::detail::now_ns() - t0);
+    }
+  }
 
   std::uint32_t distinct = 0;
   for (auto l : lengths) {
@@ -161,6 +174,7 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
       w.u8(lengths[s]);
     }
   }
+  telemetry::Span span_pack("huffman.pack");
   std::uint64_t payload_bits = 0;
   const auto payload = pack_payload(codes, canon, lengths, nt, &payload_bits);
   w.u64(payload_bits);

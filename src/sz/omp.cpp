@@ -4,6 +4,7 @@
 #include <new>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 #ifdef _OPENMP
@@ -49,6 +50,7 @@ std::vector<Slab> partition(const Dims& dims, int blocks) {
 
 OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
                            const Config& cfg, int threads) {
+  telemetry::Span span_all("sz::compress_omp");
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   int nthreads = threads;
 #ifdef _OPENMP
@@ -76,6 +78,7 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
 #endif
   for (std::size_t b = 0; b < slabs.size(); ++b) {
     try {
+      telemetry::Span span("slab.compress");
       const Slab& s = slabs[b];
       pieces[b] = compress(data.subspan(s.offset_points, s.dims.count()),
                            s.dims, slab_cfg)
@@ -88,6 +91,7 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
     }
   }
   if (compress_failure) std::rethrow_exception(compress_failure);
+  telemetry::counter_add(telemetry::Counter::OmpSlabs, slabs.size());
 
   ByteWriter w;
   w.u32(kOmpMagic);
@@ -106,6 +110,7 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
 
 std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
                                   Dims* dims_out) {
+  telemetry::Span span_all("sz::decompress_omp");
   ByteReader r(bytes);
   WAVESZ_REQUIRE(r.u32() == kOmpMagic, "not an OpenMP SZ container");
   const int rank = r.u8();
@@ -153,6 +158,7 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
 #endif
   for (std::size_t b = 0; b < pieces.size(); ++b) {
     try {
+      telemetry::Span span("slab.decompress");
       const auto part = decompress(pieces[b]);
       WAVESZ_REQUIRE(part.size() == slabs[b].dims.count(),
                      "slab payload size disagrees with layout");
@@ -172,6 +178,7 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
     }
   }
   if (failure) std::rethrow_exception(failure);
+  telemetry::counter_add(telemetry::Counter::OmpSlabs, pieces.size());
 
   if (dims_out != nullptr) *dims_out = dims;
   return out;

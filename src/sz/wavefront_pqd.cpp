@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 #ifdef _OPENMP
@@ -119,6 +120,8 @@ typename FpOps<T>::PqdType lorenzo_pqd_wavefront_t(std::span<const T> data,
   const std::size_t s1 = shape.n2, s0 = shape.n1 * shape.n2;
   const bool one_layer = kind == PredictorKind::Lorenzo1Layer;
   const TileSchedule g = make_schedule(shape, dims.rank);
+  telemetry::counter_add(telemetry::Counter::PqdDiagonalBatches,
+                         g.diagonals.size());
   const T* src = data.data();
 
 #ifdef _OPENMP
@@ -183,6 +186,8 @@ std::vector<T> lorenzo_reconstruct_wavefront_t(
                  "unpredictable stream has trailing values");
 
   const TileSchedule g = make_schedule(shape, dims.rank);
+  telemetry::counter_add(telemetry::Counter::PqdDiagonalBatches,
+                         g.diagonals.size());
 #ifdef _OPENMP
 #pragma omp parallel num_threads(nt)
 #endif

@@ -1,0 +1,172 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace wavesz::telemetry {
+namespace {
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+/// Aggregate view of every span with the same name.
+struct StageStat {
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::set<std::uint32_t> tids;
+  std::uint32_t min_depth = ~0u;
+};
+
+std::map<std::string, StageStat> aggregate(const Report& report) {
+  std::map<std::string, StageStat> stages;
+  for (const SpanEvent& e : report.events) {
+    StageStat& s = stages[e.name];
+    ++s.count;
+    s.total_ns += e.duration_ns;
+    s.tids.insert(e.tid);
+    s.min_depth = std::min(s.min_depth, e.depth);
+  }
+  return stages;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Report& report) {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  std::set<std::uint32_t> tids;
+  for (const SpanEvent& e : report.events) tids.insert(e.tid);
+  for (std::uint32_t tid : tids) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" +
+           std::to_string(tid) + ",\"args\":{\"name\":\"" +
+           (tid == 0 ? std::string("wavesz-main")
+                     : "wavesz-worker-" + std::to_string(tid)) +
+           "\"}}";
+  }
+  for (const SpanEvent& e : report.events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, e.name);
+    // ts/dur are microseconds by spec; keep ns resolution as fractions.
+    out += "\",\"cat\":\"wavesz\",\"ph\":\"X\",\"ts\":" +
+           fmt("%.3f", static_cast<double>(e.start_ns) / 1e3) +
+           ",\"dur\":" +
+           fmt("%.3f", static_cast<double>(e.duration_ns) / 1e3) +
+           ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+           ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string stats_json(const Report& report) {
+  const auto stages = aggregate(report);
+  std::string out = "{\"wall_ms\":" +
+                    fmt("%.3f", static_cast<double>(report.wall_ns) / 1e6) +
+                    ",\"dropped_events\":" +
+                    std::to_string(report.dropped_events) + ",\"stages\":[";
+  bool first = true;
+  for (const auto& [name, s] : stages) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, name.c_str());
+    out += "\",\"count\":" + std::to_string(s.count) + ",\"total_ms\":" +
+           fmt("%.3f", static_cast<double>(s.total_ns) / 1e6) +
+           ",\"mean_us\":" +
+           fmt("%.3f", static_cast<double>(s.total_ns) / 1e3 /
+                           static_cast<double>(s.count)) +
+           ",\"threads\":" + std::to_string(s.tids.size()) + "}";
+  }
+  out += "],\"counters\":{";
+  first = true;
+  for (const CounterValue& c : report.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"";
+    append_escaped(out, c.name);
+    out += "\":" + std::to_string(c.value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string summary_table(const Report& report) {
+  const auto stages = aggregate(report);
+  // Sort top-level stages before nested ones, then by total time.
+  std::vector<std::pair<std::string, StageStat>> rows(stages.begin(),
+                                                      stages.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.min_depth != b.second.min_depth) {
+      return a.second.min_depth < b.second.min_depth;
+    }
+    return a.second.total_ns > b.second.total_ns;
+  });
+  const double wall_ms = static_cast<double>(report.wall_ns) / 1e6;
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line), "telemetry: %.3f ms wall, %zu spans\n",
+                wall_ms, report.events.size());
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-24s %8s %12s %8s %8s\n", "stage",
+                "calls", "total ms", "% wall", "threads");
+  out += line;
+  for (const auto& [name, s] : rows) {
+    const double total_ms = static_cast<double>(s.total_ns) / 1e6;
+    std::snprintf(line, sizeof(line), "  %-24s %8llu %12.3f %7.1f%% %8zu\n",
+                  name.c_str(), static_cast<unsigned long long>(s.count),
+                  total_ms, wall_ms > 0.0 ? 100.0 * total_ms / wall_ms : 0.0,
+                  s.tids.size());
+    out += line;
+  }
+  bool any = false;
+  for (const CounterValue& c : report.counters) {
+    if (c.value == 0) continue;
+    if (!any) {
+      out += "  counters:\n";
+      any = true;
+    }
+    std::snprintf(line, sizeof(line), "    %-24s %llu\n", c.name,
+                  static_cast<unsigned long long>(c.value));
+    out += line;
+  }
+  if (report.dropped_events > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  (%llu spans dropped: ring buffer full)\n",
+                  static_cast<unsigned long long>(report.dropped_events));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wavesz::telemetry

@@ -1,0 +1,30 @@
+// Exporters for telemetry::Report.
+//
+//   * chrome_trace_json — Chrome trace-event format ("X" complete events
+//     with ts/dur in microseconds, plus thread_name metadata). Loads in
+//     Perfetto (ui.perfetto.dev) and chrome://tracing.
+//   * stats_json — flat machine-readable report: per-stage aggregates,
+//     every counter, wall time. One object, stable keys, for scripts.
+//   * summary_table — human-readable per-stage breakdown for terminals.
+#pragma once
+
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+namespace wavesz::telemetry {
+
+/// Chrome trace-event JSON ({"traceEvents": [...]}). pid is fixed at 1;
+/// tid is the dense thread ordinal from SpanEvent.
+std::string chrome_trace_json(const Report& report);
+
+/// Flat stats JSON: {"wall_ms": ..., "dropped_events": ...,
+/// "stages": [{"name", "count", "total_ms", "mean_us", "threads"}...],
+/// "counters": {"code_bytes_in": ..., ...}}.
+std::string stats_json(const Report& report);
+
+/// Human-readable stage table (name, calls, total ms, % of wall, threads)
+/// followed by the non-zero counters.
+std::string summary_table(const Report& report);
+
+}  // namespace wavesz::telemetry

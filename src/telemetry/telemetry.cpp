@@ -1,0 +1,202 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace wavesz::telemetry {
+namespace {
+
+/// Per-thread span capacity. Stages are coarse (a compress call emits tens
+/// of spans plus one per DEFLATE chunk / slab), so 16 Ki spans cover ~4 GB
+/// of input per thread between drains; overflow drops the newest span and
+/// counts it in Report::dropped_events rather than tearing older ones.
+constexpr std::size_t kRingCapacity = 1u << 14;
+
+struct RawSpan {
+  const char* name;
+  std::uint64_t t0_ns;
+  std::uint64_t t1_ns;
+  std::uint32_t depth;
+};
+
+/// Single-writer ring: the owning thread stores the slot then publishes the
+/// new count with a release store; the draining thread acquires the count
+/// and reads only committed slots. `drained` moves only under g_registry's
+/// mutex, and the writer reads it relaxed just to detect a full ring.
+struct ThreadLog {
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;  ///< live nesting, touched only by the owner
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> drained{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::array<RawSpan, kRingCapacity> slots;
+};
+
+/// Registry of every thread that ever recorded a span. Logs are never
+/// removed: OpenMP workers outlive sessions and keep their ring across
+/// them, and a log whose thread has exited is simply never written again.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::atomic<bool> session_active{false};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: usable during static dtors
+  return *r;
+}
+
+ThreadLog& local_log() {
+  thread_local ThreadLog* log = [] {
+    auto& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto owned = std::make_unique<ThreadLog>();
+    owned->tid = static_cast<std::uint32_t>(reg.logs.size());
+    reg.logs.push_back(std::move(owned));
+    return reg.logs.back().get();
+  }();
+  return *log;
+}
+
+std::array<std::atomic<std::uint64_t>,
+           static_cast<std::size_t>(Counter::kCount)>
+    g_counters{};
+
+constexpr const char* kCounterNames[] = {
+    "code_bytes_in",     "code_bytes_out",        "unpred_bytes_in",
+    "unpred_bytes_out",  "quant_predictable",     "quant_unpredictable",
+    "huffman_table_ns",  "deflate_chunks",        "pqd_diagonal_batches",
+    "omp_slabs",         "stream_chunks",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+                  static_cast<std::size_t>(Counter::kCount),
+              "counter_name table out of sync with Counter");
+
+}  // namespace
+
+const char* counter_name(Counter c) {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void span_open() noexcept { ++local_log().depth; }
+
+void record_span(const char* name, std::uint64_t t0_ns,
+                 std::uint64_t t1_ns) noexcept {
+  ThreadLog& log = local_log();
+  // Depth counts *enclosing* spans still open on this thread. Spans commit
+  // at close, children before parents; depth is captured here so exporters
+  // need no reconstruction. The span being closed is itself part of the
+  // live nesting, hence the decrement first.
+  if (log.depth > 0) --log.depth;
+  const std::uint64_t n = log.count.load(std::memory_order_relaxed);
+  if (n - log.drained.load(std::memory_order_relaxed) >= kRingCapacity) {
+    log.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  log.slots[n % kRingCapacity] = RawSpan{name, t0_ns, t1_ns, log.depth};
+  log.count.store(n + 1, std::memory_order_release);
+}
+
+void counter_add_enabled(Counter c, std::uint64_t delta) noexcept {
+  g_counters[static_cast<std::size_t>(c)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::uint64_t Report::counter(Counter c) const {
+  return counters[static_cast<std::size_t>(c)].value;
+}
+
+Session::Session() {
+#ifndef WAVESZ_TELEMETRY_DISABLED
+  auto& reg = registry();
+  if (reg.session_active.exchange(true)) {
+    throw std::logic_error("telemetry: a Session is already active");
+  }
+  for (auto& c : g_counters) c.store(0, std::memory_order_relaxed);
+  {
+    // Discard spans recorded after the previous session stopped draining
+    // (e.g. a worker closing a span mid-stop): fast-forward every cursor.
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& log : reg.logs) {
+      log->drained.store(log->count.load(std::memory_order_acquire),
+                         std::memory_order_relaxed);
+      log->dropped.store(0, std::memory_order_relaxed);
+    }
+  }
+  t0_ns_ = detail::now_ns();
+  active_ = true;
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+#endif
+}
+
+Session::~Session() {
+  if (active_) stop();
+}
+
+Report Session::stop() {
+  Report report;
+#ifndef WAVESZ_TELEMETRY_DISABLED
+  if (!active_) return report;
+  active_ = false;
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  report.wall_ns = detail::now_ns() - t0_ns_;
+
+  auto& reg = registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& log : reg.logs) {
+      const std::uint64_t end = log->count.load(std::memory_order_acquire);
+      for (std::uint64_t i = log->drained.load(std::memory_order_relaxed);
+           i < end; ++i) {
+        const RawSpan& raw = log->slots[i % kRingCapacity];
+        SpanEvent e;
+        e.name = raw.name;
+        // Clamp to the session window: a span opened before start() (or
+        // carrying a stale t0) must not produce a negative offset.
+        e.start_ns = raw.t0_ns >= t0_ns_ ? raw.t0_ns - t0_ns_ : 0;
+        e.duration_ns = raw.t1_ns - std::max(raw.t0_ns, t0_ns_);
+        e.tid = log->tid;
+        e.depth = raw.depth;
+        report.events.push_back(e);
+      }
+      log->drained.store(end, std::memory_order_relaxed);
+      report.dropped_events +=
+          log->dropped.exchange(0, std::memory_order_relaxed);
+    }
+  }
+  std::sort(report.events.begin(), report.events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.duration_ns > b.duration_ns;
+            });
+  reg.session_active.store(false);
+#endif
+  report.counters.resize(static_cast<std::size_t>(Counter::kCount));
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    report.counters[i].name = kCounterNames[i];
+#ifndef WAVESZ_TELEMETRY_DISABLED
+    report.counters[i].value =
+        g_counters[i].load(std::memory_order_relaxed);
+#endif
+  }
+  return report;
+}
+
+}  // namespace wavesz::telemetry

@@ -67,6 +67,56 @@ TEST(Stats, BoundEdgeGetsUlpSlack) {
   EXPECT_TRUE(within_bound(orig, dec, 0.25));
 }
 
+TEST(Stats, BoundEdgeOneUlpPastSlackFails) {
+  // One float ulp past the bound is inside the slack; two ulps is out.
+  const float bound = 0.25f;
+  const float one_past =
+      std::nextafter(bound, std::numeric_limits<float>::max());
+  const float two_past =
+      std::nextafter(one_past, std::numeric_limits<float>::max());
+  const std::vector<float> orig{0.0f};
+  const std::vector<float> dec_one{one_past};
+  const std::vector<float> dec_two{two_past};
+  EXPECT_TRUE(within_bound(orig, dec_one, bound));
+  EXPECT_FALSE(within_bound(orig, dec_two, bound));
+  EXPECT_EQ(first_violation(orig, dec_two, bound), 0u);
+}
+
+TEST(Stats, NanErrorIsAViolation) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> orig{1.0f, 2.0f};
+  const std::vector<float> dec{1.0f, nan};
+  // |2.0 - NaN| compares false against any bound; it must still be flagged.
+  EXPECT_FALSE(within_bound(orig, dec, 1e30));
+  EXPECT_EQ(first_violation(orig, dec, 1e30), 1u);
+  // Symmetric: NaN in the original, finite reconstruction.
+  EXPECT_FALSE(within_bound(dec, orig, 1e30));
+  EXPECT_EQ(first_violation(dec, orig, 1e30), 1u);
+}
+
+TEST(Stats, MatchingNonFiniteValuesPass) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> v{nan, inf, -inf, 1.0f};
+  EXPECT_TRUE(within_bound(v, v, 0.0));
+  EXPECT_EQ(first_violation(v, v, 0.0), static_cast<std::size_t>(-1));
+}
+
+TEST(Stats, InfinityMismatchIsAViolation) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> orig{inf, 1.0f};
+  const std::vector<float> neg{-inf, 1.0f};
+  const std::vector<float> fin{1.0f, 1.0f};
+  // Opposite-signed infinity never reconstructs the original.
+  EXPECT_FALSE(within_bound(orig, neg, 1e30));
+  EXPECT_EQ(first_violation(orig, neg, 1e30), 0u);
+  // Finite vs infinite differ by an infinite error regardless of bound.
+  EXPECT_FALSE(within_bound(orig, fin, 1e30));
+  const std::vector<float> one{1.0f};
+  const std::vector<float> one_inf{inf};
+  EXPECT_FALSE(within_bound(one, one_inf, 1e30));
+}
+
 TEST(Stats, CompressionRatio) {
   EXPECT_EQ(compression_ratio(1000, 100), 10.0);
   EXPECT_EQ(compression_ratio(1000, 0), 0.0);

@@ -1,0 +1,377 @@
+// Tests for the stage-level telemetry subsystem: span nesting, counter
+// aggregation, multithreaded ring-buffer collection, the JSON exporters,
+// and — most importantly — that a disabled session really collects nothing.
+//
+// Under -DWAVESZ_TELEMETRY=OFF (WAVESZ_TELEMETRY_DISABLED) the enabled-path
+// assertions are gated out, but every test still runs: the API must stay
+// callable and inert.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "data/synthetic.hpp"
+#include "sz/compressor.hpp"
+#include "sz/omp.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace wavesz::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON validator (no values kept, structure only), so the
+// exporter tests do not depend on an external parser being installed.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    pos_ = 0;
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_])) == 0) {
+              return false;
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(s_[pos_]) < 0x20) {
+        return false;  // raw control characters are invalid inside strings
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, DisabledByDefaultAndCollectsNothing) {
+  EXPECT_FALSE(enabled());
+  {
+    Span s("never.recorded");
+    counter_add(Counter::DeflateChunks, 42);
+  }
+  Session session;
+  const Report r = session.stop();
+  EXPECT_TRUE(r.events.empty());
+  EXPECT_EQ(r.counter(Counter::DeflateChunks), 0u);
+  EXPECT_EQ(r.dropped_events, 0u);
+}
+
+TEST(Telemetry, OnlyOneLiveSession) {
+#ifdef WAVESZ_TELEMETRY_DISABLED
+  GTEST_SKIP() << "sessions are inert when compiled out";
+#else
+  Session first;
+  EXPECT_THROW(Session second, std::logic_error);
+  (void)first.stop();
+  Session third;  // fine again after stop()
+  (void)third.stop();
+#endif
+}
+
+TEST(Telemetry, SpanNestingDepthAndOrdering) {
+  Session session;
+  {
+    Span outer("test.outer");
+    {
+      Span inner("test.inner");
+    }
+    {
+      Span inner2("test.inner");
+    }
+  }
+  const Report r = session.stop();
+#ifdef WAVESZ_TELEMETRY_DISABLED
+  EXPECT_TRUE(r.events.empty());
+#else
+  ASSERT_EQ(r.events.size(), 3u);
+  // Sorted by start time: outer opens first even though it closes last.
+  EXPECT_STREQ(r.events[0].name, "test.outer");
+  EXPECT_EQ(r.events[0].depth, 0u);
+  EXPECT_STREQ(r.events[1].name, "test.inner");
+  EXPECT_EQ(r.events[1].depth, 1u);
+  EXPECT_EQ(r.events[2].depth, 1u);
+  // All on the calling thread, nested inside the outer span's window.
+  EXPECT_EQ(r.events[0].tid, r.events[1].tid);
+  EXPECT_LE(r.events[1].start_ns + r.events[1].duration_ns,
+            r.events[0].start_ns + r.events[0].duration_ns);
+  EXPECT_LE(r.events[0].duration_ns, r.wall_ns);
+#endif
+}
+
+TEST(Telemetry, CounterAggregation) {
+  Session session;
+  counter_add(Counter::DeflateChunks, 3);
+  counter_add(Counter::DeflateChunks, 4);
+  counter_add(Counter::QuantPredictable, 100);
+  const Report r = session.stop();
+  ASSERT_EQ(r.counters.size(),
+            static_cast<std::size_t>(Counter::kCount));
+  for (const auto& c : r.counters) {
+    EXPECT_NE(c.name, nullptr);
+  }
+#ifndef WAVESZ_TELEMETRY_DISABLED
+  EXPECT_EQ(r.counter(Counter::DeflateChunks), 7u);
+  EXPECT_EQ(r.counter(Counter::QuantPredictable), 100u);
+  EXPECT_EQ(r.counter(Counter::OmpSlabs), 0u);
+#endif
+  // A new session starts from zero, not from the previous totals.
+  Session again;
+  EXPECT_EQ(again.stop().counter(Counter::DeflateChunks), 0u);
+}
+
+TEST(Telemetry, MultithreadedCollectionKeepsPerThreadIdentity) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  Session session;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s("test.worker");
+        counter_add(Counter::StreamChunks, 1);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const Report r = session.stop();
+#ifdef WAVESZ_TELEMETRY_DISABLED
+  EXPECT_TRUE(r.events.empty());
+#else
+  EXPECT_EQ(r.events.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(r.counter(Counter::StreamChunks),
+            static_cast<std::uint64_t>(kThreads * kSpansPerThread));
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : r.events) {
+    EXPECT_STREQ(e.name, "test.worker");
+    if (std::find(tids.begin(), tids.end(), e.tid) == tids.end()) {
+      tids.push_back(e.tid);
+    }
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  // Events are globally sorted by start time across threads.
+  for (std::size_t i = 1; i < r.events.size(); ++i) {
+    EXPECT_LE(r.events[i - 1].start_ns, r.events[i].start_ns);
+  }
+#endif
+}
+
+TEST(Telemetry, RingOverflowCountsDrops) {
+  Session session;
+  for (int i = 0; i < (1 << 15); ++i) {
+    Span s("test.flood");
+  }
+  const Report r = session.stop();
+#ifdef WAVESZ_TELEMETRY_DISABLED
+  EXPECT_TRUE(r.events.empty());
+#else
+  // Ring capacity is 1<<14 per thread; flooding 1<<15 must drop, not grow.
+  EXPECT_EQ(r.events.size(), static_cast<std::size_t>(1 << 14));
+  EXPECT_EQ(r.dropped_events, static_cast<std::uint64_t>(1 << 14));
+#endif
+}
+
+TEST(Telemetry, CompressPipelineEmitsStageSpans) {
+  const Dims dims = Dims::d2(64, 96);
+  data::FieldRecipe recipe;
+  recipe.seed = 7;
+  const auto field = data::generate(recipe, dims);
+
+  Session session;
+  const auto c = sz::compress(field, dims, sz::Config{});
+  (void)sz::decompress(c.bytes);
+  const auto cw = wave::compress(field, dims, wave::default_config());
+  (void)wave::decompress(cw.bytes);
+  const Report r = session.stop();
+#ifdef WAVESZ_TELEMETRY_DISABLED
+  EXPECT_TRUE(r.events.empty());
+#else
+  auto has = [&](const char* name) {
+    for (const auto& e : r.events) {
+      if (std::string(e.name) == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("sz::compress"));
+  EXPECT_TRUE(has("sz::decompress"));
+  EXPECT_TRUE(has("wave::compress"));
+  EXPECT_TRUE(has("wave::decompress"));
+  EXPECT_TRUE(has("deflate.chunk"));
+  EXPECT_GT(r.counter(Counter::CodeBytesIn), 0u);
+  EXPECT_GT(r.counter(Counter::CodeBytesOut), 0u);
+  EXPECT_GT(r.counter(Counter::DeflateChunks), 0u);
+  EXPECT_GT(r.counter(Counter::QuantPredictable), 0u);
+  // Compressing under telemetry must not change the output bytes.
+  const auto c2 = sz::compress(field, dims, sz::Config{});
+  EXPECT_EQ(c.bytes, c2.bytes);
+#endif
+}
+
+TEST(Telemetry, OmpDriverSpansCarryWorkerThreads) {
+  const Dims dims = Dims::d2(96, 128);
+  data::FieldRecipe recipe;
+  recipe.seed = 11;
+  const auto field = data::generate(recipe, dims);
+
+  Session session;
+  const auto c = sz::compress_omp(field, dims, sz::Config{}, 4);
+  const Report r = session.stop();
+#ifdef WAVESZ_TELEMETRY_DISABLED
+  EXPECT_TRUE(r.events.empty());
+#else
+  std::size_t slab_spans = 0;
+  for (const auto& e : r.events) {
+    if (std::string(e.name) == "slab.compress") ++slab_spans;
+  }
+  EXPECT_EQ(slab_spans, c.block_count);
+  EXPECT_EQ(r.counter(Counter::OmpSlabs), c.block_count);
+#endif
+}
+
+TEST(Telemetry, ExportersEmitValidJson) {
+  const Dims dims = Dims::d2(48, 64);
+  data::FieldRecipe recipe;
+  const auto field = data::generate(recipe, dims);
+
+  Session session;
+  (void)wave::compress(field, dims, wave::default_config());
+  const Report r = session.stop();
+
+  const std::string trace = chrome_trace_json(r);
+  const std::string stats = stats_json(r);
+  const std::string table = summary_table(r);
+  EXPECT_TRUE(JsonChecker(trace).valid()) << trace.substr(0, 400);
+  EXPECT_TRUE(JsonChecker(stats).valid()) << stats.substr(0, 400);
+  EXPECT_FALSE(table.empty());
+
+  // Chrome trace-event schema essentials.
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+#ifndef WAVESZ_TELEMETRY_DISABLED
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"pid\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(trace.find("thread_name"), std::string::npos);
+  EXPECT_NE(stats.find("\"stages\""), std::string::npos);
+  EXPECT_NE(stats.find("code_bytes_in"), std::string::npos);
+  EXPECT_NE(table.find("wave::compress"), std::string::npos);
+#endif
+}
+
+TEST(Telemetry, ExportersHandleEmptyReport) {
+  const Report r;
+  EXPECT_TRUE(JsonChecker(chrome_trace_json(r)).valid());
+  EXPECT_TRUE(JsonChecker(stats_json(r)).valid());
+  EXPECT_FALSE(summary_table(r).empty());
+}
+
+}  // namespace
+}  // namespace wavesz::telemetry
