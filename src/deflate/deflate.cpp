@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "deflate/deflate_tables.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
 #include "util/checksum.hpp"
@@ -336,14 +337,28 @@ std::vector<std::uint8_t> compress(std::span<const std::uint8_t> input,
 
 namespace {
 
+/// Decode one symbol through whichever path the decoder supports: the flat
+/// table when it was built (complete, reasonably sized codes), else the
+/// bit-at-a-time oracle. Header code-length alphabets are tiny, so this is
+/// not hot; it exists so corrupt headers route through the same guards.
+std::uint32_t decode_symbol(BitReaderLSB& br, const CanonicalDecoder& dec) {
+  if (dec.has_fast_table()) {
+    return dec.decode_fast([&](int n) { return br.peek(n); },
+                           [&](int n) { br.consume(n); });
+  }
+  return dec.decode([&] { return br.bit(); });
+}
+
 /// Decode one code-length sequence (lit/len + dist) of a dynamic block.
 std::vector<std::uint8_t> read_dynamic_lengths(BitReaderLSB& br,
                                                const CanonicalDecoder& clc,
-                                               std::size_t total) {
+                                               std::size_t total,
+                                               bool reference) {
   std::vector<std::uint8_t> lens;
   lens.reserve(total);
   while (lens.size() < total) {
-    const auto sym = clc.decode([&] { return br.bit(); });
+    const auto sym = reference ? clc.decode([&] { return br.bit(); })
+                               : decode_symbol(br, clc);
     if (sym <= 15) {
       lens.push_back(static_cast<std::uint8_t>(sym));
     } else if (sym == 16) {
@@ -363,9 +378,28 @@ std::vector<std::uint8_t> read_dynamic_lengths(BitReaderLSB& br,
   return lens;
 }
 
-void inflate_block(BitReaderLSB& br, const CanonicalDecoder& litlen,
-                   const CanonicalDecoder& dist,
-                   std::vector<std::uint8_t>& out) {
+/// Append a back-reference. The destination trails the source by `distance`
+/// bytes, so once distance >= 8 every 8-byte step reads fully-written data
+/// and the copy can run a word at a time; shorter distances (the pattern-
+/// replicating overlap case) go byte by byte.
+void copy_match(std::vector<std::uint8_t>& out, std::size_t distance,
+                std::size_t length) {
+  const std::size_t start = out.size() - distance;
+  out.resize(out.size() + length);
+  std::uint8_t* dst = out.data() + out.size() - length;
+  const std::uint8_t* src = out.data() + start;
+  std::size_t k = 0;
+  if (distance >= 8) {
+    for (; k + 8 <= length; k += 8) std::memcpy(dst + k, src + k, 8);
+  }
+  for (; k < length; ++k) dst[k] = src[k];
+}
+
+/// Reference inflate loop: one bit per decoder step. Kept bit-for-bit as
+/// the oracle behind WAVESZ_REFERENCE_DECODE and the differential tests.
+void inflate_block_reference(BitReaderLSB& br, const CanonicalDecoder& litlen,
+                             const CanonicalDecoder& dist,
+                             std::vector<std::uint8_t>& out) {
   for (;;) {
     const auto sym = litlen.decode([&] { return br.bit(); });
     if (sym < 256) {
@@ -391,9 +425,70 @@ void inflate_block(BitReaderLSB& br, const CanonicalDecoder& litlen,
   }
 }
 
-}  // namespace
+/// Table-driven inflate loop. Worst-case consumption per iteration is a
+/// 15-bit lit/len code + 5 extra bits + 15-bit distance code + 13 extra
+/// bits = 48 bits, within the >= 56 bits a single refill guarantees, so
+/// the reader refills at most once per peek underrun and the loop spends
+/// its time in the two table probes and the word-wise copy.
+void inflate_block_fast(BitReaderLSB& br, const CanonicalDecoder& litlen,
+                        const CanonicalDecoder& dist,
+                        std::vector<std::uint8_t>& out) {
+  const auto peek = [&](int n) { return br.peek(n); };
+  const auto consume = [&](int n) { br.consume(n); };
+  for (;;) {
+    const auto sym = litlen.decode_fast(peek, consume);
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+    } else if (sym == kEndOfBlock) {
+      return;
+    } else {
+      WAVESZ_REQUIRE(sym <= 285, "invalid length symbol");
+      const std::size_t lc = sym - 257;
+      const std::uint32_t length =
+          kLengthBase[lc] + br.bits(kLengthExtra[lc]);
+      const auto dsym = dist.decode_fast(peek, consume);
+      WAVESZ_REQUIRE(dsym < kNumDist, "invalid distance symbol");
+      const std::uint32_t distance =
+          kDistBase[dsym] + br.bits(kDistExtra[dsym]);
+      WAVESZ_REQUIRE(distance <= out.size(),
+                     "distance reaches before stream start");
+      copy_match(out, distance, length);
+    }
+  }
+}
 
-std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> input) {
+void inflate_block(BitReaderLSB& br, const CanonicalDecoder& litlen,
+                   const CanonicalDecoder& dist,
+                   std::vector<std::uint8_t>& out, bool reference) {
+  telemetry::Span span("inflate.block");
+  telemetry::counter_add(telemetry::Counter::InflateBlocks, 1);
+  // Blocks whose codes defeat the table build (over-subscribed or forged
+  // headers) decode through the oracle, which throws on the first bad code.
+  if (reference || !litlen.has_fast_table() || !dist.has_fast_table()) {
+    inflate_block_reference(br, litlen, dist, out);
+  } else {
+    inflate_block_fast(br, litlen, dist, out);
+  }
+}
+
+const CanonicalDecoder& fixed_litlen_decoder() {
+  static const CanonicalDecoder d = [] {
+    const auto ll = fixed_litlen_lengths();
+    return CanonicalDecoder(ll, BitOrder::LsbFirst);
+  }();
+  return d;
+}
+
+const CanonicalDecoder& fixed_dist_decoder() {
+  static const CanonicalDecoder d = [] {
+    const auto dd = fixed_dist_lengths();
+    return CanonicalDecoder(dd, BitOrder::LsbFirst);
+  }();
+  return d;
+}
+
+std::vector<std::uint8_t> decompress_impl(std::span<const std::uint8_t> input,
+                                          bool reference) {
   BitReaderLSB br(input);
   std::vector<std::uint8_t> out;
   for (;;) {
@@ -404,11 +499,12 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> input) {
       const std::uint32_t len = br.byte() | (br.byte() << 8);
       const std::uint32_t nlen = br.byte() | (br.byte() << 8);
       WAVESZ_REQUIRE((len ^ 0xffffu) == nlen, "stored block LEN/NLEN mismatch");
-      for (std::uint32_t i = 0; i < len; ++i) out.push_back(br.byte());
+      const std::size_t old = out.size();
+      out.resize(old + len);
+      br.read_bytes(out.data() + old, len);
     } else if (type == 0b01) {
-      const auto ll = fixed_litlen_lengths();
-      const auto dd = fixed_dist_lengths();
-      inflate_block(br, CanonicalDecoder(ll), CanonicalDecoder(dd), out);
+      inflate_block(br, fixed_litlen_decoder(), fixed_dist_decoder(), out,
+                    reference);
     } else if (type == 0b10) {
       const std::uint32_t hlit = br.bits(5) + 257;
       const std::uint32_t hdist = br.bits(5) + 1;
@@ -419,18 +515,30 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> input) {
       for (std::uint32_t i = 0; i < hclen; ++i) {
         clc_lens[kClcOrder[i]] = static_cast<std::uint8_t>(br.bits(3));
       }
-      const CanonicalDecoder clc(clc_lens);
-      const auto all = read_dynamic_lengths(br, clc, hlit + hdist);
+      const CanonicalDecoder clc(clc_lens, BitOrder::LsbFirst);
+      const auto all = read_dynamic_lengths(br, clc, hlit + hdist, reference);
       std::vector<std::uint8_t> ll(all.begin(), all.begin() + hlit);
       std::vector<std::uint8_t> dd(all.begin() + hlit, all.end());
       WAVESZ_REQUIRE(ll[kEndOfBlock] > 0, "no end-of-block code");
-      inflate_block(br, CanonicalDecoder(ll), CanonicalDecoder(dd), out);
+      inflate_block(br, CanonicalDecoder(ll, BitOrder::LsbFirst),
+                    CanonicalDecoder(dd, BitOrder::LsbFirst), out, reference);
     } else {
       throw Error("reserved DEFLATE block type");
     }
     if (final_block) break;
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> input) {
+  return decompress_impl(input, reference_decode_enabled());
+}
+
+std::vector<std::uint8_t> decompress_reference(
+    std::span<const std::uint8_t> input) {
+  return decompress_impl(input, /*reference=*/true);
 }
 
 std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
@@ -466,7 +574,13 @@ std::vector<std::uint8_t> gzip_decompress(
   ByteReader tail(input.subspan(input.size() - 8));
   const std::uint32_t crc = tail.u32();
   const std::uint32_t isize = tail.u32();
-  WAVESZ_REQUIRE(crc == Crc32::of(out), "gzip CRC mismatch");
+  std::uint32_t actual_crc;
+  {
+    telemetry::Span span("crc32");
+    telemetry::counter_add(telemetry::Counter::CrcBytes, out.size());
+    actual_crc = Crc32::of(out);
+  }
+  WAVESZ_REQUIRE(crc == actual_crc, "gzip CRC mismatch");
   WAVESZ_REQUIRE(isize == static_cast<std::uint32_t>(out.size()),
                  "gzip ISIZE mismatch");
   return out;

@@ -1,11 +1,35 @@
 #include "deflate/lz77.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 
 #include "util/error.hpp"
 
 namespace wavesz::deflate {
 namespace {
+
+/// Length of the common prefix of a and b, capped at max_len: eight bytes
+/// per step via XOR + count-trailing-zeros (count-leading on big-endian,
+/// where the first differing byte sits in the high bits), byte-wise tail.
+int match_extend(const std::uint8_t* a, const std::uint8_t* b, int max_len) {
+  int len = 0;
+  while (len + 8 <= max_len) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + len, 8);
+    std::memcpy(&y, b + len, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff != 0) {
+      const int bits = std::endian::native == std::endian::little
+                           ? std::countr_zero(diff)
+                           : std::countl_zero(diff);
+      return len + (bits >> 3);
+    }
+    len += 8;
+  }
+  while (len < max_len && a[len] == b[len]) ++len;
+  return len;
+}
 
 constexpr std::size_t kHashBits = 15;
 constexpr std::size_t kHashSize = 1u << kHashBits;
@@ -61,16 +85,18 @@ class HashChains {
     int chain = cfg.max_chain;
     while (cand != kNil && cand >= limit && chain-- > 0) {
       const auto c = static_cast<std::size_t>(cand);
-      if (c < pos) {
-        int len = 0;
-        while (len < max_len && base[c + static_cast<std::size_t>(len)] ==
-                                    base[pos + static_cast<std::size_t>(len)]) {
-          ++len;
-        }
+      // Quick reject: a candidate can only beat best_len if it also matches
+      // at offset best_len, so one byte compare skips most of the chain
+      // without changing which match wins. Safe while best_len < max_len —
+      // the break below guarantees that.
+      if (c < pos &&
+          base[c + static_cast<std::size_t>(best_len)] ==
+              base[pos + static_cast<std::size_t>(best_len)]) {
+        const int len = match_extend(base + c, base + pos, max_len);
         if (len > best_len) {
           best_len = len;
           best_dist = pos - c;
-          if (len >= cfg.nice_length) break;
+          if (len >= cfg.nice_length || len >= max_len) break;
         }
       }
       cand = prev_[c];

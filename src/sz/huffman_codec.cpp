@@ -182,7 +182,11 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
   return w.take();
 }
 
-std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob) {
+namespace {
+
+std::vector<std::uint16_t> huffman_decode_impl(
+    std::span<const std::uint8_t> blob, bool reference) {
+  telemetry::Span span("huffman.decode");
   ByteReader r(blob);
   const std::uint32_t distinct = r.u32();
   const std::uint64_t count = r.u64();
@@ -219,13 +223,39 @@ std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob) {
   }
   const CanonicalDecoder dec(lengths);
   BitReaderMSB br(payload);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    out.push_back(static_cast<std::uint16_t>(
-        dec.decode([&] { return br.bit(); })));
+  // The decode stays serial even though the encoder packs in parallel
+  // chunks: the container carries no chunk index, and recovering the chunk
+  // boundaries takes a serial table walk that costs as much as the decode
+  // itself, so a two-pass parallel scheme is strictly slower than one pass
+  // through the flat table. If a forged header defeats the table build
+  // (over-subscribed or absurdly deep), the oracle decodes it instead.
+  if (reference || !dec.has_fast_table()) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      out.push_back(static_cast<std::uint16_t>(
+          dec.decode([&] { return br.bit(); })));
+    }
+  } else {
+    out.resize(count);
+    const auto peek = [&](int n) { return br.peek(n); };
+    const auto consume = [&](int n) { br.consume(n); };
+    for (std::uint64_t i = 0; i < count; ++i) {
+      out[i] = static_cast<std::uint16_t>(dec.decode_fast(peek, consume));
+    }
   }
   WAVESZ_REQUIRE(br.position() == payload_bits,
                  "Huffman payload has trailing data");
   return out;
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob) {
+  return huffman_decode_impl(blob, reference_decode_enabled());
+}
+
+std::vector<std::uint16_t> huffman_decode_reference(
+    std::span<const std::uint8_t> blob) {
+  return huffman_decode_impl(blob, /*reference=*/true);
 }
 
 double huffman_mean_bits(std::span<const std::uint16_t> codes) {

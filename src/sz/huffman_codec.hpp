@@ -23,7 +23,18 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
                                          int threads = 1);
 
 /// Inverse of huffman_encode(); throws wavesz::Error on malformed input.
+/// Decodes through a flat two-level lookup table (multiple bits per probe)
+/// unless WAVESZ_REFERENCE_DECODE / set_reference_decode() selects the
+/// bit-at-a-time oracle; outputs are identical. The decode is serial by
+/// design: the container has no chunk index, and recovering the encoder's
+/// chunk boundaries costs a full serial table walk, which makes any
+/// two-pass parallel scheme slower than one pass through the table.
 std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob);
+
+/// huffman_decode() pinned to the bit-at-a-time reference decoder; the
+/// oracle side of the differential tests.
+std::vector<std::uint16_t> huffman_decode_reference(
+    std::span<const std::uint8_t> blob);
 
 /// Mean code length in bits for the given stream (diagnostics/benches).
 double huffman_mean_bits(std::span<const std::uint16_t> codes);

@@ -70,7 +70,8 @@ constexpr const char* kCounterNames[] = {
     "code_bytes_in",     "code_bytes_out",        "unpred_bytes_in",
     "unpred_bytes_out",  "quant_predictable",     "quant_unpredictable",
     "huffman_table_ns",  "deflate_chunks",        "pqd_diagonal_batches",
-    "omp_slabs",         "stream_chunks",
+    "omp_slabs",         "stream_chunks",        "inflate_blocks",
+    "crc_bytes",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
                   static_cast<std::size_t>(Counter::kCount),

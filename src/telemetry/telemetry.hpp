@@ -47,6 +47,8 @@ enum class Counter : std::uint32_t {
   PqdDiagonalBatches,  ///< anti-diagonal hyperplane batches swept
   OmpSlabs,            ///< slabs processed by compress_omp/decompress_omp
   StreamChunks,        ///< chunks emitted/decoded by the streaming API
+  InflateBlocks,       ///< DEFLATE blocks inflated (fast or reference path)
+  CrcBytes,            ///< bytes checksummed while verifying gzip members
   kCount
 };
 

@@ -6,13 +6,39 @@
 // raises wavesz::Error on overrun so corrupted streams fail loudly.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
 #include "util/error.hpp"
 
 namespace wavesz {
+namespace detail {
+
+/// Unaligned 64-bit loads in a fixed byte order. The memcpy compiles to a
+/// single mov on every mainstream target; the swap is constant-folded away
+/// on the matching-endian side.
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof w);
+  if constexpr (std::endian::native == std::endian::big) {
+    w = __builtin_bswap64(w);
+  }
+  return w;
+}
+
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof w);
+  if constexpr (std::endian::native == std::endian::little) {
+    w = __builtin_bswap64(w);
+  }
+  return w;
+}
+
+}  // namespace detail
 
 /// LSB-first bit writer (RFC 1951 convention).
 class BitWriterLSB {
@@ -82,22 +108,41 @@ class BitWriterLSB {
   int fill_ = 0;
 };
 
-/// LSB-first bit reader (RFC 1951 convention).
+/// LSB-first bit reader (RFC 1951 convention) over a 64-bit accumulator.
+///
+/// The accumulator is topped up eight bytes at a time while the cursor is at
+/// least a word away from the tail, then byte-at-a-time over the final
+/// stretch. Invariant throughout: `pos_ * 8 - fill_` equals the number of
+/// bits consumed, so a refill's word load always ORs either fresh bits or
+/// bit-identical copies of bits already sitting above `fill_` — reloads are
+/// idempotent and the reader never rewinds `pos_`.
 class BitReaderLSB {
  public:
   explicit BitReaderLSB(std::span<const std::uint8_t> s) : s_(s) {}
 
-  std::uint32_t bits(int n) {
+  /// Next `n` bits (first stream bit in bit 0) without consuming them,
+  /// zero-padded when fewer than `n` bits remain. n <= 32.
+  std::uint32_t peek(int n) {
     WAVESZ_ASSERT(n >= 0 && n <= 32, "bit count out of range");
-    while (fill_ < n) {
-      WAVESZ_REQUIRE(pos_ < s_.size(), "bitstream truncated");
-      acc_ |= static_cast<std::uint64_t>(s_[pos_++]) << fill_;
-      fill_ += 8;
+    if (fill_ < n) refill();
+    return static_cast<std::uint32_t>(
+        acc_ & ((n >= 32) ? 0xffffffffull : ((1ull << n) - 1)));
+  }
+
+  /// Advance by `n` bits; raises wavesz::Error("bitstream truncated") when
+  /// the stream holds fewer than `n` more bits.
+  void consume(int n) {
+    if (fill_ < n) {
+      refill();
+      WAVESZ_REQUIRE(fill_ >= n, "bitstream truncated");
     }
-    auto v = static_cast<std::uint32_t>(acc_ & ((n >= 32) ? ~0ull
-                                                          : ((1ull << n) - 1)));
     acc_ >>= n;
     fill_ -= n;
+  }
+
+  std::uint32_t bits(int n) {
+    const std::uint32_t v = peek(n);
+    consume(n);
     return v;
   }
 
@@ -119,13 +164,47 @@ class BitReaderLSB {
     }
     WAVESZ_ASSERT(fill_ == 0, "byte() requires byte alignment");
     WAVESZ_REQUIRE(pos_ < s_.size(), "bitstream truncated");
+    // Bypassing the accumulator invalidates any unclaimed lookahead bits a
+    // bulk refill left above fill_; drop them so the next refill re-reads.
+    acc_ = 0;
     return s_[pos_++];
   }
 
+  /// Copy `n` bytes out in bulk (stored DEFLATE blocks). Requires byte
+  /// alignment; drains buffered whole bytes, then memcpys the rest.
+  void read_bytes(std::uint8_t* dst, std::size_t n) {
+    WAVESZ_ASSERT(fill_ % 8 == 0, "read_bytes() requires byte alignment");
+    while (n > 0 && fill_ >= 8) {
+      *dst++ = static_cast<std::uint8_t>(acc_ & 0xff);
+      acc_ >>= 8;
+      fill_ -= 8;
+      --n;
+    }
+    WAVESZ_REQUIRE(n <= s_.size() - pos_, "bitstream truncated");
+    if (n > 0) {
+      acc_ = 0;  // see byte(): direct span reads invalidate the lookahead
+      std::memcpy(dst, s_.data() + pos_, n);
+      pos_ += n;
+    }
+  }
+
   /// Bytes consumed from the underlying span (buffered bits count as read).
-  std::size_t consumed() const { return pos_ - fill_ / 8; }
+  std::size_t consumed() const { return pos_ - static_cast<std::size_t>(fill_) / 8; }
 
  private:
+  void refill() {
+    if (pos_ + 8 <= s_.size()) {
+      acc_ |= detail::load_le64(s_.data() + pos_) << fill_;
+      pos_ += static_cast<std::size_t>((63 - fill_) >> 3);
+      fill_ |= 56;
+    } else {
+      while (fill_ <= 56 && pos_ < s_.size()) {
+        acc_ |= static_cast<std::uint64_t>(s_[pos_++]) << fill_;
+        fill_ += 8;
+      }
+    }
+  }
+
   std::span<const std::uint8_t> s_;
   std::size_t pos_ = 0;
   std::uint64_t acc_ = 0;
@@ -166,30 +245,65 @@ class BitWriterMSB {
   std::size_t nbits_ = 0;
 };
 
-/// MSB-first bit reader (customized Huffman convention).
+/// MSB-first bit reader (customized Huffman convention) over a 64-bit
+/// accumulator with the next stream bit in bit 63. Same refill scheme and
+/// `pos_ * 8 - fill_` consumed-bits invariant as BitReaderLSB, mirrored for
+/// big-endian bit order, so position() stays bit-exact for the trailing
+/// `payload_bits` checks in the SZ Huffman container.
 class BitReaderMSB {
  public:
   explicit BitReaderMSB(std::span<const std::uint8_t> s) : s_(s) {}
 
-  std::uint32_t bit() {
-    const std::size_t byte_idx = pos_ >> 3;
-    WAVESZ_REQUIRE(byte_idx < s_.size(), "bitstream truncated");
-    const int shift = 7 - static_cast<int>(pos_ & 7);
-    ++pos_;
-    return (s_[byte_idx] >> shift) & 1u;
+  /// Next `n` bits (first stream bit as the MSB of the result) without
+  /// consuming them, zero-padded when fewer than `n` bits remain. n <= 32.
+  std::uint32_t peek(int n) {
+    WAVESZ_ASSERT(n >= 0 && n <= 32, "bit count out of range");
+    if (fill_ < n) refill();
+    return n == 0 ? 0u : static_cast<std::uint32_t>(acc_ >> (64 - n));
+  }
+
+  /// Advance by `n` bits; raises wavesz::Error("bitstream truncated") when
+  /// the stream holds fewer than `n` more bits.
+  void consume(int n) {
+    if (fill_ < n) {
+      refill();
+      WAVESZ_REQUIRE(fill_ >= n, "bitstream truncated");
+    }
+    acc_ <<= n;
+    fill_ -= n;
   }
 
   std::uint32_t bits(int n) {
-    std::uint32_t v = 0;
-    for (int i = 0; i < n; ++i) v = (v << 1) | bit();
+    const std::uint32_t v = peek(n);
+    consume(n);
     return v;
   }
 
-  std::size_t position() const { return pos_; }
+  std::uint32_t bit() { return bits(1); }
+
+  /// Exact number of bits consumed so far.
+  std::size_t position() const {
+    return pos_ * 8 - static_cast<std::size_t>(fill_);
+  }
 
  private:
+  void refill() {
+    if (pos_ + 8 <= s_.size()) {
+      acc_ |= detail::load_be64(s_.data() + pos_) >> fill_;
+      pos_ += static_cast<std::size_t>((63 - fill_) >> 3);
+      fill_ |= 56;
+    } else {
+      while (fill_ <= 56 && pos_ < s_.size()) {
+        acc_ |= static_cast<std::uint64_t>(s_[pos_++]) << (56 - fill_);
+        fill_ += 8;
+      }
+    }
+  }
+
   std::span<const std::uint8_t> s_;
   std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  int fill_ = 0;
 };
 
 }  // namespace wavesz

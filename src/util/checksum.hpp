@@ -1,6 +1,9 @@
 // CRC-32 (ISO 3309 / RFC 1952 polynomial 0xEDB88320), table-driven.
 //
-// Used by the gzip framing layer and by container integrity checks.
+// Used by the gzip framing layer and by container integrity checks. The
+// update loop folds eight bytes per iteration through eight derived tables
+// (slice-by-8); the remainder runs through the classic one-byte table, so
+// streaming updates of any split produce the same value as one shot.
 #pragma once
 
 #include <cstdint>

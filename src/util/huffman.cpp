@@ -1,6 +1,8 @@
 #include "util/huffman.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 #include "util/error.hpp"
 
@@ -16,7 +18,43 @@ struct PmNode {
   std::int32_t right = -1;
 };
 
+/// Width of the root lookup table: codes this short resolve in one probe.
+/// 10 covers every hot symbol of both alphabets (DEFLATE codes cap at 15;
+/// SZ's quantization codes are sharply peaked, so the frequent ones are
+/// short) while keeping the root table at 4 KiB.
+constexpr int kRootBits = 10;
+
+/// Hard cap on root + subtable entries (4 MiB of std::uint32_t). Real
+/// tables stay far below this — a uniform 65,536-symbol code needs ~66K
+/// entries — but a forged (symbol, length) header can demand a deep
+/// subtable under every root prefix; refusing to build simply drops that
+/// blob onto the reference decoder, which is O(length) and allocates
+/// nothing per symbol.
+constexpr std::size_t kMaxTableEntries = 1u << 20;
+
+std::uint32_t reverse_code_bits(std::uint32_t code, int len) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < len; ++i) out = (out << 1) | ((code >> i) & 1u);
+  return out;
+}
+
+std::atomic<int> g_reference_decode{-1};  // -1 = env not read yet
+
 }  // namespace
+
+bool reference_decode_enabled() {
+  int v = g_reference_decode.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("WAVESZ_REFERENCE_DECODE");
+    v = (env != nullptr && env[0] != '\0' && env[0] != '0') ? 1 : 0;
+    g_reference_decode.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void set_reference_decode(bool on) {
+  g_reference_decode.store(on ? 1 : 0, std::memory_order_relaxed);
+}
 
 std::vector<std::uint8_t> huffman_code_lengths(
     std::span<const std::uint64_t> freqs, int max_length) {
@@ -136,7 +174,8 @@ bool kraft_complete(std::span<const std::uint8_t> lengths) {
   return sum == (1ull << 32);
 }
 
-CanonicalDecoder::CanonicalDecoder(std::span<const std::uint8_t> lengths) {
+CanonicalDecoder::CanonicalDecoder(std::span<const std::uint8_t> lengths,
+                                   BitOrder order) {
   for (auto l : lengths) max_len_ = std::max(max_len_, static_cast<int>(l));
   first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
   count_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
@@ -157,6 +196,104 @@ CanonicalDecoder::CanonicalDecoder(std::span<const std::uint8_t> lengths) {
   for (std::size_t s = 0; s < lengths.size(); ++s) {
     if (lengths[s] > 0) {
       sorted_symbols_[next[lengths[s]]++] = static_cast<std::uint32_t>(s);
+    }
+  }
+  build_fast_table(lengths, order);
+}
+
+void CanonicalDecoder::build_fast_table(std::span<const std::uint8_t> lengths,
+                                        BitOrder order) {
+  if (max_len_ == 0 || max_len_ > 31) return;
+  root_bits_ = std::min(max_len_, kRootBits);
+  const std::size_t root_size = std::size_t{1} << root_bits_;
+  const auto codes = canonical_codes(lengths);
+
+  // Pass 1: per-root-prefix subtable width (the longest tail under that
+  // prefix), plus the over-subscription guard — an over-full length set
+  // makes canonical_codes() overflow some code past its own width, which
+  // would index out of the table. Such streams stay on the reference
+  // decoder, which walks them memory-safely and throws on the first gap.
+  std::vector<std::uint8_t> sub_bits(root_size, 0);
+  std::size_t total = root_size;
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len == 0) continue;
+    if ((codes[s] >> len) != 0) return;  // over-subscribed
+    if (len > root_bits_) {
+      const std::uint32_t c = order == BitOrder::MsbFirst
+                                  ? codes[s]
+                                  : reverse_code_bits(codes[s], len);
+      const std::uint32_t prefix =
+          order == BitOrder::MsbFirst
+              ? c >> (len - root_bits_)
+              : c & static_cast<std::uint32_t>(root_size - 1);
+      const auto rem = static_cast<std::uint8_t>(len - root_bits_);
+      if (rem > sub_bits[prefix]) {
+        total += (std::size_t{1} << rem) -
+                 (sub_bits[prefix] ? std::size_t{1} << sub_bits[prefix] : 0);
+        sub_bits[prefix] = rem;
+      }
+      if (total > kMaxTableEntries) return;  // forged header: fall back
+    }
+  }
+
+  // Pass 2: lay out the subtables and drop a link into each root slot.
+  table_.assign(total, 0);
+  std::vector<std::uint32_t> sub_base(root_size, 0);
+  std::uint32_t next = static_cast<std::uint32_t>(root_size);
+  for (std::size_t p = 0; p < root_size; ++p) {
+    if (sub_bits[p] == 0) continue;
+    sub_base[p] = next;
+    table_[p] = (next << 8) | (kLinkControl + sub_bits[p]);
+    next += 1u << sub_bits[p];
+  }
+
+  // Pass 3: fill. A code of length len <= root_bits_ owns every root slot
+  // that starts with it: in MSB orientation those are the 2^(root-len)
+  // consecutive slots after padding the code on the right; in LSB
+  // orientation (DEFLATE) the code occupies the *low* bits of the index,
+  // so its slots stride by 2^len. Longer codes fill their subtable the
+  // same way with the tail bits.
+  for (std::size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len == 0) continue;
+    const std::uint32_t c = order == BitOrder::MsbFirst
+                                ? codes[s]
+                                : reverse_code_bits(codes[s], len);
+    if (len <= root_bits_) {
+      const std::uint32_t e =
+          (static_cast<std::uint32_t>(s) << 8) | static_cast<std::uint32_t>(len);
+      if (order == BitOrder::MsbFirst) {
+        const int pad = root_bits_ - len;
+        const std::uint32_t base = c << pad;
+        for (std::uint32_t j = 0; j < (1u << pad); ++j) table_[base + j] = e;
+      } else {
+        for (std::uint32_t idx = c; idx < root_size; idx += 1u << len) {
+          table_[idx] = e;
+        }
+      }
+    } else {
+      const int rem = len - root_bits_;
+      std::uint32_t prefix, tail;
+      if (order == BitOrder::MsbFirst) {
+        prefix = c >> rem;
+        tail = c & ((1u << rem) - 1u);
+      } else {
+        prefix = c & static_cast<std::uint32_t>(root_size - 1);
+        tail = c >> root_bits_;
+      }
+      const int sb = sub_bits[prefix];
+      const std::uint32_t e =
+          (static_cast<std::uint32_t>(s) << 8) | static_cast<std::uint32_t>(rem);
+      if (order == BitOrder::MsbFirst) {
+        const int pad = sb - rem;
+        const std::uint32_t base = sub_base[prefix] + (tail << pad);
+        for (std::uint32_t j = 0; j < (1u << pad); ++j) table_[base + j] = e;
+      } else {
+        for (std::uint32_t idx = tail; idx < (1u << sb); idx += 1u << rem) {
+          table_[sub_base[prefix] + idx] = e;
+        }
+      }
     }
   }
 }

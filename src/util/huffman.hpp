@@ -11,6 +11,8 @@
 #include <span>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace wavesz {
 
 /// Code lengths (0 = symbol unused) for the given frequencies, with every
@@ -28,11 +30,36 @@ std::vector<std::uint32_t> canonical_codes(
 /// degenerate single-symbol case. Returns false for over-subscribed sets.
 bool kraft_complete(std::span<const std::uint8_t> lengths);
 
-/// Canonical decoder: O(length) per symbol via first-code/first-index
-/// tables; bits must be fed MSB-of-code first.
+/// Process-wide decode-path selection shared by the DEFLATE inflater and
+/// SZ's Huffman codec: when true, the bit-at-a-time reference decoders run
+/// instead of the table-driven fast paths. Latched from the
+/// WAVESZ_REFERENCE_DECODE environment variable on first query (any value
+/// other than "0" enables it); set_reference_decode() overrides it at
+/// runtime (benches time both paths, tests pin one). Outputs are identical
+/// either way — the knob exists for debugging and differential testing.
+bool reference_decode_enabled();
+void set_reference_decode(bool on);
+
+/// Orientation of the bits fed to a decoder. Canonical codes are defined
+/// MSB-of-code first; DEFLATE packs them into an LSB-first bit stream, so
+/// its readers surface the next code bit in bit 0 rather than on top.
+/// The flat lookup table must be indexed in the same orientation.
+enum class BitOrder : std::uint8_t {
+  MsbFirst,  ///< peek(n) has the first stream bit as the MSB (BitReaderMSB)
+  LsbFirst,  ///< peek(n) has the first stream bit as the LSB (BitReaderLSB)
+};
+
+/// Canonical decoder with two decode paths:
+///  * decode(next_bit)        — O(length) per symbol via first-code tables;
+///                              the reference oracle, kept bit-for-bit.
+///  * decode_fast(peek, consume) — one or two flat table lookups per symbol
+///                              (zlib-style two-level scheme: a root table
+///                              over the next kRootBits bits, subtables for
+///                              longer codes).
 class CanonicalDecoder {
  public:
-  explicit CanonicalDecoder(std::span<const std::uint8_t> lengths);
+  explicit CanonicalDecoder(std::span<const std::uint8_t> lengths,
+                            BitOrder order = BitOrder::MsbFirst);
 
   /// Decode one symbol; `next_bit` is a callable returning 0/1.
   template <typename NextBit>
@@ -48,17 +75,59 @@ class CanonicalDecoder {
     throw_bad_code();
   }
 
+  /// True when the flat table was built. It is skipped for empty codes, for
+  /// over-subscribed length sets (whose canonical "codes" overflow their
+  /// own bit width), and for forged tables whose subtables would exceed
+  /// kMaxTableEntries — callers fall back to decode() in those cases.
+  bool has_fast_table() const { return !table_.empty(); }
+
+  /// Decode one symbol via the flat table. `peek(n)` must return the next
+  /// `n` stream bits in this decoder's BitOrder, zero-padded past the end
+  /// of the stream; `consume(n)` advances by `n` bits and is where a
+  /// truncated stream must raise wavesz::Error. Requires has_fast_table().
+  template <typename Peek, typename Consume>
+  std::uint32_t decode_fast(Peek&& peek, Consume&& consume) const {
+    std::uint32_t e = table_[peek(root_bits_)];
+    if ((e & 0xffu) >= kLinkControl) {
+      consume(root_bits_);
+      e = table_[(e >> 8) + peek(static_cast<int>((e & 0xffu) - kLinkControl))];
+    }
+    if (e == 0) throw_bad_code();
+    consume(static_cast<int>(e & 0xffu));
+    return e >> 8;
+  }
+
   int max_length() const { return max_len_; }
+  int root_bits() const { return root_bits_; }
   bool empty() const { return sorted_symbols_.empty(); }
 
  private:
+  // Flat table entry layout (std::uint32_t): `(payload << 8) | control`.
+  // The control byte disambiguates — code lengths never exceed 31, so
+  // values >= kLinkControl cannot be lengths:
+  //   control 0                — invalid (no code reaches this slot)
+  //   control 1..31            — direct: consume `control` bits, emit the
+  //                              symbol in `payload`; in a subtable
+  //                              `control` excludes the root_bits_ already
+  //                              consumed by the link hop
+  //   control kLinkControl+b   — root slot shared by codes longer than
+  //                              root_bits_: consume the root bits, then
+  //                              index the subtable at offset `payload`
+  //                              with the next `b` bits
+  static constexpr std::uint32_t kLinkControl = 32;
+
   [[noreturn]] static void throw_bad_code();
 
+  void build_fast_table(std::span<const std::uint8_t> lengths,
+                        BitOrder order);
+
   int max_len_ = 0;
+  int root_bits_ = 0;
   std::vector<std::uint32_t> first_code_;
   std::vector<std::uint32_t> count_;
   std::vector<std::uint32_t> first_index_;
   std::vector<std::uint32_t> sorted_symbols_;
+  std::vector<std::uint32_t> table_;
 };
 
 }  // namespace wavesz

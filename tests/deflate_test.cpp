@@ -12,6 +12,7 @@
 #include "deflate/lz77.hpp"
 #include "deflate/parallel.hpp"
 #include "util/error.hpp"
+#include "util/huffman.hpp"
 
 namespace wavesz::deflate {
 namespace {
@@ -180,6 +181,51 @@ TEST(Deflate, DecompressRejectsTruncatedStream) {
   const auto c = compress(bytes_of("hello world hello world"), Level::Fast);
   const std::vector<std::uint8_t> cut(c.begin(), c.begin() + c.size() / 2);
   EXPECT_THROW(decompress(cut), Error);
+}
+
+// ----------------------------------------------- fast vs reference decode
+
+// Pin one decode path at construction, restore the fast default after.
+struct ReferenceDecodeGuard {
+  explicit ReferenceDecodeGuard(bool on) { set_reference_decode(on); }
+  ~ReferenceDecodeGuard() { set_reference_decode(false); }
+};
+
+TEST(Deflate, ReferenceDecoderMatchesFastPath) {
+  std::mt19937 rng(2024);
+  for (const std::size_t size : {0u, 1u, 300u, 65537u, 200000u}) {
+    std::vector<std::uint8_t> input(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      input[i] = (i % 5 == 0) ? static_cast<std::uint8_t>(rng())
+                              : static_cast<std::uint8_t>((i / 64) % 23);
+    }
+    for (auto level : {Level::Fast, Level::Best}) {
+      const auto c = compress(input, level);
+      EXPECT_EQ(decompress(c), input);
+      EXPECT_EQ(decompress_reference(c), input);
+      const auto g = gzip_compress(input, level);
+      {
+        ReferenceDecodeGuard pin(true);
+        EXPECT_EQ(gzip_decompress(g), input);
+      }
+      EXPECT_EQ(gzip_decompress(g), input);
+    }
+  }
+}
+
+TEST(Deflate, BothPathsRejectTheSameCorruptStreams) {
+  // The reserved-BTYPE, stored-LEN-mismatch, and truncation cases above run
+  // through the fast path; re-run them pinned to the reference oracle so
+  // both decoders keep identical failure behaviour.
+  ReferenceDecodeGuard pin(true);
+  const std::vector<std::uint8_t> reserved{0x07};
+  EXPECT_THROW(decompress(reserved), Error);
+  const std::vector<std::uint8_t> mismatch{0x01, 0x01, 0x00, 0x00, 0x00, 0x41};
+  EXPECT_THROW(decompress(mismatch), Error);
+  const auto c = compress(bytes_of("hello world hello world"), Level::Fast);
+  const std::vector<std::uint8_t> cut(c.begin(), c.begin() + c.size() / 2);
+  EXPECT_THROW(decompress(cut), Error);
+  EXPECT_THROW(decompress_reference(cut), Error);
 }
 
 class DeflateRoundTrip

@@ -4,16 +4,20 @@
 // archive format; these sweeps hammer every variant's parser.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <random>
 #include <vector>
 
 #include "core/wavesz.hpp"
 #include "data/synthetic.hpp"
+#include "deflate/deflate.hpp"
 #include "ghostsz/ghostsz.hpp"
 #include "sz/compressor.hpp"
+#include "sz/huffman_codec.hpp"
 #include "sz/omp.hpp"
 #include "sz2/sz2.hpp"
 #include "util/error.hpp"
+#include "util/huffman.hpp"
 
 namespace wavesz {
 namespace {
@@ -116,6 +120,81 @@ TEST_P(MutationSweep, OmpDecoderIsContained) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// The decode fast path (flat Huffman tables + bulk-refill bit readers) has
+// its own failure surface — forged table links, zero-padded peeks past the
+// end, word-wise copies — so the raw gzip and Huffman-blob decoders are
+// fuzzed on BOTH paths: mutations must raise wavesz::Error or decode to an
+// owned buffer, never crash or hang, with the table-driven and the
+// bit-at-a-time reference decoder alike.
+
+struct ReferenceDecodeGuard {
+  explicit ReferenceDecodeGuard(bool on) { set_reference_decode(on); }
+  ~ReferenceDecodeGuard() { set_reference_decode(false); }
+};
+
+TEST_P(MutationSweep, GzipDecoderIsContainedOnBothPaths) {
+  const Dims dims = Dims::d2(40, 40);
+  const auto field = small_field(dims);
+  std::vector<std::uint8_t> raw(field.size() * sizeof(float));
+  std::memcpy(raw.data(), field.data(), raw.size());
+  const auto gz = deflate::gzip_compress(raw, deflate::Level::Best);
+  expect_contained(
+      gz, [](const auto& b) { return deflate::gzip_decompress(b); },
+      GetParam() + 5000);
+  ReferenceDecodeGuard pin(true);
+  expect_contained(
+      gz, [](const auto& b) { return deflate::gzip_decompress(b); },
+      GetParam() + 5000);  // same mutations, reference decoder
+}
+
+TEST_P(MutationSweep, HuffmanBlobDecoderIsContainedOnBothPaths) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::vector<std::uint16_t> codes(4000);
+  for (auto& c : codes) {
+    c = static_cast<std::uint16_t>(32768 + (rng() % 64) - 32);
+  }
+  const auto blob = sz::huffman_encode(codes);
+  expect_contained(
+      blob, [](const auto& b) { return sz::huffman_decode(b); },
+      GetParam() + 6000);
+  expect_contained(
+      blob, [](const auto& b) { return sz::huffman_decode_reference(b); },
+      GetParam() + 6000);
+}
+
+TEST(Fuzz, TruncatedGzipEveryPrefixLength) {
+  // Sweep every prefix of a small member on both decode paths: each cut
+  // must throw (header, body, or trailer check), never hang or overrun.
+  std::vector<std::uint8_t> raw(997);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    raw[i] = static_cast<std::uint8_t>(i % 31);
+  }
+  const auto gz = deflate::gzip_compress(raw, deflate::Level::Best);
+  for (std::size_t cut = 0; cut < gz.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(gz.begin(),
+                                           gz.begin() +
+                                               static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(deflate::gzip_decompress(prefix), Error) << "cut=" << cut;
+    ReferenceDecodeGuard pin(true);
+    EXPECT_THROW(deflate::gzip_decompress(prefix), Error) << "cut=" << cut;
+  }
+}
+
+TEST(Fuzz, TruncatedHuffmanBlobEveryPrefixLength) {
+  std::vector<std::uint16_t> codes(257);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = static_cast<std::uint16_t>(i % 40);
+  }
+  const auto blob = sz::huffman_encode(codes);
+  for (std::size_t cut = 0; cut < blob.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(blob.begin(),
+                                           blob.begin() +
+                                               static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(sz::huffman_decode(prefix), Error) << "cut=" << cut;
+    EXPECT_THROW(sz::huffman_decode_reference(prefix), Error) << "cut=" << cut;
+  }
+}
 
 TEST(Fuzz, EmptyAndGarbageInputs) {
   const std::vector<std::uint8_t> empty;

@@ -132,6 +132,108 @@ TEST(BitIo, RandomSequencesRoundTripBothOrders) {
   }
 }
 
+TEST(BitIoLsb, PeekIsIdempotentAndConsumeAdvances) {
+  std::vector<std::uint8_t> bytes{0b10110101, 0xC3, 0x7E};
+  BitReaderLSB br(bytes);
+  EXPECT_EQ(br.peek(5), 0b10101u);  // LSB-first: low bits of byte 0
+  EXPECT_EQ(br.peek(5), 0b10101u);  // peeking must not consume
+  br.consume(3);
+  EXPECT_EQ(br.bits(5), 0b10110u);
+  EXPECT_EQ(br.byte(), 0xC3);
+  EXPECT_EQ(br.consumed(), 2u);
+}
+
+TEST(BitIoLsb, PeekZeroPadsPastEndButConsumeThrows) {
+  std::vector<std::uint8_t> one{0xFF};
+  BitReaderLSB br(one);
+  EXPECT_EQ(br.peek(16), 0x00FFu);  // upper 8 bits zero-padded
+  br.consume(8);
+  EXPECT_EQ(br.peek(8), 0u);
+  EXPECT_THROW(br.consume(1), Error);
+}
+
+TEST(BitIoLsb, ReadBytesMatchesByteLoop) {
+  std::vector<std::uint8_t> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  }
+  // Consume a few bits first so buffered whole bytes must be drained.
+  BitReaderLSB br(data);
+  EXPECT_EQ(br.bits(8), data[0]);
+  std::vector<std::uint8_t> got(128);
+  br.read_bytes(got.data(), got.size());
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data.begin() + 1));
+  EXPECT_EQ(br.consumed(), 129u);
+  // Reads past the remaining bytes must throw, not wrap.
+  std::vector<std::uint8_t> over(300);
+  EXPECT_THROW(br.read_bytes(over.data(), over.size()), Error);
+}
+
+TEST(BitIoMsb, PeekConsumeAndExactPosition) {
+  BitWriterMSB bw;
+  bw.bits(0b1101, 4);
+  bw.bits(0x2A5, 10);
+  bw.bits(0x1FFFF, 17);
+  const auto bytes = bw.take();
+  BitReaderMSB br(bytes);
+  EXPECT_EQ(br.peek(4), 0b1101u);
+  EXPECT_EQ(br.peek(4), 0b1101u);
+  br.consume(4);
+  EXPECT_EQ(br.position(), 4u);
+  EXPECT_EQ(br.bits(10), 0x2A5u);
+  EXPECT_EQ(br.position(), 14u);
+  EXPECT_EQ(br.bits(17), 0x1FFFFu);
+  EXPECT_EQ(br.position(), 31u);
+}
+
+TEST(BitIoMsb, PeekZeroPadsPastEndButConsumeThrows) {
+  std::vector<std::uint8_t> one{0xF0};
+  BitReaderMSB br(one);
+  EXPECT_EQ(br.peek(12), 0xF00u);  // tail zero-padded on the right
+  br.consume(8);
+  EXPECT_EQ(br.peek(8), 0u);
+  EXPECT_THROW(br.consume(1), Error);
+}
+
+// Property: interleaved peek/consume at random widths reads the same bit
+// sequence as the pre-rewrite one-bit-at-a-time readers would.
+TEST(BitIo, PeekConsumeMatchesBitAtATimeBothOrders) {
+  std::mt19937 rng(23);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> bytes(1 + rng() % 64);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    const auto bit_at = [&](std::size_t i) -> std::uint32_t {
+      return trial % 2 == 0 ? (bytes[i / 8] >> (i % 8)) & 1u          // LSB
+                            : (bytes[i / 8] >> (7 - i % 8)) & 1u;     // MSB
+    };
+    BitReaderLSB rl(bytes);
+    BitReaderMSB rm(bytes);
+    std::size_t pos = 0;
+    const std::size_t total = bytes.size() * 8;
+    while (pos < total) {
+      const int n = 1 + static_cast<int>(rng() % 24);
+      if (pos + static_cast<std::size_t>(n) > total) break;
+      std::uint32_t want = 0;
+      for (int k = 0; k < n; ++k) {
+        const auto bit = trial % 2 == 0
+                             ? (bytes[(pos + k) / 8] >> ((pos + k) % 8)) & 1u
+                             : bit_at(pos + k);
+        want |= trial % 2 == 0 ? bit << k : 0;
+        if (trial % 2 != 0) want = (want << 1) | bit;
+      }
+      if (trial % 2 == 0) {
+        EXPECT_EQ(rl.peek(n), want);
+        rl.consume(n);
+      } else {
+        EXPECT_EQ(rm.peek(n) , want);
+        rm.consume(n);
+        EXPECT_EQ(rm.position(), pos + static_cast<std::size_t>(n));
+      }
+      pos += static_cast<std::size_t>(n);
+    }
+  }
+}
+
 // ------------------------------------------------------------- byte I/O
 
 TEST(Bytes, RoundTripAllTypes) {
@@ -187,6 +289,34 @@ TEST(Crc32, StreamingEqualsOneShot) {
   streaming.update({data.data(), 400});
   streaming.update({data.data() + 400, 600});
   EXPECT_EQ(streaming.value(), Crc32::of(data));
+}
+
+// Bitwise CRC-32 straight from the reflected polynomial, as the oracle for
+// the slice-by-8 implementation (which also mixes split/unaligned updates).
+std::uint32_t crc32_bitwise(std::span<const std::uint8_t> data) {
+  std::uint32_t crc = 0xffffffffu;
+  for (const auto b : data) {
+    crc ^= b;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+  }
+  return crc ^ 0xffffffffu;
+}
+
+TEST(Crc32, SliceBy8MatchesBitwiseReference) {
+  std::mt19937 rng(7);
+  for (const std::size_t size : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 1000u, 4097u}) {
+    std::vector<std::uint8_t> data(size);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(Crc32::of(data), crc32_bitwise(data)) << "size=" << size;
+    // Split at a random point so the word loop sees unaligned resumes.
+    Crc32 split;
+    const std::size_t cut = size == 0 ? 0 : rng() % size;
+    split.update({data.data(), cut});
+    split.update({data.data() + cut, size - cut});
+    EXPECT_EQ(split.value(), crc32_bitwise(data)) << "size=" << size;
+  }
 }
 
 // ----------------------------------------------------------------- dims
@@ -374,6 +504,84 @@ TEST(Huffman, DecoderRejectsOversubscribedStream) {
   }),
                Error);
   EXPECT_LE(calls, 4);
+}
+
+// Differential property: decode_fast over the flat table must emit the very
+// same symbol sequence as the bit-at-a-time oracle, in both bit orders,
+// across skewed random alphabets (including ones deep enough to need
+// subtables past the root-bits boundary).
+TEST(Huffman, DecodeFastMatchesOracleBothOrders) {
+  std::mt19937 rng(42);
+  for (const int alphabet : {2, 3, 29, 300, 2000}) {
+    std::vector<std::uint64_t> freqs(static_cast<std::size_t>(alphabet));
+    for (auto& f : freqs) {
+      f = 1 + rng() % 1000;
+      if (rng() % 4 == 0) f *= 100000;  // force a wide spread of lengths
+    }
+    const int limit = alphabet > 512 ? 24 : 15;
+    const auto lengths = huffman_code_lengths(freqs, limit);
+    const auto codes = canonical_codes(lengths);
+
+    std::vector<std::uint32_t> message;
+    BitWriterMSB bw;
+    for (int i = 0; i < 2000; ++i) {
+      const auto s = static_cast<std::uint32_t>(rng() % freqs.size());
+      message.push_back(s);
+      bw.bits(codes[s], lengths[s]);
+    }
+    const auto msb_bytes = bw.take();
+
+    const CanonicalDecoder dec_msb(lengths, BitOrder::MsbFirst);
+    ASSERT_TRUE(dec_msb.has_fast_table());
+    BitReaderMSB oracle(msb_bytes);
+    BitReaderMSB fast(msb_bytes);
+    for (auto expected : message) {
+      EXPECT_EQ(dec_msb.decode([&] { return oracle.bit(); }), expected);
+      EXPECT_EQ(dec_msb.decode_fast([&](int n) { return fast.peek(n); },
+                                    [&](int n) { fast.consume(n); }),
+                expected);
+      EXPECT_EQ(fast.position(), oracle.position());
+    }
+
+    // Same message through the DEFLATE bit order: reversed code bits packed
+    // LSB-first, decoded with an LsbFirst table.
+    BitWriterLSB lw;
+    for (auto s : message) {
+      std::uint32_t rc = 0, c = codes[s];
+      for (int b = 0; b < lengths[s]; ++b) rc = (rc << 1) | ((c >> b) & 1u);
+      lw.bits(rc, lengths[s]);
+    }
+    const auto lsb_bytes = lw.take();
+    const CanonicalDecoder dec_lsb(lengths, BitOrder::LsbFirst);
+    ASSERT_TRUE(dec_lsb.has_fast_table());
+    BitReaderLSB lfast(lsb_bytes);
+    for (auto expected : message) {
+      EXPECT_EQ(dec_lsb.decode_fast([&](int n) { return lfast.peek(n); },
+                                    [&](int n) { lfast.consume(n); }),
+                expected);
+    }
+  }
+}
+
+TEST(Huffman, DecodeFastRejectsInvalidCodeAndTruncation) {
+  // Sparse table: only symbol 0 has a (length-3) code, so slot 111... is an
+  // invalid entry in the flat table and must throw, not emit garbage.
+  std::vector<std::uint8_t> lengths{3, 0, 0, 0};
+  const CanonicalDecoder dec(lengths, BitOrder::MsbFirst);
+  ASSERT_TRUE(dec.has_fast_table());
+  std::vector<std::uint8_t> ones{0xff};
+  BitReaderMSB bad(ones);
+  EXPECT_THROW(dec.decode_fast([&](int n) { return bad.peek(n); },
+                               [&](int n) { bad.consume(n); }),
+               Error);
+
+  // A stream that ends mid-code must surface the truncation Error from
+  // consume() — peek() zero-pads, so the thrower is the reader, not UB.
+  std::vector<std::uint8_t> empty;
+  BitReaderMSB trunc(empty);
+  EXPECT_THROW(dec.decode_fast([&](int n) { return trunc.peek(n); },
+                               [&](int n) { trunc.consume(n); }),
+               Error);
 }
 
 // Parameterized Kraft/limit sweep across alphabet sizes and skews.
