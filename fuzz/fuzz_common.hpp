@@ -1,0 +1,29 @@
+// Shared setup for the libFuzzer harnesses.
+//
+// Every harness links this header's GuardInit, which lowers the process
+// decode-allocation cap (util/decode_guard.hpp) to 256 MiB. That matters
+// under ASan: its allocator hard-aborts on oversized requests instead of
+// throwing std::bad_alloc, so a forged point_count near 2^64 would kill the
+// fuzzer inside operator new before the parser's own checks could fire.
+// With the cap below ASan's limit, forged sizes surface as wavesz::Error —
+// the contained outcome the harness expects — and real bugs (OOB reads,
+// parser crashes) remain the only way to abort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/decode_guard.hpp"
+
+namespace wavesz::fuzz {
+
+/// Inputs above this size are ignored: coverage saturates far below 1 MiB
+/// and huge inputs only slow the mutator down.
+inline constexpr std::size_t kMaxInput = std::size_t{1} << 20;
+
+struct GuardInit {
+  GuardInit() { set_max_decode_bytes(std::size_t{1} << 28); }
+};
+inline const GuardInit guard_init{};
+
+}  // namespace wavesz::fuzz

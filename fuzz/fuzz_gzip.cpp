@@ -1,0 +1,32 @@
+// Fuzz target: gzip member parse (RFC 1952 header + DEFLATE + CRC/ISIZE).
+//
+// Contract: gzip_decompress is contained — wavesz::Error or success, never
+// a crash. On success the recovered bytes must survive a gzip round trip:
+// recompressing and decompressing them reproduces the same payload, which
+// exercises the CRC-32 and ISIZE trailer checks from the producing side.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "deflate/deflate.hpp"
+#include "fuzz_common.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace wavesz;
+  if (size > fuzz::kMaxInput) return 0;
+  const std::span<const std::uint8_t> input(data, size);
+
+  std::vector<std::uint8_t> plain;
+  try {
+    plain = deflate::gzip_decompress(input);
+  } catch (const Error&) {
+    return 0;
+  }
+  const auto again = deflate::gzip_compress(plain, deflate::Level::Fast);
+  const auto back = deflate::gzip_decompress(again);
+  if (back != plain) std::abort();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fuzz target: Huffman blob decode, table-driven fast path vs reference.
+//
+// Contract: on any input, sz::huffman_decode (which takes the multi-bit
+// table path when the code is well-formed) and huffman_decode_reference
+// (bit-at-a-time canonical walk) either both throw wavesz::Error or both
+// return identical symbol streams. Forged tables — over-subscribed Kraft
+// sums, duplicate entries, claimed counts past the payload — must be
+// rejected identically by both.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "fuzz_common.hpp"
+#include "sz/huffman_codec.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace wavesz;
+  if (size > fuzz::kMaxInput) return 0;
+  const std::span<const std::uint8_t> input(data, size);
+
+  bool fast_ok = false;
+  bool ref_ok = false;
+  std::vector<std::uint16_t> fast;
+  std::vector<std::uint16_t> ref;
+  try {
+    fast = sz::huffman_decode(input);
+    fast_ok = true;
+  } catch (const Error&) {
+  }
+  try {
+    ref = sz::huffman_decode_reference(input);
+    ref_ok = true;
+  } catch (const Error&) {
+  }
+  if (fast_ok != ref_ok || (fast_ok && fast != ref)) std::abort();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fuzz target: raw DEFLATE decode, fast path vs bit-at-a-time reference.
+//
+// Contract: on any input, deflate::decompress and decompress_reference
+// either both throw wavesz::Error or both succeed with identical bytes.
+// A divergence means the table-driven fast path mis-decodes some stream
+// the reference accepts — exactly the class of bug differential fuzzing
+// exists to find.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "deflate/deflate.hpp"
+#include "fuzz_common.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace wavesz;
+  if (size > fuzz::kMaxInput) return 0;
+  const std::span<const std::uint8_t> input(data, size);
+
+  bool fast_ok = false;
+  bool ref_ok = false;
+  std::vector<std::uint8_t> fast;
+  std::vector<std::uint8_t> ref;
+  try {
+    fast = deflate::decompress(input);
+    fast_ok = true;
+  } catch (const Error&) {
+  }
+  try {
+    ref = deflate::decompress_reference(input);
+    ref_ok = true;
+  } catch (const Error&) {
+  }
+  if (fast_ok != ref_ok || (fast_ok && fast != ref)) std::abort();
+  return 0;
+}

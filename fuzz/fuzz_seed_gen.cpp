@@ -1,0 +1,119 @@
+// Seed-corpus generator for the fuzz harnesses.
+//
+// Emits small, VALID artifacts of every format under test into
+// <outdir>/<harness>/seed_*.bin. Starting libFuzzer (or the standalone
+// driver) from well-formed inputs matters: random bytes die at the magic
+// check, but a mutated valid container reaches the deep parser states —
+// Huffman tables, section framing, wavefront layout math — where the
+// real bugs live. Deterministic by construction (fixed recipes), so the
+// corpus is reproducible and diffs are meaningful.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "data/synthetic.hpp"
+#include "deflate/deflate.hpp"
+#include "sz/compressor.hpp"
+#include "sz/huffman_codec.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void write_seed(const fs::path& dir, int n,
+                const std::vector<std::uint8_t>& bytes) {
+  fs::create_directories(dir);
+  const auto path = dir / ("seed_" + std::to_string(n) + ".bin");
+  std::ofstream out(path, std::ios::binary);
+  // wavesz-lint: allow(raw-memory) iostream write() contract; tool code.
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    std::exit(2);
+  }
+}
+
+std::vector<float> field(const wavesz::Dims& dims, std::uint64_t seed) {
+  wavesz::data::FieldRecipe r;
+  r.seed = seed;
+  return wavesz::data::generate(r, dims);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wavesz;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root(argv[1]);
+
+  // Raw bytes with LZ77-friendly structure: a synthetic field reused as
+  // the plaintext for the DEFLATE/gzip seeds.
+  const Dims d2 = Dims::d2(48, 48);
+  const auto f32 = field(d2, 11);
+  std::vector<std::uint8_t> plain(f32.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    plain[i] = static_cast<std::uint8_t>(static_cast<int>(f32[i] * 8.0f) & 0xff);
+  }
+
+  write_seed(root / "inflate", 0, deflate::compress(plain,
+                                                    deflate::Level::Fast));
+  write_seed(root / "inflate", 1, deflate::compress(plain,
+                                                    deflate::Level::Best));
+  write_seed(root / "inflate", 2,
+             deflate::compress(std::vector<std::uint8_t>{},
+                               deflate::Level::Best));
+
+  write_seed(root / "gzip", 0, deflate::gzip_compress(plain,
+                                                      deflate::Level::Fast));
+  write_seed(root / "gzip", 1,
+             deflate::gzip_compress(std::vector<std::uint8_t>{},
+                                    deflate::Level::Best));
+
+  {
+    sz::Config cfg;
+    write_seed(root / "sz14", 0, sz::compress(f32, d2, cfg).bytes);
+    const Dims d1 = Dims::d1(512);
+    write_seed(root / "sz14", 1, sz::compress(field(d1, 13), d1, cfg).bytes);
+    const Dims d3 = Dims::d3(8, 16, 16);
+    write_seed(root / "sz14", 2, sz::compress(field(d3, 17), d3, cfg).bytes);
+    const auto narrow = field(d2, 19);
+    std::vector<double> wide(narrow.begin(), narrow.end());
+    write_seed(root / "sz14", 3, sz::compress(wide, d2, cfg).bytes);
+  }
+
+  {
+    sz::Config cfg;
+    write_seed(root / "wavesz", 0, wave::compress(f32, d2, cfg).bytes);
+    const Dims d3 = Dims::d3(8, 16, 16);
+    write_seed(root / "wavesz", 1,
+               wave::compress(field(d3, 23), d3, cfg).bytes);
+  }
+
+  {
+    // Skewed symbol stream shaped like real quantization codes: a heavy
+    // center symbol with a geometric tail, plus a degenerate one-symbol
+    // stream and an empty one.
+    std::vector<std::uint16_t> codes;
+    for (std::size_t i = 0; i < 4096; ++i) {
+      const auto wobble = static_cast<std::uint16_t>((i * i * 31) % 97);
+      codes.push_back(static_cast<std::uint16_t>(
+          wobble < 80 ? 1024 : 1024 + (wobble % 13) - 6));
+    }
+    write_seed(root / "huffman", 0, sz::huffman_encode(codes, 1));
+    write_seed(root / "huffman", 1,
+               sz::huffman_encode(std::vector<std::uint16_t>(64, 7), 1));
+    write_seed(root / "huffman", 2,
+               sz::huffman_encode(std::vector<std::uint16_t>{}, 1));
+  }
+
+  std::printf("seed corpus written under %s\n", root.string().c_str());
+  return 0;
+}

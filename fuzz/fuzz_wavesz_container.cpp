@@ -1,0 +1,37 @@
+// Fuzz target: waveSZ container parse + wavefront reconstruction.
+//
+// Contract: wave::decompress / decompress64 are contained on arbitrary
+// bytes — the wavefront layout math (diagonal index remapping) must never
+// index outside the buffer the header sized, whatever the header claims.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "fuzz_common.hpp"
+#include "util/dims.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace wavesz;
+  if (size > fuzz::kMaxInput) return 0;
+  const std::span<const std::uint8_t> input(data, size);
+
+  try {
+    Dims dims;
+    const auto out = wave::decompress(input, &dims);
+    if (out.size() != dims.count()) std::abort();
+    for (float v : out) (void)v;
+  } catch (const Error&) {
+  }
+  try {
+    Dims dims;
+    const auto out = wave::decompress64(input, &dims);
+    if (out.size() != dims.count()) std::abort();
+    for (double v : out) (void)v;
+  } catch (const Error&) {
+  }
+  return 0;
+}

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
+#include "util/decode_guard.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::wave {
@@ -30,20 +32,29 @@ ArchiveIndex parse_index(std::span<const std::uint8_t> bytes,
     WAVESZ_REQUIRE(e > 0, "zero extent in archive");
   }
   idx.dims = Dims{ext, rank};
+  // Forged extents must not drive chunk-count arithmetic or downstream
+  // per-chunk decodes; the per-chunk wave containers re-validate their own
+  // geometry against the same guard.
+  (void)guarded_count(idx.dims, sizeof(float));
   idx.chunk_planes = static_cast<std::size_t>(r.u64());
   WAVESZ_REQUIRE(idx.chunk_planes > 0, "invalid chunk size");
   const std::uint64_t count = r.u64();
   const std::uint64_t expected =
-      (idx.dims[0] + idx.chunk_planes - 1) / idx.chunk_planes;
+      (idx.dims[0] - 1) / idx.chunk_planes + 1;
   WAVESZ_REQUIRE(count == expected, "chunk count disagrees with geometry");
   std::size_t offset = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t size = r.u64();
+    // Checked accumulation: the claimed sizes must stay inside the archive
+    // at every step, so `offset` can never wrap and the final subspan
+    // arithmetic below stays in bounds.
+    WAVESZ_REQUIRE(size <= bytes.size() && offset <= bytes.size() - size,
+                   "archive truncated");
     idx.chunks.emplace_back(offset, size);
     offset += size;
   }
   idx.payload_base = r.position();
-  WAVESZ_REQUIRE(idx.payload_base + offset <= bytes.size(),
+  WAVESZ_REQUIRE(offset <= bytes.size() - idx.payload_base,
                  "archive truncated");
   return idx;
 }
@@ -111,7 +122,7 @@ void StreamCompressor::feed(std::span<const double> planes) {
 }
 
 void StreamCompressor::emit_chunk() {
-  telemetry::Span span("stream.chunk");
+  telemetry::Span span(telemetry::spans::kStreamChunk);
   telemetry::counter_add(telemetry::Counter::StreamChunks, 1);
   const bool f64 = dtype_ == 1;
   const std::size_t buffered =
@@ -176,7 +187,7 @@ std::size_t stream_chunk_count(std::span<const std::uint8_t> bytes) {
 
 StreamChunk stream_decompress_chunk(std::span<const std::uint8_t> bytes,
                                     std::size_t index, int pqd_threads) {
-  telemetry::Span span("stream.decode_chunk");
+  telemetry::Span span(telemetry::spans::kStreamDecodeChunk);
   telemetry::counter_add(telemetry::Counter::StreamChunks, 1);
   ByteReader r(bytes);
   const auto idx = parse_index(bytes, r);

@@ -6,6 +6,7 @@
 #include "deflate/parallel.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/predictor.hpp"
+#include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -114,7 +115,7 @@ template <typename T>
 typename FpOps<T>::Kernel wave_pqd_2d_par_t(std::span<T> wavefront,
                                             const WavefrontLayout& layout,
                                             const sz::LinearQuantizer& q,
-                                            int nt) {
+                                            [[maybe_unused]] int nt) {
   WAVESZ_REQUIRE(wavefront.size() == layout.count(),
                  "wavefront size disagrees with layout");
   typename FpOps<T>::Kernel out;
@@ -205,7 +206,7 @@ std::vector<T> wave_reconstruct_2d_par_t(std::span<const std::uint16_t> codes,
                                          std::size_t* next_verbatim,
                                          const WavefrontLayout& layout,
                                          const sz::LinearQuantizer& q,
-                                         int nt) {
+                                         [[maybe_unused]] int nt) {
   WAVESZ_REQUIRE(codes.size() == layout.count(),
                  "code count disagrees with layout");
   std::vector<T> rec(codes.size());
@@ -358,14 +359,14 @@ std::vector<std::uint8_t> plain_codes(
 template <typename T>
 sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
                           const sz::Config& cfg, LayoutMode mode) {
-  telemetry::Span span_all("wave::compress");
+  telemetry::Span span_all(telemetry::spans::kWaveCompress);
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   WAVESZ_REQUIRE(dims.rank >= 2,
                  "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
   const int pqd_nt = sz::resolve_thread_budget(cfg.pqd_threads);
   double range = 0.0;
   {
-    telemetry::Span span("value_range");
+    telemetry::Span span(telemetry::spans::kValueRange);
     range = sz::value_range(data, pqd_nt);
   }
   const double bound = resolve_bound(cfg, range);
@@ -376,13 +377,13 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
 
   typename FpOps<T>::Kernel kr;
   if (mode == LayoutMode::Flatten2D || dims.rank <= 2) {
-    telemetry::Span span_pqd("wave.pqd");
+    telemetry::Span span_pqd(telemetry::spans::kWavePqd);
     const Dims flat = dims.flatten2d();
     const WavefrontLayout layout(flat[0], flat[1]);
     auto wf = to_wavefront(data, layout);
     kr = wave_pqd_2d_auto<T>(std::span<T>(wf), layout, q, pqd_nt);
   } else {
-    telemetry::Span span_pqd("wave.pqd3d");
+    telemetry::Span span_pqd(telemetry::spans::kWavePqd3d);
     const std::size_t planes = dims[0];
     const WavefrontLayout layout(dims[1], dims[2]);
     const std::size_t slice_points = layout.count();
@@ -411,14 +412,14 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
                          kr.codes.size() - kr.verbatim.size());
   std::vector<std::uint8_t> code_plain;
   {
-    telemetry::Span span("encode.codes");
+    telemetry::Span span(telemetry::spans::kEncodeCodes);
     code_plain = plain_codes(kr.codes, cfg, pqd_nt);
   }
   ByteWriter vw;
   FpOps<T>::write_values(vw, kr.verbatim);
   // Code-section and verbatim-section encodes share one chunked-DEFLATE
   // task pool (serial and bit-identical at the default codec_threads == 1).
-  telemetry::Span span_tail("deflate+serialize");
+  telemetry::Span span_tail(telemetry::spans::kDeflateSerialize);
   const std::span<const std::uint8_t> sections[] = {code_plain, vw.data()};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
                                             cfg.deflate_options());
@@ -458,7 +459,7 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                             Dims* dims_out, int pqd_threads) {
-  telemetry::Span span_all("wave::decompress");
+  telemetry::Span span_all(telemetry::spans::kWaveDecompress);
   ByteReader r(bytes);
   const sz::ContainerHeader h = sz::read_header(r);
   WAVESZ_REQUIRE(h.variant == sz::Variant::WaveSz,
@@ -472,7 +473,7 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
 
   std::vector<std::uint16_t> codes;
   {
-    telemetry::Span span("decode.codes");
+    telemetry::Span span(telemetry::spans::kDecodeCodes);
     const auto code_plain = deflate::gzip_decompress(code_blob);
     if (h.huffman) {
       codes = sz::huffman_decode(code_plain);
@@ -483,7 +484,7 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   }
   WAVESZ_REQUIRE(codes.size() == h.point_count, "code count mismatch");
 
-  telemetry::Span span_body("wave.reconstruct");
+  telemetry::Span span_body(telemetry::spans::kWaveReconstruct);
   const auto verbatim_plain = deflate::gzip_decompress(verbatim_blob);
   ByteReader ur(verbatim_plain);
   const auto verbatim = FpOps<T>::read_values(ur, h.unpredictable_count);

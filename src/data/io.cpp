@@ -1,9 +1,9 @@
 #include "data/io.hpp"
 
 #include <cstdint>
-#include <cstring>
 #include <fstream>
 
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::data {
@@ -15,6 +15,8 @@ std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
   const auto size = static_cast<std::size_t>(in.tellg());
   in.seekg(0);
   std::vector<std::uint8_t> buf(size);
+  // wavesz-lint: allow(raw-memory) iostream's read() contract is char*;
+  // uint8_t* -> char* is the one cast the standard blesses for byte I/O.
   in.read(reinterpret_cast<char*>(buf.data()),
           static_cast<std::streamsize>(size));
   WAVESZ_REQUIRE(in.good(), "short read from '" + path.string() + "'");
@@ -37,7 +39,7 @@ std::vector<float> read_f32(const std::filesystem::path& path) {
   WAVESZ_REQUIRE(bytes.size() % sizeof(float) == 0,
                  "'" + path.string() + "' is not a float32 array");
   std::vector<float> out(bytes.size() / sizeof(float));
-  std::memcpy(out.data(), bytes.data(), bytes.size());
+  copy_bytes(out.data(), bytes.data(), bytes.size());
   return out;
 }
 

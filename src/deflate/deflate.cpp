@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "deflate/deflate_tables.hpp"
+#include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
@@ -74,10 +75,11 @@ std::uint64_t token_cost_bits(std::span<const Token> tokens,
     } else {
       const int lc = length_code(t.length);
       const int dc = distance_code(t.distance);
-      bits += litlen_lens[static_cast<std::size_t>(257 + lc)] +
-              kLengthExtra[static_cast<std::size_t>(lc)] +
-              dist_lens[static_cast<std::size_t>(dc)] +
-              kDistExtra[static_cast<std::size_t>(dc)];
+      bits += static_cast<std::uint64_t>(
+          litlen_lens[static_cast<std::size_t>(257 + lc)] +
+          kLengthExtra[static_cast<std::size_t>(lc)] +
+          dist_lens[static_cast<std::size_t>(dc)] +
+          kDistExtra[static_cast<std::size_t>(dc)]);
     }
   }
   bits += litlen_lens[kEndOfBlock];
@@ -189,7 +191,7 @@ DynamicHeader build_dynamic_header(std::span<const std::uint8_t> litlen_full,
     --h.hclen;
   }
 
-  h.header_bits = 5 + 5 + 4 + 3ull * static_cast<std::uint64_t>(h.hclen);
+  h.header_bits = 5u + 5u + 4u + 3u * static_cast<std::uint64_t>(h.hclen);
   for (auto [sym, extra] : h.rle) {
     h.header_bits += h.clc_lens[sym];
     if (sym == 16) h.header_bits += 2;
@@ -390,7 +392,7 @@ void copy_match(std::vector<std::uint8_t>& out, std::size_t distance,
   const std::uint8_t* src = out.data() + start;
   std::size_t k = 0;
   if (distance >= 8) {
-    for (; k + 8 <= length; k += 8) std::memcpy(dst + k, src + k, 8);
+    for (; k + 8 <= length; k += 8) copy8(dst + k, src + k);
   }
   for (; k < length; ++k) dst[k] = src[k];
 }
@@ -460,7 +462,7 @@ void inflate_block_fast(BitReaderLSB& br, const CanonicalDecoder& litlen,
 void inflate_block(BitReaderLSB& br, const CanonicalDecoder& litlen,
                    const CanonicalDecoder& dist,
                    std::vector<std::uint8_t>& out, bool reference) {
-  telemetry::Span span("inflate.block");
+  telemetry::Span span(telemetry::spans::kInflateBlock);
   telemetry::counter_add(telemetry::Counter::InflateBlocks, 1);
   // Blocks whose codes defeat the table build (over-subscribed or forged
   // headers) decode through the oracle, which throws on the first bad code.
@@ -496,8 +498,14 @@ std::vector<std::uint8_t> decompress_impl(std::span<const std::uint8_t> input,
     const std::uint32_t type = br.bits(2);
     if (type == 0b00) {
       br.align_byte();
-      const std::uint32_t len = br.byte() | (br.byte() << 8);
-      const std::uint32_t nlen = br.byte() | (br.byte() << 8);
+      // Named temporaries: the two byte() calls are unsequenced inside a
+      // single `|` expression, and their order decides which byte is low.
+      const std::uint32_t len_lo = br.byte();
+      const std::uint32_t len_hi = br.byte();
+      const std::uint32_t len = len_lo | (len_hi << 8);
+      const std::uint32_t nlen_lo = br.byte();
+      const std::uint32_t nlen_hi = br.byte();
+      const std::uint32_t nlen = nlen_lo | (nlen_hi << 8);
       WAVESZ_REQUIRE((len ^ 0xffffu) == nlen, "stored block LEN/NLEN mismatch");
       const std::size_t old = out.size();
       out.resize(old + len);
@@ -576,7 +584,7 @@ std::vector<std::uint8_t> gzip_decompress(
   const std::uint32_t isize = tail.u32();
   std::uint32_t actual_crc;
   {
-    telemetry::Span span("crc32");
+    telemetry::Span span(telemetry::spans::kCrc32);
     telemetry::counter_add(telemetry::Counter::CrcBytes, out.size());
     actual_crc = Crc32::of(out);
   }

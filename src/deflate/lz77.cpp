@@ -2,28 +2,22 @@
 
 #include <algorithm>
 #include <bit>
-#include <cstring>
 
+#include "util/bytes.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::deflate {
 namespace {
 
 /// Length of the common prefix of a and b, capped at max_len: eight bytes
-/// per step via XOR + count-trailing-zeros (count-leading on big-endian,
-/// where the first differing byte sits in the high bits), byte-wise tail.
+/// per step via XOR + count-trailing-zeros (the little-endian load puts the
+/// first memory byte in the low bits on every host), byte-wise tail.
 int match_extend(const std::uint8_t* a, const std::uint8_t* b, int max_len) {
   int len = 0;
   while (len + 8 <= max_len) {
-    std::uint64_t x, y;
-    std::memcpy(&x, a + len, 8);
-    std::memcpy(&y, b + len, 8);
-    const std::uint64_t diff = x ^ y;
+    const std::uint64_t diff = load_le64(a + len) ^ load_le64(b + len);
     if (diff != 0) {
-      const int bits = std::endian::native == std::endian::little
-                           ? std::countr_zero(diff)
-                           : std::countl_zero(diff);
-      return len + (bits >> 3);
+      return len + (std::countr_zero(diff) >> 3);
     }
     len += 8;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 
+#include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
 #include "util/checksum.hpp"
@@ -68,7 +69,7 @@ std::vector<std::vector<std::uint8_t>> deflate_batch(
   if (threads == 1) {
     // Serial reference path: bit-identical to compress().
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      telemetry::Span span("deflate.chunk");
+      telemetry::Span span(telemetry::spans::kDeflateChunk);
       telemetry::counter_add(telemetry::Counter::DeflateChunks, 1);
       out[i] = compress(inputs[i], level);
     }
@@ -101,7 +102,7 @@ std::vector<std::vector<std::uint8_t>> deflate_batch(
 #endif
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     try {
-      telemetry::Span span("deflate.chunk");
+      telemetry::Span span(telemetry::spans::kDeflateChunk);
       const ChunkTask& task = tasks[t];
       pieces[task.input_index][task.chunk_index] = compress_chunk(
           inputs[task.input_index], task, level, opts.prime_dictionary);
@@ -118,7 +119,7 @@ std::vector<std::vector<std::uint8_t>> deflate_batch(
   // Stitch: bit-level concatenation of the chunk streams. Chunk k+1 was
   // emitted assuming it starts byte-aligned, which the sync-flush tail of
   // chunk k guarantees.
-  telemetry::Span span_stitch("deflate.stitch");
+  telemetry::Span span_stitch(telemetry::spans::kDeflateStitch);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     BitWriterLSB bw;
     for (const ChunkBits& p : pieces[i]) bw.append(p.bytes, p.nbits);

@@ -4,6 +4,7 @@
 
 #include "core/wavesz.hpp"
 #include "util/bytes.hpp"
+#include "util/decode_guard.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::fpga {
@@ -111,6 +112,9 @@ std::vector<float> device_decompress(std::span<const std::uint8_t> archive,
     WAVESZ_REQUIRE(e > 0, "zero extent");
   }
   const Dims dims{ext, rank};
+  // Reject forged extents before flatten2d() multiplies them or the output
+  // allocation is sized from them.
+  const std::size_t total_points = guarded_count(dims, sizeof(float));
   const Dims flat = dims.flatten2d();
   const std::size_t d0 = flat[0];
   const std::size_t d1 = flat[1];
@@ -120,7 +124,7 @@ std::vector<float> device_decompress(std::span<const std::uint8_t> archive,
   std::vector<std::uint64_t> sizes(count);
   for (auto& s : sizes) s = r.u64();
 
-  std::vector<float> out(dims.count());
+  std::vector<float> out(total_points);
   std::size_t col = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
     auto view = r.bytes(sizes[i]);

@@ -9,6 +9,7 @@
 #include "sz/pqd_detail.hpp"
 #include "sz/unpredictable.hpp"
 #include "sz/wavefront_pqd.hpp"
+#include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -68,11 +69,11 @@ double range_of(std::span<const T> data, int threads) {
 template <typename T>
 Compressed compress_t(std::span<const T> data, const Dims& dims,
                       const Config& cfg) {
-  telemetry::Span span_all("sz::compress");
+  telemetry::Span span_all(telemetry::spans::kSzCompress);
   const int pqd_nt = resolve_thread_budget(cfg.pqd_threads);
   double range = 0.0;
   {
-    telemetry::Span span("value_range");
+    telemetry::Span span(telemetry::spans::kValueRange);
     range = range_of<T>(data, pqd_nt);
   }
   const double bound = resolve_bound(cfg, range);
@@ -87,7 +88,7 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   const bool wavefront = pqd_nt > 1 && dims.rank >= 2;
   typename FpOps<T>::PqdType pqd;
   {
-    telemetry::Span span(wavefront ? "pqd.wavefront" : "pqd.raster");
+    telemetry::Span span(wavefront ? telemetry::spans::kPqdWavefront : telemetry::spans::kPqdRaster);
     pqd = wavefront ? detail::lorenzo_pqd_wavefront_t<T>(data, dims, q,
                                                          cfg.predictor,
                                                          pqd_nt)
@@ -102,7 +103,7 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   // straight into gzip when Huffman is disabled.
   std::vector<std::uint8_t> code_plain;
   {
-    telemetry::Span span("encode.codes");
+    telemetry::Span span(telemetry::spans::kEncodeCodes);
     if (cfg.huffman) {
       code_plain = huffman_encode(pqd.codes, pqd_nt);
     } else {
@@ -113,14 +114,14 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   }
   std::vector<std::uint8_t> unpred_plain;
   {
-    telemetry::Span span("encode.unpred");
+    telemetry::Span span(telemetry::spans::kEncodeUnpred);
     unpred_plain = FpOps<T>::encode(pqd.unpredictable, bound);
   }
 
   // Both sections go through one chunked-DEFLATE task pool, so the code and
   // unpredictable encodes run concurrently under cfg.codec_threads (the
   // serial budget of 1 reproduces the historical streams bit-for-bit).
-  telemetry::Span span_tail("deflate+serialize");
+  telemetry::Span span_tail(telemetry::spans::kDeflateSerialize);
   const std::span<const std::uint8_t> sections[] = {code_plain, unpred_plain};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
                                             cfg.deflate_options());
@@ -161,7 +162,7 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                             Dims* dims_out, int pqd_threads) {
-  telemetry::Span span_all("sz::decompress");
+  telemetry::Span span_all(telemetry::spans::kSzDecompress);
   ByteReader r(bytes);
   const ContainerHeader h = read_header(r);
   WAVESZ_REQUIRE(h.variant == Variant::Sz14,
@@ -173,7 +174,7 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
 
   std::vector<std::uint16_t> codes;
   {
-    telemetry::Span span("decode.codes");
+    telemetry::Span span(telemetry::spans::kDecodeCodes);
     const auto code_plain = deflate::gzip_decompress(code_blob);
     if (h.huffman) {
       codes = huffman_decode(code_plain);
@@ -186,7 +187,7 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
 
   std::vector<T> unpred;
   {
-    telemetry::Span span("decode.unpred");
+    telemetry::Span span(telemetry::spans::kDecodeUnpred);
     const auto unpred_plain = deflate::gzip_decompress(unpred_blob);
     unpred = FpOps<T>::decode(unpred_plain, h.unpredictable_count,
                               h.eb_absolute);
@@ -198,11 +199,11 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   if (dims_out != nullptr) *dims_out = h.dims;
   const int pqd_nt = resolve_thread_budget(pqd_threads);
   if (pqd_nt > 1 && h.dims.rank >= 2) {
-    telemetry::Span span("reconstruct.wavefront");
+    telemetry::Span span(telemetry::spans::kReconstructWavefront);
     return detail::lorenzo_reconstruct_wavefront_t<T>(codes, unpred, h.dims,
                                                       q, kind, pqd_nt);
   }
-  telemetry::Span span("reconstruct.raster");
+  telemetry::Span span(telemetry::spans::kReconstructRaster);
   return detail::lorenzo_reconstruct_t<T>(codes, unpred, h.dims, q, kind);
 }
 

@@ -1,5 +1,6 @@
 #include "sz/container.hpp"
 
+#include "util/decode_guard.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::sz {
@@ -42,9 +43,13 @@ ContainerHeader read_header(ByteReader& r) {
   WAVESZ_REQUIRE(base <= 1, "invalid error-bound base");
   h.base = static_cast<EbBase>(base);
   std::array<std::size_t, 3> ext{};
-  for (auto& e : ext) {
-    e = static_cast<std::size_t>(r.u64());
-    WAVESZ_REQUIRE(e > 0, "zero extent in container");
+  for (std::size_t i = 0; i < ext.size(); ++i) {
+    ext[i] = static_cast<std::size_t>(r.u64());
+    WAVESZ_REQUIRE(ext[i] > 0, "zero extent in container");
+    // Writers pad unused axes with 1; anything else is a forged header
+    // whose count()/slab arithmetic would disagree with its rank.
+    WAVESZ_REQUIRE(i < static_cast<std::size_t>(rank) || ext[i] == 1,
+                   "nontrivial extent beyond container rank");
   }
   h.dims = Dims{ext, rank};
   h.eb_requested = r.f64();
@@ -62,8 +67,14 @@ ContainerHeader read_header(ByteReader& r) {
   WAVESZ_REQUIRE(h.dtype <= 1, "unknown value dtype");
   h.point_count = r.u64();
   h.unpredictable_count = r.u64();
-  WAVESZ_REQUIRE(h.point_count == h.dims.count(),
+  // Overflow-checked product, capped by the process decode guard: forged
+  // extents must be rejected here, before any decoder sizes an output
+  // buffer from them (see util/decode_guard.hpp).
+  const std::size_t elem = h.dtype == 1 ? sizeof(double) : sizeof(float);
+  WAVESZ_REQUIRE(h.point_count == guarded_count(h.dims, elem),
                  "point count disagrees with dims");
+  WAVESZ_REQUIRE(h.unpredictable_count <= h.point_count,
+                 "unpredictable count exceeds point count");
   return h;
 }
 

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "sz/config.hpp"
+#include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
@@ -150,7 +151,7 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
   std::vector<std::uint8_t> lengths;
   std::vector<std::uint32_t> canon;
   {
-    telemetry::Span span("huffman.table");
+    telemetry::Span span(telemetry::spans::kHuffmanTable);
     const std::uint64_t t0 =
         telemetry::enabled() ? telemetry::detail::now_ns() : 0;
     freq = frequencies(codes, nt);
@@ -174,7 +175,7 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
       w.u8(lengths[s]);
     }
   }
-  telemetry::Span span_pack("huffman.pack");
+  telemetry::Span span_pack(telemetry::spans::kHuffmanPack);
   std::uint64_t payload_bits = 0;
   const auto payload = pack_payload(codes, canon, lengths, nt, &payload_bits);
   w.u64(payload_bits);
@@ -186,7 +187,7 @@ namespace {
 
 std::vector<std::uint16_t> huffman_decode_impl(
     std::span<const std::uint8_t> blob, bool reference) {
-  telemetry::Span span("huffman.decode");
+  telemetry::Span span(telemetry::spans::kHuffmanDecode);
   ByteReader r(blob);
   const std::uint32_t distinct = r.u32();
   const std::uint64_t count = r.u64();
@@ -202,6 +203,10 @@ std::vector<std::uint16_t> huffman_decode_impl(
   WAVESZ_REQUIRE(kraft_complete(lengths),
                  "Huffman table is not a complete prefix code");
   const std::uint64_t payload_bits = r.u64();
+  // Checked before the byte-count division: a claimed bit count near 2^64
+  // would wrap (payload_bits + 7) / 8 into a tiny read.
+  WAVESZ_REQUIRE(payload_bits / 8 <= r.remaining(),
+                 "Huffman payload exceeds the container");
   const auto payload = r.bytes((payload_bits + 7) / 8);
   // Every symbol costs at least one bit; anything else is a forged header
   // trying to force a huge allocation.

@@ -4,7 +4,9 @@
 #include <new>
 #include <stdexcept>
 
+#include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/decode_guard.hpp"
 #include "util/error.hpp"
 
 #ifdef _OPENMP
@@ -50,7 +52,7 @@ std::vector<Slab> partition(const Dims& dims, int blocks) {
 
 OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
                            const Config& cfg, int threads) {
-  telemetry::Span span_all("sz::compress_omp");
+  telemetry::Span span_all(telemetry::spans::kSzCompressOmp);
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   int nthreads = threads;
 #ifdef _OPENMP
@@ -78,7 +80,7 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
 #endif
   for (std::size_t b = 0; b < slabs.size(); ++b) {
     try {
-      telemetry::Span span("slab.compress");
+      telemetry::Span span(telemetry::spans::kSlabCompress);
       const Slab& s = slabs[b];
       pieces[b] = compress(data.subspan(s.offset_points, s.dims.count()),
                            s.dims, slab_cfg)
@@ -110,7 +112,7 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
 
 std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
                                   Dims* dims_out) {
-  telemetry::Span span_all("sz::decompress_omp");
+  telemetry::Span span_all(telemetry::spans::kSzDecompressOmp);
   ByteReader r(bytes);
   WAVESZ_REQUIRE(r.u32() == kOmpMagic, "not an OpenMP SZ container");
   const int rank = r.u8();
@@ -121,6 +123,9 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
     WAVESZ_REQUIRE(e > 0, "zero extent in container");
   }
   const Dims dims{ext, rank};
+  // Reject forged extents (overflowing or above the decode cap) before the
+  // slab layout or the output allocation is derived from them.
+  const std::size_t total_points = guarded_count(dims, sizeof(float));
   const std::uint32_t blocks = r.u32();
   WAVESZ_REQUIRE(blocks > 0 && blocks <= dims[0],
                  "implausible block count");
@@ -136,14 +141,15 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
   // layout gives every block's final offset up front: allocate the output
   // once and let each thread decode straight into its slot — no per-part
   // buffers surviving the loop, no serial insert-per-part reassembly.
-  // Mutated containers can claim absurd extents; allocation failure is a
-  // parse error here, not a process-level OOM.
+  // guarded_count() above rejected overflowing/above-cap extents, so the
+  // allocation here is bounded by the decode cap; the catch stays as a
+  // belt for hosts without even cap-sized memory.
   WAVESZ_REQUIRE(blocks <= 0x7fffffffu, "implausible block count");
   std::vector<Slab> slabs;
   std::vector<float> out;
   try {
     slabs = partition(dims, static_cast<int>(blocks));
-    out.resize(dims.count());
+    out.resize(total_points);
   } catch (const std::bad_alloc&) {
     throw Error("container claims an implausible field size");
   } catch (const std::length_error&) {
@@ -158,7 +164,7 @@ std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
 #endif
   for (std::size_t b = 0; b < pieces.size(); ++b) {
     try {
-      telemetry::Span span("slab.decompress");
+      telemetry::Span span(telemetry::spans::kSlabDecompress);
       const auto part = decompress(pieces[b]);
       WAVESZ_REQUIRE(part.size() == slabs[b].dims.count(),
                      "slab payload size disagrees with layout");

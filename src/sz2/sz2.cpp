@@ -11,6 +11,7 @@
 #include "sz/unpredictable.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
+#include "util/decode_guard.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::sz2 {
@@ -415,6 +416,8 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes,
     WAVESZ_REQUIRE(e > 0, "zero extent");
   }
   const Dims dims{ext, rank};
+  // Forged extents must fail before any geometry-derived allocation.
+  const std::size_t total_points = guarded_count(dims, sizeof(float));
   const auto mode = static_cast<Config::Mode>(r.u8());
   WAVESZ_REQUIRE(mode <= Config::Mode::PointwiseRelative, "invalid mode");
   (void)r.f64();  // requested bound (informational)
@@ -440,7 +443,7 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes,
   // Validate the point count against real decoded data before sizing any
   // geometry-derived structure (forged dims must not drive allocations).
   const auto codes = sz::huffman_decode(codes_blob);
-  WAVESZ_REQUIRE(codes.size() == dims.count(), "code count mismatch");
+  WAVESZ_REQUIRE(codes.size() == total_points, "code count mismatch");
 
   const Shape s = shape_of(dims);
   const auto blocks = make_blocks(s, side);
@@ -457,7 +460,7 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes,
 
   const sz::LinearQuantizer q(bound, quant_bits);
   const CoeffQuant cq(bound, side);
-  std::vector<float> rec(dims.count());
+  std::vector<float> rec(total_points);
   const Padded padded{rec.data(), s};
   std::size_t next_unpred = 0;
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
@@ -498,7 +501,7 @@ std::vector<float> decompress(std::span<const std::uint8_t> bytes,
 
   if (mode == Config::Mode::PointwiseRelative) {
     const auto classes_blob = section();
-    const auto classes = unpack_classes(classes_blob, dims.count());
+    const auto classes = unpack_classes(classes_blob, total_points);
     return log_inverse(rec, classes);
   }
   return rec;

@@ -16,6 +16,59 @@
 
 namespace wavesz {
 
+// ---------------------------------------------------------------------------
+// Centralized raw-memory primitives.
+//
+// Every unaligned load and raw byte copy in the codebase routes through the
+// helpers below (together with util/float_bits.* for IEEE-754 punning); the
+// containment is machine-enforced by tools/wavesz_lint.py rule `raw-memory`.
+// Keeping the entire type-punning surface in one reviewed file is what lets
+// the sanitizer, fuzz and tidy jobs reason about out-of-bounds behaviour.
+// ---------------------------------------------------------------------------
+
+/// Unaligned 32-bit little-endian load. Compiles to a single mov on every
+/// mainstream target; the swap is constant-folded away on matching-endian
+/// hosts.
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t w;
+  std::memcpy(&w, p, sizeof w);
+  if constexpr (std::endian::native == std::endian::big) {
+    w = __builtin_bswap32(w);
+  }
+  return w;
+}
+
+/// Unaligned 64-bit little-endian load (first memory byte in bit 0).
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof w);
+  if constexpr (std::endian::native == std::endian::big) {
+    w = __builtin_bswap64(w);
+  }
+  return w;
+}
+
+/// Unaligned 64-bit big-endian load (first memory byte in bits 63..56).
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t w;
+  std::memcpy(&w, p, sizeof w);
+  if constexpr (std::endian::native == std::endian::little) {
+    w = __builtin_bswap64(w);
+  }
+  return w;
+}
+
+/// Raw copy of `n` bytes between non-overlapping buffers.
+inline void copy_bytes(void* dst, const void* src, std::size_t n) {
+  std::memcpy(dst, src, n);
+}
+
+/// Fixed 8-byte copy (the word-at-a-time step of back-reference expansion;
+/// caller guarantees src/dst are at least 8 bytes apart).
+inline void copy8(std::uint8_t* dst, const std::uint8_t* src) {
+  std::memcpy(dst, src, 8);
+}
+
 class ByteWriter {
  public:
   void u8(std::uint8_t v) { buf_.push_back(v); }
@@ -72,28 +125,12 @@ class ByteReader {
     return out;
   }
 
-  std::vector<float> floats(std::size_t n) {
-    require(n * sizeof(float));
-    std::vector<float> out(n);
-    std::memcpy(out.data(), s_.data() + pos_, n * sizeof(float));
-    pos_ += n * sizeof(float);
-    return out;
-  }
+  std::vector<float> floats(std::size_t n) { return array<float>(n); }
 
-  std::vector<double> doubles(std::size_t n) {
-    require(n * sizeof(double));
-    std::vector<double> out(n);
-    std::memcpy(out.data(), s_.data() + pos_, n * sizeof(double));
-    pos_ += n * sizeof(double);
-    return out;
-  }
+  std::vector<double> doubles(std::size_t n) { return array<double>(n); }
 
   std::vector<std::uint16_t> u16s(std::size_t n) {
-    require(n * sizeof(std::uint16_t));
-    std::vector<std::uint16_t> out(n);
-    std::memcpy(out.data(), s_.data() + pos_, n * sizeof(std::uint16_t));
-    pos_ += n * sizeof(std::uint16_t);
-    return out;
+    return array<std::uint16_t>(n);
   }
 
   std::size_t remaining() const { return s_.size() - pos_; }
@@ -110,8 +147,27 @@ class ByteReader {
     return v;
   }
 
+  /// Bulk element read with an overflow-safe length check: the element
+  /// count is validated against the remaining bytes *by division*, so a
+  /// forged count near 2^64 cannot wrap `n * sizeof(T)` into a small
+  /// number and slip past the bounds check.
+  template <typename T>
+  std::vector<T> array(std::size_t n) {
+    WAVESZ_REQUIRE(n <= remaining() / sizeof(T),
+                   "container truncated: claimed " + std::to_string(n) +
+                       " elements at offset " + std::to_string(pos_) +
+                       " but only " + std::to_string(remaining()) +
+                       " bytes remain");
+    std::vector<T> out(n);
+    std::memcpy(out.data(), s_.data() + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  /// Overflow-safe: compares `n` against the remaining byte count instead
+  /// of forming `pos_ + n`, which a huge claimed length could wrap.
   void require(std::size_t n) const {
-    WAVESZ_REQUIRE(pos_ + n <= s_.size(),
+    WAVESZ_REQUIRE(n <= s_.size() - pos_,
                    "container truncated: need " + std::to_string(n) +
                        " bytes at offset " + std::to_string(pos_) +
                        " but only " + std::to_string(s_.size() - pos_) +

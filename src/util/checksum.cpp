@@ -1,8 +1,8 @@
 #include "util/checksum.hpp"
 
 #include <array>
-#include <bit>
-#include <cstring>
+
+#include "util/bytes.hpp"
 
 namespace wavesz {
 namespace {
@@ -31,15 +31,6 @@ std::array<std::array<std::uint32_t, 256>, 8> make_tables() {
 const std::array<std::array<std::uint32_t, 256>, 8>& tables() {
   static const auto t = make_tables();
   return t;
-}
-
-std::uint32_t load_le32(const std::uint8_t* p) {
-  std::uint32_t w;
-  std::memcpy(&w, p, sizeof w);
-  if constexpr (std::endian::native == std::endian::big) {
-    w = __builtin_bswap32(w);
-  }
-  return w;
 }
 
 }  // namespace

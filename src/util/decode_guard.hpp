@@ -1,0 +1,81 @@
+// Process-wide allocation guard for untrusted container decodes.
+//
+// A serialized container carries claimed extents and element counts as
+// u64 fields; a corrupt or hostile archive can claim a field of 2^60
+// points and drive the decoder into a giant allocation (or, worse, wrap a
+// size computation and under-allocate). Every container parser validates
+// its claimed geometry through checked_count()/guarded_output_bytes()
+// before sizing any output buffer, so a forged header is rejected with
+// wavesz::Error instead of reaching operator new.
+//
+// The cap is process-wide and settable: services decoding untrusted input
+// (and the fuzz harnesses, which run under ASan where a huge throwing
+// allocation aborts instead of raising bad_alloc) lower it; offline tools
+// decompressing genuinely enormous fields may raise it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/dims.hpp"
+#include "util/error.hpp"
+
+namespace wavesz {
+
+namespace detail {
+
+/// Default cap: 1 TiB of decoded payload. Far above any dataset in the
+/// paper's suite, far below the forged-extent claims a fuzzer produces.
+inline constexpr std::size_t kDefaultMaxDecodeBytes =
+    std::size_t{1} << 40;
+
+inline std::atomic<std::size_t>& max_decode_bytes_slot() {
+  static std::atomic<std::size_t> v{kDefaultMaxDecodeBytes};
+  return v;
+}
+
+}  // namespace detail
+
+/// Current cap on the bytes a single container decode may claim to need.
+inline std::size_t max_decode_bytes() {
+  return detail::max_decode_bytes_slot().load(std::memory_order_relaxed);
+}
+
+/// Set the cap (0 restores the default). Affects subsequent decodes
+/// process-wide; intended for service initialization, tests and fuzzing.
+inline void set_max_decode_bytes(std::size_t bytes) {
+  detail::max_decode_bytes_slot().store(
+      bytes == 0 ? detail::kDefaultMaxDecodeBytes : bytes,
+      std::memory_order_relaxed);
+}
+
+/// Overflow-checked product of the extents of `dims`. A container whose
+/// extents wrap std::size_t would otherwise pass `count == dims.count()`
+/// style consistency checks with a wrapped (small) value while its slab
+/// offsets address the unwrapped geometry.
+inline std::size_t checked_count(const Dims& dims) {
+  std::size_t n = 1;
+  for (int i = 0; i < dims.rank; ++i) {
+    const std::size_t e = dims.extent[static_cast<std::size_t>(i)];
+    WAVESZ_REQUIRE(e > 0, "zero extent in container");
+    WAVESZ_REQUIRE(n <= SIZE_MAX / e,
+                   "container extents overflow the address space");
+    n *= e;
+  }
+  return n;
+}
+
+/// checked_count() additionally validated against max_decode_bytes() for
+/// `elem_bytes`-sized output elements. Returns the point count.
+inline std::size_t guarded_count(const Dims& dims, std::size_t elem_bytes) {
+  const std::size_t n = checked_count(dims);
+  WAVESZ_REQUIRE(elem_bytes > 0 && n <= max_decode_bytes() / elem_bytes,
+                 "container claims " + std::to_string(n) +
+                     " points, above the decode allocation cap (see "
+                     "wavesz::set_max_decode_bytes)");
+  return n;
+}
+
+}  // namespace wavesz

@@ -52,7 +52,10 @@ struct Dims {
 
   std::string str() const {
     std::string s = std::to_string(extent[0]);
-    for (int i = 1; i < rank; ++i) s += "x" + std::to_string(extent[i]);
+    for (int i = 1; i < rank; ++i) {
+      s += 'x';
+      s += std::to_string(extent[static_cast<std::size_t>(i)]);
+    }
     return s;
   }
 };

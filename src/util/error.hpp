@@ -18,22 +18,44 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Throw wavesz::Error with a formatted location prefix when `cond` is false.
-/// Used to validate user-facing inputs and serialized containers.
-#define WAVESZ_REQUIRE(cond, msg)                                        \
-  do {                                                                   \
-    if (!(cond)) {                                                       \
-      throw ::wavesz::Error(std::string(__func__) + ": " + (msg));       \
-    }                                                                    \
+namespace detail {
+
+/// Shared message formatter for the check macros below. `file` is the full
+/// __FILE__ spelling; only its basename is kept so messages are stable
+/// across build directories. Out of line of the macro expansion so every
+/// check site costs one call, not a string-building sequence.
+inline std::string check_message(const char* prefix, const char* file,
+                                 long line, const char* func,
+                                 const std::string& msg) {
+  std::string path(file);
+  const auto slash = path.find_last_of("/\\");
+  if (slash != std::string::npos) path.erase(0, slash + 1);
+  return std::string(prefix) + path + ":" + std::to_string(line) + " (" +
+         func + "): " + msg;
+}
+
+}  // namespace detail
+
+/// Throw wavesz::Error with a file:line (function) location prefix when
+/// `cond` is false. Used to validate user-facing inputs and serialized
+/// containers; the location makes fuzz/CI failures locatable without a
+/// debugger.
+#define WAVESZ_REQUIRE(cond, msg)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::wavesz::Error(::wavesz::detail::check_message(               \
+          "", __FILE__, __LINE__, __func__, (msg)));                       \
+    }                                                                      \
   } while (0)
 
 /// Internal invariant check, active in every build type.
-#define WAVESZ_ASSERT(cond, msg)                                         \
-  do {                                                                   \
-    if (!(cond)) {                                                       \
-      throw ::wavesz::Error(std::string("internal invariant failed in ") \
-                            + __func__ + ": " + (msg));                  \
-    }                                                                    \
+#define WAVESZ_ASSERT(cond, msg)                                           \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      throw ::wavesz::Error(::wavesz::detail::check_message(               \
+          "internal invariant failed at ", __FILE__, __LINE__, __func__,   \
+          (msg)));                                                         \
+    }                                                                      \
   } while (0)
 
 }  // namespace wavesz

@@ -65,7 +65,8 @@ class CanonicalDecoder {
   template <typename NextBit>
   std::uint32_t decode(NextBit&& next_bit) const {
     std::uint32_t acc = 0;
-    for (int len = 1; len <= max_len_; ++len) {
+    for (std::size_t len = 1; len <= static_cast<std::size_t>(max_len_);
+         ++len) {
       acc = (acc << 1) | (next_bit() & 1u);
       const std::uint32_t offset = acc - first_code_[len];
       if (acc >= first_code_[len] && offset < count_[len]) {

@@ -1,0 +1,155 @@
+// Exhaustive truncation tests for the serialized container formats.
+//
+// The mutation sweeps in fuzz_test.cpp sample random corruptions; this file
+// is the deterministic complement: it cuts a valid container at EVERY header
+// field boundary (and one byte short of each, i.e. mid-field) for both the
+// SZ-1.4 and waveSZ variants, plus the section length prefixes and payload
+// edges, and requires each cut to surface as wavesz::Error — not a crash,
+// not a hang, not a partial result. Runs under ASan in CI, so an
+// out-of-bounds read in any parser fails loudly.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "data/synthetic.hpp"
+#include "sz/compressor.hpp"
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+namespace wavesz {
+namespace {
+
+// Byte offsets where each serialized header field ENDS, mirroring
+// sz::write_header. If the header layout changes, these offsets (and the
+// writer) must move together — the Sz14/WaveSz round-trip tests elsewhere
+// pin the format, this table pins the parser's failure behavior.
+struct FieldBoundary {
+  const char* field;
+  std::size_t end;
+};
+
+constexpr FieldBoundary kHeaderFields[] = {
+    {"magic", 4},          {"variant", 5},
+    {"rank", 6},           {"eb_mode", 7},
+    {"eb_base", 8},        {"dim0", 16},
+    {"dim1", 24},          {"dim2", 32},
+    {"eb_requested", 40},  {"eb_absolute", 48},
+    {"quant_bits", 49},    {"huffman", 50},
+    {"gzip_level", 51},    {"aux", 52},
+    {"dtype", 53},         {"point_count", 61},
+    {"unpredictable_count", 69},
+};
+constexpr std::size_t kHeaderEnd = 69;
+
+std::vector<float> small_field(const Dims& dims) {
+  data::FieldRecipe r;
+  r.seed = 7;
+  return data::generate(r, dims);
+}
+
+template <typename Decode>
+void expect_error_at(const std::vector<std::uint8_t>& bytes, std::size_t cut,
+                     Decode&& decode, const std::string& what) {
+  ASSERT_LT(cut, bytes.size()) << what;
+  std::vector<std::uint8_t> trunc(bytes.begin(),
+                                  bytes.begin() +
+                                      static_cast<std::ptrdiff_t>(cut));
+  EXPECT_THROW((void)decode(trunc), Error)
+      << what << ": truncation to " << cut << " of " << bytes.size()
+      << " bytes was not rejected";
+}
+
+/// Cut points common to both container variants: every header field
+/// boundary, one byte into every header field, and the edges of the two
+/// u64-length-prefixed sections that follow the header.
+std::vector<std::pair<std::size_t, std::string>> cut_points(
+    const std::vector<std::uint8_t>& bytes) {
+  std::vector<std::pair<std::size_t, std::string>> cuts;
+  cuts.emplace_back(0, "empty input");
+  std::size_t prev = 0;
+  for (const auto& fb : kHeaderFields) {
+    if (fb.end - prev > 1) {
+      cuts.emplace_back(prev + 1, std::string("mid-") + fb.field);
+    }
+    cuts.emplace_back(fb.end, std::string("after ") + fb.field);
+    prev = fb.end;
+  }
+  // Section 1: length prefix then payload.
+  std::size_t at = kHeaderEnd;
+  for (int section = 1; section <= 2; ++section) {
+    const std::string tag = "section" + std::to_string(section);
+    cuts.emplace_back(at + 4, "mid-" + tag + "-length");
+    cuts.emplace_back(at + 8, "after " + tag + "-length");
+    const std::uint64_t size = load_le64(bytes.data() + at);
+    at += 8 + size;
+    if (size > 0) cuts.emplace_back(at - 1, "mid-" + tag + "-payload");
+    if (at < bytes.size()) cuts.emplace_back(at, "after " + tag);
+  }
+  return cuts;
+}
+
+template <typename Decode>
+void run_truncation_suite(const std::vector<std::uint8_t>& bytes,
+                          Decode&& decode) {
+  ASSERT_GT(bytes.size(), kHeaderEnd + 16);
+  for (const auto& [cut, what] : cut_points(bytes)) {
+    expect_error_at(bytes, cut, decode, what);
+  }
+  // Belt over the boundary table: every prefix of the header region must
+  // throw, boundary-aligned or not.
+  for (std::size_t cut = 0; cut <= kHeaderEnd; ++cut) {
+    expect_error_at(bytes, cut, decode, "header prefix");
+  }
+}
+
+TEST(ContainerTruncation, Sz14EveryFieldBoundaryThrows) {
+  const Dims dims = Dims::d2(40, 40);
+  const auto c = sz::compress(small_field(dims), dims, sz::Config{});
+  run_truncation_suite(c.bytes,
+                       [](const auto& b) { return sz::decompress(b); });
+}
+
+TEST(ContainerTruncation, WaveSzEveryFieldBoundaryThrows) {
+  const Dims dims = Dims::d2(40, 40);
+  const auto c = wave::compress(small_field(dims), dims, sz::Config{});
+  run_truncation_suite(c.bytes,
+                       [](const auto& b) { return wave::decompress(b); });
+}
+
+TEST(ContainerTruncation, Sz14Float64EveryFieldBoundaryThrows) {
+  const Dims dims = Dims::d2(32, 32);
+  const auto field = small_field(dims);
+  std::vector<double> wide(field.begin(), field.end());
+  const auto c = sz::compress(wide, dims, sz::Config{});
+  run_truncation_suite(c.bytes,
+                       [](const auto& b) { return sz::decompress64(b); });
+}
+
+// Whole-stream sweep at a coarse stride: catches parsers that survive the
+// header but mis-handle a cut deep inside a compressed payload.
+TEST(ContainerTruncation, Sz14StridedPayloadCutsThrow) {
+  const Dims dims = Dims::d2(48, 48);
+  const auto c = sz::compress(small_field(dims), dims, sz::Config{});
+  for (std::size_t cut = kHeaderEnd; cut < c.bytes.size(); cut += 97) {
+    expect_error_at(c.bytes, cut,
+                    [](const auto& b) { return sz::decompress(b); },
+                    "strided payload cut");
+  }
+}
+
+TEST(ContainerTruncation, WaveSzStridedPayloadCutsThrow) {
+  const Dims dims = Dims::d2(48, 48);
+  const auto c = wave::compress(small_field(dims), dims, sz::Config{});
+  for (std::size_t cut = kHeaderEnd; cut < c.bytes.size(); cut += 97) {
+    expect_error_at(c.bytes, cut,
+                    [](const auto& b) { return wave::decompress(b); },
+                    "strided payload cut");
+  }
+}
+
+}  // namespace
+}  // namespace wavesz

@@ -4,6 +4,7 @@
 // archive format; these sweeps hammer every variant's parser.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <random>
 #include <vector>
@@ -52,11 +53,17 @@ void expect_contained(const std::vector<std::uint8_t>& bytes,
         }
         break;
       }
-      case 3:  // duplicate-extend (trailing garbage)
-        mutated.insert(mutated.end(), mutated.begin(),
-                       mutated.begin() +
-                           static_cast<std::ptrdiff_t>(rng() % 32));
+      case 3: {  // duplicate-extend (trailing garbage)
+        // Copy first: inserting a range that aliases the destination
+        // vector is undefined once the insert reallocates.
+        const std::size_t len =
+            std::min<std::size_t>(rng() % 32, mutated.size());
+        const std::vector<std::uint8_t> head(
+            mutated.begin(),
+            mutated.begin() + static_cast<std::ptrdiff_t>(len));
+        mutated.insert(mutated.end(), head.begin(), head.end());
         break;
+      }
     }
     try {
       const auto out = decode(mutated);

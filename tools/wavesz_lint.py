@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""wavesz_lint: project-specific static checks for the waveSZ tree.
+
+clang-tidy covers the generic C++ pitfalls; this tool enforces the
+repo's own contracts, the ones a generic checker cannot know about:
+
+  raw-memory        memcpy / memmove / reinterpret_cast only inside
+                    util/bytes.hpp and util/float_bits.* — everything
+                    else goes through the named primitives there
+                    (load_le32/le64, copy_bytes, copy8, float_to_bits).
+  span-names        telemetry::Span is constructed from the constants in
+                    telemetry/span_names.hpp, never from a string
+                    literal; a typo'd literal silently forks a span
+                    series, a typo'd constant does not compile.
+  determinism       no rand()/srand()/time()/locale calls in src/:
+                    compression output must be a pure function of input
+                    bytes + config so golden files and cross-run parity
+                    tests stay meaningful.
+  parse-discipline  every function that constructs a ByteReader over
+                    untrusted bytes must validate with WAVESZ_REQUIRE
+                    (or delegate to read_header()/guarded_count()) —
+                    parsing without an explicit contract check means the
+                    only diagnostics come from deep inside ByteReader.
+  header-hygiene    every header under src/ compiles as the sole
+                    include of a TU (self-contained, no hidden include
+                    order dependency). Needs a compiler; skipped with
+                    --no-header-check.
+
+Suppressions are inline and must carry a reason:
+
+    // wavesz-lint: allow(raw-memory) iostream's read() wants char*
+
+A suppression applies to its own line and the next code line, so it can
+sit above the offending statement. An allow() without a reason is itself
+an error — the reason is the review artifact.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+RULES = (
+    "raw-memory",
+    "span-names",
+    "determinism",
+    "parse-discipline",
+    "header-hygiene",
+)
+
+# Files allowed to use raw memory primitives: these ARE the named
+# primitives the rest of the tree is steered toward.
+RAW_MEMORY_SANCTIONED = (
+    os.path.join("util", "bytes.hpp"),
+    os.path.join("util", "float_bits.hpp"),
+    os.path.join("util", "float_bits.cpp"),
+)
+
+SUPPRESS_RE = re.compile(
+    r"wavesz-lint:\s*allow\(([a-z0-9-]+)\)\s*(\S.*)?$")
+
+RAW_MEMORY_RE = re.compile(r"\b(?:std::)?(?:memcpy|memmove)\s*\(|"
+                           r"\breinterpret_cast\s*<")
+
+SPAN_LITERAL_RE = re.compile(r"\bSpan\s+\w+\s*\(\s*\"|\bSpan\s*\(\s*\"")
+
+DETERMINISM_RE = re.compile(
+    r"\b(?:std::)?(?:rand|srand|rand_r|time|localtime|localtime_r|gmtime|"
+    r"gmtime_r|setlocale)\s*\(|\bstd::locale\b|\brandom_device\b")
+
+BYTE_READER_RE = re.compile(r"\bByteReader\s+\w+\s*\(|\bByteReader\s*\(")
+
+# Delegating to one of the shared validating parsers (read_header,
+# parse_index) counts as validation: those functions own the contract.
+PARSE_VALIDATION_RE = re.compile(
+    r"\bWAVESZ_REQUIRE\b|\bread_header\s*\(|\bparse_index\s*\(|"
+    r"\bguarded_count\s*\(|\bchecked_count\s*\(")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line
+    structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Keep the delimiters so `Span("` stays matchable; only
+                # the literal's contents are blanked.
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append('"' if quote == '"' else " ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def collect_suppressions(raw_lines: list[str], code_lines: list[str],
+                         path: str,
+                         findings: list[Finding]) -> dict[int, set[str]]:
+    """Map 1-based line number -> rules suppressed on that line.
+
+    A suppression covers its own line plus everything through the first
+    following code line, so the comment can precede the statement it
+    excuses even when the reason wraps across comment lines."""
+    suppressed: dict[int, set[str]] = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2)
+        if rule not in RULES:
+            findings.append(Finding(
+                path, idx, "lint-usage",
+                f"allow({rule}) names an unknown rule; known: "
+                f"{', '.join(RULES)}"))
+            continue
+        if not reason:
+            findings.append(Finding(
+                path, idx, "lint-usage",
+                f"allow({rule}) has no reason; suppressions must say why"))
+            continue
+        covered = idx
+        suppressed.setdefault(covered, set()).add(rule)
+        # Extend through trailing comment/blank lines to the first code
+        # line after the suppression.
+        while covered < len(code_lines):
+            covered += 1
+            suppressed.setdefault(covered, set()).add(rule)
+            if covered - 1 < len(code_lines) and \
+                    code_lines[covered - 1].strip():
+                break
+    return suppressed
+
+
+def is_suppressed(suppressed: dict[int, set[str]], line: int,
+                  rule: str) -> bool:
+    return rule in suppressed.get(line, set())
+
+
+def function_span(lines: list[str], start_idx: int) -> range:
+    """Lines (0-based) from `start_idx` to the end of the enclosing
+    top-level function, detected by the repo's formatting convention of
+    a closing brace in column 0."""
+    end = start_idx
+    for j in range(start_idx, len(lines)):
+        if lines[j].startswith("}"):
+            end = j
+            break
+    else:
+        end = len(lines) - 1
+    # Walk backwards to the start of the function for the "validated
+    # before use" scan — validation anywhere in the function counts.
+    begin = start_idx
+    for j in range(start_idx - 1, -1, -1):
+        if lines[j].startswith("}"):
+            begin = j + 1
+            break
+    else:
+        begin = 0
+    return range(begin, end + 1)
+
+
+def lint_file(path: str, rel: str, findings: list[Finding]) -> None:
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+    suppressed = collect_suppressions(raw_lines, code_lines, rel, findings)
+
+    in_sanctioned = any(rel.endswith(p) for p in RAW_MEMORY_SANCTIONED)
+
+    for idx, line in enumerate(code_lines, start=1):
+        if not in_sanctioned and RAW_MEMORY_RE.search(line):
+            if not is_suppressed(suppressed, idx, "raw-memory"):
+                findings.append(Finding(
+                    rel, idx, "raw-memory",
+                    "raw memcpy/memmove/reinterpret_cast outside "
+                    "util/bytes.hpp / util/float_bits.*; use load_le*/"
+                    "copy_bytes/float_to_bits or add "
+                    "`// wavesz-lint: allow(raw-memory) <why>`"))
+        if SPAN_LITERAL_RE.search(line):
+            if not is_suppressed(suppressed, idx, "span-names"):
+                findings.append(Finding(
+                    rel, idx, "span-names",
+                    "telemetry::Span constructed from a string literal; "
+                    "use a telemetry::spans::k* constant from "
+                    "telemetry/span_names.hpp"))
+        m = DETERMINISM_RE.search(line)
+        if m:
+            if not is_suppressed(suppressed, idx, "determinism"):
+                findings.append(Finding(
+                    rel, idx, "determinism",
+                    f"nondeterministic call `{m.group(0).strip()}` in "
+                    "src/; compression must be a pure function of "
+                    "input + config"))
+
+    # parse-discipline: a ByteReader constructed over untrusted bytes
+    # must sit in a function that states its contract explicitly.
+    for idx, line in enumerate(code_lines):
+        if not BYTE_READER_RE.search(line):
+            continue
+        if is_suppressed(suppressed, idx + 1, "parse-discipline"):
+            continue
+        span = function_span(code_lines, idx)
+        if not any(PARSE_VALIDATION_RE.search(code_lines[j]) for j in span):
+            findings.append(Finding(
+                rel, idx + 1, "parse-discipline",
+                "ByteReader parse entry point with no WAVESZ_REQUIRE / "
+                "read_header() / guarded_count() in the enclosing "
+                "function; validate lengths before indexing"))
+
+
+def check_headers(src_root: str, cxx: str, extra_flags: list[str],
+                  findings: list[Finding]) -> None:
+    headers = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if name.endswith(".hpp"):
+                headers.append(os.path.join(dirpath, name))
+    headers.sort()
+    with tempfile.TemporaryDirectory(prefix="wavesz_lint_") as tmp:
+        for header in headers:
+            rel = os.path.relpath(header, src_root)
+            tu = os.path.join(tmp, "tu.cpp")
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{rel}"\n')
+            cmd = [cxx, "-std=c++20", f"-I{src_root}", "-fsyntax-only",
+                   *extra_flags, tu]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                first_error = next(
+                    (ln for ln in proc.stderr.splitlines() if "error" in ln),
+                    proc.stderr.strip().splitlines()[-1]
+                    if proc.stderr.strip() else "compiler failed")
+                findings.append(Finding(
+                    os.path.join("src", rel), 1, "header-hygiene",
+                    f"not self-contained as the sole include of a TU: "
+                    f"{first_error}"))
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--no-header-check", action="store_true",
+                        help="skip the compile-based header-hygiene rule")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", ""),
+                        help="compiler for header-hygiene "
+                             "(default: $CXX, else g++/clang++)")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    src_root = os.path.join(root, "src")
+    if not os.path.isdir(src_root):
+        print(f"wavesz_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if not name.endswith((".cpp", ".hpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            lint_file(path, rel, findings)
+
+    if not args.no_header_check:
+        cxx = args.cxx
+        if not cxx:
+            cxx = shutil.which("g++") or shutil.which("clang++") or ""
+        if not cxx:
+            print("wavesz_lint: no compiler found for header-hygiene; "
+                  "pass --cxx or --no-header-check", file=sys.stderr)
+            return 2
+        check_headers(src_root, cxx, [], findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"wavesz_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("wavesz_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
