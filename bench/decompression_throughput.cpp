@@ -12,6 +12,7 @@
 //      table recorded in EXPERIMENTS.md and dumped via --json to
 //      BENCH_decode.json.
 #include <cmath>
+#include <thread>
 
 #include "common.hpp"
 #include "deflate/deflate.hpp"
@@ -67,8 +68,35 @@ DecodeRow time_both_paths(const char* fixture, unsigned repeat,
   return row;
 }
 
+/// One chunk-indexed (container v2) decode timing at a given thread budget.
+struct ScaleRow {
+  const char* fixture;
+  int threads = 1;
+  std::size_t out_bytes = 0;
+  double seconds = 0, serial_seconds = 0;
+  bool identical = false;
+
+  double mbps() const { return static_cast<double>(out_bytes) / 1e6 / seconds; }
+  double speedup() const { return seconds > 0 ? serial_seconds / seconds : 0; }
+};
+
+/// One hyperslab decode via the v2 chunk index vs the full-field decode.
+struct RegionRow {
+  const char* fixture;
+  std::size_t container_bytes = 0, bytes_read = 0, out_bytes = 0;
+  double seconds = 0, full_seconds = 0;
+  bool identical = false;
+
+  double read_frac() const {
+    return static_cast<double>(bytes_read) /
+           static_cast<double>(container_bytes);
+  }
+};
+
 void write_decode_json(const bench::Options& opts,
-                       const std::vector<DecodeRow>& rows) {
+                       const std::vector<DecodeRow>& rows,
+                       const std::vector<ScaleRow>& scale_rows,
+                       const std::vector<RegionRow>& region_rows) {
   if (opts.json_path.empty()) return;
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
   if (f == nullptr) {
@@ -76,9 +104,11 @@ void write_decode_json(const bench::Options& opts,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"decompression_throughput\",\n"
+               "  \"version\": 2,\n"
                "  \"fixture\": \"synthetic 512x512 f32, deflate "
-               "Level::Best\",\n  \"repeat\": %u,\n  \"rows\": [",
-               opts.repeat);
+               "Level::Best\",\n  \"repeat\": %u,\n"
+               "  \"hardware_threads\": %u,\n  \"rows\": [",
+               opts.repeat, std::thread::hardware_concurrency());
   bool first = true;
   for (const auto& r : rows) {
     std::fprintf(f, "%s\n    {\"fixture\": \"", first ? "" : ",");
@@ -90,6 +120,33 @@ void write_decode_json(const bench::Options& opts,
                  "\"identical\": %s}",
                  r.out_bytes, r.fast_mbps(), r.ref_mbps(), r.speedup(),
                  r.identical ? "true" : "false");
+  }
+  std::fprintf(f, "\n  ],\n  \"parallel_rows\": [");
+  first = true;
+  for (const auto& r : scale_rows) {
+    std::fprintf(f, "%s\n    {\"fixture\": \"", first ? "" : ",");
+    first = false;
+    bench::detail::json_escape_to(f, r.fixture);
+    std::fprintf(f,
+                 "\", \"threads\": %d, \"out_bytes\": %zu, "
+                 "\"mbps\": %.10g, \"speedup_vs_serial\": %.10g, "
+                 "\"identical\": %s}",
+                 r.threads, r.out_bytes, r.mbps(), r.speedup(),
+                 r.identical ? "true" : "false");
+  }
+  std::fprintf(f, "\n  ],\n  \"region_rows\": [");
+  first = true;
+  for (const auto& r : region_rows) {
+    std::fprintf(f, "%s\n    {\"fixture\": \"", first ? "" : ",");
+    first = false;
+    bench::detail::json_escape_to(f, r.fixture);
+    std::fprintf(f,
+                 "\", \"container_bytes\": %zu, \"bytes_read\": %zu, "
+                 "\"read_fraction\": %.10g, \"out_bytes\": %zu, "
+                 "\"region_seconds\": %.10g, \"full_seconds\": %.10g, "
+                 "\"identical\": %s}",
+                 r.container_bytes, r.bytes_read, r.read_frac(), r.out_bytes,
+                 r.seconds, r.full_seconds, r.identical ? "true" : "false");
   }
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
@@ -182,7 +239,100 @@ int main(int argc, char** argv) {
     std::printf("%-24s %12.0f %12.0f %9.2fx %10s\n", r.fixture, r.fast_mbps(),
                 r.ref_mbps(), r.speedup(), r.identical ? "yes" : "NO");
   }
-  write_decode_json(opts, rows);
+
+  std::printf("\n----------------------------------------------------------------\n");
+  std::printf("chunk-indexed (v2) decode thread scaling + region decode "
+              "(512x512)\n");
+  std::printf("----------------------------------------------------------------\n");
+
+  std::vector<ScaleRow> scale_rows;
+  std::vector<RegionRow> region_rows;
+  // Quarter-field hyperslab with full dependency closure inside the read
+  // prefix: the top-left corner, so the region decoders stop early.
+  sz::Region quarter;
+  quarter.hi = {256, 256, 0};
+
+  const auto run_variant = [&](const char* name, const char* region_name,
+                               const std::vector<std::uint8_t>& blob,
+                               auto&& full_decode, auto&& region_decode) {
+    const auto serial = full_decode(sz::DecodeOptions{1, 1});
+    double serial_s = 0;
+    for (int nt : {1, 2, 4, 8}) {
+      ScaleRow r;
+      r.fixture = name;
+      r.threads = nt;
+      const sz::DecodeOptions o{nt, nt};
+      auto out = full_decode(o);
+      r.seconds = bench::median_seconds(opts.repeat,
+                                        [&] { out = full_decode(o); });
+      if (nt == 1) serial_s = r.seconds;
+      r.serial_seconds = serial_s;
+      r.identical = out == serial;
+      r.out_bytes = out.size() * sizeof(out[0]);
+      scale_rows.push_back(r);
+    }
+    RegionRow rr;
+    rr.fixture = region_name;
+    auto res = region_decode(quarter);
+    rr.seconds = bench::median_seconds(opts.repeat,
+                                       [&] { res = region_decode(quarter); });
+    rr.full_seconds = serial_s;
+    rr.container_bytes = blob.size();
+    rr.bytes_read = res.compressed_bytes_read;
+    rr.out_bytes = res.data.size() * sizeof(res.data[0]);
+    bool same = res.data.size() == 256u * 256u;
+    for (std::size_t y = 0; same && y < 256; ++y) {
+      for (std::size_t x = 0; x < 256; ++x) {
+        if (res.data[y * 256 + x] != serial[y * 512 + x]) {
+          same = false;
+          break;
+        }
+      }
+    }
+    rr.identical = same;
+    region_rows.push_back(rr);
+  };
+
+  {
+    const auto c = sz::compress(grid, dims, sz::Config{});
+    run_variant(
+        "SZ-1.4 v2 container", "SZ-1.4 quarter region", c.bytes,
+        [&](const sz::DecodeOptions& o) { return sz::decompress(c.bytes, o); },
+        [&](const sz::Region& rg) {
+          return sz::decompress_region(c.bytes, rg);
+        });
+  }
+  {
+    auto wcfg = wave::default_config();
+    wcfg.huffman = true;
+    const auto c = wave::compress(grid, dims, wcfg);
+    run_variant(
+        "waveSZ H*G* v2 container", "waveSZ quarter region", c.bytes,
+        [&](const sz::DecodeOptions& o) {
+          return wave::decompress(c.bytes, o);
+        },
+        [&](const sz::Region& rg) {
+          return wave::decompress_region(c.bytes, rg);
+        });
+  }
+
+  std::printf("\n%-26s %8s %10s %10s %10s\n", "fixture", "threads", "MB/s",
+              "speedup", "identical");
+  for (const auto& r : scale_rows) {
+    all_identical = all_identical && r.identical;
+    std::printf("%-26s %8d %10.0f %9.2fx %10s\n", r.fixture, r.threads,
+                r.mbps(), r.speedup(), r.identical ? "yes" : "NO");
+  }
+  std::printf("\n%-26s %12s %12s %10s %10s\n", "fixture", "read bytes",
+              "of total", "vs full", "identical");
+  for (const auto& r : region_rows) {
+    all_identical = all_identical && r.identical;
+    std::printf("%-26s %12zu %11.0f%% %9.2fx %10s\n", r.fixture, r.bytes_read,
+                100.0 * r.read_frac(),
+                r.seconds > 0 ? r.full_seconds / r.seconds : 0.0,
+                r.identical ? "yes" : "NO");
+  }
+  write_decode_json(opts, rows, scale_rows, region_rows);
 
   std::printf("\nreading: the flat two-level Huffman tables and 64-bit "
               "bulk-refill bit\nreaders decode several bits per probe where "

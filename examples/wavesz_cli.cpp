@@ -39,11 +39,38 @@ int usage() {
                "usage:\n"
                "  wavesz_cli compress   <in.f32> <out.wsz> <d0> [d1 [d2]]\n"
                "             [--mode wave|ghost|sz] [--eb 1e-3] [--abs]\n"
-               "             [--base10] [--huffman] [--best]\n"
+               "             [--base10] [--huffman] [--best] [--no-index]\n"
                "  wavesz_cli decompress <in.wsz> <out.f32>\n"
+               "             [--decode-threads <n>] [--region "
+               "lo:hi[,lo:hi[,lo:hi]]]\n"
                "  wavesz_cli info       <in.wsz>\n"
-               "global flags: [--trace <out.json>] [--stats]\n");
+               "global flags: [--trace <out.json>] [--stats]\n"
+               "\n"
+               "--no-index emits the v1 container (no per-chunk offset\n"
+               "table); --decode-threads n decodes v2 containers with n\n"
+               "workers (0 = all cores); --region decodes only the given\n"
+               "hyperslab (half-open per-axis intervals, raster order).\n");
   return 2;
+}
+
+/// Parse "lo:hi[,lo:hi[,lo:hi]]" into a Region (unlisted axes stay 0:0,
+/// which decompress_region widens to the full extent).
+sz::Region parse_region(const std::string& spec) {
+  sz::Region rg;
+  std::size_t axis = 0;
+  std::size_t at = 0;
+  while (at <= spec.size()) {
+    WAVESZ_REQUIRE(axis < 3, "--region takes at most three axes");
+    const std::size_t comma = std::min(spec.find(',', at), spec.size());
+    const std::size_t colon = spec.find(':', at);
+    WAVESZ_REQUIRE(colon != std::string::npos && colon < comma,
+                   "--region axis must be lo:hi");
+    rg.lo[axis] = std::stoul(spec.substr(at, colon - at));
+    rg.hi[axis] = std::stoul(spec.substr(colon + 1, comma - colon - 1));
+    ++axis;
+    at = comma + 1;
+  }
+  return rg;
 }
 
 int do_compress(int argc, char** argv) {
@@ -73,6 +100,8 @@ int do_compress(int argc, char** argv) {
       best = true;
     } else if (a == "--f64") {
       f64 = true;
+    } else if (a == "--no-index") {
+      cfg.chunk_index = false;
     } else {
       return usage();
     }
@@ -111,6 +140,7 @@ int do_compress(int argc, char** argv) {
     wcfg.error_bound = cfg.error_bound;
     wcfg.mode = cfg.mode;
     wcfg.gzip_level = cfg.gzip_level;
+    wcfg.chunk_index = cfg.chunk_index;
     if (base10) wcfg.base = sz::EbBase::Ten;
     wcfg.huffman = huffman;
     c = f64 ? wave::compress(std::span<const double>(field64), dims, wcfg)
@@ -137,14 +167,63 @@ int do_compress(int argc, char** argv) {
   return 0;
 }
 
-int do_decompress(const char* in, const char* out) {
+int do_decompress(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const char* in = argv[0];
+  const char* out = argv[1];
+  sz::DecodeOptions opts;
+  sz::Region region;
+  bool have_region = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--decode-threads" && i + 1 < argc) {
+      opts.decode_threads = std::stoi(argv[++i]);
+    } else if (a == "--region" && i + 1 < argc) {
+      region = parse_region(argv[++i]);
+      have_region = true;
+    } else {
+      return usage();
+    }
+  }
+
   const auto bytes = data::read_bytes(in);
   const auto header = sz::inspect(bytes);
+  if (have_region) {
+    WAVESZ_REQUIRE(header.variant == sz::Variant::Sz14 ||
+                       header.variant == sz::Variant::WaveSz,
+                   "--region supports SZ-1.4 and waveSZ containers");
+    const bool is_wave = header.variant == sz::Variant::WaveSz;
+    std::size_t values = 0;
+    std::size_t bytes_read = 0;
+    Dims rdims;
+    if (header.dtype == 1) {
+      const auto res = is_wave ? wave::decompress_region64(bytes, region, opts)
+                               : sz::decompress_region64(bytes, region, opts);
+      data::write_bytes(
+          out, {reinterpret_cast<const std::uint8_t*>(res.data.data()),
+                res.data.size() * sizeof(double)});
+      values = res.data.size();
+      bytes_read = res.compressed_bytes_read;
+      rdims = res.region_dims;
+    } else {
+      const auto res = is_wave ? wave::decompress_region(bytes, region, opts)
+                               : sz::decompress_region(bytes, region, opts);
+      data::write_f32(out, res.data);
+      values = res.data.size();
+      bytes_read = res.compressed_bytes_read;
+      rdims = res.region_dims;
+    }
+    std::printf("decompressed region %s of %s -> %s (%zu values, read "
+                "%zu of %zu compressed bytes)\n",
+                rdims.str().c_str(), header.dims.str().c_str(), out, values,
+                bytes_read, bytes.size());
+    return 0;
+  }
   if (header.dtype == 1) {
     std::vector<double> field;
     switch (header.variant) {
-      case sz::Variant::Sz14: field = sz::decompress64(bytes); break;
-      case sz::Variant::WaveSz: field = wave::decompress64(bytes); break;
+      case sz::Variant::Sz14: field = sz::decompress64(bytes, opts); break;
+      case sz::Variant::WaveSz: field = wave::decompress64(bytes, opts); break;
       default: throw Error("float64 container with unsupported variant");
     }
     data::write_bytes(
@@ -156,9 +235,9 @@ int do_decompress(const char* in, const char* out) {
   }
   std::vector<float> field;
   switch (header.variant) {
-    case sz::Variant::Sz14: field = sz::decompress(bytes); break;
+    case sz::Variant::Sz14: field = sz::decompress(bytes, opts); break;
     case sz::Variant::GhostSz: field = ghost::decompress(bytes); break;
-    case sz::Variant::WaveSz: field = wave::decompress(bytes); break;
+    case sz::Variant::WaveSz: field = wave::decompress(bytes, opts); break;
   }
   data::write_f32(out, field);
   std::printf("decompressed %s -> %s (%s, %zu floats)\n", in, out,
@@ -183,6 +262,8 @@ int do_info(const char* in) {
               h.gzip_level == deflate::Level::Best ? "best" : "fast");
   std::printf("unpredictable: %llu points\n",
               static_cast<unsigned long long>(h.unpredictable_count));
+  std::printf("container    : v%d%s\n", h.version,
+              h.version >= 2 ? " (chunk-indexed)" : "");
   return 0;
 }
 
@@ -215,8 +296,8 @@ int main(int argc, char** argv) {
     const std::string cmd = args[1];
     if (cmd == "compress") {
       rc = do_compress(n - 2, args.data() + 2);
-    } else if (cmd == "decompress" && n == 4) {
-      rc = do_decompress(args[2], args[3]);
+    } else if (cmd == "decompress" && n >= 4) {
+      rc = do_decompress(n - 2, args.data() + 2);
     } else if (cmd == "info" && n == 3) {
       rc = do_info(args[2]);
     } else {

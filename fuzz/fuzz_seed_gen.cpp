@@ -98,6 +98,25 @@ int main(int argc, char** argv) {
   }
 
   {
+    // Chunk-index seeds: v2 containers whose index actually has several
+    // entries (tiny chunk granularity), so mutations land on entry fields
+    // and not just the header. Both variants, Huffman and raw codes, plus
+    // a float64 stream and a v1 opt-out for the fallback path.
+    sz::Config cfg;
+    cfg.index_chunk_symbols = 256;
+    write_seed(root / "chunk_index", 0, sz::compress(f32, d2, cfg).bytes);
+    write_seed(root / "chunk_index", 1, wave::compress(f32, d2, cfg).bytes);
+    cfg.huffman = false;
+    write_seed(root / "chunk_index", 2, sz::compress(f32, d2, cfg).bytes);
+    cfg.huffman = true;
+    const auto narrow = field(d2, 29);
+    std::vector<double> wide(narrow.begin(), narrow.end());
+    write_seed(root / "chunk_index", 3, sz::compress(wide, d2, cfg).bytes);
+    cfg.chunk_index = false;
+    write_seed(root / "chunk_index", 4, sz::compress(f32, d2, cfg).bytes);
+  }
+
+  {
     // Skewed symbol stream shaped like real quantization codes: a heavy
     // center symbol with a geometric tail, plus a degenerate one-symbol
     // stream and an empty one.

@@ -1,6 +1,8 @@
 #include "core/stream.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <type_traits>
 
 #include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
@@ -63,6 +65,80 @@ Dims chunk_dims(const Dims& dims, std::size_t planes) {
   if (dims.rank == 1) return Dims::d1(planes);
   if (dims.rank == 2) return Dims::d2(planes, dims[1]);
   return Dims::d3(planes, dims[1], dims[2]);
+}
+
+/// Chunk-parallel archive decode: every chunk is an independent wave
+/// container with a known plane placement (index i covers planes starting
+/// at i * chunk_planes), so whole chunks go to a worker pool and each is
+/// decoded serially into its own slice of the preallocated output. Plane
+/// counts are validated against the archive geometry chunk by chunk, which
+/// subsumes the serial path's contiguity check.
+template <typename T>
+std::vector<T> stream_decompress_par_t(std::span<const std::uint8_t> bytes,
+                                       Dims* dims_out,
+                                       const sz::DecodeOptions& opts) {
+  telemetry::Span span_all(telemetry::spans::kStreamDecodeParallel);
+  ByteReader r(bytes);
+  const auto idx = parse_index(bytes, r);
+  const std::size_t nchunks = idx.chunks.size();
+  const std::size_t total = idx.dims.count();
+  const std::size_t plane_points = total / idx.dims[0];
+  std::vector<T> out(total);
+  const int nt = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(
+          sz::resolve_thread_budget(opts.decode_threads)),
+      nchunks));
+  // Workers decode their chunk serially — parallelism comes from chunk
+  // assignment, so parallel regions never nest.
+  const sz::DecodeOptions chunk_opts{1, opts.pqd_threads};
+  auto decode_one = [&](std::size_t i) {
+    telemetry::Span span(telemetry::spans::kStreamDecodeChunk);
+    const auto [offset, size] = idx.chunks[i];
+    const std::size_t first = i * idx.chunk_planes;
+    WAVESZ_REQUIRE(first < idx.dims[0], "chunk exceeds archive geometry");
+    Dims cdims;
+    std::vector<T> data;
+    if constexpr (std::is_same_v<T, double>) {
+      data = wave::decompress64(
+          bytes.subspan(idx.payload_base + offset, size), chunk_opts, &cdims);
+    } else {
+      data = wave::decompress(
+          bytes.subspan(idx.payload_base + offset, size), chunk_opts, &cdims);
+    }
+    const std::size_t expect =
+        std::min(idx.chunk_planes, idx.dims[0] - first);
+    WAVESZ_REQUIRE(cdims[0] == expect,
+                   "chunk geometry disagrees with archive index");
+    WAVESZ_REQUIRE(data.size() == expect * plane_points,
+                   "chunk payload disagrees with archive geometry");
+    std::copy(data.begin(), data.end(),
+              out.begin() +
+                  static_cast<std::ptrdiff_t>(first * plane_points));
+  };
+  if (nt <= 1) {
+    for (std::size_t i = 0; i < nchunks; ++i) decode_one(i);
+  } else {
+    // Exceptions must not escape an OpenMP region (that terminates the
+    // process); capture the first one and rethrow after the barrier.
+    std::exception_ptr failure;
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(nt) schedule(dynamic)
+#endif
+    for (std::size_t i = 0; i < nchunks; ++i) {
+      try {
+        decode_one(i);
+      } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+        if (!failure) failure = std::current_exception();
+      }
+    }
+    if (failure) std::rethrow_exception(failure);
+  }
+  telemetry::counter_add(telemetry::Counter::StreamChunks, nchunks);
+  if (dims_out != nullptr) *dims_out = idx.dims;
+  return out;
 }
 
 }  // namespace
@@ -239,6 +315,18 @@ std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
   WAVESZ_REQUIRE(planes_seen == idx.dims[0], "archive is missing planes");
   if (dims_out != nullptr) *dims_out = idx.dims;
   return out;
+}
+
+std::vector<float> stream_decompress(std::span<const std::uint8_t> bytes,
+                                     const sz::DecodeOptions& opts,
+                                     Dims* dims_out) {
+  return stream_decompress_par_t<float>(bytes, dims_out, opts);
+}
+
+std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
+                                        const sz::DecodeOptions& opts,
+                                        Dims* dims_out) {
+  return stream_decompress_par_t<double>(bytes, dims_out, opts);
 }
 
 }  // namespace wavesz::wave

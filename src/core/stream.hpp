@@ -71,6 +71,18 @@ std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
                                         Dims* dims_out = nullptr,
                                         int pqd_threads = 1);
 
+/// stream_decompress() with decode-side control: the archive's chunks are
+/// independent wave containers, so `opts.decode_threads > 1` assigns whole
+/// chunks to a worker pool (each decoded serially into its own slot of the
+/// output — no inner nesting). The output is bit-identical to the serial
+/// decode at every setting.
+std::vector<float> stream_decompress(std::span<const std::uint8_t> bytes,
+                                     const sz::DecodeOptions& opts,
+                                     Dims* dims_out = nullptr);
+std::vector<double> stream_decompress64(std::span<const std::uint8_t> bytes,
+                                        const sz::DecodeOptions& opts,
+                                        Dims* dims_out = nullptr);
+
 /// Number of independently decodable chunks in a streamed archive.
 std::size_t stream_chunk_count(std::span<const std::uint8_t> bytes);
 

@@ -347,10 +347,20 @@ void wave_reconstruct_slice3d(std::span<const std::uint16_t> codes,
   }
 }
 
-std::vector<std::uint8_t> plain_codes(
-    std::span<const std::uint16_t> codes, const sz::Config& cfg,
-    int threads) {
-  if (cfg.huffman) return sz::huffman_encode(codes, threads);
+/// Serialize the code stream, building the v2 chunk index alongside when
+/// cfg.chunk_index is set (idx stays empty otherwise).
+std::vector<std::uint8_t> plain_codes(std::span<const std::uint16_t> codes,
+                                      const sz::Config& cfg, int threads,
+                                      sz::CodeChunkIndex& idx) {
+  if (cfg.huffman) {
+    return cfg.chunk_index
+               ? sz::huffman_encode_indexed(codes, threads,
+                                            cfg.index_chunk_symbols, idx)
+               : sz::huffman_encode(codes, threads);
+  }
+  if (cfg.chunk_index) {
+    idx = sz::build_raw_code_index(codes, cfg.index_chunk_symbols);
+  }
   ByteWriter cw;
   cw.u16s(codes);
   return cw.take();
@@ -363,6 +373,8 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   WAVESZ_REQUIRE(dims.rank >= 2,
                  "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
+  WAVESZ_REQUIRE(!cfg.chunk_index || cfg.index_chunk_symbols > 0,
+                 "index_chunk_symbols must be positive");
   const int pqd_nt = sz::resolve_thread_budget(cfg.pqd_threads);
   double range = 0.0;
   {
@@ -411,9 +423,10 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   telemetry::counter_add(telemetry::Counter::QuantPredictable,
                          kr.codes.size() - kr.verbatim.size());
   std::vector<std::uint8_t> code_plain;
+  sz::CodeChunkIndex idx;
   {
     telemetry::Span span(telemetry::spans::kEncodeCodes);
-    code_plain = plain_codes(kr.codes, cfg, pqd_nt);
+    code_plain = plain_codes(kr.codes, cfg, pqd_nt, idx);
   }
   ByteWriter vw;
   FpOps<T>::write_values(vw, kr.verbatim);
@@ -422,7 +435,9 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   telemetry::Span span_tail(telemetry::spans::kDeflateSerialize);
   const std::span<const std::uint8_t> sections[] = {code_plain, vw.data()};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
-                                            cfg.deflate_options());
+                                            cfg.chunk_index
+                                                ? cfg.indexed_deflate_options()
+                                                : cfg.deflate_options());
   telemetry::counter_add(telemetry::Counter::CodeBytesIn, code_plain.size());
   telemetry::counter_add(telemetry::Counter::CodeBytesOut, blobs[0].size());
   telemetry::counter_add(telemetry::Counter::UnpredBytesIn, vw.data().size());
@@ -443,6 +458,7 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   out.header.dtype = FpOps<T>::kDtype;
   out.header.point_count = data.size();
   out.header.unpredictable_count = kr.verbatim.size();
+  out.header.version = cfg.chunk_index ? 2 : 1;
   out.code_blob_bytes = blobs[0].size();
   out.unpred_blob_bytes = blobs[1].size();
 
@@ -450,6 +466,7 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   // of the (potentially large) blobs survive past this point.
   ByteWriter w;
   sz::write_header(w, out.header);
+  if (cfg.chunk_index) sz::write_code_index(w, idx);
   sz::write_section(w, blobs[0]);
   sz::write_section(w, blobs[1]);
   out.bytes = w.take();
@@ -458,7 +475,7 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
 
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
-                            Dims* dims_out, int pqd_threads) {
+                            Dims* dims_out, const sz::DecodeOptions& opts) {
   telemetry::Span span_all(telemetry::spans::kWaveDecompress);
   ByteReader r(bytes);
   const sz::ContainerHeader h = sz::read_header(r);
@@ -468,31 +485,56 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                  "container value type mismatch (float32 vs float64)");
   WAVESZ_REQUIRE(h.aux <= 1, "unknown waveSZ layout mode");
   const auto mode = static_cast<LayoutMode>(h.aux);
+  const sz::CodeChunkIndex idx = sz::read_code_index(r, h);
   const auto code_blob = sz::read_section(r);
   const auto verbatim_blob = sz::read_section(r);
+
+  // decode_threads only has purchase with a chunk index: v1 streams and
+  // stripped-index v2 streams take the serial section-by-section path.
+  const int nt =
+      idx.present() ? sz::resolve_thread_budget(opts.decode_threads) : 1;
+
+  std::vector<std::uint8_t> code_plain;
+  std::vector<std::uint8_t> verbatim_plain;
+  if (nt > 1) {
+    telemetry::Span span(telemetry::spans::kDecodeParallel);
+    const std::span<const std::uint8_t> sections[] = {code_blob,
+                                                      verbatim_blob};
+    auto plains = deflate::gzip_decompress_batch(sections, nt);
+    code_plain = std::move(plains[0]);
+    verbatim_plain = std::move(plains[1]);
+  } else {
+    code_plain = deflate::gzip_decompress(code_blob);
+    verbatim_plain = deflate::gzip_decompress(verbatim_blob);
+  }
 
   std::vector<std::uint16_t> codes;
   {
     telemetry::Span span(telemetry::spans::kDecodeCodes);
-    const auto code_plain = deflate::gzip_decompress(code_blob);
     if (h.huffman) {
-      codes = sz::huffman_decode(code_plain);
+      codes = idx.present() ? sz::huffman_decode_indexed(code_plain, idx, nt)
+                            : sz::huffman_decode(code_plain);
     } else {
       ByteReader cr(code_plain);
       codes = cr.u16s(h.point_count);
+      if (idx.present()) {
+        sz::verify_code_index_crcs(codes, idx, codes.size());
+      }
     }
   }
   WAVESZ_REQUIRE(codes.size() == h.point_count, "code count mismatch");
 
   telemetry::Span span_body(telemetry::spans::kWaveReconstruct);
-  const auto verbatim_plain = deflate::gzip_decompress(verbatim_blob);
   ByteReader ur(verbatim_plain);
   const auto verbatim = FpOps<T>::read_values(ur, h.unpredictable_count);
 
   const sz::LinearQuantizer q(h.eb_absolute, h.quant_bits);
   if (dims_out != nullptr) *dims_out = h.dims;
 
-  const int pqd_nt = sz::resolve_thread_budget(pqd_threads);
+  // The wavefront reconstruction is value-identical at every budget, so the
+  // decode pool may as well drive it when it is the larger of the two.
+  const int pqd_nt =
+      std::max(sz::resolve_thread_budget(opts.pqd_threads), nt);
   std::size_t next_verbatim = 0;
   if (mode == LayoutMode::Flatten2D || h.dims.rank <= 2) {
     const Dims flat = h.dims.flatten2d();
@@ -530,6 +572,203 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   WAVESZ_REQUIRE(next_verbatim == verbatim.size(),
                  "verbatim stream has trailing values");
   return out;
+}
+
+/// Reconstruct the first `h_end` wavefront columns from a code-stream
+/// prefix. The stream is ordered column-major by h = x + y and the Lorenzo
+/// taps reach only into columns < h, so {points with x + y < h_end} is
+/// dependency-closed and this reproduces exactly the first
+/// layout.column_start(h_end) values of the full reconstruction.
+template <typename T>
+std::vector<T> wave_reconstruct_2d_prefix(
+    std::span<const std::uint16_t> codes, std::span<const T> verbatim,
+    std::size_t* next_verbatim, const WavefrontLayout& layout,
+    std::size_t h_end, const sz::LinearQuantizer& q) {
+  WAVESZ_REQUIRE(h_end <= layout.column_count(),
+                 "column prefix exceeds layout");
+  const std::size_t points = layout.column_start(h_end);
+  WAVESZ_REQUIRE(codes.size() >= points,
+                 "code prefix shorter than the column prefix");
+  std::vector<T> rec(points);
+  std::size_t i = 0;
+  for (std::size_t h = 0; h < h_end; ++h) {
+    const std::size_t x_lo = layout.column_first_row(h);
+    const std::size_t len = layout.column_length(h);
+    for (std::size_t k = 0; k < len; ++k, ++i) {
+      const std::size_t x = x_lo + k;
+      const std::size_t y = h - x;
+      const std::size_t off = layout.column_start(h) + k;
+      if (codes[i] == 0) {
+        WAVESZ_REQUIRE(*next_verbatim < verbatim.size(),
+                       "verbatim stream exhausted");
+        rec[off] = verbatim[(*next_verbatim)++];
+      } else {
+        const double pred =
+            sz::lorenzo2d(rec[layout.offset(x - 1, y - 1)],
+                          rec[layout.offset(x - 1, y)],
+                          rec[layout.offset(x, y - 1)]);
+        rec[off] = FpOps<T>::reconstruct(q, pred, codes[i]);
+      }
+    }
+  }
+  return rec;
+}
+
+template <typename T>
+sz::RegionResultT<T> decompress_region_t(std::span<const std::uint8_t> bytes,
+                                         const sz::Region& region,
+                                         const sz::DecodeOptions& opts) {
+  telemetry::Span span_all(telemetry::spans::kDecodeRegion);
+  ByteReader r(bytes);
+  const sz::ContainerHeader h = sz::read_header(r);
+  WAVESZ_REQUIRE(h.variant == sz::Variant::WaveSz,
+                 "container is not a waveSZ stream");
+  WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,
+                 "container value type mismatch (float32 vs float64)");
+  WAVESZ_REQUIRE(h.aux <= 1, "unknown waveSZ layout mode");
+  WAVESZ_REQUIRE(h.dims.rank >= 2, "waveSZ containers are 2D+");
+  const auto mode = static_cast<LayoutMode>(h.aux);
+  const sz::CodeChunkIndex idx = sz::read_code_index(r, h);
+  const std::size_t meta_bytes = r.position();
+
+  sz::Region rg = region;
+  const Dims rdims = sz::normalize_region(rg, h.dims);
+  sz::RegionResultT<T> res;
+  res.field_dims = h.dims;
+  res.region_dims = rdims;
+
+  const bool flat2d = mode == LayoutMode::Flatten2D || h.dims.rank <= 2;
+  const Dims flat = h.dims.flatten2d();
+  // Flatten2D: the last flat column the region touches decides the column
+  // prefix; rank-3 raster (y, z) maps to flat column y * d2 + z.
+  const std::size_t hi_col =
+      h.dims.rank == 3 ? (rg.hi[1] - 1) * h.dims[2] + (rg.hi[2] - 1) + 1
+                       : rg.hi[1];
+  const WavefrontLayout layout(flat2d ? flat[0] : h.dims[1],
+                               flat2d ? flat[1] : h.dims[2]);
+  const std::size_t h_end = flat2d ? rg.hi[0] + hi_col - 1 : 0;
+  const std::uint64_t prefix_symbols =
+      flat2d ? layout.column_start(h_end)
+             : static_cast<std::uint64_t>(rg.hi[0]) * layout.count();
+
+  if (!idx.present() || prefix_symbols == h.point_count) {
+    // Index-less stream, or the prefix is the whole stream anyway.
+    Dims fd;
+    const auto field = decompress_t<T>(bytes, &fd, opts);
+    const std::size_t s0 = h.dims.extent[1] * h.dims.extent[2];
+    const std::size_t s1 = h.dims.extent[2];
+    res.data.reserve(rdims.count());
+    for (std::size_t x = rg.lo[0]; x < rg.hi[0]; ++x) {
+      for (std::size_t y = rg.lo[1]; y < rg.hi[1]; ++y) {
+        for (std::size_t z = rg.lo[2]; z < rg.hi[2]; ++z) {
+          res.data.push_back(field[x * s0 + y * s1 + z]);
+        }
+      }
+    }
+    res.compressed_bytes_read = bytes.size();
+    telemetry::counter_add(telemetry::Counter::RegionBytesRead,
+                           res.compressed_bytes_read);
+    return res;
+  }
+
+  const int nt = sz::resolve_thread_budget(opts.decode_threads);
+  const std::size_t chunks = sz::chunks_covering(idx, prefix_symbols);
+  const sz::ChunkEntry& last = idx.entries[chunks - 1];
+
+  const std::uint64_t code_plain_need =
+      h.huffman ? idx.payload_byte_offset + (last.end_bit + 7) / 8
+                : 2 * last.end_element;
+  const std::uint64_t code_size = r.u64();
+  const auto code_blob = r.bytes(code_size);
+  std::vector<std::uint16_t> codes;
+  std::size_t code_consumed = 0;
+  {
+    telemetry::Span span(telemetry::spans::kDecodeCodes);
+    auto run = deflate::gzip_decompress_prefix(code_blob, code_plain_need);
+    WAVESZ_REQUIRE(run.bytes.size() >= code_plain_need,
+                   "code stream shorter than its chunk index claims");
+    code_consumed = run.compressed_consumed;
+    if (h.huffman) {
+      codes = sz::huffman_decode_prefix(run.bytes, idx, last.end_element, nt);
+    } else {
+      ByteReader cr(run.bytes);
+      codes = cr.u16s(last.end_element);
+      sz::verify_code_index_crcs(codes, idx, codes.size());
+    }
+  }
+
+  // Verbatim values consumed by the prefix, in stream order; they are
+  // stored raw, so the plain prefix is exactly n * sizeof(T) bytes.
+  std::uint64_t n_verbatim = 0;
+  for (std::uint64_t i = 0; i < prefix_symbols; ++i) {
+    n_verbatim += codes[i] == 0 ? 1u : 0u;
+  }
+  const std::uint64_t verbatim_size = r.u64();
+  const auto verbatim_blob = r.bytes(verbatim_size);
+  std::vector<T> verbatim;
+  std::size_t verbatim_consumed = 0;
+  if (n_verbatim > 0) {
+    auto run =
+        deflate::gzip_decompress_prefix(verbatim_blob,
+                                        n_verbatim * sizeof(T));
+    ByteReader ur(run.bytes);
+    verbatim = FpOps<T>::read_values(ur, n_verbatim);
+    verbatim_consumed = run.compressed_consumed;
+  }
+
+  telemetry::Span span_body(telemetry::spans::kWaveReconstruct);
+  const sz::LinearQuantizer q(h.eb_absolute, h.quant_bits);
+  codes.resize(prefix_symbols);
+  std::size_t next_verbatim = 0;
+  res.data.reserve(rdims.count());
+  if (flat2d) {
+    const auto rec = wave_reconstruct_2d_prefix<T>(
+        codes, verbatim, &next_verbatim, layout, h_end, q);
+    for (std::size_t x = rg.lo[0]; x < rg.hi[0]; ++x) {
+      for (std::size_t y = rg.lo[1]; y < rg.hi[1]; ++y) {
+        for (std::size_t z = rg.lo[2]; z < rg.hi[2]; ++z) {
+          const std::size_t col =
+              h.dims.rank == 3 ? y * h.dims[2] + z : y;
+          res.data.push_back(rec[layout.offset(x, col)]);
+        }
+      }
+    }
+  } else {
+    // True3D: reconstruct the complete planes [0, hi[0]) slice by slice,
+    // exactly as the full decoder would, then gather.
+    const std::size_t slice_points = layout.count();
+    std::vector<T> prev;
+    std::vector<std::vector<T>> rasters;
+    rasters.reserve(rg.hi[0]);
+    for (std::size_t z = 0; z < rg.hi[0]; ++z) {
+      const auto slice_codes = std::span<const std::uint16_t>(codes).subspan(
+          z * slice_points, slice_points);
+      std::vector<T> cur;
+      if (z == 0) {
+        cur = wave_reconstruct_2d_t<T>(slice_codes, verbatim, &next_verbatim,
+                                       layout, q);
+      } else {
+        cur.resize(slice_points);
+        wave_reconstruct_slice3d<T>(slice_codes, verbatim, &next_verbatim,
+                                    prev, cur, layout, q);
+      }
+      rasters.push_back(from_wavefront(std::span<const T>(cur), layout));
+      prev = std::move(cur);
+    }
+    const std::size_t s1 = h.dims.extent[2];
+    for (std::size_t x = rg.lo[0]; x < rg.hi[0]; ++x) {
+      for (std::size_t y = rg.lo[1]; y < rg.hi[1]; ++y) {
+        for (std::size_t z = rg.lo[2]; z < rg.hi[2]; ++z) {
+          res.data.push_back(rasters[x][y * s1 + z]);
+        }
+      }
+    }
+  }
+  res.compressed_bytes_read =
+      meta_bytes + 8 + code_consumed + 8 + verbatim_consumed;
+  telemetry::counter_add(telemetry::Counter::RegionBytesRead,
+                         res.compressed_bytes_read);
+  return res;
 }
 
 }  // namespace
@@ -578,12 +817,37 @@ sz::Compressed compress(std::span<const double> data, const Dims& dims,
 
 std::vector<float> decompress(std::span<const std::uint8_t> bytes,
                               Dims* dims_out, int pqd_threads) {
-  return decompress_t<float>(bytes, dims_out, pqd_threads);
+  return decompress_t<float>(bytes, dims_out,
+                             sz::DecodeOptions{1, pqd_threads});
 }
 
 std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
                                  Dims* dims_out, int pqd_threads) {
-  return decompress_t<double>(bytes, dims_out, pqd_threads);
+  return decompress_t<double>(bytes, dims_out,
+                              sz::DecodeOptions{1, pqd_threads});
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              const sz::DecodeOptions& opts, Dims* dims_out) {
+  return decompress_t<float>(bytes, dims_out, opts);
+}
+
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 const sz::DecodeOptions& opts,
+                                 Dims* dims_out) {
+  return decompress_t<double>(bytes, dims_out, opts);
+}
+
+sz::RegionResult decompress_region(std::span<const std::uint8_t> bytes,
+                                   const sz::Region& region,
+                                   const sz::DecodeOptions& opts) {
+  return decompress_region_t<float>(bytes, region, opts);
+}
+
+sz::RegionResult64 decompress_region64(std::span<const std::uint8_t> bytes,
+                                       const sz::Region& region,
+                                       const sz::DecodeOptions& opts) {
+  return decompress_region_t<double>(bytes, region, opts);
 }
 
 }  // namespace wavesz::wave

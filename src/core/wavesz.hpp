@@ -91,4 +91,31 @@ std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
                                  Dims* dims_out = nullptr,
                                  int pqd_threads = 1);
 
+/// decompress() with decode-side control: `opts.decode_threads > 1` runs
+/// the v2 chunk-index parallel path (concurrent section inflates +
+/// chunk-parallel Huffman decode with per-chunk CRC verification), falling
+/// back to the serial decode for v1 streams or a stripped index. The output
+/// is bit-identical to the serial path at every setting.
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              const sz::DecodeOptions& opts,
+                              Dims* dims_out = nullptr);
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 const sz::DecodeOptions& opts,
+                                 Dims* dims_out = nullptr);
+
+/// Decode only the stream prefix needed for a hyperslab of the field.
+/// Flatten2D streams are ordered by wavefront column h = x + y, and the
+/// Lorenzo taps reach only coordinate-wise backward, so the columns
+/// [0, (hi_row-1) + (hi_col-1)] are a closed prefix containing the region;
+/// True3D streams need the complete planes [0, hi[0]). With a v2 chunk
+/// index only the chunks covering that prefix are inflated and decoded;
+/// v1 / stripped-index streams fall back to a full decode. Region values
+/// are identical to the same slice of a full decompress().
+sz::RegionResult decompress_region(std::span<const std::uint8_t> bytes,
+                                   const sz::Region& region,
+                                   const sz::DecodeOptions& opts = {});
+sz::RegionResult64 decompress_region64(std::span<const std::uint8_t> bytes,
+                                       const sz::Region& region,
+                                       const sz::DecodeOptions& opts = {});
+
 }  // namespace wavesz::wave

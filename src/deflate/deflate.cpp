@@ -489,10 +489,15 @@ const CanonicalDecoder& fixed_dist_decoder() {
   return d;
 }
 
-std::vector<std::uint8_t> decompress_impl(std::span<const std::uint8_t> input,
-                                          bool reference) {
+/// Shared block loop behind decompress() and decompress_prefix(): inflate
+/// until the final block, or — when `min_output` is not SIZE_MAX — until at
+/// least that many output bytes exist (checked between blocks, so the
+/// result may overshoot by up to one block).
+PrefixResult inflate_blocks(std::span<const std::uint8_t> input,
+                            std::size_t min_output, bool reference) {
   BitReaderLSB br(input);
-  std::vector<std::uint8_t> out;
+  PrefixResult run;
+  std::vector<std::uint8_t>& out = run.bytes;
   for (;;) {
     const bool final_block = br.bit() != 0;
     const std::uint32_t type = br.bits(2);
@@ -533,9 +538,19 @@ std::vector<std::uint8_t> decompress_impl(std::span<const std::uint8_t> input,
     } else {
       throw Error("reserved DEFLATE block type");
     }
-    if (final_block) break;
+    if (final_block) {
+      run.complete = true;
+      break;
+    }
+    if (out.size() >= min_output) break;
   }
-  return out;
+  run.compressed_consumed = br.consumed();
+  return run;
+}
+
+std::vector<std::uint8_t> decompress_impl(std::span<const std::uint8_t> input,
+                                          bool reference) {
+  return inflate_blocks(input, static_cast<std::size_t>(-1), reference).bytes;
 }
 
 }  // namespace
@@ -547,6 +562,11 @@ std::vector<std::uint8_t> decompress(std::span<const std::uint8_t> input) {
 std::vector<std::uint8_t> decompress_reference(
     std::span<const std::uint8_t> input) {
   return decompress_impl(input, /*reference=*/true);
+}
+
+PrefixResult decompress_prefix(std::span<const std::uint8_t> input,
+                               std::size_t min_output_bytes) {
+  return inflate_blocks(input, min_output_bytes, reference_decode_enabled());
 }
 
 std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
@@ -592,6 +612,44 @@ std::vector<std::uint8_t> gzip_decompress(
   WAVESZ_REQUIRE(isize == static_cast<std::uint32_t>(out.size()),
                  "gzip ISIZE mismatch");
   return out;
+}
+
+PrefixResult gzip_decompress_prefix(std::span<const std::uint8_t> input,
+                                    std::size_t min_output_bytes) {
+  telemetry::Span span(telemetry::spans::kInflatePrefix);
+  WAVESZ_REQUIRE(input.size() >= 18, "gzip member too short");
+  ByteReader r(input);
+  WAVESZ_REQUIRE(r.u8() == 0x1f && r.u8() == 0x8b, "bad gzip magic");
+  WAVESZ_REQUIRE(r.u8() == 8, "unsupported gzip compression method");
+  const std::uint8_t flg = r.u8();
+  WAVESZ_REQUIRE(flg == 0, "gzip optional header fields not supported");
+  (void)r.u32();  // MTIME
+  (void)r.u8();   // XFL
+  (void)r.u8();   // OS
+  const auto body =
+      input.subspan(r.position(), input.size() - r.position() - 8);
+  PrefixResult run = inflate_blocks(body, min_output_bytes,
+                                    reference_decode_enabled());
+  run.compressed_consumed += r.position();
+  if (run.complete) {
+    // The whole stream came out anyway; verify the trailer as a full
+    // decode would. An early stop leaves the trailer unverified by design
+    // — it covers bytes that were deliberately never produced.
+    ByteReader tail(input.subspan(input.size() - 8));
+    const std::uint32_t crc = tail.u32();
+    const std::uint32_t isize = tail.u32();
+    std::uint32_t actual_crc;
+    {
+      telemetry::Span span_crc(telemetry::spans::kCrc32);
+      telemetry::counter_add(telemetry::Counter::CrcBytes, run.bytes.size());
+      actual_crc = Crc32::of(run.bytes);
+    }
+    WAVESZ_REQUIRE(crc == actual_crc, "gzip CRC mismatch");
+    WAVESZ_REQUIRE(isize == static_cast<std::uint32_t>(run.bytes.size()),
+                   "gzip ISIZE mismatch");
+    run.compressed_consumed += 8;
+  }
+  return run;
 }
 
 }  // namespace wavesz::deflate

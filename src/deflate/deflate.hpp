@@ -38,6 +38,31 @@ std::vector<std::uint8_t> gzip_compress(std::span<const std::uint8_t> input,
 /// Inverse of gzip_compress(); validates magic, CRC-32 and ISIZE.
 std::vector<std::uint8_t> gzip_decompress(std::span<const std::uint8_t> input);
 
+/// Result of a bounded inflate: the decoded prefix, how many compressed
+/// input bytes were consumed producing it (the partial-read figure region
+/// decoders report), and whether the stream actually ended.
+struct PrefixResult {
+  std::vector<std::uint8_t> bytes;
+  std::size_t compressed_consumed = 0;
+  bool complete = false;
+};
+
+/// Inflate only until at least `min_output_bytes` of output exist (checked
+/// at DEFLATE block granularity, so the result may overshoot) or the stream
+/// ends, whichever is first. The decoded prefix is bit-identical to the
+/// leading bytes of a full decompress().
+PrefixResult decompress_prefix(std::span<const std::uint8_t> input,
+                               std::size_t min_output_bytes);
+
+/// gzip framing over decompress_prefix(). When the stop condition fires
+/// before the final block, the member's CRC-32/ISIZE trailer is NOT
+/// verified — it covers the whole stream, which was deliberately not
+/// decoded; callers (the container region decoders) carry their own
+/// per-chunk CRCs. A run that does reach the end verifies the trailer
+/// exactly like gzip_decompress().
+PrefixResult gzip_decompress_prefix(std::span<const std::uint8_t> input,
+                                    std::size_t min_output_bytes);
+
 namespace detail {
 
 /// Emit the DEFLATE blocks encoding `tokens`, which must expand exactly to

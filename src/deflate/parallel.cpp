@@ -66,7 +66,7 @@ std::vector<std::vector<std::uint8_t>> deflate_batch(
   const int threads = resolve_threads(opts.threads);
   std::vector<std::vector<std::uint8_t>> out(inputs.size());
 
-  if (threads == 1) {
+  if (threads == 1 && !opts.force_chunking) {
     // Serial reference path: bit-identical to compress().
     for (std::size_t i = 0; i < inputs.size(); ++i) {
       telemetry::Span span(telemetry::spans::kDeflateChunk);
@@ -168,6 +168,39 @@ std::vector<std::vector<std::uint8_t>> gzip_compress_batch(
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     out[i] = gzip_wrap(inputs[i], level, std::move(bodies[i]));
   }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> gzip_decompress_batch(
+    std::span<const std::span<const std::uint8_t>> inputs, int threads) {
+  std::vector<std::vector<std::uint8_t>> out(inputs.size());
+  const int nt = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_threads(threads)),
+      std::max<std::size_t>(1, inputs.size())));
+  if (nt <= 1) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      out[i] = gzip_decompress(inputs[i]);
+    }
+    return out;
+  }
+  // Same containment contract as deflate_batch: an exception escaping an
+  // OpenMP region terminates the process, so the first failure is captured
+  // and rethrown after the barrier.
+  std::exception_ptr failure;
+#ifdef _OPENMP
+#pragma omp parallel for num_threads(nt) schedule(dynamic)
+#endif
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    try {
+      out[i] = gzip_decompress(inputs[i]);
+    } catch (...) {
+#ifdef _OPENMP
+#pragma omp critical
+#endif
+      if (!failure) failure = std::current_exception();
+    }
+  }
+  if (failure) std::rethrow_exception(failure);
   return out;
 }
 

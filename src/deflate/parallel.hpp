@@ -36,6 +36,13 @@ struct ParallelOptions {
   /// Costs a little tokenization time, buys back nearly all of the ratio
   /// loss from independent chunks; disable only for benchmarking.
   bool prime_dictionary = true;
+  /// Take the chunked path even at threads == 1, so every chunk_bytes of
+  /// input ends on a sync-flush marker (a byte-aligned block boundary).
+  /// The markers cost ~5 bytes each and let a prefix inflate stop within
+  /// one chunk of the bytes it needs — the v2 chunk-indexed containers
+  /// encode their sections this way. Off: threads == 1 emits the serial
+  /// reference stream, bit-identical to compress().
+  bool force_chunking = false;
 };
 
 /// Raw DEFLATE stream (no framing), chunk-parallel.
@@ -56,5 +63,14 @@ std::vector<std::uint8_t> gzip_compress_parallel(
 std::vector<std::vector<std::uint8_t>> gzip_compress_batch(
     std::span<const std::span<const std::uint8_t>> inputs, Level level,
     const ParallelOptions& opts = {});
+
+/// Inflate several independent gzip members concurrently, one worker per
+/// member (a single DEFLATE stream inflates serially — cross-block history
+/// forbids splitting it without an index). `threads` follows the usual
+/// budget semantics; every output is byte-identical to gzip_decompress().
+/// This is how the parallel container decoders overlap their code-section
+/// and unpredictable-section inflates.
+std::vector<std::vector<std::uint8_t>> gzip_decompress_batch(
+    std::span<const std::span<const std::uint8_t>> inputs, int threads);
 
 }  // namespace wavesz::deflate

@@ -81,6 +81,8 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   WAVESZ_REQUIRE(cfg.predictor == PredictorKind::Lorenzo1Layer ||
                      dims.rank <= 2,
                  "2-layer Lorenzo is implemented for 1D/2D data");
+  WAVESZ_REQUIRE(!cfg.chunk_index || cfg.index_chunk_symbols > 0,
+                 "index_chunk_symbols must be positive");
 
   // pqd_threads > 1 switches to the tiled anti-diagonal wavefront schedule;
   // the two kernels share per-point arithmetic (pqd_detail.hpp), so the
@@ -100,13 +102,21 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
                          pqd.codes.size() - pqd.unpredictable.size());
 
   // Code section: H* (customized Huffman) then G* (gzip), or raw codes
-  // straight into gzip when Huffman is disabled.
+  // straight into gzip when Huffman is disabled. With cfg.chunk_index the
+  // encoder also records the v2 offset table at its chunk flush points.
   std::vector<std::uint8_t> code_plain;
+  CodeChunkIndex idx;
   {
     telemetry::Span span(telemetry::spans::kEncodeCodes);
     if (cfg.huffman) {
-      code_plain = huffman_encode(pqd.codes, pqd_nt);
+      code_plain = cfg.chunk_index
+                       ? huffman_encode_indexed(pqd.codes, pqd_nt,
+                                                cfg.index_chunk_symbols, idx)
+                       : huffman_encode(pqd.codes, pqd_nt);
     } else {
+      if (cfg.chunk_index) {
+        idx = build_raw_code_index(pqd.codes, cfg.index_chunk_symbols);
+      }
       ByteWriter cw;
       cw.u16s(pqd.codes);
       code_plain = cw.take();
@@ -124,7 +134,9 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   telemetry::Span span_tail(telemetry::spans::kDeflateSerialize);
   const std::span<const std::uint8_t> sections[] = {code_plain, unpred_plain};
   auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
-                                            cfg.deflate_options());
+                                            cfg.chunk_index
+                                                ? cfg.indexed_deflate_options()
+                                                : cfg.deflate_options());
   telemetry::counter_add(telemetry::Counter::CodeBytesIn, code_plain.size());
   telemetry::counter_add(telemetry::Counter::CodeBytesOut, blobs[0].size());
   telemetry::counter_add(telemetry::Counter::UnpredBytesIn,
@@ -146,6 +158,7 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   out.header.dtype = FpOps<T>::kDtype;
   out.header.point_count = data.size();
   out.header.unpredictable_count = pqd.unpredictable.size();
+  out.header.version = cfg.chunk_index ? 2 : 1;
   out.code_blob_bytes = blobs[0].size();
   out.unpred_blob_bytes = blobs[1].size();
 
@@ -153,6 +166,7 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   // of the (potentially large) blobs survive past this point.
   ByteWriter w;
   write_header(w, out.header);
+  if (cfg.chunk_index) write_code_index(w, idx);
   write_section(w, blobs[0]);
   write_section(w, blobs[1]);
   out.bytes = w.take();
@@ -161,7 +175,7 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
 
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
-                            Dims* dims_out, int pqd_threads) {
+                            Dims* dims_out, const DecodeOptions& opts) {
   telemetry::Span span_all(telemetry::spans::kSzDecompress);
   ByteReader r(bytes);
   const ContainerHeader h = read_header(r);
@@ -169,18 +183,43 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                  "container is not an SZ-1.4 stream");
   WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,
                  "container value type mismatch (float32 vs float64)");
+  const CodeChunkIndex idx = read_code_index(r, h);
   const auto code_blob = read_section(r);
   const auto unpred_blob = read_section(r);
+
+  // v1 streams and stripped-index v2 streams silently fall back to the
+  // serial section-by-section decode; decode_threads only has purchase when
+  // the index is present (concurrent inflates + chunk-parallel Huffman).
+  const int nt = idx.present() ? resolve_thread_budget(opts.decode_threads)
+                               : 1;
+
+  std::vector<std::uint8_t> code_plain;
+  std::vector<std::uint8_t> unpred_plain;
+  if (nt > 1) {
+    telemetry::Span span(telemetry::spans::kDecodeParallel);
+    const std::span<const std::uint8_t> sections[] = {code_blob, unpred_blob};
+    auto plains = deflate::gzip_decompress_batch(sections, nt);
+    code_plain = std::move(plains[0]);
+    unpred_plain = std::move(plains[1]);
+  } else {
+    {
+      telemetry::Span span(telemetry::spans::kDecodeCodes);
+      code_plain = deflate::gzip_decompress(code_blob);
+    }
+    telemetry::Span span(telemetry::spans::kDecodeUnpred);
+    unpred_plain = deflate::gzip_decompress(unpred_blob);
+  }
 
   std::vector<std::uint16_t> codes;
   {
     telemetry::Span span(telemetry::spans::kDecodeCodes);
-    const auto code_plain = deflate::gzip_decompress(code_blob);
     if (h.huffman) {
-      codes = huffman_decode(code_plain);
+      codes = idx.present() ? huffman_decode_indexed(code_plain, idx, nt)
+                            : huffman_decode(code_plain);
     } else {
       ByteReader cr(code_plain);
       codes = cr.u16s(h.point_count);
+      if (idx.present()) verify_code_index_crcs(codes, idx, codes.size());
     }
   }
   WAVESZ_REQUIRE(codes.size() == h.point_count, "code count mismatch");
@@ -188,7 +227,6 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   std::vector<T> unpred;
   {
     telemetry::Span span(telemetry::spans::kDecodeUnpred);
-    const auto unpred_plain = deflate::gzip_decompress(unpred_blob);
     unpred = FpOps<T>::decode(unpred_plain, h.unpredictable_count,
                               h.eb_absolute);
   }
@@ -197,7 +235,9 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   const auto kind = static_cast<PredictorKind>(h.aux);
   const LinearQuantizer q(h.eb_absolute, h.quant_bits);
   if (dims_out != nullptr) *dims_out = h.dims;
-  const int pqd_nt = resolve_thread_budget(pqd_threads);
+  // Reconstruction is value-identical for every budget, so the decode pool
+  // may as well drive it when it is the larger of the two.
+  const int pqd_nt = std::max(resolve_thread_budget(opts.pqd_threads), nt);
   if (pqd_nt > 1 && h.dims.rank >= 2) {
     telemetry::Span span(telemetry::spans::kReconstructWavefront);
     return detail::lorenzo_reconstruct_wavefront_t<T>(codes, unpred, h.dims,
@@ -205,6 +245,135 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   }
   telemetry::Span span(telemetry::spans::kReconstructRaster);
   return detail::lorenzo_reconstruct_t<T>(codes, unpred, h.dims, q, kind);
+}
+
+/// Copy the hyperslab out of a row-major (partial or full) field whose
+/// axis-1/axis-2 extents match the container's.
+template <typename T>
+std::vector<T> gather_region(const std::vector<T>& field, const Dims& fdims,
+                             const Region& rg, const Dims& rdims) {
+  std::vector<T> out;
+  out.reserve(rdims.count());
+  const std::size_t s0 = fdims.extent[1] * fdims.extent[2];
+  const std::size_t s1 = fdims.extent[2];
+  for (std::size_t x = rg.lo[0]; x < rg.hi[0]; ++x) {
+    for (std::size_t y = rg.lo[1]; y < rg.hi[1]; ++y) {
+      for (std::size_t z = rg.lo[2]; z < rg.hi[2]; ++z) {
+        out.push_back(field[x * s0 + y * s1 + z]);
+      }
+    }
+  }
+  return out;
+}
+
+template <typename T>
+RegionResultT<T> decompress_region_t(std::span<const std::uint8_t> bytes,
+                                     const Region& region,
+                                     const DecodeOptions& opts) {
+  telemetry::Span span_all(telemetry::spans::kDecodeRegion);
+  ByteReader r(bytes);
+  const ContainerHeader h = read_header(r);
+  WAVESZ_REQUIRE(h.variant == Variant::Sz14,
+                 "container is not an SZ-1.4 stream");
+  WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,
+                 "container value type mismatch (float32 vs float64)");
+  const CodeChunkIndex idx = read_code_index(r, h);
+  const std::size_t meta_bytes = r.position();
+
+  Region rg = region;
+  const Dims rdims = normalize_region(rg, h.dims);
+  RegionResultT<T> res;
+  res.field_dims = h.dims;
+  res.region_dims = rdims;
+
+  // The Lorenzo stencil reaches only backward in raster order, so the
+  // dependency closure of the hyperslab is the prefix of complete outer
+  // slabs [0, hi[0]) — reconstructing a (hi0, d1, d2) field from the code
+  // prefix yields values identical to the same rows of a full decode.
+  const std::size_t slab = h.dims.extent[1] * h.dims.extent[2];
+  const std::uint64_t need_symbols = rg.hi[0] * slab;
+
+  if (!idx.present() || need_symbols == h.point_count) {
+    // Index-less stream, or the slab prefix is the whole field anyway.
+    Dims fd;
+    const auto field = decompress_t<T>(bytes, &fd, opts);
+    res.data = gather_region(field, fd, rg, rdims);
+    res.compressed_bytes_read = bytes.size();
+    telemetry::counter_add(telemetry::Counter::RegionBytesRead,
+                           res.compressed_bytes_read);
+    return res;
+  }
+
+  const int nt = resolve_thread_budget(opts.decode_threads);
+  const std::size_t chunks = chunks_covering(idx, need_symbols);
+  const ChunkEntry& last = idx.entries[chunks - 1];
+
+  // Inflate the code section only until the needed chunks' payload exists.
+  const std::uint64_t code_plain_need =
+      h.huffman ? idx.payload_byte_offset + (last.end_bit + 7) / 8
+                : 2 * last.end_element;
+  const std::uint64_t code_size = r.u64();
+  const auto code_blob = r.bytes(code_size);
+  std::vector<std::uint16_t> codes;
+  std::size_t code_consumed = 0;
+  {
+    telemetry::Span span(telemetry::spans::kDecodeCodes);
+    auto run = deflate::gzip_decompress_prefix(code_blob, code_plain_need);
+    WAVESZ_REQUIRE(run.bytes.size() >= code_plain_need,
+                   "code stream shorter than its chunk index claims");
+    code_consumed = run.compressed_consumed;
+    if (h.huffman) {
+      codes = huffman_decode_prefix(run.bytes, idx, last.end_element, nt);
+    } else {
+      ByteReader cr(run.bytes);
+      codes = cr.u16s(last.end_element);
+      verify_code_index_crcs(codes, idx, codes.size());
+    }
+  }
+
+  // Unpredictable values consumed by the slab prefix, in stream order.
+  std::uint64_t n_unpred = 0;
+  for (std::uint64_t i = 0; i < need_symbols; ++i) {
+    n_unpred += codes[i] == 0 ? 1u : 0u;
+  }
+  const std::uint64_t unpred_size = r.u64();
+  const auto unpred_blob = r.bytes(unpred_size);
+  std::vector<T> unpred;
+  std::size_t unpred_consumed = 0;
+  if (n_unpred > 0) {
+    telemetry::Span span(telemetry::spans::kDecodeUnpred);
+    // Truncation coding spends at most 1+5+1+8+23 = 38 bits per float32
+    // value (1+6+1+11+52 = 71 for float64); a plain prefix of that many
+    // bits is guaranteed to contain the first n values.
+    const std::uint64_t max_bits = FpOps<T>::kDtype == 1 ? 71 : 38;
+    auto run = deflate::gzip_decompress_prefix(
+        unpred_blob, (max_bits * n_unpred + 7) / 8);
+    unpred = FpOps<T>::decode(run.bytes, n_unpred, h.eb_absolute);
+    unpred_consumed = run.compressed_consumed;
+  }
+
+  WAVESZ_REQUIRE(h.aux <= 1, "unknown SZ-1.4 predictor kind");
+  const auto kind = static_cast<PredictorKind>(h.aux);
+  const LinearQuantizer q(h.eb_absolute, h.quant_bits);
+  Dims pdims = h.dims;
+  pdims.extent[0] = rg.hi[0];
+  codes.resize(need_symbols);
+  std::vector<T> field;
+  const int recon_nt = std::max(resolve_thread_budget(opts.pqd_threads), nt);
+  if (recon_nt > 1 && pdims.rank >= 2) {
+    telemetry::Span span(telemetry::spans::kReconstructWavefront);
+    field = detail::lorenzo_reconstruct_wavefront_t<T>(codes, unpred, pdims,
+                                                       q, kind, recon_nt);
+  } else {
+    telemetry::Span span(telemetry::spans::kReconstructRaster);
+    field = detail::lorenzo_reconstruct_t<T>(codes, unpred, pdims, q, kind);
+  }
+  res.data = gather_region(field, pdims, rg, rdims);
+  res.compressed_bytes_read =
+      meta_bytes + 8 + code_consumed + 8 + unpred_consumed;
+  telemetry::counter_add(telemetry::Counter::RegionBytesRead,
+                         res.compressed_bytes_read);
+  return res;
 }
 
 }  // namespace
@@ -256,12 +425,36 @@ Compressed compress(std::span<const double> data, const Dims& dims,
 
 std::vector<float> decompress(std::span<const std::uint8_t> bytes,
                               Dims* dims_out, int pqd_threads) {
-  return decompress_t<float>(bytes, dims_out, pqd_threads);
+  return decompress_t<float>(bytes, dims_out,
+                             DecodeOptions{1, pqd_threads});
 }
 
 std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
                                  Dims* dims_out, int pqd_threads) {
-  return decompress_t<double>(bytes, dims_out, pqd_threads);
+  return decompress_t<double>(bytes, dims_out,
+                              DecodeOptions{1, pqd_threads});
+}
+
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              const DecodeOptions& opts, Dims* dims_out) {
+  return decompress_t<float>(bytes, dims_out, opts);
+}
+
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 const DecodeOptions& opts, Dims* dims_out) {
+  return decompress_t<double>(bytes, dims_out, opts);
+}
+
+RegionResult decompress_region(std::span<const std::uint8_t> bytes,
+                               const Region& region,
+                               const DecodeOptions& opts) {
+  return decompress_region_t<float>(bytes, region, opts);
+}
+
+RegionResult64 decompress_region64(std::span<const std::uint8_t> bytes,
+                                   const Region& region,
+                                   const DecodeOptions& opts) {
+  return decompress_region_t<double>(bytes, region, opts);
 }
 
 }  // namespace wavesz::sz

@@ -91,4 +91,32 @@ std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
                                  Dims* dims_out = nullptr,
                                  int pqd_threads = 1);
 
+/// decompress() with full decode-side control: `opts.decode_threads > 1`
+/// runs the v2 chunk-index parallel path (concurrent section inflates +
+/// chunk-parallel Huffman decode with per-chunk CRC verification), falling
+/// back to the serial full decode for v1 streams or a stripped index. The
+/// output is bit-identical to the serial path at every setting.
+std::vector<float> decompress(std::span<const std::uint8_t> bytes,
+                              const DecodeOptions& opts,
+                              Dims* dims_out = nullptr);
+std::vector<double> decompress64(std::span<const std::uint8_t> bytes,
+                                 const DecodeOptions& opts,
+                                 Dims* dims_out = nullptr);
+
+/// Decode only the part of the stream needed for a hyperslab of the field.
+/// The Lorenzo stencil only ever reaches backward in raster order, so the
+/// dependency closure of any hyperslab is the prefix of complete outer
+/// slabs [0, hi[0]); with a v2 chunk index the decoder inflates and decodes
+/// just the chunks covering that prefix (partial gzip inflate included) and
+/// gathers the requested region out of it. The region values are identical
+/// to the same slice of a full decompress(). v1 / stripped-index streams
+/// fall back to a full decode (compressed_bytes_read then reports the whole
+/// container).
+RegionResult decompress_region(std::span<const std::uint8_t> bytes,
+                               const Region& region,
+                               const DecodeOptions& opts = {});
+RegionResult64 decompress_region64(std::span<const std::uint8_t> bytes,
+                                   const Region& region,
+                                   const DecodeOptions& opts = {});
+
 }  // namespace wavesz::sz

@@ -4,6 +4,7 @@
 // bins), customized Huffman (H*) optionally followed by gzip (G*).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -59,9 +60,54 @@ struct Config {
   /// per-slab PQD to 1 so the two levels never multiply.
   int pqd_threads = 1;
 
+  /// Emit the container v2 per-chunk offset table (end bit offset into the
+  /// code payload, end element offset, running CRC-32 per fixed-size chunk
+  /// of quantization codes). Costs 28 bytes per chunk and unlocks the
+  /// thread-parallel and region decoders; turn off to emit the v1 layout
+  /// byte-identically to historical streams.
+  bool chunk_index = true;
+  /// Output elements per indexed chunk. 32 Ki symbols keeps the table under
+  /// a couple hundred bytes for the paper's fields while still giving a
+  /// 4-8-way decode split on a 512^2 slice.
+  std::uint32_t index_chunk_symbols = 1u << 15;
+
+  /// Thread budget for the container *decoder* (chunk-parallel Huffman
+  /// decode from the v2 index plus concurrent section inflates). Same
+  /// semantics as codec_threads: 1 = serial (the default), 0 = all OpenMP
+  /// threads, n = at most n. Ignored — with a silent serial fallback — for
+  /// v1 streams and v2 streams whose index was stripped. Decode output is
+  /// bit-identical at every setting.
+  int decode_threads = 1;
+
   deflate::ParallelOptions deflate_options() const {
     return {deflate_chunk_bytes, codec_threads, /*prime_dictionary=*/true};
   }
+
+  /// Section-encode options for v2 chunk-indexed containers: chunking is
+  /// forced even at one thread so every ~chunk of plain section bytes ends
+  /// on a sync-flush marker, letting the region decoder's prefix inflate
+  /// stop within one chunk of the bytes it needs. The cadence tracks the
+  /// index granularity (two plain bytes per raw code symbol), floored so
+  /// tiny test chunks don't degrade the ratio.
+  deflate::ParallelOptions indexed_deflate_options() const {
+    deflate::ParallelOptions o = deflate_options();
+    o.force_chunking = true;
+    const std::size_t cadence =
+        std::size_t{2} * std::size_t{index_chunk_symbols};
+    o.chunk_bytes = std::min(o.chunk_bytes,
+                             std::max<std::size_t>(cadence, 4096));
+    return o;
+  }
+};
+
+/// Decode-side knobs, decoupled from Config so pure consumers don't have to
+/// fabricate compression settings to pick a thread budget.
+struct DecodeOptions {
+  /// Chunk-parallel entropy decode + concurrent section inflates (see
+  /// Config::decode_threads for semantics).
+  int decode_threads = 1;
+  /// Reconstruction (Lorenzo / wavefront) budget, as Config::pqd_threads.
+  int pqd_threads = 1;
 };
 
 /// Resolve the absolute bound for a field with the given value range,

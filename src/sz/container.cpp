@@ -1,17 +1,23 @@
 #include "sz/container.hpp"
 
+#include <algorithm>
+
+#include "util/checksum.hpp"
 #include "util/decode_guard.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::sz {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x315a5357u;  // "WSZ1"
+constexpr std::uint32_t kMagic = 0x315a5357u;    // "WSZ1"
+constexpr std::uint32_t kMagicV2 = 0x495a5357u;  // "WSZI" (indexed)
+constexpr std::size_t kEntryBytes = 8 + 8 + 8 + 4;
 
 }  // namespace
 
 void write_header(ByteWriter& w, const ContainerHeader& h) {
-  w.u32(kMagic);
+  WAVESZ_ASSERT(h.version == 1 || h.version == 2, "unknown container version");
+  w.u32(h.version == 2 ? kMagicV2 : kMagic);
   w.u8(static_cast<std::uint8_t>(h.variant));
   w.u8(static_cast<std::uint8_t>(h.dims.rank));
   w.u8(static_cast<std::uint8_t>(h.mode));
@@ -29,8 +35,11 @@ void write_header(ByteWriter& w, const ContainerHeader& h) {
 }
 
 ContainerHeader read_header(ByteReader& r) {
-  WAVESZ_REQUIRE(r.u32() == kMagic, "not a waveSZ container (bad magic)");
+  const std::uint32_t magic = r.u32();
+  WAVESZ_REQUIRE(magic == kMagic || magic == kMagicV2,
+                 "not a waveSZ container (bad magic)");
   ContainerHeader h;
+  h.version = magic == kMagicV2 ? 2 : 1;
   const std::uint8_t variant = r.u8();
   WAVESZ_REQUIRE(variant >= 1 && variant <= 3, "unknown container variant");
   h.variant = static_cast<Variant>(variant);
@@ -76,6 +85,141 @@ ContainerHeader read_header(ByteReader& r) {
   WAVESZ_REQUIRE(h.unpredictable_count <= h.point_count,
                  "unpredictable count exceeds point count");
   return h;
+}
+
+void write_code_index(ByteWriter& w, const CodeChunkIndex& idx) {
+  if (!idx.present()) {
+    // Stripped-index marker: three zero fields, decoders fall back to the
+    // serial full decode.
+    w.u32(0);
+    w.u64(0);
+    w.u64(0);
+    return;
+  }
+  w.u32(idx.chunk_symbols);
+  w.u64(idx.entries.size());
+  w.u64(idx.payload_byte_offset);
+  for (const ChunkEntry& e : idx.entries) {
+    w.u64(e.end_bit);
+    w.u64(e.end_element);
+    w.u64(e.end_unpred);
+    w.u32(e.running_crc);
+  }
+}
+
+CodeChunkIndex read_code_index(ByteReader& r, const ContainerHeader& h) {
+  CodeChunkIndex idx;
+  if (h.version < 2) return idx;
+  idx.chunk_symbols = r.u32();
+  const std::uint64_t count = r.u64();
+  idx.payload_byte_offset = r.u64();
+  if (count == 0) {
+    WAVESZ_REQUIRE(idx.chunk_symbols == 0 && idx.payload_byte_offset == 0,
+                   "stripped chunk index has nonzero fields");
+    return idx;
+  }
+  // Every structural invariant is enforced here, before any decoder sizes a
+  // buffer or spawns a worker from the table: forged counts, overlapping or
+  // non-monotonic offsets, and truncated tables all die as wavesz::Error.
+  WAVESZ_REQUIRE(idx.chunk_symbols > 0, "chunk index with zero chunk size");
+  const std::uint64_t expected =
+      (h.point_count + idx.chunk_symbols - 1) / idx.chunk_symbols;
+  WAVESZ_REQUIRE(count == expected, "chunk count disagrees with point count");
+  WAVESZ_REQUIRE(count <= r.remaining() / kEntryBytes,
+                 "chunk index truncated");
+  WAVESZ_REQUIRE(h.huffman || idx.payload_byte_offset == 0,
+                 "payload offset on a raw code stream");
+  const std::uint64_t min_bits = h.huffman ? 1 : 16;  // degenerate H* vs u16
+  const std::uint64_t max_bits = h.huffman ? 24 : 16;  // kMaxCodeLength
+  idx.entries.reserve(count);
+  std::uint64_t prev_bit = 0;
+  std::uint64_t prev_elem = 0;
+  std::uint64_t prev_unpred = 0;
+  for (std::uint64_t k = 0; k < count; ++k) {
+    ChunkEntry e;
+    e.end_bit = r.u64();
+    e.end_element = r.u64();
+    e.end_unpred = r.u64();
+    e.running_crc = r.u32();
+    const std::uint64_t want_elem = std::min<std::uint64_t>(
+        (k + 1) * idx.chunk_symbols, h.point_count);
+    WAVESZ_REQUIRE(e.end_element == want_elem,
+                   "chunk element offsets break the fixed stride");
+    const std::uint64_t syms = want_elem - prev_elem;
+    WAVESZ_REQUIRE(e.end_bit > prev_bit &&
+                       e.end_bit - prev_bit >= syms * min_bits &&
+                       e.end_bit - prev_bit <= syms * max_bits,
+                   "chunk bit offsets out of range");
+    WAVESZ_REQUIRE(e.end_unpred >= prev_unpred &&
+                       e.end_unpred - prev_unpred <= syms,
+                   "chunk unpredictable counts not monotonic");
+    prev_bit = e.end_bit;
+    prev_elem = e.end_element;
+    prev_unpred = e.end_unpred;
+    idx.entries.push_back(e);
+  }
+  WAVESZ_REQUIRE(prev_unpred == h.unpredictable_count,
+                 "chunk unpredictable total disagrees with header");
+  return idx;
+}
+
+CodeChunkIndex build_raw_code_index(std::span<const std::uint16_t> codes,
+                                    std::uint32_t chunk_symbols) {
+  WAVESZ_ASSERT(chunk_symbols > 0, "chunk size must be positive");
+  CodeChunkIndex idx;
+  idx.chunk_symbols = chunk_symbols;
+  idx.payload_byte_offset = 0;
+  Crc32 crc;
+  std::uint64_t unpred = 0;
+  for (std::size_t at = 0; at < codes.size(); at += chunk_symbols) {
+    const std::size_t n = std::min<std::size_t>(chunk_symbols,
+                                                codes.size() - at);
+    const auto chunk = codes.subspan(at, n);
+    for (const std::uint16_t c : chunk) unpred += c == 0 ? 1 : 0;
+    crc.update(bytes_of(chunk));
+    ChunkEntry e;
+    e.end_element = at + n;
+    e.end_bit = e.end_element * 16;
+    e.end_unpred = unpred;
+    e.running_crc = crc.value();
+    idx.entries.push_back(e);
+  }
+  return idx;
+}
+
+void verify_code_index_crcs(std::span<const std::uint16_t> codes,
+                            const CodeChunkIndex& idx,
+                            std::uint64_t element_count) {
+  std::uint64_t prev_elem = 0;
+  std::uint32_t prev_crc = 0;
+  for (const ChunkEntry& e : idx.entries) {
+    if (e.end_element > element_count) break;
+    Crc32 crc = prev_elem == 0 ? Crc32{} : Crc32::resume(prev_crc);
+    crc.update(bytes_of(codes.subspan(prev_elem, e.end_element - prev_elem)));
+    WAVESZ_REQUIRE(crc.value() == e.running_crc, "chunk CRC mismatch");
+    prev_elem = e.end_element;
+    prev_crc = e.running_crc;
+  }
+}
+
+std::size_t chunks_covering(const CodeChunkIndex& idx, std::uint64_t symbols) {
+  std::size_t k = 0;
+  while (k < idx.entries.size() && idx.entries[k].end_element < symbols) ++k;
+  return symbols == 0 ? 0 : std::min(k + 1, idx.entries.size());
+}
+
+Dims normalize_region(Region& rg, const Dims& dims) {
+  std::array<std::size_t, 3> ext{1, 1, 1};
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (rg.lo[i] == 0 && rg.hi[i] == 0) rg.hi[i] = dims.extent[i];
+    WAVESZ_REQUIRE(i < static_cast<std::size_t>(dims.rank) ||
+                       (rg.lo[i] == 0 && rg.hi[i] == 1),
+                   "region axis beyond field rank");
+    WAVESZ_REQUIRE(rg.lo[i] < rg.hi[i] && rg.hi[i] <= dims.extent[i],
+                   "region outside field bounds");
+    ext[i] = rg.hi[i] - rg.lo[i];
+  }
+  return Dims{ext, dims.rank};
 }
 
 void write_section(ByteWriter& w, std::span<const std::uint8_t> blob) {

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <exception>
 
 #include "sz/config.hpp"
 #include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bitio.hpp"
 #include "util/bytes.hpp"
+#include "util/checksum.hpp"
 #include "util/error.hpp"
 #include "util/huffman.hpp"
 
@@ -133,10 +136,15 @@ std::vector<std::uint8_t> pack_payload(std::span<const std::uint16_t> codes,
   return out;
 }
 
-}  // namespace
+/// Byte offset of the payload within a serialized blob with `distinct`
+/// table entries: u32 distinct + u64 count + (u16, u8) pairs + u64 bits.
+std::uint64_t payload_offset_for(std::uint32_t distinct) {
+  return 4 + 8 + 3ull * distinct + 8;
+}
 
-std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
-                                         int threads) {
+std::vector<std::uint8_t> huffman_encode_impl(
+    std::span<const std::uint16_t> codes, int threads,
+    std::uint32_t chunk_symbols, CodeChunkIndex* idx) {
   ByteWriter w;
   if (codes.empty()) {
     // Bit-identical to the general path on an empty stream (no table
@@ -175,6 +183,33 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
       w.u8(lengths[s]);
     }
   }
+  if (idx != nullptr) {
+    // One streaming pass records the chunk-aligned encode flush points:
+    // cumulative payload bits, unpredictable (symbol 0) count and running
+    // CRC-32 at every chunk_symbols boundary of the output element stream.
+    idx->chunk_symbols = chunk_symbols;
+    idx->payload_byte_offset = payload_offset_for(distinct);
+    idx->entries.clear();
+    Crc32 crc;
+    std::uint64_t bits = 0;
+    std::uint64_t unpred = 0;
+    for (std::size_t at = 0; at < codes.size(); at += chunk_symbols) {
+      const std::size_t n =
+          std::min<std::size_t>(chunk_symbols, codes.size() - at);
+      const auto chunk = codes.subspan(at, n);
+      for (const std::uint16_t c : chunk) {
+        bits += lengths[c];
+        unpred += c == 0 ? 1 : 0;
+      }
+      crc.update(bytes_of(chunk));
+      ChunkEntry e;
+      e.end_bit = bits;
+      e.end_element = at + n;
+      e.end_unpred = unpred;
+      e.running_crc = crc.value();
+      idx->entries.push_back(e);
+    }
+  }
   telemetry::Span span_pack(telemetry::spans::kHuffmanPack);
   std::uint64_t payload_bits = 0;
   const auto payload = pack_payload(codes, canon, lengths, nt, &payload_bits);
@@ -183,73 +218,198 @@ std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
   return w.take();
 }
 
+}  // namespace
+
+std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
+                                         int threads) {
+  return huffman_encode_impl(codes, threads, 0, nullptr);
+}
+
+std::vector<std::uint8_t> huffman_encode_indexed(
+    std::span<const std::uint16_t> codes, int threads,
+    std::uint32_t chunk_symbols, CodeChunkIndex& idx) {
+  WAVESZ_ASSERT(chunk_symbols > 0, "chunk size must be positive");
+  return huffman_encode_impl(codes, threads, chunk_symbols, &idx);
+}
+
 namespace {
 
-std::vector<std::uint16_t> huffman_decode_impl(
-    std::span<const std::uint8_t> blob, bool reference) {
-  telemetry::Span span(telemetry::spans::kHuffmanDecode);
+/// Parsed blob framing: code lengths, symbol count and the payload view.
+struct ParsedBlob {
+  std::vector<std::uint8_t> lengths;
+  std::uint64_t count = 0;
+  std::uint64_t payload_bits = 0;
+  std::span<const std::uint8_t> payload;
+  std::uint32_t distinct = 0;
+};
+
+/// Parse everything ahead of the payload and take the payload view. With
+/// `allow_truncated_payload` (prefix decode over a partially inflated plain
+/// stream) the payload may be shorter than `payload_bits`; callers must then
+/// bound their reads by the index's recorded bit offsets.
+ParsedBlob parse_blob(std::span<const std::uint8_t> blob,
+                      bool allow_truncated_payload) {
   ByteReader r(blob);
-  const std::uint32_t distinct = r.u32();
-  const std::uint64_t count = r.u64();
-  std::vector<std::uint8_t> lengths(kAlphabet, 0);
-  for (std::uint32_t i = 0; i < distinct; ++i) {
+  ParsedBlob p;
+  p.distinct = r.u32();
+  p.count = r.u64();
+  p.lengths.assign(kAlphabet, 0);
+  for (std::uint32_t i = 0; i < p.distinct; ++i) {
     const std::uint16_t sym = r.u16();
     const std::uint8_t len = r.u8();
     WAVESZ_REQUIRE(len >= 1 && len <= kMaxCodeLength,
                    "Huffman table entry with invalid length");
-    WAVESZ_REQUIRE(lengths[sym] == 0, "duplicate Huffman table entry");
-    lengths[sym] = len;
+    WAVESZ_REQUIRE(p.lengths[sym] == 0, "duplicate Huffman table entry");
+    p.lengths[sym] = len;
   }
-  WAVESZ_REQUIRE(kraft_complete(lengths),
+  WAVESZ_REQUIRE(kraft_complete(p.lengths),
                  "Huffman table is not a complete prefix code");
-  const std::uint64_t payload_bits = r.u64();
-  // Checked before the byte-count division: a claimed bit count near 2^64
-  // would wrap (payload_bits + 7) / 8 into a tiny read.
-  WAVESZ_REQUIRE(payload_bits / 8 <= r.remaining(),
-                 "Huffman payload exceeds the container");
-  const auto payload = r.bytes((payload_bits + 7) / 8);
+  p.payload_bits = r.u64();
+  if (allow_truncated_payload) {
+    p.payload = r.bytes(std::min<std::uint64_t>((p.payload_bits + 7) / 8,
+                                                r.remaining()));
+  } else {
+    // Checked before the byte-count division: a claimed bit count near 2^64
+    // would wrap (payload_bits + 7) / 8 into a tiny read.
+    WAVESZ_REQUIRE(p.payload_bits / 8 <= r.remaining(),
+                   "Huffman payload exceeds the container");
+    p.payload = r.bytes((p.payload_bits + 7) / 8);
+  }
   // Every symbol costs at least one bit; anything else is a forged header
   // trying to force a huge allocation.
-  WAVESZ_REQUIRE(count <= payload_bits || count == 0,
+  WAVESZ_REQUIRE(p.count <= p.payload_bits || p.count == 0,
                  "symbol count exceeds payload capacity");
+  return p;
+}
+
+std::uint16_t degenerate_symbol(const std::vector<std::uint8_t>& lengths) {
+  std::uint16_t only = 0;
+  for (std::size_t s = 0; s < kAlphabet; ++s) {
+    if (lengths[s] > 0) only = static_cast<std::uint16_t>(s);
+  }
+  return only;
+}
+
+std::vector<std::uint16_t> huffman_decode_impl(
+    std::span<const std::uint8_t> blob, bool reference) {
+  telemetry::Span span(telemetry::spans::kHuffmanDecode);
+  const ParsedBlob p = parse_blob(blob, /*allow_truncated_payload=*/false);
 
   std::vector<std::uint16_t> out;
-  out.reserve(count);
-  if (count == 0) return out;
-  if (distinct == 1) {
+  out.reserve(p.count);
+  if (p.count == 0) return out;
+  if (p.distinct == 1) {
     // Degenerate single-symbol stream: each symbol is one bit.
-    std::uint16_t only = 0;
-    for (std::size_t s = 0; s < kAlphabet; ++s) {
-      if (lengths[s] > 0) only = static_cast<std::uint16_t>(s);
-    }
-    WAVESZ_REQUIRE(payload_bits == count, "payload size mismatch");
-    out.assign(count, only);
+    WAVESZ_REQUIRE(p.payload_bits == p.count, "payload size mismatch");
+    out.assign(p.count, degenerate_symbol(p.lengths));
     return out;
   }
-  const CanonicalDecoder dec(lengths);
-  BitReaderMSB br(payload);
-  // The decode stays serial even though the encoder packs in parallel
-  // chunks: the container carries no chunk index, and recovering the chunk
-  // boundaries takes a serial table walk that costs as much as the decode
-  // itself, so a two-pass parallel scheme is strictly slower than one pass
-  // through the flat table. If a forged header defeats the table build
-  // (over-subscribed or absurdly deep), the oracle decodes it instead.
+  const CanonicalDecoder dec(p.lengths);
+  BitReaderMSB br(p.payload);
+  // This entry point stays serial even though the encoder packs in parallel
+  // chunks: without an index, recovering the chunk boundaries takes a
+  // serial table walk that costs as much as the decode itself. Containers
+  // carrying the v2 offset table go through huffman_decode_indexed(), whose
+  // workers seek straight to their recorded start bits. If a forged header
+  // defeats the table build (over-subscribed or absurdly deep), the oracle
+  // decodes it instead.
   if (reference || !dec.has_fast_table()) {
-    for (std::uint64_t i = 0; i < count; ++i) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
       out.push_back(static_cast<std::uint16_t>(
           dec.decode([&] { return br.bit(); })));
     }
   } else {
-    out.resize(count);
+    out.resize(p.count);
     const auto peek = [&](int n) { return br.peek(n); };
     const auto consume = [&](int n) { br.consume(n); };
-    for (std::uint64_t i = 0; i < count; ++i) {
+    for (std::uint64_t i = 0; i < p.count; ++i) {
       out[i] = static_cast<std::uint16_t>(dec.decode_fast(peek, consume));
     }
   }
-  WAVESZ_REQUIRE(br.position() == payload_bits,
+  WAVESZ_REQUIRE(br.position() == p.payload_bits,
                  "Huffman payload has trailing data");
   return out;
+}
+
+/// Decode the first `chunk_count` index chunks of a parsed blob into `out`
+/// (pre-sized by the caller), chunk-parallel when `threads > 1`. Each chunk
+/// seeks to its recorded start bit, decodes to its recorded element range,
+/// and is verified against both the recorded end bit and the running
+/// CRC-32 resumed from the previous entry's digest.
+void decode_index_chunks(const ParsedBlob& p, const CodeChunkIndex& idx,
+                         std::size_t chunk_count, bool reference, int threads,
+                         std::vector<std::uint16_t>& out) {
+  WAVESZ_ASSERT(chunk_count <= idx.entries.size(), "chunk range overflow");
+  const auto& entries = idx.entries;
+  if (p.distinct == 1) {
+    // Degenerate single-symbol stream: one bit per symbol. The index adds
+    // the constraint that every chunk boundary lands exactly on its element
+    // offset; the payload bits themselves carry no information to check.
+    const std::uint16_t only = degenerate_symbol(p.lengths);
+    for (std::size_t k = 0; k < chunk_count; ++k) {
+      WAVESZ_REQUIRE(entries[k].end_bit == entries[k].end_element,
+                     "chunk bit offset mismatch");
+    }
+    std::fill(out.begin(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                entries[chunk_count - 1].end_element),
+              only);
+    verify_code_index_crcs(out, idx, entries[chunk_count - 1].end_element);
+    return;
+  }
+
+  const CanonicalDecoder dec(p.lengths);
+  const bool fast = !reference && dec.has_fast_table();
+  const auto decode_chunk = [&](std::size_t k) {
+    const std::uint64_t start_bit = k == 0 ? 0 : entries[k - 1].end_bit;
+    const std::uint64_t start_elem = k == 0 ? 0 : entries[k - 1].end_element;
+    const std::uint64_t n = entries[k].end_element - start_elem;
+    BitReaderMSB br(p.payload, start_bit);
+    std::uint16_t* dst = out.data() + start_elem;
+    if (fast) {
+      const auto peek = [&](int b) { return br.peek(b); };
+      const auto consume = [&](int b) { br.consume(b); };
+      for (std::uint64_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<std::uint16_t>(dec.decode_fast(peek, consume));
+      }
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i) {
+        dst[i] = static_cast<std::uint16_t>(
+            dec.decode([&] { return br.bit(); }));
+      }
+    }
+    WAVESZ_REQUIRE(br.position() == entries[k].end_bit,
+                   "chunk bit offset mismatch");
+    Crc32 crc = k == 0 ? Crc32{} : Crc32::resume(entries[k - 1].running_crc);
+    crc.update(bytes_of(std::span<const std::uint16_t>(dst, n)));
+    WAVESZ_REQUIRE(crc.value() == entries[k].running_crc,
+                   "chunk CRC mismatch");
+  };
+
+  const int nt = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_thread_budget(threads)), chunk_count));
+  if (nt <= 1) {
+    for (std::size_t k = 0; k < chunk_count; ++k) decode_chunk(k);
+    return;
+  }
+#ifdef _OPENMP
+  // Exceptions must not escape the parallel region: the first failure wins,
+  // later chunks bail out early, and the winner rethrows after the barrier.
+  std::atomic<bool> failed{false};
+  std::exception_ptr err;
+#pragma omp parallel for num_threads(nt) schedule(dynamic)
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(chunk_count); ++k) {
+    if (failed.load(std::memory_order_relaxed)) continue;
+    try {
+      decode_chunk(static_cast<std::size_t>(k));
+    } catch (...) {
+      if (!failed.exchange(true)) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+#else
+  for (std::size_t k = 0; k < chunk_count; ++k) decode_chunk(k);
+#endif
 }
 
 }  // namespace
@@ -261,6 +421,55 @@ std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob) {
 std::vector<std::uint16_t> huffman_decode_reference(
     std::span<const std::uint8_t> blob) {
   return huffman_decode_impl(blob, /*reference=*/true);
+}
+
+std::vector<std::uint16_t> huffman_decode_indexed(
+    std::span<const std::uint8_t> blob, const CodeChunkIndex& idx,
+    int threads) {
+  if (!idx.present()) return huffman_decode(blob);
+  telemetry::Span span(telemetry::spans::kHuffmanDecodeIndexed);
+  const ParsedBlob p = parse_blob(blob, /*allow_truncated_payload=*/false);
+  // The structurally validated index must still agree with the stream it
+  // claims to describe; any mismatch means one of the two was forged.
+  WAVESZ_REQUIRE(idx.entries.back().end_element == p.count &&
+                     idx.entries.back().end_bit == p.payload_bits,
+                 "chunk index disagrees with Huffman stream");
+  WAVESZ_REQUIRE(idx.payload_byte_offset == payload_offset_for(p.distinct),
+                 "chunk index payload offset mismatch");
+  std::vector<std::uint16_t> out(p.count);
+  decode_index_chunks(p, idx, idx.entries.size(), reference_decode_enabled(),
+                      threads, out);
+  if (telemetry::enabled()) {
+    telemetry::counter_add(telemetry::Counter::IndexChunksDecoded,
+                           idx.entries.size());
+  }
+  return out;
+}
+
+std::vector<std::uint16_t> huffman_decode_prefix(
+    std::span<const std::uint8_t> blob, const CodeChunkIndex& idx,
+    std::uint64_t symbols, int threads) {
+  WAVESZ_REQUIRE(idx.present(), "prefix decode requires a chunk index");
+  telemetry::Span span(telemetry::spans::kHuffmanDecodeIndexed);
+  const ParsedBlob p = parse_blob(blob, /*allow_truncated_payload=*/true);
+  WAVESZ_REQUIRE(idx.payload_byte_offset == payload_offset_for(p.distinct),
+                 "chunk index payload offset mismatch");
+  WAVESZ_REQUIRE(symbols <= p.count && idx.entries.back().end_element ==
+                                           p.count,
+                 "prefix extends past the code stream");
+  if (symbols == 0) return {};
+  const std::size_t chunks = chunks_covering(idx, symbols);
+  const std::uint64_t end_bit = idx.entries[chunks - 1].end_bit;
+  WAVESZ_REQUIRE((end_bit + 7) / 8 <= p.payload.size(),
+                 "inflated payload prefix too short for requested chunks");
+  std::vector<std::uint16_t> out(idx.entries[chunks - 1].end_element);
+  decode_index_chunks(p, idx, chunks, reference_decode_enabled(), threads,
+                      out);
+  if (telemetry::enabled()) {
+    telemetry::counter_add(telemetry::Counter::IndexChunksDecoded, chunks);
+  }
+  out.resize(symbols);
+  return out;
 }
 
 double huffman_mean_bits(std::span<const std::uint16_t> codes) {

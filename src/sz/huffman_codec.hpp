@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "sz/container.hpp"
+
 namespace wavesz::sz {
 
 /// Self-contained encoding: [u32 distinct][u64 count][(u16 sym, u8 len)...]
@@ -22,14 +24,42 @@ namespace wavesz::sz {
 std::vector<std::uint8_t> huffman_encode(std::span<const std::uint16_t> codes,
                                          int threads = 1);
 
+/// huffman_encode() that additionally records the container-v2 offset table:
+/// after every `chunk_symbols` output elements, `idx` gets the cumulative
+/// payload bit offset, element offset, unpredictable (symbol 0) count and
+/// running CRC-32 of the code stream's little-endian bytes. The returned
+/// blob is byte-identical to huffman_encode() on the same input.
+std::vector<std::uint8_t> huffman_encode_indexed(
+    std::span<const std::uint16_t> codes, int threads,
+    std::uint32_t chunk_symbols, CodeChunkIndex& idx);
+
 /// Inverse of huffman_encode(); throws wavesz::Error on malformed input.
 /// Decodes through a flat two-level lookup table (multiple bits per probe)
 /// unless WAVESZ_REFERENCE_DECODE / set_reference_decode() selects the
-/// bit-at-a-time oracle; outputs are identical. The decode is serial by
-/// design: the container has no chunk index, and recovering the encoder's
-/// chunk boundaries costs a full serial table walk, which makes any
-/// two-pass parallel scheme slower than one pass through the table.
+/// bit-at-a-time oracle; outputs are identical. This entry point is serial:
+/// without a chunk index, recovering the encoder's chunk boundaries costs a
+/// full serial table walk, which makes any two-pass parallel scheme slower
+/// than one pass through the table. Containers that do carry the v2 index
+/// decode through huffman_decode_indexed() instead.
 std::vector<std::uint16_t> huffman_decode(std::span<const std::uint8_t> blob);
+
+/// Index-driven decode: every chunk is checked against its recorded end bit
+/// offset and running CRC-32; with `threads > 1` (Config::decode_threads
+/// semantics) chunks decode on an OpenMP worker pool, each seeking the
+/// table-driven fast path to its recorded start bit. The output is
+/// bit-identical to huffman_decode() — any divergence trips the per-chunk
+/// checks and throws wavesz::Error.
+std::vector<std::uint16_t> huffman_decode_indexed(
+    std::span<const std::uint8_t> blob, const CodeChunkIndex& idx,
+    int threads);
+
+/// Decode only the first `symbols` codes by running the leading index
+/// chunks. `blob` may be a truncated plain code stream (the product of a
+/// prefix inflate) as long as it covers those chunks' payload bits; the
+/// chunks decoded in full are CRC-verified before the result is trimmed.
+std::vector<std::uint16_t> huffman_decode_prefix(
+    std::span<const std::uint8_t> blob, const CodeChunkIndex& idx,
+    std::uint64_t symbols, int threads);
 
 /// huffman_decode() pinned to the bit-at-a-time reference decoder; the
 /// oracle side of the differential tests.

@@ -30,6 +30,14 @@ inline constexpr const char* kReconstructRaster = "reconstruct.raster";
 inline constexpr const char* kHuffmanTable = "huffman.table";
 inline constexpr const char* kHuffmanPack = "huffman.pack";
 inline constexpr const char* kHuffmanDecode = "huffman.decode";
+inline constexpr const char* kHuffmanDecodeIndexed = "huffman.decode_indexed";
+
+// Container v2 chunk-index decode paths (src/sz/compressor.cpp,
+// src/core/wavesz.cpp, src/core/stream.cpp).
+inline constexpr const char* kDecodeParallel = "decode.parallel";
+inline constexpr const char* kDecodeRegion = "decode.region";
+inline constexpr const char* kInflatePrefix = "inflate.prefix";
+inline constexpr const char* kStreamDecodeParallel = "stream.decode_parallel";
 
 // OpenMP slab engine (src/sz/omp.cpp).
 inline constexpr const char* kSzCompressOmp = "sz::compress_omp";

@@ -71,7 +71,7 @@ constexpr const char* kCounterNames[] = {
     "unpred_bytes_out",  "quant_predictable",     "quant_unpredictable",
     "huffman_table_ns",  "deflate_chunks",        "pqd_diagonal_batches",
     "omp_slabs",         "stream_chunks",        "inflate_blocks",
-    "crc_bytes",
+    "crc_bytes",         "index_chunks_decoded", "region_bytes_read",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
                   static_cast<std::size_t>(Counter::kCount),

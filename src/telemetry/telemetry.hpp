@@ -49,6 +49,8 @@ enum class Counter : std::uint32_t {
   StreamChunks,        ///< chunks emitted/decoded by the streaming API
   InflateBlocks,       ///< DEFLATE blocks inflated (fast or reference path)
   CrcBytes,            ///< bytes checksummed while verifying gzip members
+  IndexChunksDecoded,  ///< v2 chunk-index chunks decoded (parallel or serial)
+  RegionBytesRead,     ///< compressed bytes consumed by decode_region()
   kCount
 };
 

@@ -239,6 +239,18 @@ class BitReaderMSB {
  public:
   explicit BitReaderMSB(std::span<const std::uint8_t> s) : s_(s) {}
 
+  /// Seek-to-bit-offset construction: start reading at absolute `start_bit`
+  /// of `s`. position() keeps reporting absolute stream bits, so a chunked
+  /// decoder can seek to a recorded offset and still run the same trailing
+  /// `payload_bits` checks as a from-the-top decode.
+  BitReaderMSB(std::span<const std::uint8_t> s, std::size_t start_bit) {
+    WAVESZ_REQUIRE(start_bit <= s.size() * 8, "bit seek past end of stream");
+    s_ = s.subspan(start_bit / 8);
+    base_bits_ = (start_bit / 8) * 8;
+    const int phase = static_cast<int>(start_bit % 8);
+    if (phase > 0) consume(phase);
+  }
+
   /// Next `n` bits (first stream bit as the MSB of the result) without
   /// consuming them, zero-padded when fewer than `n` bits remain. n <= 32.
   std::uint32_t peek(int n) {
@@ -266,9 +278,10 @@ class BitReaderMSB {
 
   std::uint32_t bit() { return bits(1); }
 
-  /// Exact number of bits consumed so far.
+  /// Exact number of bits consumed so far, absolute within the stream the
+  /// reader was constructed over (seek offsets included).
   std::size_t position() const {
-    return pos_ * 8 - static_cast<std::size_t>(fill_);
+    return base_bits_ + pos_ * 8 - static_cast<std::size_t>(fill_);
   }
 
  private:
@@ -291,6 +304,7 @@ class BitReaderMSB {
 
   std::span<const std::uint8_t> s_;
   std::size_t pos_ = 0;
+  std::size_t base_bits_ = 0;
   std::uint64_t acc_ = 0;
   int fill_ = 0;
 };

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "util/error.hpp"
@@ -67,6 +68,17 @@ inline void copy_bytes(void* dst, const void* src, std::size_t n) {
 /// caller guarantees src/dst are at least 8 bytes apart).
 inline void copy8(std::uint8_t* dst, const std::uint8_t* src) {
   std::memcpy(dst, src, 8);
+}
+
+/// View a span of trivially copyable elements as its raw byte image (the
+/// host's little-endian layout, asserted by ByteWriter::raw). Checksums over
+/// typed arrays route through here so the reinterpretation stays inside the
+/// reviewed raw-memory surface.
+template <typename T>
+inline std::span<const std::uint8_t> bytes_of(std::span<const T> s) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return {reinterpret_cast<const std::uint8_t*>(s.data()),
+          s.size() * sizeof(T)};
 }
 
 class ByteWriter {

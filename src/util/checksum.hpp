@@ -25,6 +25,17 @@ class Crc32 {
     return c.value();
   }
 
+  /// Continue a streaming CRC from a previously finalized value(): feeding
+  /// the remainder of a message to the resumed instance yields the same
+  /// digest as one shot over the whole message. This is what lets chunked
+  /// container decoders verify a running CRC per chunk without rehashing
+  /// the prefix each time.
+  static Crc32 resume(std::uint32_t finalized) {
+    Crc32 c;
+    c.state_ = finalized ^ 0xffffffffu;
+    return c;
+  }
+
  private:
   std::uint32_t state_ = 0xffffffffu;
 };

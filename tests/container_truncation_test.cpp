@@ -63,9 +63,18 @@ void expect_error_at(const std::vector<std::uint8_t>& bytes, std::size_t cut,
       << " bytes was not rejected";
 }
 
+/// v2 ('WSZI') streams carry a chunk-index block between the header and the
+/// sections: u32 chunk_symbols | u64 chunk_count | u64 payload_byte_offset,
+/// then 28 bytes per entry (end_bit u64, end_element u64, end_unpred u64,
+/// running_crc u32). Mirrors sz::write_code_index.
+constexpr std::uint32_t kMagicV2 = 0x495a5357u;
+constexpr std::size_t kIndexFixedBytes = 4 + 8 + 8;
+constexpr std::size_t kIndexEntryBytes = 28;
+
 /// Cut points common to both container variants: every header field
-/// boundary, one byte into every header field, and the edges of the two
-/// u64-length-prefixed sections that follow the header.
+/// boundary, one byte into every header field, every chunk-index field
+/// boundary (v2 streams), and the edges of the two u64-length-prefixed
+/// sections that follow.
 std::vector<std::pair<std::size_t, std::string>> cut_points(
     const std::vector<std::uint8_t>& bytes) {
   std::vector<std::pair<std::size_t, std::string>> cuts;
@@ -78,8 +87,27 @@ std::vector<std::pair<std::size_t, std::string>> cut_points(
     cuts.emplace_back(fb.end, std::string("after ") + fb.field);
     prev = fb.end;
   }
-  // Section 1: length prefix then payload.
   std::size_t at = kHeaderEnd;
+  if (load_le32(bytes.data()) == kMagicV2) {
+    cuts.emplace_back(at + 2, "mid-index-chunk-symbols");
+    cuts.emplace_back(at + 4, "after index-chunk-symbols");
+    cuts.emplace_back(at + 8, "mid-index-entry-count");
+    cuts.emplace_back(at + 12, "after index-entry-count");
+    cuts.emplace_back(at + 16, "mid-index-payload-offset");
+    cuts.emplace_back(at + 20, "after index-payload-offset");
+    const std::uint64_t entries = load_le64(bytes.data() + at + 4);
+    at += kIndexFixedBytes;
+    for (std::uint64_t e = 0; e < entries; ++e) {
+      const std::string tag = "index-entry" + std::to_string(e);
+      cuts.emplace_back(at + 4, "mid-" + tag + "-end-bit");
+      cuts.emplace_back(at + 8, "after " + tag + "-end-bit");
+      cuts.emplace_back(at + 16, "after " + tag + "-end-element");
+      cuts.emplace_back(at + 24, "after " + tag + "-end-unpred");
+      cuts.emplace_back(at + 26, "mid-" + tag + "-crc");
+      cuts.emplace_back(at + 28, "after " + tag);
+      at += kIndexEntryBytes;
+    }
+  }
   for (int section = 1; section <= 2; ++section) {
     const std::string tag = "section" + std::to_string(section);
     cuts.emplace_back(at + 4, "mid-" + tag + "-length");

@@ -467,6 +467,100 @@ TEST(ParallelDeflate, TokenizeWithDictionaryFindsCrossBoundaryMatches) {
   EXPECT_LT(tokens.size(), undicted.size() / 2);
 }
 
+TEST(PrefixInflate, StopsEarlyOnSyncFlushedStreams) {
+  // force_chunking puts a byte-aligned block boundary every chunk_bytes of
+  // input even on one thread; a bounded inflate should stop within one
+  // chunk of the requested output instead of reading the whole member.
+  const auto input = patterned(200000, 3);
+  ParallelOptions opts{4096, 1, true};
+  opts.force_chunking = true;
+  const auto gz = gzip_compress_parallel(input, Level::Fast, opts);
+
+  const auto run = gzip_decompress_prefix(gz, 10000);
+  EXPECT_FALSE(run.complete);
+  ASSERT_GE(run.bytes.size(), 10000u);
+  EXPECT_LE(run.bytes.size(), 10000u + opts.chunk_bytes);
+  EXPECT_LT(run.compressed_consumed, gz.size());
+  EXPECT_TRUE(std::equal(run.bytes.begin(), run.bytes.end(), input.begin()));
+}
+
+TEST(PrefixInflate, FullRunMatchesDecompress) {
+  const auto input = patterned(60000, 4);
+  const auto gz = gzip_compress(input, Level::Best);
+  const auto run = gzip_decompress_prefix(gz, input.size());
+  EXPECT_TRUE(run.complete);
+  EXPECT_EQ(run.bytes, input);
+  EXPECT_EQ(run.compressed_consumed, gz.size());
+}
+
+TEST(PrefixInflate, SingleBlockStreamCannotStopEarly) {
+  // The serial encoder emits one block per 64 Ki tokens, so a small member
+  // is a single block and the block-granular stop condition only fires at
+  // the end — the result must still be correct, just not partial.
+  const auto input = patterned(30000, 5);
+  const auto gz = gzip_compress(input, Level::Fast);
+  const auto run = gzip_decompress_prefix(gz, 100);
+  EXPECT_TRUE(run.complete);
+  EXPECT_EQ(run.bytes, input);
+}
+
+TEST(PrefixInflate, IncompleteRunSkipsTrailerCheck) {
+  // The gzip trailer covers the whole member; a run that stops early never
+  // decodes the tail, so a corrupt trailer must only fail complete runs.
+  const auto input = patterned(200000, 6);
+  ParallelOptions opts{4096, 1, true};
+  opts.force_chunking = true;
+  auto gz = gzip_compress_parallel(input, Level::Fast, opts);
+  gz[gz.size() - 5] ^= 0x40;  // flip a CRC-32 trailer bit
+
+  const auto run = gzip_decompress_prefix(gz, 10000);
+  EXPECT_FALSE(run.complete);
+  EXPECT_TRUE(std::equal(run.bytes.begin(), run.bytes.end(), input.begin()));
+  EXPECT_THROW(gzip_decompress_prefix(gz, input.size()), Error);
+  EXPECT_THROW(gzip_decompress(gz), Error);
+}
+
+TEST(PrefixInflate, RawDeflatePrefix) {
+  const auto input = patterned(100000, 7);
+  ParallelOptions opts{8192, 1, true};
+  opts.force_chunking = true;
+  const auto body = compress_parallel(input, Level::Fast, opts);
+  const auto run = decompress_prefix(body, 20000);
+  EXPECT_FALSE(run.complete);
+  ASSERT_GE(run.bytes.size(), 20000u);
+  EXPECT_TRUE(std::equal(run.bytes.begin(), run.bytes.end(), input.begin()));
+  const auto full = decompress_prefix(body, input.size());
+  EXPECT_TRUE(full.complete);
+  EXPECT_EQ(full.bytes, input);
+}
+
+TEST(ParallelDeflate, BatchDecompressMatchesSerial) {
+  const auto a = patterned(120000, 9);
+  const auto b = patterned(500, 10);
+  const std::vector<std::uint8_t> c;
+  const auto ga = gzip_compress(a, Level::Fast);
+  const auto gb = gzip_compress(b, Level::Best);
+  const auto gc = gzip_compress(c, Level::Fast);
+  const std::span<const std::uint8_t> members[] = {ga, gb, gc};
+  for (int threads : {1, 4}) {
+    const auto out = gzip_decompress_batch(members, threads);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0], a);
+    EXPECT_EQ(out[1], b);
+    EXPECT_TRUE(out[2].empty());
+  }
+}
+
+TEST(ParallelDeflate, BatchDecompressPropagatesMemberError) {
+  const auto a = patterned(50000, 11);
+  auto bad = gzip_compress(a, Level::Fast);
+  bad[bad.size() - 2] ^= 0x01;  // corrupt ISIZE
+  const auto good = gzip_compress(a, Level::Fast);
+  const std::span<const std::uint8_t> members[] = {good, bad, good, good};
+  EXPECT_THROW(gzip_decompress_batch(members, 4), Error);
+  EXPECT_THROW(gzip_decompress_batch(members, 1), Error);
+}
+
 TEST(Gzip, FastVersusBestTradeoff) {
   // On structured data, Best must never be (meaningfully) worse than Fast.
   std::vector<std::uint8_t> input(200000);

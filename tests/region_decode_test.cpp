@@ -1,0 +1,284 @@
+// decompress_region() tests: every region decode must equal the same
+// hyperslab sliced out of a full decompress(), for SZ-1.4 and waveSZ
+// (Flatten2D and True3D), float32 and float64, across border-clipped
+// slabs, single-chunk and all-chunk coverage, 3D slabs spanning
+// non-contiguous chunks, and 1-element regions. Prefix decodes of a proper
+// leading slab must also read strictly fewer compressed bytes than a full
+// decode.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "data/synthetic.hpp"
+#include "sz/compressor.hpp"
+#include "util/error.hpp"
+
+namespace wavesz {
+namespace {
+
+std::vector<float> field(const Dims& dims, std::uint64_t seed = 23) {
+  data::FieldRecipe r;
+  r.seed = seed;
+  return data::generate(r, dims);
+}
+
+template <typename T>
+std::vector<T> slice(const std::vector<T>& full, const Dims& dims,
+                     const sz::Region& rg) {
+  std::array<std::size_t, 3> lo = rg.lo;
+  std::array<std::size_t, 3> hi = rg.hi;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::size_t ext =
+        i < static_cast<std::size_t>(dims.rank) ? dims.extent[i] : 1;
+    if (lo[i] == 0 && hi[i] == 0) hi[i] = ext;
+  }
+  const std::size_t s0 = dims.extent[1] * dims.extent[2];
+  const std::size_t s1 = dims.extent[2];
+  std::vector<T> out;
+  for (std::size_t x = lo[0]; x < hi[0]; ++x) {
+    for (std::size_t y = lo[1]; y < hi[1]; ++y) {
+      for (std::size_t z = lo[2]; z < hi[2]; ++z) {
+        out.push_back(full[x * s0 + y * s1 + z]);
+      }
+    }
+  }
+  return out;
+}
+
+/// The regions every 2D suite sweeps on a (d0, d1) field.
+std::vector<sz::Region> regions_2d(std::size_t d0, std::size_t d1) {
+  return {
+      {{0, 0, 0}, {d0 / 2, d1 / 2, 0}},          // top-left quarter
+      {{d0 / 2, d1 / 2, 0}, {d0, d1, 0}},        // bottom-right quarter
+      {{0, d1 - 1, 0}, {d0, d1, 0}},             // last column strip
+      {{d0 - 1, 0, 0}, {d0, d1, 0}},             // last row strip
+      {{0, 0, 0}, {1, 1, 0}},                    // 1-element at origin
+      {{d0 - 1, d1 - 1, 0}, {d0, d1, 0}},        // 1-element at far corner
+      {{3, 5, 0}, {4, 6, 0}},                    // 1-element interior
+      {{0, 0, 0}, {d0, d1, 0}},                  // whole field
+      {{1, 1, 0}, {d0 - 1, d1 - 1, 0}},          // border-clipped interior
+      {{0, 0, 0}, {2, d1, 0}},                   // leading slab (single rows)
+  };
+}
+
+TEST(RegionDecode, Sz14MatchesFullDecodeSlices) {
+  const Dims dims = Dims::d2(64, 96);
+  const auto grid = field(dims);
+  for (const bool huffman : {true, false}) {
+    sz::Config cfg;
+    cfg.huffman = huffman;
+    cfg.index_chunk_symbols = 1024;  // 6 chunks
+    const auto c = sz::compress(grid, dims, cfg);
+    const auto full = sz::decompress(c.bytes);
+    for (const auto& rg : regions_2d(64, 96)) {
+      const auto res = sz::decompress_region(c.bytes, rg);
+      EXPECT_EQ(res.data, slice(full, dims, rg)) << "huffman=" << huffman;
+      EXPECT_EQ(res.field_dims, dims);
+      EXPECT_LE(res.compressed_bytes_read, c.bytes.size());
+    }
+  }
+}
+
+TEST(RegionDecode, Sz14SingleChunkAndAllChunkCoverage) {
+  const Dims dims = Dims::d2(40, 40);
+  const auto grid = field(dims);
+  // One chunk holding everything, and per-row chunks (40 of them).
+  for (const std::uint32_t syms : {1u << 15, 40u}) {
+    sz::Config cfg;
+    cfg.index_chunk_symbols = syms;
+    const auto c = sz::compress(grid, dims, cfg);
+    const auto full = sz::decompress(c.bytes);
+    for (const auto& rg : regions_2d(40, 40)) {
+      EXPECT_EQ(sz::decompress_region(c.bytes, rg).data,
+                slice(full, dims, rg))
+          << "chunk_symbols=" << syms;
+    }
+  }
+}
+
+TEST(RegionDecode, Sz14ThreeDimensionalSlabs) {
+  const Dims dims = Dims::d3(16, 24, 20);
+  const auto grid = field(dims);
+  sz::Config cfg;
+  cfg.index_chunk_symbols = 480;  // one plane per chunk: 16 chunks
+  const auto c = sz::compress(grid, dims, cfg);
+  const auto full = sz::decompress(c.bytes);
+  const std::vector<sz::Region> regions = {
+      {{0, 0, 0}, {8, 12, 10}},       // leading octant
+      {{7, 3, 2}, {9, 21, 18}},       // slab spanning non-contiguous chunks
+      {{0, 0, 0}, {1, 1, 1}},         // 1-element
+      {{15, 23, 19}, {16, 24, 20}},   // far-corner element
+      {{2, 0, 0}, {5, 24, 20}},       // whole-plane band
+      {{0, 5, 0}, {16, 6, 20}},       // all planes, one row each
+      {{0, 0, 0}, {16, 24, 20}},      // whole field
+  };
+  for (const auto& rg : regions) {
+    const auto res = sz::decompress_region(c.bytes, rg);
+    EXPECT_EQ(res.data, slice(full, dims, rg));
+    EXPECT_EQ(res.region_dims.count(), res.data.size());
+  }
+}
+
+TEST(RegionDecode, Sz14Float64) {
+  const Dims dims = Dims::d2(48, 48);
+  const auto grid = field(dims);
+  std::vector<double> wide(grid.begin(), grid.end());
+  sz::Config cfg;
+  cfg.index_chunk_symbols = 512;
+  const auto c = sz::compress(wide, dims, cfg);
+  const auto full = sz::decompress64(c.bytes);
+  for (const auto& rg : regions_2d(48, 48)) {
+    EXPECT_EQ(sz::decompress_region64(c.bytes, rg).data,
+              slice(full, dims, rg));
+  }
+}
+
+TEST(RegionDecode, WaveFlatten2DMatchesFullDecodeSlices) {
+  const Dims dims = Dims::d2(64, 96);
+  const auto grid = field(dims);
+  for (const bool huffman : {false, true}) {  // G* and H*G*
+    auto cfg = wave::default_config();
+    cfg.huffman = huffman;
+    cfg.index_chunk_symbols = 1024;
+    const auto c = wave::compress(grid, dims, cfg);
+    const auto full = wave::decompress(c.bytes);
+    for (const auto& rg : regions_2d(64, 96)) {
+      const auto res = wave::decompress_region(c.bytes, rg);
+      EXPECT_EQ(res.data, slice(full, dims, rg)) << "huffman=" << huffman;
+    }
+  }
+}
+
+TEST(RegionDecode, WaveFlatten2DRank3) {
+  const Dims dims = Dims::d3(12, 16, 20);
+  const auto grid = field(dims);
+  auto cfg = wave::default_config();
+  cfg.index_chunk_symbols = 512;
+  const auto c = wave::compress(grid, dims, cfg);  // Flatten2D: 12 x 320
+  const auto full = wave::decompress(c.bytes);
+  const std::vector<sz::Region> regions = {
+      {{0, 0, 0}, {6, 8, 10}},
+      {{3, 2, 1}, {7, 15, 19}},
+      {{0, 0, 0}, {1, 1, 1}},
+      {{11, 15, 19}, {12, 16, 20}},
+      {{0, 0, 0}, {12, 16, 20}},
+  };
+  for (const auto& rg : regions) {
+    EXPECT_EQ(wave::decompress_region(c.bytes, rg).data,
+              slice(full, dims, rg));
+  }
+}
+
+TEST(RegionDecode, WaveTrue3DMatchesFullDecodeSlices) {
+  const Dims dims = Dims::d3(14, 20, 20);
+  const auto grid = field(dims);
+  auto cfg = wave::default_config();
+  cfg.index_chunk_symbols = 400;  // one plane per chunk
+  const auto c =
+      wave::compress(grid, dims, cfg, wave::LayoutMode::True3D);
+  const auto full = wave::decompress(c.bytes);
+  const std::vector<sz::Region> regions = {
+      {{0, 0, 0}, {7, 10, 10}},
+      {{5, 2, 3}, {8, 19, 17}},
+      {{0, 0, 0}, {1, 1, 1}},
+      {{13, 19, 19}, {14, 20, 20}},
+      {{0, 0, 0}, {14, 20, 20}},
+  };
+  for (const auto& rg : regions) {
+    EXPECT_EQ(wave::decompress_region(c.bytes, rg).data,
+              slice(full, dims, rg));
+  }
+}
+
+TEST(RegionDecode, WaveFloat64Region) {
+  const Dims dims = Dims::d2(40, 60);
+  const auto grid = field(dims);
+  std::vector<double> wide(grid.begin(), grid.end());
+  auto cfg = wave::default_config();
+  cfg.index_chunk_symbols = 500;
+  const auto c = wave::compress(wide, dims, cfg);
+  const auto full = wave::decompress64(c.bytes);
+  for (const auto& rg : regions_2d(40, 60)) {
+    EXPECT_EQ(wave::decompress_region64(c.bytes, rg).data,
+              slice(full, dims, rg));
+  }
+}
+
+TEST(RegionDecode, PrefixRegionReadsFewerBytes) {
+  const Dims dims = Dims::d2(256, 256);
+  const auto grid = field(dims);
+  // Top-left quarter: its dependency closure is the first-half slab/column
+  // prefix, so with per-~4-row chunks the decoder must stop roughly halfway
+  // through the code stream.
+  const sz::Region quarter{{0, 0, 0}, {128, 128, 0}};
+  {
+    sz::Config cfg;
+    cfg.index_chunk_symbols = 4096;  // 16 chunks
+    const auto c = sz::compress(grid, dims, cfg);
+    const auto res = sz::decompress_region(c.bytes, quarter);
+    EXPECT_EQ(res.data, slice(sz::decompress(c.bytes), dims, quarter));
+    EXPECT_LT(res.compressed_bytes_read, c.bytes.size());
+  }
+  {
+    auto cfg = wave::default_config();
+    cfg.index_chunk_symbols = 4096;
+    const auto c = wave::compress(grid, dims, cfg);
+    const auto res = wave::decompress_region(c.bytes, quarter);
+    EXPECT_EQ(res.data, slice(wave::decompress(c.bytes), dims, quarter));
+    EXPECT_LT(res.compressed_bytes_read, c.bytes.size());
+  }
+}
+
+TEST(RegionDecode, IndexlessStreamFallsBackToFullDecode) {
+  const Dims dims = Dims::d2(48, 48);
+  const auto grid = field(dims);
+  sz::Config cfg;
+  cfg.chunk_index = false;
+  const auto c = sz::compress(grid, dims, cfg);
+  const auto full = sz::decompress(c.bytes);
+  const sz::Region rg{{0, 0, 0}, {10, 10, 0}};
+  const auto res = sz::decompress_region(c.bytes, rg);
+  EXPECT_EQ(res.data, slice(full, dims, rg));
+  EXPECT_EQ(res.compressed_bytes_read, c.bytes.size());
+}
+
+TEST(RegionDecode, RegionDecodeHonorsThreadBudget) {
+  const Dims dims = Dims::d2(96, 96);
+  const auto grid = field(dims);
+  sz::Config cfg;
+  cfg.index_chunk_symbols = 1024;
+  const auto c = sz::compress(grid, dims, cfg);
+  const sz::Region rg{{0, 0, 0}, {64, 96, 0}};
+  const auto serial = sz::decompress_region(c.bytes, rg);
+  for (const int nt : {2, 4}) {
+    EXPECT_EQ(sz::decompress_region(c.bytes, rg, sz::DecodeOptions{nt, 1})
+                  .data,
+              serial.data);
+  }
+}
+
+TEST(RegionDecode, InvalidRegionsThrow) {
+  const Dims dims = Dims::d2(32, 32);
+  const auto c = sz::compress(field(dims), dims, sz::Config{});
+  // hi beyond the extent
+  EXPECT_THROW(
+      (void)sz::decompress_region(c.bytes, sz::Region{{0, 0, 0}, {33, 4, 0}}),
+      Error);
+  // empty interval (lo >= hi)
+  EXPECT_THROW(
+      (void)sz::decompress_region(c.bytes, sz::Region{{5, 0, 0}, {5, 4, 0}}),
+      Error);
+  EXPECT_THROW(
+      (void)sz::decompress_region(c.bytes, sz::Region{{6, 0, 0}, {5, 4, 0}}),
+      Error);
+  // rank-2 container with a real third-axis constraint
+  EXPECT_THROW(
+      (void)sz::decompress_region(c.bytes, sz::Region{{0, 0, 1}, {4, 4, 2}}),
+      Error);
+}
+
+}  // namespace
+}  // namespace wavesz

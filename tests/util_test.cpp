@@ -234,6 +234,44 @@ TEST(BitIo, PeekConsumeMatchesBitAtATimeBothOrders) {
   }
 }
 
+// Seek construction: a reader started at bit k must see exactly the bits a
+// from-the-top reader sees after consuming k, and position() must stay
+// absolute so chunked decoders can seek to a recorded offset and keep the
+// same end-of-payload accounting.
+TEST(BitIoMsb, SeekConstructorMatchesConsumedReader) {
+  std::mt19937 rng(29);
+  std::vector<std::uint8_t> bytes(64);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+  const std::size_t total = bytes.size() * 8;
+  for (std::size_t start : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                            std::size_t{8}, std::size_t{13}, std::size_t{64},
+                            std::size_t{257}, total - 9}) {
+    BitReaderMSB from_top(bytes);
+    from_top.consume(static_cast<int>(start % 32));
+    for (std::size_t left = start - start % 32; left > 0; left -= 32) {
+      // consume() takes at most 32 bits per call; walk up in two phases.
+      from_top.consume(32);
+    }
+    BitReaderMSB seeked(bytes, start);
+    EXPECT_EQ(seeked.position(), start);
+    while (seeked.position() + 9 <= total) {
+      ASSERT_EQ(seeked.bits(9), from_top.bits(9)) << "start=" << start;
+    }
+    EXPECT_EQ(seeked.position(), from_top.position());
+  }
+}
+
+TEST(BitIoMsb, SeekToEndAndPastEnd) {
+  std::vector<std::uint8_t> bytes(4, 0xAB);
+  BitReaderMSB at_end(bytes, 32);  // legal: zero bits remain
+  EXPECT_EQ(at_end.position(), 32u);
+  EXPECT_THROW(at_end.consume(1), Error);
+  EXPECT_THROW(BitReaderMSB(bytes, 33), Error);
+  const std::vector<std::uint8_t> empty;
+  EXPECT_NO_THROW(BitReaderMSB(empty, 0));
+  EXPECT_THROW(BitReaderMSB(empty, 1), Error);
+}
+
 // ------------------------------------------------------------- byte I/O
 
 TEST(Bytes, RoundTripAllTypes) {
