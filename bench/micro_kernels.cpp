@@ -3,6 +3,7 @@
 // truncation coding, and the telemetry enabled/disabled overhead pair.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
@@ -16,10 +17,31 @@
 #include "sz/quantizer.hpp"
 #include "sz/unpredictable.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/simd.hpp"
 
 namespace {
 
 using namespace wavesz;
+
+// SIMD-level sweep plumbing: benchmarks below take the level as
+// state.range and pin the dispatcher with simd::set_level for the run.
+// Levels the host lacks are skipped, not failed, so the same binary
+// sweeps cleanly everywhere.
+constexpr simd::Level kLevels[] = {simd::Level::Scalar, simd::Level::Sse2,
+                                   simd::Level::Avx2};
+
+bool enter_level(benchmark::State& state, std::int64_t arg) {
+  const simd::Level lvl = kLevels[arg];
+  if (static_cast<int>(lvl) > static_cast<int>(simd::detected())) {
+    state.SkipWithError("level not supported on this host");
+    return false;
+  }
+  simd::set_level(lvl);
+  state.SetLabel(simd::level_name(lvl));
+  return true;
+}
+
+void leave_level() { simd::set_level(simd::detected()); }
 
 std::vector<float> test_field(std::size_t d0, std::size_t d1) {
   data::FieldRecipe r;
@@ -225,6 +247,79 @@ void BM_TruncationEncode(benchmark::State& state) {
                           static_cast<std::int64_t>(values.size()));
 }
 BENCHMARK(BM_TruncationEncode);
+
+// --- SIMD dispatch sweep -------------------------------------------------
+// One benchmark per vectorized kernel family, parameterized on the dispatch
+// level (0=scalar, 1=sse2, 2=avx2). Compare rows of the same benchmark to
+// read the per-ISA speedup; BENCH_pqd.json carries the end-to-end numbers.
+
+void BM_SimdLorenzoPqd2D(benchmark::State& state) {
+  if (!enter_level(state, state.range(0))) return;
+  const std::size_t n = 512;
+  const auto field = test_field(n, n);
+  const sz::LinearQuantizer q(1e-3, 16);
+  for (auto _ : state) {
+    auto pqd = sz::lorenzo_pqd(field, Dims::d2(n, n), q);
+    benchmark::DoNotOptimize(pqd.codes.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 4));
+  leave_level();
+}
+BENCHMARK(BM_SimdLorenzoPqd2D)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdHistogram(benchmark::State& state) {
+  if (!enter_level(state, state.range(0))) return;
+  std::mt19937 rng(17);
+  std::vector<std::uint16_t> codes(1 << 20);
+  for (auto& c : codes) {
+    c = static_cast<std::uint16_t>(32768 + static_cast<int>(rng() % 9) - 4);
+  }
+  std::vector<std::uint64_t> freq(1 << 16);
+  for (auto _ : state) {
+    std::fill(freq.begin(), freq.end(), 0);
+    simd::histogram_u16(codes.data(), codes.size(), freq.data());
+    benchmark::DoNotOptimize(freq.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size() * 2));
+  leave_level();
+}
+BENCHMARK(BM_SimdHistogram)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdMinmax(benchmark::State& state) {
+  if (!enter_level(state, state.range(0))) return;
+  const auto field = test_field(1024, 1024);
+  for (auto _ : state) {
+    double lo = static_cast<double>(field[0]);
+    double hi = lo;
+    simd::minmax(field.data(), field.size(), &lo, &hi);
+    benchmark::DoNotOptimize(lo);
+    benchmark::DoNotOptimize(hi);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(field.size() * 4));
+  leave_level();
+}
+BENCHMARK(BM_SimdMinmax)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdBoundScan(benchmark::State& state) {
+  if (!enter_level(state, state.range(0))) return;
+  const auto orig = test_field(1024, 1024);
+  auto dec = orig;
+  for (std::size_t i = 0; i < dec.size(); ++i) {
+    dec[i] += (i % 2 == 0 ? 1.0f : -1.0f) * 5e-4f;
+  }
+  for (auto _ : state) {
+    const auto idx = simd::bound_scan(orig.data(), dec.data(), orig.size(),
+                                      1e-3);
+    benchmark::DoNotOptimize(idx);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(orig.size() * 8));
+  leave_level();
+}
+BENCHMARK(BM_SimdBoundScan)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

@@ -14,6 +14,7 @@
 
 #include "common.hpp"
 #include "sz/wavefront_pqd.hpp"
+#include "util/simd.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -143,6 +144,107 @@ bool sweep_shape(const Dims& dims, const char* dtype, std::FILE* json,
   return all_ok;
 }
 
+// Levels to sweep: scalar always, wider ISAs only where the CPU has them
+// (set_level clamps, so asking higher would silently re-run the widest).
+std::vector<simd::Level> sweep_levels() {
+  std::vector<simd::Level> out{simd::Level::Scalar};
+  if (simd::detected() >= simd::Level::Sse2) out.push_back(simd::Level::Sse2);
+  if (simd::detected() >= simd::Level::Avx2) out.push_back(simd::Level::Avx2);
+  return out;
+}
+
+// Per-kernel simd dispatch sweep on the serial entry points (the production
+// path: lorenzo_pqd_t / lorenzo_reconstruct_t pick the vectorized tile
+// schedule from simd::active()), plus the standalone histogram kernel the
+// Huffman encoder leans on. Emits the "simd_levels" rows of BENCH_pqd.json.
+template <typename T>
+bool sweep_simd_shape(const Dims& dims, const char* dtype, std::FILE* json,
+                      bool* first_row) {
+  const auto data = make_field<T>(dims);
+  const sz::LinearQuantizer q(1e-3 * 2.6, 16);
+  const double mb = static_cast<double>(dims.count() * sizeof(T)) / 1e6;
+  const std::span<const T> span(data);
+
+  simd::set_level(simd::Level::Scalar);
+  const auto ref = sz::detail::lorenzo_pqd_t<T>(span, dims, q);
+  std::vector<T> unpred = ref.unpredictable;
+  for (auto& v : unpred) {
+    v = sz::detail::FpOps<T>::roundtrip(v, q.precision());
+  }
+  std::vector<std::uint64_t> ref_freq(1u << 16, 0);
+  simd::histogram_u16(ref.codes.data(), ref.codes.size(), ref_freq.data());
+
+  std::printf("%s %s (%.1f MB) — simd dispatch sweep (serial kernels)\n",
+              dims.str().c_str(), dtype, mb);
+
+  bool all_ok = true;
+  double scalar_pqd = 0, scalar_rec = 0, scalar_hist = 0;
+  Stopwatch sw;
+  for (const simd::Level level : sweep_levels()) {
+    simd::set_level(level);
+    typename sz::detail::FpOps<T>::PqdType pqd;
+    double pqd_s = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      sw.reset();
+      pqd = sz::detail::lorenzo_pqd_t<T>(span, dims, q);
+      pqd_s = std::min(pqd_s, sw.seconds());
+    }
+    std::vector<T> rec;
+    double rec_s = 1e30;
+    for (int r = 0; r < kReps; ++r) {
+      sw.reset();
+      rec = sz::detail::lorenzo_reconstruct_t<T>(pqd.codes, unpred, dims, q);
+      rec_s = std::min(rec_s, sw.seconds());
+    }
+    double hist_s = 1e30;
+    std::vector<std::uint64_t> freq(1u << 16);
+    for (int r = 0; r < kReps; ++r) {
+      std::fill(freq.begin(), freq.end(), 0);
+      sw.reset();
+      simd::histogram_u16(pqd.codes.data(), pqd.codes.size(), freq.data());
+      hist_s = std::min(hist_s, sw.seconds());
+    }
+    const bool exact =
+        pqd.codes == ref.codes &&
+        std::memcmp(pqd.reconstructed.data(), ref.reconstructed.data(),
+                    ref.reconstructed.size() * sizeof(T)) == 0 &&
+        std::memcmp(rec.data(), ref.reconstructed.data(),
+                    ref.reconstructed.size() * sizeof(T)) == 0 &&
+        freq == ref_freq;
+    all_ok = all_ok && exact;
+    if (level == simd::Level::Scalar) {
+      scalar_pqd = pqd_s;
+      scalar_rec = rec_s;
+      scalar_hist = hist_s;
+    }
+    std::printf(
+        "  level=%-6s pqd %7.1f MB/s (%.2fx)  reconstruct %7.1f MB/s "
+        "(%.2fx)  histogram %7.1f MB/s (%.2fx)  parity %s\n",
+        simd::level_name(level), mb / pqd_s, scalar_pqd / pqd_s, mb / rec_s,
+        scalar_rec / rec_s,
+        static_cast<double>(pqd.codes.size() * 2) / 1e6 / hist_s,
+        scalar_hist / hist_s, exact ? "ok" : "FAIL");
+    if (json != nullptr) {
+      std::fprintf(
+          json,
+          "%s    {\"shape\": \"%s\", \"dtype\": \"%s\", \"level\": \"%s\", "
+          "\"pqd_mbps\": %.2f, \"pqd_speedup_vs_scalar\": %.3f, "
+          "\"reconstruct_mbps\": %.2f, "
+          "\"reconstruct_speedup_vs_scalar\": %.3f, "
+          "\"histogram_mbps\": %.2f, \"histogram_speedup_vs_scalar\": %.3f, "
+          "\"bit_exact\": %s}",
+          *first_row ? "" : ",\n", dims.str().c_str(), dtype,
+          simd::level_name(level), mb / pqd_s, scalar_pqd / pqd_s, mb / rec_s,
+          scalar_rec / rec_s,
+          static_cast<double>(pqd.codes.size() * 2) / 1e6 / hist_s,
+          scalar_hist / hist_s, exact ? "true" : "false");
+      *first_row = false;
+    }
+  }
+  simd::set_level(simd::detected());
+  return all_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -150,12 +252,24 @@ int main(int argc, char** argv) {
   bench::print_header(
       "Wavefront-parallel PQD — threads x shape x dtype sweep",
       "the paper's anti-diagonal schedule (SS3.2) on the CPU hot path");
-  std::printf("hardware threads available: %d\n\n", hardware_threads());
+  std::printf("hardware threads available: %d\n", hardware_threads());
+  std::printf("simd: detected=%s active=%s\n\n",
+              simd::level_name(simd::detected()),
+              simd::level_name(simd::active()));
+
+  // The thread rows measure raw scheduler scaling, so the small-field work
+  // floor (which would silently serialize the 512x512 rows) is lifted for
+  // the sweep; the production crossover it encodes is characterized in
+  // EXPERIMENTS.md instead.
+  const std::size_t saved_floor = sz::wavefront_min_points_per_thread();
+  sz::set_wavefront_min_points_per_thread(0);
 
   std::FILE* json = std::fopen("BENCH_pqd.json", "w");
   if (json != nullptr) {
-    std::fprintf(json, "{\n  \"hardware_threads\": %d,\n  \"results\": [\n",
-                 hardware_threads());
+    std::fprintf(json,
+                 "{\n  \"hardware_threads\": %d,\n"
+                 "  \"simd_detected\": \"%s\",\n  \"results\": [\n",
+                 hardware_threads(), simd::level_name(simd::detected()));
   }
 
   bool first_row = true;
@@ -167,6 +281,20 @@ int main(int argc, char** argv) {
                                &first_row);
   all_ok &= sweep_shape<double>(Dims::d3(64, 256, 256), "f64", json,
                                 &first_row);
+
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ],\n  \"simd_levels\": [\n");
+  }
+  std::printf("\n");
+  bool first_simd = true;
+  all_ok &= sweep_simd_shape<float>(Dims::d2(512, 512), "f32", json,
+                                    &first_simd);
+  all_ok &= sweep_simd_shape<float>(Dims::d2(2048, 2048), "f32", json,
+                                    &first_simd);
+  all_ok &= sweep_simd_shape<double>(Dims::d2(2048, 2048), "f64", json,
+                                     &first_simd);
+
+  sz::set_wavefront_min_points_per_thread(saved_floor);
 
   if (json != nullptr) {
     std::fprintf(json, "\n  ]\n}\n");

@@ -38,8 +38,9 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  wavesz_cli compress   <in.f32> <out.wsz> <d0> [d1 [d2]]\n"
-               "             [--mode wave|ghost|sz] [--eb 1e-3] [--abs]\n"
+               "             [--mode wave|ghost|sz|szx] [--eb 1e-3] [--abs]\n"
                "             [--base10] [--huffman] [--best] [--no-index]\n"
+               "             [--ultrafast]\n"
                "  wavesz_cli decompress <in.wsz> <out.f32>\n"
                "             [--decode-threads <n>] [--region "
                "lo:hi[,lo:hi[,lo:hi]]]\n"
@@ -49,7 +50,9 @@ int usage() {
                "--no-index emits the v1 container (no per-chunk offset\n"
                "table); --decode-threads n decodes v2 containers with n\n"
                "workers (0 = all cores); --region decodes only the given\n"
-               "hyperslab (half-open per-axis intervals, raster order).\n");
+               "hyperslab (half-open per-axis intervals, raster order);\n"
+               "--ultrafast (same as --mode szx) selects the SZx-style\n"
+               "block codec: highest throughput, no entropy stage.\n");
   return 2;
 }
 
@@ -102,6 +105,8 @@ int do_compress(int argc, char** argv) {
       f64 = true;
     } else if (a == "--no-index") {
       cfg.chunk_index = false;
+    } else if (a == "--ultrafast") {
+      mode = "szx";
     } else {
       return usage();
     }
@@ -152,6 +157,12 @@ int do_compress(int argc, char** argv) {
     cfg.huffman = true;
     c = f64 ? sz::compress(std::span<const double>(field64), dims, cfg)
             : sz::compress(std::span<const float>(field32), dims, cfg);
+  } else if (mode == "szx") {
+    cfg.codec = sz::Codec::Szx;
+    cfg.huffman = false;
+    cfg.chunk_index = false;
+    c = f64 ? sz::compress(std::span<const double>(field64), dims, cfg)
+            : sz::compress(std::span<const float>(field32), dims, cfg);
   } else {
     return usage();
   }
@@ -190,8 +201,9 @@ int do_decompress(int argc, char** argv) {
   const auto header = sz::inspect(bytes);
   if (have_region) {
     WAVESZ_REQUIRE(header.variant == sz::Variant::Sz14 ||
-                       header.variant == sz::Variant::WaveSz,
-                   "--region supports SZ-1.4 and waveSZ containers");
+                       header.variant == sz::Variant::WaveSz ||
+                       header.variant == sz::Variant::SzxFast,
+                   "--region supports SZ-1.4, waveSZ and SZx containers");
     const bool is_wave = header.variant == sz::Variant::WaveSz;
     std::size_t values = 0;
     std::size_t bytes_read = 0;
@@ -224,6 +236,7 @@ int do_decompress(int argc, char** argv) {
     switch (header.variant) {
       case sz::Variant::Sz14: field = sz::decompress64(bytes, opts); break;
       case sz::Variant::WaveSz: field = wave::decompress64(bytes, opts); break;
+      case sz::Variant::SzxFast: field = sz::decompress64(bytes, opts); break;
       default: throw Error("float64 container with unsupported variant");
     }
     data::write_bytes(
@@ -238,6 +251,7 @@ int do_decompress(int argc, char** argv) {
     case sz::Variant::Sz14: field = sz::decompress(bytes, opts); break;
     case sz::Variant::GhostSz: field = ghost::decompress(bytes); break;
     case sz::Variant::WaveSz: field = wave::decompress(bytes, opts); break;
+    case sz::Variant::SzxFast: field = sz::decompress(bytes, opts); break;
   }
   data::write_f32(out, field);
   std::printf("decompressed %s -> %s (%s, %zu floats)\n", in, out,
@@ -248,7 +262,7 @@ int do_decompress(int argc, char** argv) {
 int do_info(const char* in) {
   const auto bytes = data::read_bytes(in);
   const auto h = sz::inspect(bytes);
-  const char* names[] = {"?", "SZ-1.4", "GhostSZ", "waveSZ"};
+  const char* names[] = {"?", "SZ-1.4", "GhostSZ", "waveSZ", "SZx-fast"};
   std::printf("variant      : %s\n", names[static_cast<int>(h.variant)]);
   std::printf("dims         : %s (%llu points)\n", h.dims.str().c_str(),
               static_cast<unsigned long long>(h.point_count));

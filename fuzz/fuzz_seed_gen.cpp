@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,30 @@ int main(int argc, char** argv) {
     write_seed(root / "chunk_index", 3, sz::compress(wide, d2, cfg).bytes);
     cfg.chunk_index = false;
     write_seed(root / "chunk_index", 4, sz::compress(f32, d2, cfg).bytes);
+  }
+
+  {
+    // SZx seeds covering every block kind: a smooth field (packed k-bit
+    // blocks), a constant field (const blocks), a field with non-finite
+    // spikes (raw fallback blocks), a float64 stream and a tiny-block
+    // layout so mutations land on block tags, not just the preamble.
+    sz::Config cfg = sz::Config::ultrafast();
+    write_seed(root / "szx", 0, sz::compress(f32, d2, cfg).bytes);
+    std::vector<float> constant(d2.count(), 3.25f);
+    write_seed(root / "szx", 1, sz::compress(constant, d2, cfg).bytes);
+    auto spiky = field(d2, 31);
+    spiky[7] = std::numeric_limits<float>::quiet_NaN();
+    spiky[900] = std::numeric_limits<float>::infinity();
+    sz::Config abs_cfg = cfg;
+    abs_cfg.mode = sz::EbMode::Absolute;
+    abs_cfg.error_bound = 1e-3;
+    write_seed(root / "szx", 2, sz::compress(spiky, d2, abs_cfg).bytes);
+    const auto narrow = field(d2, 37);
+    std::vector<double> wide(narrow.begin(), narrow.end());
+    write_seed(root / "szx", 3, sz::compress(wide, d2, cfg).bytes);
+    sz::Config tiny = cfg;
+    tiny.szx_block_elems = 8;
+    write_seed(root / "szx", 4, sz::compress(f32, d2, tiny).bytes);
   }
 
   {

@@ -4,6 +4,7 @@
 #include <exception>
 #include <type_traits>
 
+#include "sz/compressor.hpp"
 #include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
@@ -208,16 +209,21 @@ void StreamCompressor::emit_chunk() {
   WAVESZ_ASSERT(planes >= 1, "emit_chunk with no pending data");
   const std::size_t points = planes * plane_points_;
   const Dims cdims = chunk_dims(dims_, planes);
+  // Codec::Szx chunks bypass the wave transform entirely — each chunk is an
+  // SZx container, and the archive decoders delegate on its variant tag.
+  const bool szx = cfg_.codec == sz::Codec::Szx;
   sz::Compressed compressed;
   if (f64) {
-    compressed = wave::compress(
-        std::span<const double>(pending64_.data(), points), cdims, cfg_);
+    const std::span<const double> chunk(pending64_.data(), points);
+    compressed = szx ? sz::compress(chunk, cdims, cfg_)
+                     : wave::compress(chunk, cdims, cfg_);
     pending64_.erase(pending64_.begin(),
                      pending64_.begin() +
                          static_cast<std::ptrdiff_t>(points));
   } else {
-    compressed = wave::compress(
-        std::span<const float>(pending_.data(), points), cdims, cfg_);
+    const std::span<const float> chunk(pending_.data(), points);
+    compressed = szx ? sz::compress(chunk, cdims, cfg_)
+                     : wave::compress(chunk, cdims, cfg_);
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(points));
   }

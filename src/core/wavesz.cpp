@@ -6,6 +6,7 @@
 #include "deflate/parallel.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/predictor.hpp"
+#include "sz/szx.hpp"
 #include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
@@ -479,6 +480,11 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   telemetry::Span span_all(telemetry::spans::kWaveDecompress);
   ByteReader r(bytes);
   const sz::ContainerHeader h = sz::read_header(r);
+  // A stream archive may carry SZx chunks (StreamCompressor with
+  // Codec::Szx); delegate so chunk decode works through this entry point.
+  if (h.variant == sz::Variant::SzxFast) {
+    return sz::detail::szx_decompress_t<T>(bytes, dims_out);
+  }
   WAVESZ_REQUIRE(h.variant == sz::Variant::WaveSz,
                  "container is not a waveSZ stream");
   WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,

@@ -6,17 +6,18 @@
 #include <limits>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace wavesz::metrics {
 
 Range value_range(std::span<const float> data) {
   WAVESZ_REQUIRE(!data.empty(), "value_range of empty data");
-  Range r{data[0], data[0]};
-  for (float v : data) {
-    r.min = std::min(r.min, static_cast<double>(v));
-    r.max = std::max(r.max, static_cast<double>(v));
-  }
-  return r;
+  // Seeded with data[0] like the serial fold, so NaN-poisoning semantics
+  // carry over: NaN elements never become the extremum, a NaN seed sticks.
+  double lo = static_cast<double>(data[0]);
+  double hi = lo;
+  simd::minmax(data.data(), data.size(), &lo, &hi);
+  return Range{lo, hi};
 }
 
 DistortionStats distortion(std::span<const float> original,
@@ -56,25 +57,35 @@ std::size_t first_violation(std::span<const float> original,
       static_cast<double>(std::nextafter(static_cast<float>(bound),
                                          std::numeric_limits<float>::max())) -
       bound;
-  for (std::size_t i = 0; i < original.size(); ++i) {
+  const double thr = bound + slack;
+  constexpr auto npos = static_cast<std::size_t>(-1);
+  // simd::bound_scan is a conservative filter (flags every lane whose
+  // |o-d| <= thr test fails in double, which includes all NaN/Inf lanes);
+  // the flagged index gets the exact serial semantics below, and benign
+  // flags — matching NaNs, equal infinities — resume the scan past them.
+  std::size_t i = 0;
+  while (i < original.size()) {
+    const std::size_t f = simd::bound_scan(
+        original.data() + i, decompressed.data() + i, original.size() - i,
+        thr);
+    if (f == npos) return npos;
+    i += f;
     const float o = original[i], d = decompressed[i];
     // Bit-for-bit identical non-finite values (NaN payload aside: any NaN
     // pairs with any NaN) count as reconstructed; everything else involving
     // a NaN or an infinite difference is a violation — `e > bound` alone
     // would let NaN errors pass silently because every NaN compare is false.
     if (std::isnan(o) || std::isnan(d)) {
-      if (std::isnan(o) && std::isnan(d)) continue;
+      if (!(std::isnan(o) && std::isnan(d))) return i;
+    } else if (std::isinf(o) || std::isinf(d)) {
+      if (o != d) return i;
+    } else if (std::fabs(static_cast<double>(o) - static_cast<double>(d)) >
+               thr) {
       return i;
     }
-    if (std::isinf(o) || std::isinf(d)) {
-      if (o == d) continue;
-      return i;
-    }
-    const double e = std::fabs(static_cast<double>(o) -
-                               static_cast<double>(d));
-    if (e > bound + slack) return i;
+    ++i;
   }
-  return static_cast<std::size_t>(-1);
+  return npos;
 }
 
 bool within_bound(std::span<const float> original,

@@ -7,11 +7,17 @@
 #include "metrics/stats.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/pqd_detail.hpp"
+#include "sz/szx.hpp"
 #include "sz/unpredictable.hpp"
 #include "sz/wavefront_pqd.hpp"
 #include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace wavesz::sz {
 namespace {
@@ -39,15 +45,16 @@ double range_of(std::span<const T> data, int threads) {
 #pragma omp parallel num_threads(nt)
 #endif
     {
-      double llo = seed, lhi = seed;
 #ifdef _OPENMP
-#pragma omp for schedule(static) nowait
+      const auto t = static_cast<std::size_t>(omp_get_thread_num());
+      const auto parts = static_cast<std::size_t>(omp_get_num_threads());
+#else
+      const std::size_t t = 0, parts = 1;
 #endif
-      for (std::size_t i = 0; i < data.size(); ++i) {
-        const double v = static_cast<double>(data[i]);
-        llo = std::min(llo, v);
-        lhi = std::max(lhi, v);
-      }
+      const std::size_t b0 = data.size() * t / parts;
+      const std::size_t b1 = data.size() * (t + 1) / parts;
+      double llo = seed, lhi = seed;
+      simd::minmax(data.data() + b0, b1 - b0, &llo, &lhi);
 #ifdef _OPENMP
 #pragma omp critical
 #endif
@@ -57,11 +64,7 @@ double range_of(std::span<const T> data, int threads) {
       }
     }
   } else {
-    for (T v : data) {
-      const double d = static_cast<double>(v);
-      lo = std::min(lo, d);
-      hi = std::max(hi, d);
-    }
+    simd::minmax(data.data(), data.size(), &lo, &hi);
   }
   return hi - lo;
 }
@@ -69,6 +72,9 @@ double range_of(std::span<const T> data, int threads) {
 template <typename T>
 Compressed compress_t(std::span<const T> data, const Dims& dims,
                       const Config& cfg) {
+  if (cfg.codec == Codec::Szx) {
+    return detail::szx_compress_t<T>(data, dims, cfg);
+  }
   telemetry::Span span_all(telemetry::spans::kSzCompress);
   const int pqd_nt = resolve_thread_budget(cfg.pqd_threads);
   double range = 0.0;
@@ -179,6 +185,9 @@ std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
   telemetry::Span span_all(telemetry::spans::kSzDecompress);
   ByteReader r(bytes);
   const ContainerHeader h = read_header(r);
+  if (h.variant == Variant::SzxFast) {
+    return detail::szx_decompress_t<T>(bytes, dims_out);
+  }
   WAVESZ_REQUIRE(h.variant == Variant::Sz14,
                  "container is not an SZ-1.4 stream");
   WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,
@@ -273,6 +282,22 @@ RegionResultT<T> decompress_region_t(std::span<const std::uint8_t> bytes,
   telemetry::Span span_all(telemetry::spans::kDecodeRegion);
   ByteReader r(bytes);
   const ContainerHeader h = read_header(r);
+  if (h.variant == Variant::SzxFast) {
+    // SZx containers carry no chunk index; a region request is served from
+    // a full decode (the codec is fast enough that this is still cheap).
+    Dims fd;
+    const auto field = detail::szx_decompress_t<T>(bytes, &fd);
+    Region rg = region;
+    const Dims rdims = normalize_region(rg, fd);
+    RegionResultT<T> res;
+    res.field_dims = fd;
+    res.region_dims = rdims;
+    res.data = gather_region(field, fd, rg, rdims);
+    res.compressed_bytes_read = bytes.size();
+    telemetry::counter_add(telemetry::Counter::RegionBytesRead,
+                           res.compressed_bytes_read);
+    return res;
+  }
   WAVESZ_REQUIRE(h.variant == Variant::Sz14,
                  "container is not an SZ-1.4 stream");
   WAVESZ_REQUIRE(h.dtype == FpOps<T>::kDtype,

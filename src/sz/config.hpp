@@ -28,6 +28,17 @@ enum class EbBase {
   Two,  ///< bound tightened to the nearest smaller power of two (waveSZ §3.3)
 };
 
+enum class Codec : std::uint8_t {
+  /// The SZ-class pipeline: Lorenzo PQD, Huffman, DEFLATE (the default).
+  Entropy = 0,
+  /// SZx-inspired ultra-fast mode: fixed-size blocks, constant-block
+  /// detection, per-block bit-plane truncation of error-bound quantized
+  /// values, no entropy stage. ~3-5x the compression throughput at a
+  /// modest ratio cost — the degraded-mode profile for latency-critical
+  /// traffic. Wire format in DESIGN.md ("SZx fast section").
+  Szx = 1,
+};
+
 struct Config {
   double error_bound = 1e-3;
   EbMode mode = EbMode::ValueRangeRelative;
@@ -78,6 +89,23 @@ struct Config {
   /// v1 streams and v2 streams whose index was stripped. Decode output is
   /// bit-identical at every setting.
   int decode_threads = 1;
+
+  /// Codec selection: the entropy pipeline above, or the SZx-style
+  /// ultra-fast block codec (which ignores the huffman/gzip/chunk-index
+  /// knobs — it has no entropy stage and no chunk index).
+  Codec codec = Codec::Entropy;
+  /// Elements per SZx block. 256 keeps the per-block header cost under 1%
+  /// while constant-block detection still fires on real fields.
+  std::uint32_t szx_block_elems = 256;
+
+  /// The ultra-fast profile: SZx block codec, everything else default.
+  static Config ultrafast() {
+    Config cfg;
+    cfg.codec = Codec::Szx;
+    cfg.huffman = false;
+    cfg.chunk_index = false;
+    return cfg;
+  }
 
   deflate::ParallelOptions deflate_options() const {
     return {deflate_chunk_bytes, codec_threads, /*prime_dictionary=*/true};

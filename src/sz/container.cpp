@@ -41,7 +41,7 @@ ContainerHeader read_header(ByteReader& r) {
   ContainerHeader h;
   h.version = magic == kMagicV2 ? 2 : 1;
   const std::uint8_t variant = r.u8();
-  WAVESZ_REQUIRE(variant >= 1 && variant <= 3, "unknown container variant");
+  WAVESZ_REQUIRE(variant >= 1 && variant <= 4, "unknown container variant");
   h.variant = static_cast<Variant>(variant);
   const std::uint8_t rank = r.u8();
   WAVESZ_REQUIRE(rank >= 1 && rank <= 3, "invalid rank");

@@ -38,7 +38,15 @@
 
 namespace wavesz::sz {
 
-enum class Variant : std::uint8_t { Sz14 = 1, GhostSz = 2, WaveSz = 3 };
+enum class Variant : std::uint8_t {
+  Sz14 = 1,
+  GhostSz = 2,
+  WaveSz = 3,
+  /// SZx-style ultra-fast block codec (src/sz/szx.hpp): a single 'SZXB'
+  /// section follows the header instead of the code/unpredictable pair.
+  /// Always written as a v1 (index-less) container.
+  SzxFast = 4,
+};
 
 struct ContainerHeader {
   Variant variant = Variant::Sz14;

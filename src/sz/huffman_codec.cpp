@@ -13,6 +13,7 @@
 #include "util/checksum.hpp"
 #include "util/error.hpp"
 #include "util/huffman.hpp"
+#include "util/simd.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -47,7 +48,7 @@ std::vector<std::uint64_t> frequencies(std::span<const std::uint16_t> codes,
                                        int nt) {
   std::vector<std::uint64_t> freq(kAlphabet, 0);
   if (nt <= 1) {
-    for (std::uint16_t c : codes) ++freq[c];
+    simd::histogram_u16(codes.data(), codes.size(), freq.data());
     return freq;
   }
   // Per-thread histograms, reduced serially: 65536 * nt adds, trivial next
@@ -63,7 +64,7 @@ std::vector<std::uint64_t> frequencies(std::span<const std::uint16_t> codes,
     mine.assign(kAlphabet, 0);
     const std::size_t lo = bounds[static_cast<std::size_t>(t)];
     const std::size_t hi = bounds[static_cast<std::size_t>(t) + 1];
-    for (std::size_t i = lo; i < hi; ++i) ++mine[codes[i]];
+    simd::histogram_u16(codes.data() + lo, hi - lo, mine.data());
   }
   for (const auto& mine : local) {
     for (std::size_t s = 0; s < kAlphabet; ++s) freq[s] += mine[s];

@@ -48,6 +48,7 @@ class LinearQuantizer {
   }
 
   double precision() const { return p_; }
+  double inv_precision() const { return inv_p_; }
   std::uint32_t capacity() const { return capacity_; }
   std::uint32_t radius() const { return radius_; }
 

@@ -1,9 +1,11 @@
 #include "sz/wavefront_pqd.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -85,7 +87,31 @@ void for_tile_points(const Tile& tile, const TileSchedule& g,
   }
 }
 
+// Default floor: matches range_of's per-thread minimum — at 2^18 points per
+// worker a 512x512 field (2^18 points) stays serial, a 1024x1024 field gets
+// up to 4 workers, which is where BENCH_pqd.json shows the wavefront barrier
+// amortized.
+std::atomic<std::size_t> g_min_points_per_thread{std::size_t{1} << 18};
+
+/// Cap a resolved thread budget so every worker gets at least the configured
+/// minimum number of points; a cap of 1 falls through to the serial kernel.
+int apply_work_floor(int nt, std::size_t count) {
+  const std::size_t floor = wavefront_min_points_per_thread();
+  if (floor == 0 || nt <= 1) return nt;
+  const std::size_t cap = std::max<std::size_t>(1, count / floor);
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(nt), cap));
+}
+
 }  // namespace
+
+std::size_t wavefront_min_points_per_thread() {
+  return g_min_points_per_thread.load(std::memory_order_relaxed);
+}
+
+void set_wavefront_min_points_per_thread(std::size_t points) {
+  g_min_points_per_thread.store(points, std::memory_order_relaxed);
+}
 
 int resolve_thread_budget(int budget) {
 #ifdef _OPENMP
@@ -105,7 +131,7 @@ typename FpOps<T>::PqdType lorenzo_pqd_wavefront_t(std::span<const T> data,
                                                    const LinearQuantizer& q,
                                                    PredictorKind kind,
                                                    int threads) {
-  const int nt = resolve_thread_budget(threads);
+  const int nt = apply_work_floor(resolve_thread_budget(threads), dims.count());
   if (nt <= 1 || dims.rank < 2) {
     return lorenzo_pqd_t<T>(data, dims, q, kind);
   }
@@ -123,6 +149,8 @@ typename FpOps<T>::PqdType lorenzo_pqd_wavefront_t(std::span<const T> data,
   telemetry::counter_add(telemetry::Counter::PqdDiagonalBatches,
                          g.diagonals.size());
   const T* src = data.data();
+  const bool use_simd = simd_pqd_eligible(dims, kind);
+  const simd::QuantSpec spec = quant_spec(q);
 
 #ifdef _OPENMP
 #pragma omp parallel num_threads(nt)
@@ -133,12 +161,21 @@ typename FpOps<T>::PqdType lorenzo_pqd_wavefront_t(std::span<const T> data,
 #pragma omp for schedule(dynamic)
 #endif
       for (std::size_t t = 0; t < diag.size(); ++t) {
-        for_tile_points(diag[t], g, shape,
-                        [&](std::size_t i0, std::size_t i1, std::size_t i2,
-                            std::size_t i) {
-                          pqd_step(src, rec, codes, padded, q, dims, kind,
-                                   one_layer, s0, s1, i0, i1, i2, i);
-                        });
+        if (use_simd) {
+          const Tile& tile = diag[t];
+          const std::size_t lo0 = tile.t0 * g.e0;
+          const std::size_t lo1 = tile.t1 * g.e1;
+          pqd_tile_simd(src, rec, codes, padded, q, dims, kind, spec, s0,
+                        lo0, std::min(shape.n0, lo0 + g.e0), lo1,
+                        std::min(shape.n1, lo1 + g.e1));
+        } else {
+          for_tile_points(diag[t], g, shape,
+                          [&](std::size_t i0, std::size_t i1, std::size_t i2,
+                              std::size_t i) {
+                            pqd_step(src, rec, codes, padded, q, dims, kind,
+                                     one_layer, s0, s1, i0, i1, i2, i);
+                          });
+        }
       }
       // The omp-for barrier is the hyperplane boundary: diagonal d+1 only
       // starts once every tile of diagonal d is written.
@@ -158,7 +195,7 @@ std::vector<T> lorenzo_reconstruct_wavefront_t(
     std::span<const std::uint16_t> codes, std::span<const T> unpredictable,
     const Dims& dims, const LinearQuantizer& q, PredictorKind kind,
     int threads) {
-  const int nt = resolve_thread_budget(threads);
+  const int nt = apply_work_floor(resolve_thread_budget(threads), dims.count());
   if (nt <= 1 || dims.rank < 2) {
     return lorenzo_reconstruct_t<T>(codes, unpredictable, dims, q, kind);
   }
@@ -188,6 +225,8 @@ std::vector<T> lorenzo_reconstruct_wavefront_t(
   const TileSchedule g = make_schedule(shape, dims.rank);
   telemetry::counter_add(telemetry::Counter::PqdDiagonalBatches,
                          g.diagonals.size());
+  const bool use_simd = simd_pqd_eligible(dims, kind);
+  const simd::QuantSpec spec = quant_spec(q);
 #ifdef _OPENMP
 #pragma omp parallel num_threads(nt)
 #endif
@@ -197,14 +236,24 @@ std::vector<T> lorenzo_reconstruct_wavefront_t(
 #pragma omp for schedule(dynamic)
 #endif
       for (std::size_t t = 0; t < diag.size(); ++t) {
-        for_tile_points(diag[t], g, shape,
-                        [&](std::size_t i0, std::size_t i1, std::size_t i2,
-                            std::size_t i) {
-                          if (codes[i] == 0) return;  // placed above
-                          rec[i] = reconstruct_step(
-                              codes.data(), rec.data(), padded, q, dims,
-                              kind, one_layer, s0, s1, i0, i1, i2, i);
-                        });
+        if (use_simd) {
+          const Tile& tile = diag[t];
+          const std::size_t lo0 = tile.t0 * g.e0;
+          const std::size_t lo1 = tile.t1 * g.e1;
+          reconstruct_tile_simd(codes.data(), rec.data(), padded, q, dims,
+                                kind, spec, s0, lo0,
+                                std::min(shape.n0, lo0 + g.e0), lo1,
+                                std::min(shape.n1, lo1 + g.e1));
+        } else {
+          for_tile_points(diag[t], g, shape,
+                          [&](std::size_t i0, std::size_t i1, std::size_t i2,
+                              std::size_t i) {
+                            if (codes[i] == 0) return;  // placed above
+                            rec[i] = reconstruct_step(
+                                codes.data(), rec.data(), padded, q, dims,
+                                kind, one_layer, s0, s1, i0, i1, i2, i);
+                          });
+        }
       }
     }
   }

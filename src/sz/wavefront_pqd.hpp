@@ -31,6 +31,14 @@
 
 namespace wavesz::sz {
 
+/// Minimum points per worker before the wavefront kernels honour a parallel
+/// thread budget: budgets are capped at count / floor, so fields too small
+/// to amortize the per-diagonal barrier fall back to the serial kernel
+/// (BENCH_pqd.json showed 512x512 f32 *losing* 40% at 4 threads). 0 disables
+/// the floor (tests/benches forcing the parallel path). Thread-safe.
+std::size_t wavefront_min_points_per_thread();
+void set_wavefront_min_points_per_thread(std::size_t points);
+
 /// Wavefront-scheduled lorenzo_pqd. `threads` is a budget with the same
 /// semantics as Config::pqd_threads (0 = all OpenMP threads, 1 = serial
 /// raster reference, n = at most n). Output is bit-identical to

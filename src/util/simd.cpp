@@ -1,0 +1,719 @@
+// SIMD kernel implementations: scalar oracles plus SSE2/AVX2 paths behind
+// the runtime dispatch of simd.hpp. This is the only translation unit in
+// the tree allowed to include intrinsics headers or touch __builtin_cpu_*
+// (tools/wavesz_lint.py, rule simd-containment).
+//
+// Bit-identity notes, load-bearing for the parity contract:
+//   - All PQD arithmetic is double precision; vector add/sub/mul/min/max
+//     and the float<->double conversions are IEEE-exact, so lane math
+//     matches the scalar kernels operation for operation. The whole tree
+//     builds with -ffp-contract=off, so the compiler cannot fuse the
+//     scalar kernels' mul+add chains into FMAs the vector code doesn't use.
+//   - truncation toward zero: _mm*_cvttpd_epi32 matches the scalar
+//     (int64)scaled cast for every lane that passed the capacity test
+//     (scaled < capacity-1 <= 65535, comfortably in int32 range).
+//   - signed0 / 2 with signed0 = +/-code0 and code0 >= 1 equals
+//     sign * (code0 >> 1), implemented as xor/sub with the sign mask.
+//   - 2.0 * q is exact, so computing it as q + q is bit-identical.
+#include "util/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <type_traits>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define WAVESZ_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define WAVESZ_SIMD_X86 0
+#endif
+
+namespace wavesz::simd {
+namespace {
+
+Level probe() {
+#if WAVESZ_SIMD_X86 && defined(__GNUC__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx2")) return Level::Avx2;
+  if (__builtin_cpu_supports("sse2")) return Level::Sse2;
+#endif
+  return Level::Scalar;
+}
+
+Level clamp_to_detected(Level requested) {
+  return static_cast<Level>(
+      std::min(static_cast<int>(requested), static_cast<int>(detected())));
+}
+
+Level startup_level() {
+  Level lv = detected();
+  if (const char* e = std::getenv("WAVESZ_SIMD")) {
+    Level req = Level::Scalar;
+    if (parse_level(e, &req)) lv = clamp_to_detected(req);
+  }
+  return lv;
+}
+
+std::atomic<int>& level_slot() {
+  static std::atomic<int> slot{static_cast<int>(startup_level())};
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernels — the oracles. Arithmetic mirrors LinearQuantizer::
+// quantize{,64}/reconstruct{,64} and predict_interior() term for term.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+std::uint64_t pqd2d_diag_scalar(const T* data, T* rec, std::uint16_t* codes,
+                                std::size_t base, std::size_t s0,
+                                std::size_t n, const QuantSpec& qs) {
+  std::uint64_t miss = 0;
+  const std::size_t st = s0 - 1;
+  std::size_t i = base;
+  for (std::size_t j = 0; j < n; ++j, i += st) {
+    const double pred = static_cast<double>(rec[i - s0]) +
+                        static_cast<double>(rec[i - 1]) -
+                        static_cast<double>(rec[i - s0 - 1]);
+    const double orig = static_cast<double>(data[i]);
+    const double diff = orig - pred;
+    const double scaled = std::fabs(diff) * qs.inv_precision;
+    std::uint16_t code = 0;
+    if (scaled < static_cast<double>(qs.capacity - 1)) {
+      const std::int64_t code0 = static_cast<std::int64_t>(scaled) + 1;
+      const std::int64_t signed0 = diff >= 0.0 ? code0 : -code0;
+      const std::int64_t q = signed0 / 2;
+      const std::int64_t c = q + qs.radius;
+      if (c > 0 && c < qs.capacity) {
+        const double recd =
+            pred + 2.0 * static_cast<double>(q) * qs.precision;
+        if constexpr (std::is_same_v<T, float>) {
+          const auto recf = static_cast<float>(recd);
+          if (std::fabs(static_cast<double>(recf) - orig) <= qs.precision) {
+            code = static_cast<std::uint16_t>(c);
+            rec[i] = recf;
+          }
+        } else {
+          if (std::fabs(recd - orig) <= qs.precision) {
+            code = static_cast<std::uint16_t>(c);
+            rec[i] = recd;
+          }
+        }
+      }
+    }
+    codes[i] = code;
+    if (code == 0) miss |= std::uint64_t{1} << j;
+  }
+  return miss;
+}
+
+template <typename T>
+void reconstruct2d_diag_scalar(const std::uint16_t* codes, T* rec,
+                               std::size_t base, std::size_t s0,
+                               std::size_t n, const QuantSpec& qs) {
+  const std::size_t st = s0 - 1;
+  std::size_t i = base;
+  for (std::size_t j = 0; j < n; ++j, i += st) {
+    const std::uint16_t c = codes[i];
+    if (c == 0) continue;  // pre-placed unpredictable value
+    const double pred = static_cast<double>(rec[i - s0]) +
+                        static_cast<double>(rec[i - 1]) -
+                        static_cast<double>(rec[i - s0 - 1]);
+    const std::int64_t q = static_cast<std::int64_t>(c) - qs.radius;
+    rec[i] =
+        static_cast<T>(pred + 2.0 * static_cast<double>(q) * qs.precision);
+  }
+}
+
+void histogram_scalar(const std::uint16_t* codes, std::size_t n,
+                      std::uint64_t* freq) {
+  for (std::size_t i = 0; i < n; ++i) ++freq[codes[i]];
+}
+
+template <typename T>
+void minmax_scalar(const T* data, std::size_t n, double* lo, double* hi) {
+  double l = *lo, h = *hi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = static_cast<double>(data[i]);
+    l = std::min(l, v);
+    h = std::max(h, v);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+std::size_t bound_scan_scalar(const float* o, const float* d, std::size_t n,
+                              double thr) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = std::fabs(static_cast<double>(o[i]) -
+                               static_cast<double>(d[i]));
+    if (!(e <= thr)) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+// Interleaved sub-table counting shared by the SSE2/AVX2 histogram paths;
+// the vector part is the table reduction, the counting itself is scalar but
+// striped four ways so consecutive equal symbols don't serialize on one
+// store-forwarded counter. Below the cutoff the plain loop wins.
+constexpr std::size_t kHistAlphabet = 65536;
+constexpr std::size_t kHistCutoff = std::size_t{1} << 14;
+
+std::vector<std::uint64_t> histogram_striped(const std::uint16_t* codes,
+                                             std::size_t n) {
+  std::vector<std::uint64_t> tables(4 * kHistAlphabet, 0);
+  std::uint64_t* t0 = tables.data();
+  std::uint64_t* t1 = t0 + kHistAlphabet;
+  std::uint64_t* t2 = t1 + kHistAlphabet;
+  std::uint64_t* t3 = t2 + kHistAlphabet;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    ++t0[codes[i]];
+    ++t1[codes[i + 1]];
+    ++t2[codes[i + 2]];
+    ++t3[codes[i + 3]];
+  }
+  for (; i < n; ++i) ++t0[codes[i]];
+  return tables;
+}
+
+#if WAVESZ_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 paths (baseline on x86-64; two double lanes). Neighbour loads are
+// scalar (no gather before AVX2) — the win is the two-lane double math and
+// the broken loop-carried dependency, not the loads.
+// ---------------------------------------------------------------------------
+
+/// Narrow a 2x64-bit compare mask to the 2-bit movemask form.
+inline int qmask2(__m128d m) { return _mm_movemask_pd(m); }
+
+/// Two-lane pair pipeline shared by the SSE2 and AVX2 PQD paths. Marked
+/// always_inline so each wrapper below compiles it under its own ISA: the
+/// SSE2 wrapper emits legacy encodings, the AVX2 wrapper VEX three-operand
+/// forms. 128 bits per pair is a deliberate width choice, not a fallback:
+/// the diagonal taps are strided loads, and a 4-lane 256-bit variant (both
+/// vgather- and scalar-pack-based) measured 25-35% slower than this
+/// pipeline — the lane-crossing packs and int<->double conversions on the
+/// critical path eat the wider math's win (EXPERIMENTS.md, simd sweep).
+template <typename T>
+[[gnu::always_inline]] inline std::uint64_t pqd2d_diag_pairs(
+    const T* data, T* rec, std::uint16_t* codes, std::size_t base,
+    std::size_t s0, std::size_t n, const QuantSpec& qs) {
+  if (n < 2) return pqd2d_diag_scalar<T>(data, rec, codes, base, s0, n, qs);
+  std::uint64_t miss = 0;
+  const std::size_t st = s0 - 1;
+  const __m128d vinvp = _mm_set1_pd(qs.inv_precision);
+  const __m128d vp = _mm_set1_pd(qs.precision);
+  const __m128d vcapm1 =
+      _mm_set1_pd(static_cast<double>(qs.capacity - 1));
+  const __m128d absmask = _mm_castsi128_pd(
+      _mm_set1_epi64x(static_cast<long long>(0x7fffffffffffffffULL)));
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const std::size_t i0 = base + j * st;
+    const std::size_t i1 = i0 + st;
+    const __m128d N = _mm_set_pd(static_cast<double>(rec[i1 - s0]),
+                                 static_cast<double>(rec[i0 - s0]));
+    const __m128d W = _mm_set_pd(static_cast<double>(rec[i1 - 1]),
+                                 static_cast<double>(rec[i0 - 1]));
+    const __m128d NW = _mm_set_pd(static_cast<double>(rec[i1 - s0 - 1]),
+                                  static_cast<double>(rec[i0 - s0 - 1]));
+    const __m128d O = _mm_set_pd(static_cast<double>(data[i1]),
+                                 static_cast<double>(data[i0]));
+    const __m128d pred = _mm_sub_pd(_mm_add_pd(N, W), NW);
+    const __m128d diff = _mm_sub_pd(O, pred);
+    const __m128d scaled = _mm_mul_pd(_mm_and_pd(diff, absmask), vinvp);
+    const int m1 = qmask2(_mm_cmplt_pd(scaled, vcapm1));
+    // trunc(scaled) in lanes 0..1 of the int vector; +1 = code0.
+    const __m128i c0 =
+        _mm_add_epi32(_mm_cvttpd_epi32(scaled), _mm_set1_epi32(1));
+    const int negm = qmask2(_mm_cmplt_pd(diff, _mm_setzero_pd()));
+    const __m128i qmag = _mm_srli_epi32(c0, 1);
+    alignas(16) std::int32_t qarr[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(qarr), qmag);
+    // Apply sign, radius and the range test per lane (two lanes only — the
+    // scalar epilogue is cheaper than widening the masks).
+    std::int64_t qlane[2];
+    std::int64_t clane[2];
+    bool okc[2];
+    for (int l = 0; l < 2; ++l) {
+      const std::int64_t mag = qarr[l];
+      const std::int64_t q = ((negm >> l) & 1) != 0 ? -mag : mag;
+      qlane[l] = q;
+      clane[l] = q + qs.radius;
+      okc[l] = clane[l] > 0 && clane[l] < qs.capacity;
+    }
+    const __m128d qd = _mm_set_pd(static_cast<double>(qlane[1]),
+                                  static_cast<double>(qlane[0]));
+    const __m128d recd =
+        _mm_add_pd(pred, _mm_mul_pd(_mm_add_pd(qd, qd), vp));
+    alignas(16) double recarr[2];
+    int m3;
+    float recf32[2] = {0.0f, 0.0f};
+    if constexpr (std::is_same_v<T, float>) {
+      const __m128 recf = _mm_cvtpd_ps(recd);
+      alignas(16) float f4[4];
+      _mm_store_ps(f4, recf);
+      recf32[0] = f4[0];
+      recf32[1] = f4[1];
+      const __m128d recchk = _mm_cvtps_pd(recf);
+      const __m128d err = _mm_and_pd(_mm_sub_pd(recchk, O), absmask);
+      m3 = qmask2(_mm_cmple_pd(err, vp));
+      recarr[0] = recarr[1] = 0.0;
+    } else {
+      _mm_store_pd(recarr, recd);
+      const __m128d err = _mm_and_pd(_mm_sub_pd(recd, O), absmask);
+      m3 = qmask2(_mm_cmple_pd(err, vp));
+    }
+    const std::size_t idx[2] = {i0, i1};
+    for (int l = 0; l < 2; ++l) {
+      const bool ok =
+          ((m1 >> l) & 1) != 0 && okc[l] && ((m3 >> l) & 1) != 0;
+      if (ok) {
+        codes[idx[l]] = static_cast<std::uint16_t>(clane[l]);
+        if constexpr (std::is_same_v<T, float>) {
+          rec[idx[l]] = recf32[l];
+        } else {
+          rec[idx[l]] = static_cast<T>(recarr[l]);
+        }
+      } else {
+        codes[idx[l]] = 0;
+        miss |= std::uint64_t{1} << (j + static_cast<std::size_t>(l));
+      }
+    }
+  }
+  if (j < n) {
+    miss |= pqd2d_diag_scalar<T>(data, rec, codes, base + j * st, s0, n - j,
+                                 qs)
+            << j;
+  }
+  return miss;
+}
+
+template <typename T>
+std::uint64_t pqd2d_diag_sse2(const T* data, T* rec, std::uint16_t* codes,
+                              std::size_t base, std::size_t s0, std::size_t n,
+                              const QuantSpec& qs) {
+  return pqd2d_diag_pairs<T>(data, rec, codes, base, s0, n, qs);
+}
+
+template <typename T>
+[[gnu::always_inline]] inline void reconstruct2d_diag_pairs(
+    const std::uint16_t* codes, T* rec, std::size_t base, std::size_t s0,
+    std::size_t n, const QuantSpec& qs) {
+  if (n < 2) {
+    reconstruct2d_diag_scalar<T>(codes, rec, base, s0, n, qs);
+    return;
+  }
+  const std::size_t st = s0 - 1;
+  const __m128d vp = _mm_set1_pd(qs.precision);
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const std::size_t i0 = base + j * st;
+    const std::size_t i1 = i0 + st;
+    const std::uint16_t c0 = codes[i0], c1 = codes[i1];
+    if (c0 == 0 && c1 == 0) continue;
+    const __m128d N = _mm_set_pd(static_cast<double>(rec[i1 - s0]),
+                                 static_cast<double>(rec[i0 - s0]));
+    const __m128d W = _mm_set_pd(static_cast<double>(rec[i1 - 1]),
+                                 static_cast<double>(rec[i0 - 1]));
+    const __m128d NW = _mm_set_pd(static_cast<double>(rec[i1 - s0 - 1]),
+                                  static_cast<double>(rec[i0 - s0 - 1]));
+    const __m128d pred = _mm_sub_pd(_mm_add_pd(N, W), NW);
+    const __m128d qd = _mm_set_pd(
+        static_cast<double>(static_cast<std::int64_t>(c1) - qs.radius),
+        static_cast<double>(static_cast<std::int64_t>(c0) - qs.radius));
+    const __m128d recd =
+        _mm_add_pd(pred, _mm_mul_pd(_mm_add_pd(qd, qd), vp));
+    if constexpr (std::is_same_v<T, float>) {
+      const __m128 recf = _mm_cvtpd_ps(recd);
+      alignas(16) float f4[4];
+      _mm_store_ps(f4, recf);
+      if (c0 != 0) rec[i0] = f4[0];
+      if (c1 != 0) rec[i1] = f4[1];
+    } else {
+      alignas(16) double d2[2];
+      _mm_store_pd(d2, recd);
+      if (c0 != 0) rec[i0] = static_cast<T>(d2[0]);
+      if (c1 != 0) rec[i1] = static_cast<T>(d2[1]);
+    }
+  }
+  if (j < n) {
+    reconstruct2d_diag_scalar<T>(codes, rec, base + j * st, s0, n - j, qs);
+  }
+}
+
+template <typename T>
+void reconstruct2d_diag_sse2(const std::uint16_t* codes, T* rec,
+                             std::size_t base, std::size_t s0, std::size_t n,
+                             const QuantSpec& qs) {
+  reconstruct2d_diag_pairs<T>(codes, rec, base, s0, n, qs);
+}
+
+void histogram_sse2(const std::uint16_t* codes, std::size_t n,
+                    std::uint64_t* freq) {
+  if (n < kHistCutoff) {
+    histogram_scalar(codes, n, freq);
+    return;
+  }
+  const auto tables = histogram_striped(codes, n);
+  const std::uint64_t* t0 = tables.data();
+  const std::uint64_t* t1 = t0 + kHistAlphabet;
+  const std::uint64_t* t2 = t1 + kHistAlphabet;
+  const std::uint64_t* t3 = t2 + kHistAlphabet;
+  for (std::size_t s = 0; s < kHistAlphabet; s += 2) {
+    const __m128i a = _mm_add_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t0 + s)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t1 + s)));
+    const __m128i b = _mm_add_epi64(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t2 + s)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(t3 + s)));
+    const __m128i f =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(freq + s));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(freq + s),
+                     _mm_add_epi64(f, _mm_add_epi64(a, b)));
+  }
+}
+
+template <typename T>
+void minmax_sse2(const T* data, std::size_t n, double* lo, double* hi) {
+  __m128d vlo = _mm_set1_pd(*lo);
+  __m128d vhi = _mm_set1_pd(*hi);
+  __m128d vlo2 = vlo, vhi2 = vhi;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m128d a, b;
+    if constexpr (std::is_same_v<T, float>) {
+      const __m128 f = _mm_loadu_ps(data + i);
+      a = _mm_cvtps_pd(f);
+      b = _mm_cvtps_pd(_mm_movehl_ps(f, f));
+    } else {
+      a = _mm_loadu_pd(data + i);
+      b = _mm_loadu_pd(data + i + 2);
+    }
+    // min_pd(v, acc) keeps acc when v is NaN (unordered returns the second
+    // operand) — the same skip-NaN fold as std::min(acc, v).
+    vlo = _mm_min_pd(a, vlo);
+    vhi = _mm_max_pd(a, vhi);
+    vlo2 = _mm_min_pd(b, vlo2);
+    vhi2 = _mm_max_pd(b, vhi2);
+  }
+  alignas(16) double larr[4], harr[4];
+  _mm_store_pd(larr, vlo);
+  _mm_store_pd(larr + 2, vlo2);
+  _mm_store_pd(harr, vhi);
+  _mm_store_pd(harr + 2, vhi2);
+  double l = *lo, h = *hi;
+  for (int k = 0; k < 4; ++k) {
+    l = std::min(l, larr[k]);
+    h = std::max(h, harr[k]);
+  }
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(data[i]);
+    l = std::min(l, v);
+    h = std::max(h, v);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+std::size_t bound_scan_sse2(const float* o, const float* d, std::size_t n,
+                            double thr) {
+  const __m128d vthr = _mm_set1_pd(thr);
+  const __m128d absmask = _mm_castsi128_pd(
+      _mm_set1_epi64x(static_cast<long long>(0x7fffffffffffffffULL)));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d ov = _mm_cvtps_pd(_mm_castsi128_ps(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(o + i))));
+    const __m128d dv = _mm_cvtps_pd(_mm_castsi128_ps(_mm_loadl_epi64(
+        reinterpret_cast<const __m128i*>(d + i))));
+    const __m128d e = _mm_and_pd(_mm_sub_pd(ov, dv), absmask);
+    // NLE is true for NaN lanes too — exactly the conservative filter the
+    // header promises.
+    const int bad = _mm_movemask_pd(_mm_cmpnle_pd(e, vthr));
+    if (bad != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(bad)));
+    }
+  }
+  const std::size_t tail = bound_scan_scalar(o + i, d + i, n - i, thr);
+  return tail == static_cast<std::size_t>(-1) ? tail : i + tail;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 paths. Compiled with a function-level target so the default build
+// stays runnable on SSE2-only machines.
+//
+// The diagonal PQD kernels re-instantiate the two-lane pair pipeline under
+// the AVX2 target rather than widening to four double lanes: GCC inlines a
+// baseline always_inline callee into a higher-target caller, so these
+// wrappers get full VEX three-operand codegen of the shared body. The
+// contiguous-access kernels (histogram reduction, minmax, bound_scan) do
+// use 256-bit vectors — sequential loads are where the width pays.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+__attribute__((target("avx2"))) std::uint64_t pqd2d_diag_avx2(
+    const T* data, T* rec, std::uint16_t* codes, std::size_t base,
+    std::size_t s0, std::size_t n, const QuantSpec& qs) {
+  return pqd2d_diag_pairs<T>(data, rec, codes, base, s0, n, qs);
+}
+
+template <typename T>
+__attribute__((target("avx2"))) void reconstruct2d_diag_avx2(
+    const std::uint16_t* codes, T* rec, std::size_t base, std::size_t s0,
+    std::size_t n, const QuantSpec& qs) {
+  reconstruct2d_diag_pairs<T>(codes, rec, base, s0, n, qs);
+}
+
+__attribute__((target("avx2"))) void histogram_avx2(
+    const std::uint16_t* codes, std::size_t n, std::uint64_t* freq) {
+  if (n < kHistCutoff) {
+    histogram_scalar(codes, n, freq);
+    return;
+  }
+  const auto tables = histogram_striped(codes, n);
+  const std::uint64_t* t0 = tables.data();
+  const std::uint64_t* t1 = t0 + kHistAlphabet;
+  const std::uint64_t* t2 = t1 + kHistAlphabet;
+  const std::uint64_t* t3 = t2 + kHistAlphabet;
+  for (std::size_t s = 0; s < kHistAlphabet; s += 4) {
+    const __m256i a = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t0 + s)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t1 + s)));
+    const __m256i b = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t2 + s)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t3 + s)));
+    const __m256i f =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(freq + s));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(freq + s),
+                        _mm256_add_epi64(f, _mm256_add_epi64(a, b)));
+  }
+}
+
+template <typename T>
+__attribute__((target("avx2"))) void minmax_avx2(const T* data,
+                                                 std::size_t n, double* lo,
+                                                 double* hi) {
+  __m256d vlo = _mm256_set1_pd(*lo);
+  __m256d vhi = _mm256_set1_pd(*hi);
+  __m256d vlo2 = vlo, vhi2 = vhi;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256d a, b;
+    if constexpr (std::is_same_v<T, float>) {
+      a = _mm256_cvtps_pd(_mm_loadu_ps(data + i));
+      b = _mm256_cvtps_pd(_mm_loadu_ps(data + i + 4));
+    } else {
+      a = _mm256_loadu_pd(data + i);
+      b = _mm256_loadu_pd(data + i + 4);
+    }
+    vlo = _mm256_min_pd(a, vlo);
+    vhi = _mm256_max_pd(a, vhi);
+    vlo2 = _mm256_min_pd(b, vlo2);
+    vhi2 = _mm256_max_pd(b, vhi2);
+  }
+  alignas(32) double larr[8], harr[8];
+  _mm256_store_pd(larr, vlo);
+  _mm256_store_pd(larr + 4, vlo2);
+  _mm256_store_pd(harr, vhi);
+  _mm256_store_pd(harr + 4, vhi2);
+  double l = *lo, h = *hi;
+  for (int k = 0; k < 8; ++k) {
+    l = std::min(l, larr[k]);
+    h = std::max(h, harr[k]);
+  }
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(data[i]);
+    l = std::min(l, v);
+    h = std::max(h, v);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+__attribute__((target("avx2"))) std::size_t bound_scan_avx2(
+    const float* o, const float* d, std::size_t n, double thr) {
+  const __m256d vthr = _mm256_set1_pd(thr);
+  const __m256d absmask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(static_cast<long long>(0x7fffffffffffffffULL)));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ov = _mm256_cvtps_pd(_mm_loadu_ps(o + i));
+    const __m256d dv = _mm256_cvtps_pd(_mm_loadu_ps(d + i));
+    const __m256d e = _mm256_and_pd(_mm256_sub_pd(ov, dv), absmask);
+    const int bad =
+        _mm256_movemask_pd(_mm256_cmp_pd(e, vthr, _CMP_NLE_UQ));
+    if (bad != 0) {
+      return i + static_cast<std::size_t>(std::countr_zero(
+                     static_cast<unsigned>(bad)));
+    }
+  }
+  const std::size_t tail = bound_scan_scalar(o + i, d + i, n - i, thr);
+  return tail == static_cast<std::size_t>(-1) ? tail : i + tail;
+}
+
+#endif  // WAVESZ_SIMD_X86
+
+template <typename T>
+std::uint64_t pqd2d_diag_t(const T* data, T* rec, std::uint16_t* codes,
+                           std::size_t base, std::size_t s0, std::size_t n,
+                           const QuantSpec& q) {
+  switch (active()) {
+#if WAVESZ_SIMD_X86
+    case Level::Avx2:
+      return pqd2d_diag_avx2<T>(data, rec, codes, base, s0, n, q);
+    case Level::Sse2:
+      return pqd2d_diag_sse2<T>(data, rec, codes, base, s0, n, q);
+#endif
+    default:
+      return pqd2d_diag_scalar<T>(data, rec, codes, base, s0, n, q);
+  }
+}
+
+template <typename T>
+void reconstruct2d_diag_t(const std::uint16_t* codes, T* rec,
+                          std::size_t base, std::size_t s0, std::size_t n,
+                          const QuantSpec& q) {
+  switch (active()) {
+#if WAVESZ_SIMD_X86
+    case Level::Avx2:
+      reconstruct2d_diag_avx2<T>(codes, rec, base, s0, n, q);
+      return;
+    case Level::Sse2:
+      reconstruct2d_diag_sse2<T>(codes, rec, base, s0, n, q);
+      return;
+#endif
+    default:
+      reconstruct2d_diag_scalar<T>(codes, rec, base, s0, n, q);
+      return;
+  }
+}
+
+template <typename T>
+void minmax_t(const T* data, std::size_t n, double* lo, double* hi) {
+  switch (active()) {
+#if WAVESZ_SIMD_X86
+    case Level::Avx2:
+      minmax_avx2<T>(data, n, lo, hi);
+      return;
+    case Level::Sse2:
+      minmax_sse2<T>(data, n, lo, hi);
+      return;
+#endif
+    default:
+      minmax_scalar<T>(data, n, lo, hi);
+      return;
+  }
+}
+
+}  // namespace
+
+Level detected() {
+  static const Level probed = probe();
+  return probed;
+}
+
+Level active() {
+  return static_cast<Level>(level_slot().load(std::memory_order_relaxed));
+}
+
+void set_level(Level level) {
+  level_slot().store(static_cast<int>(clamp_to_detected(level)),
+                     std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::Avx2:
+      return "avx2";
+    case Level::Sse2:
+      return "sse2";
+    default:
+      return "scalar";
+  }
+}
+
+bool parse_level(std::string_view text, Level* out) {
+  if (text == "scalar") {
+    *out = Level::Scalar;
+  } else if (text == "sse2") {
+    *out = Level::Sse2;
+  } else if (text == "avx2") {
+    *out = Level::Avx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t pqd2d_diag(const float* data, float* rec, std::uint16_t* codes,
+                         std::size_t base, std::size_t s0, std::size_t n,
+                         const QuantSpec& q) {
+  return pqd2d_diag_t<float>(data, rec, codes, base, s0, n, q);
+}
+
+std::uint64_t pqd2d_diag(const double* data, double* rec,
+                         std::uint16_t* codes, std::size_t base,
+                         std::size_t s0, std::size_t n, const QuantSpec& q) {
+  return pqd2d_diag_t<double>(data, rec, codes, base, s0, n, q);
+}
+
+void reconstruct2d_diag(const std::uint16_t* codes, float* rec,
+                        std::size_t base, std::size_t s0, std::size_t n,
+                        const QuantSpec& q) {
+  reconstruct2d_diag_t<float>(codes, rec, base, s0, n, q);
+}
+
+void reconstruct2d_diag(const std::uint16_t* codes, double* rec,
+                        std::size_t base, std::size_t s0, std::size_t n,
+                        const QuantSpec& q) {
+  reconstruct2d_diag_t<double>(codes, rec, base, s0, n, q);
+}
+
+void histogram_u16(const std::uint16_t* codes, std::size_t n,
+                   std::uint64_t* freq) {
+  switch (active()) {
+#if WAVESZ_SIMD_X86
+    case Level::Avx2:
+      histogram_avx2(codes, n, freq);
+      return;
+    case Level::Sse2:
+      histogram_sse2(codes, n, freq);
+      return;
+#endif
+    default:
+      histogram_scalar(codes, n, freq);
+      return;
+  }
+}
+
+void minmax(const float* data, std::size_t n, double* lo, double* hi) {
+  minmax_t<float>(data, n, lo, hi);
+}
+
+void minmax(const double* data, std::size_t n, double* lo, double* hi) {
+  minmax_t<double>(data, n, lo, hi);
+}
+
+std::size_t bound_scan(const float* o, const float* d, std::size_t n,
+                       double thr) {
+  switch (active()) {
+#if WAVESZ_SIMD_X86
+    case Level::Avx2:
+      return bound_scan_avx2(o, d, n, thr);
+    case Level::Sse2:
+      return bound_scan_sse2(o, d, n, thr);
+#endif
+    default:
+      return bound_scan_scalar(o, d, n, thr);
+  }
+}
+
+}  // namespace wavesz::simd

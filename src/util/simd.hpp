@@ -1,0 +1,114 @@
+// Runtime-dispatched SIMD kernel layer (vecSZ-style, PAPERS.md).
+//
+// Every kernel here has three implementations — scalar, SSE2 and AVX2 —
+// selected once per call from a process-wide level. The level defaults to
+// the widest ISA the CPU reports (probed once via cpuid), can be capped
+// with the WAVESZ_SIMD environment variable (`scalar`, `sse2` or `avx2`)
+// and overridden from code with set_level(); requests above the detected
+// ISA are clamped, so asking for avx2 on an SSE2-only machine silently
+// runs the SSE2 path. On non-x86 targets every level resolves to scalar.
+//
+// Contract: every vectorized path is BIT-IDENTICAL to its scalar
+// implementation, which in turn mirrors the arithmetic of the serial
+// kernels it accelerates (LinearQuantizer + predict_interior for the PQD
+// runs, the std::min/std::max fold for minmax). The scalar paths stay as
+// runtime-selectable oracles — tests/simd_parity_test.cpp diffs every
+// kernel at every level. Two deliberate exceptions to bit-identity:
+//   - minmax: among equal extrema (-0.0 vs 0.0) the sign of the reported
+//     zero may differ from the serial fold's first-seen zero; the values
+//     compare == either way.
+//   - bound_scan is a conservative *filter*: it returns the first lane
+//     whose |o-d| <= thr test fails in double (NaN/Inf always flagged);
+//     callers re-check the flagged index with exact scalar semantics.
+//
+// The intrinsics themselves live only in simd.cpp (enforced by
+// tools/wavesz_lint.py's simd-containment rule); this header is plain C++.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wavesz::simd {
+
+enum class Level : int { Scalar = 0, Sse2 = 1, Avx2 = 2 };
+
+/// Widest level the CPU supports (cpuid, probed once).
+Level detected();
+
+/// Level used by the kernels below: detected(), capped by WAVESZ_SIMD and
+/// by the most recent set_level() call.
+Level active();
+
+/// Override the active level (clamped to detected()). Intended for tests
+/// and benchmarks sweeping the dispatch; thread-safe.
+void set_level(Level level);
+
+const char* level_name(Level level);
+
+/// Parse "scalar" / "sse2" / "avx2" (case-sensitive); false on anything
+/// else, leaving *out untouched.
+bool parse_level(std::string_view text, Level* out);
+
+/// Linear-scaling quantizer parameters in POD form (mirrors
+/// sz::LinearQuantizer so the kernels below need no sz-layer dependency).
+struct QuantSpec {
+  double precision = 0.0;
+  double inv_precision = 0.0;
+  std::int64_t capacity = 0;
+  std::int64_t radius = 0;
+};
+
+/// Lane cap of one pqd/reconstruct diagonal run (the unpredictable-lane
+/// bitmask is 64 bits wide).
+inline constexpr std::size_t kMaxDiagLanes = 64;
+
+/// Lorenzo-2D prediction + linear-scaling quantization over one interior
+/// anti-diagonal run: lane j sits at raster index base + j*(s0-1) of a
+/// row-major grid with row stride s0, and all its stencil taps (i-s0, i-1,
+/// i-s0-1) must be in bounds (the caller peels grid-border lanes). Lanes of
+/// one anti-diagonal are dependency-free (vecSZ), so the run vectorizes.
+/// Per lane: codes[i] receives the quantizer symbol (0 = unpredictable) and
+/// rec[i] the reconstructed history for quantized lanes; unpredictable
+/// lanes leave rec[i] untouched and set bit j of the returned mask — the
+/// caller must patch their history (truncation roundtrip) before the next
+/// diagonal. n <= kMaxDiagLanes. Bit-identical to pqd_step() lane by lane.
+std::uint64_t pqd2d_diag(const float* data, float* rec, std::uint16_t* codes,
+                         std::size_t base, std::size_t s0, std::size_t n,
+                         const QuantSpec& q);
+std::uint64_t pqd2d_diag(const double* data, double* rec,
+                         std::uint16_t* codes, std::size_t base,
+                         std::size_t s0, std::size_t n, const QuantSpec& q);
+
+/// Decode-side counterpart: reconstruct the interior anti-diagonal run from
+/// codes[], skipping code-0 lanes (their values are pre-placed in rec[] by
+/// the caller). Same geometry and lane cap as pqd2d_diag.
+void reconstruct2d_diag(const std::uint16_t* codes, float* rec,
+                        std::size_t base, std::size_t s0, std::size_t n,
+                        const QuantSpec& q);
+void reconstruct2d_diag(const std::uint16_t* codes, double* rec,
+                        std::size_t base, std::size_t s0, std::size_t n,
+                        const QuantSpec& q);
+
+/// freq[c] += count of c in codes[0, n) for every 16-bit symbol. The
+/// vectorized paths count into interleaved sub-tables (dodging
+/// store-forward stalls on skewed symbol distributions) and reduce them
+/// with wide adds; counts are integers, so the result is exact.
+void histogram_u16(const std::uint16_t* codes, std::size_t n,
+                   std::uint64_t* freq);
+
+/// Fold min/max over data[0, n) into *lo / *hi (callers seed both, usually
+/// with data[0], matching the serial scan's NaN-poisoning semantics): NaN
+/// elements never become the extremum, a NaN seed sticks.
+void minmax(const float* data, std::size_t n, double* lo, double* hi);
+void minmax(const double* data, std::size_t n, double* lo, double* hi);
+
+/// First index i where !(|(double)o[i] - (double)d[i]| <= thr) — a
+/// conservative violation filter (any NaN/Inf lane is flagged, including
+/// benign equal-infinity pairs, whose difference is NaN/Inf). SIZE_MAX when
+/// every lane passes; callers apply exact NaN/Inf semantics at the flagged
+/// index and may resume the scan past it.
+std::size_t bound_scan(const float* o, const float* d, std::size_t n,
+                       double thr);
+
+}  // namespace wavesz::simd

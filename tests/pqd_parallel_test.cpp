@@ -18,12 +18,25 @@
 #include "sz/config.hpp"
 #include "sz/huffman_codec.hpp"
 #include "sz/wavefront_pqd.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/dims.hpp"
 
 namespace wavesz {
 namespace {
 
 const int kBudgets[] = {1, 2, 4, 8};
+
+/// Every parity shape below sits under the small-field work floor
+/// (wavefront_min_points_per_thread), which would silently collapse all of
+/// them onto the serial path. Disable the floor for a scope so the parallel
+/// schedule is actually exercised; WorkFloor tests cover the floor itself.
+struct FloorOverride {
+  std::size_t saved = sz::wavefront_min_points_per_thread();
+  explicit FloorOverride(std::size_t points) {
+    sz::set_wavefront_min_points_per_thread(points);
+  }
+  ~FloorOverride() { sz::set_wavefront_min_points_per_thread(saved); }
+};
 
 /// Smooth field with occasional spikes so both the predictable fast path
 /// and the unpredictable (code 0) path are exercised at every shape.
@@ -72,6 +85,7 @@ void expect_same_values(const std::vector<T>& a, const std::vector<T>& b) {
 
 template <typename T, typename PqdFn, typename WaveFn>
 void kernel_parity(PqdFn serial, WaveFn wavefront, sz::PredictorKind kind) {
+  const FloorOverride no_floor(0);
   const sz::LinearQuantizer q(1e-3, 16);
   for (const Dims& dims : parity_shapes()) {
     if (kind == sz::PredictorKind::Lorenzo2Layer && dims.rank > 2) continue;
@@ -132,6 +146,7 @@ TEST(WavefrontParity, PqdKernelF64TwoLayer) {
 }
 
 TEST(WavefrontParity, ReconstructKernelBothDtypes) {
+  const FloorOverride no_floor(0);
   const sz::LinearQuantizer q(1e-3, 16);
   for (const Dims& dims : parity_shapes()) {
     const auto f32 = make_field<float>(dims, 11);
@@ -157,6 +172,7 @@ TEST(WavefrontParity, ReconstructKernelBothDtypes) {
 // ---------------------------------------------- container-level parity
 
 TEST(WavefrontParity, Sz14ContainerByteIdentical) {
+  const FloorOverride no_floor(0);
   for (const Dims& dims : parity_shapes()) {
     const auto f32 = make_field<float>(dims, 17);
     const auto f64 = make_field<double>(dims, 19);
@@ -181,6 +197,7 @@ TEST(WavefrontParity, Sz14ContainerByteIdentical) {
 }
 
 TEST(WavefrontParity, WaveContainerByteIdentical) {
+  const FloorOverride no_floor(0);
   for (const Dims& dims : parity_shapes()) {
     if (dims.rank < 2) continue;  // waveSZ requires 2D+
     const auto f32 = make_field<float>(dims, 23);
@@ -207,6 +224,7 @@ TEST(WavefrontParity, WaveContainerByteIdentical) {
 }
 
 TEST(WavefrontParity, True3DAndStreamStayConsistent) {
+  const FloorOverride no_floor(0);
   const Dims dims = Dims::d3(9, 33, 41);
   const auto data = make_field<float>(dims, 31);
   sz::Config cfg = wave::default_config();
@@ -228,6 +246,48 @@ TEST(WavefrontParity, True3DAndStreamStayConsistent) {
   EXPECT_EQ(archive, parallel.finish());
   expect_same_values(wave::stream_decompress(archive),
                      wave::stream_decompress(archive, nullptr, 4));
+}
+
+// -------------------------------------------------- small-field work floor
+
+// The wavefront schedule loses to the serial raster sweep on small fields
+// (per-diagonal barrier overhead dominates); the floor caps the thread count
+// so those fields take the serial path. PqdDiagonalBatches is only counted
+// on the wavefront path, which makes the routing observable.
+std::uint64_t diagonal_batches(const std::vector<float>& data,
+                               const Dims& dims, int nt) {
+  const sz::LinearQuantizer q(1e-3, 16);
+  telemetry::Session session;
+  (void)sz::lorenzo_pqd_wavefront(data, dims, q,
+                                  sz::PredictorKind::Lorenzo1Layer, nt);
+  return session.stop().counter(telemetry::Counter::PqdDiagonalBatches);
+}
+
+TEST(WorkFloor, SmallFieldsFallBackToSerial) {
+  // 512x512 = 2^18 points: exactly one floor's worth of work, so any budget
+  // collapses to a single thread and the serial raster path.
+  const Dims dims = Dims::d2(512, 512);
+  const auto data = make_field<float>(dims, 43);
+  EXPECT_EQ(0u, diagonal_batches(data, dims, 4));
+  {
+    const FloorOverride no_floor(0);
+    EXPECT_GT(diagonal_batches(data, dims, 4), 0u);
+  }
+  // A lower floor admits a capped thread count: 2^18 points over a 2^17
+  // floor supports two workers, still parallel.
+  {
+    const FloorOverride low(std::size_t{1} << 17);
+    EXPECT_GT(diagonal_batches(data, dims, 4), 0u);
+  }
+}
+
+TEST(WorkFloor, DefaultAndOverrideRoundTrip) {
+  EXPECT_EQ(std::size_t{1} << 18, sz::wavefront_min_points_per_thread());
+  {
+    const FloorOverride big(std::size_t{1} << 30);
+    EXPECT_EQ(std::size_t{1} << 30, sz::wavefront_min_points_per_thread());
+  }
+  EXPECT_EQ(std::size_t{1} << 18, sz::wavefront_min_points_per_thread());
 }
 
 // ----------------------------------------------------- serial stragglers

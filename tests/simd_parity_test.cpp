@@ -1,0 +1,373 @@
+// Bit-exact parity of every vectorized kernel in util/simd against its
+// scalar implementation, swept across every runtime-dispatchable level the
+// host supports. The scalar paths are the oracles (they mirror the serial
+// kernels' arithmetic); the SSE2/AVX2 paths must reproduce them bit for bit
+// — including NaN/Inf lanes, odd extents and partial vectors — per the
+// contract in util/simd.hpp. On an SSE2-only or non-x86 host the sweep
+// degrades gracefully to the levels that exist.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/wavesz.hpp"
+#include "metrics/stats.hpp"
+#include "sz/compressor.hpp"
+#include "sz/config.hpp"
+#include "util/dims.hpp"
+#include "util/simd.hpp"
+
+namespace wavesz {
+namespace {
+
+constexpr double kNan64 = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf64 = std::numeric_limits<double>::infinity();
+
+std::vector<simd::Level> sweep_levels() {
+  std::vector<simd::Level> out{simd::Level::Scalar};
+  if (simd::detected() >= simd::Level::Sse2) {
+    out.push_back(simd::Level::Sse2);
+  }
+  if (simd::detected() >= simd::Level::Avx2) {
+    out.push_back(simd::Level::Avx2);
+  }
+  return out;
+}
+
+struct LevelOverride {
+  simd::Level saved = simd::active();
+  explicit LevelOverride(simd::Level l) { simd::set_level(l); }
+  ~LevelOverride() { simd::set_level(saved); }
+};
+
+template <typename T>
+std::vector<T> noisy_field(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> noise(-0.1, 0.1);
+  std::vector<T> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = std::sin(0.07 * static_cast<double>(i)) * 50.0 + noise(rng);
+    if (rng() % 41 == 0) v *= 1e4;  // spikes: unpredictable lanes
+    out[i] = static_cast<T>(v);
+  }
+  return out;
+}
+
+template <typename T>
+void expect_same_bits(const std::vector<T>& a, const std::vector<T>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(T)));
+}
+
+// ----------------------------------------------------------- level controls
+
+TEST(SimdDispatch, LevelControls) {
+  EXPECT_LE(simd::active(), simd::detected());
+  for (simd::Level l : sweep_levels()) {
+    LevelOverride guard(l);
+    EXPECT_EQ(l, simd::active());
+  }
+  // Requests above the detected ISA clamp instead of failing.
+  {
+    LevelOverride guard(simd::Level::Avx2);
+    EXPECT_LE(simd::active(), simd::detected());
+  }
+  simd::Level parsed = simd::Level::Avx2;
+  EXPECT_TRUE(simd::parse_level("scalar", &parsed));
+  EXPECT_EQ(simd::Level::Scalar, parsed);
+  EXPECT_TRUE(simd::parse_level("sse2", &parsed));
+  EXPECT_EQ(simd::Level::Sse2, parsed);
+  EXPECT_TRUE(simd::parse_level("avx2", &parsed));
+  EXPECT_EQ(simd::Level::Avx2, parsed);
+  parsed = simd::Level::Sse2;
+  EXPECT_FALSE(simd::parse_level("AVX2", &parsed));
+  EXPECT_FALSE(simd::parse_level("", &parsed));
+  EXPECT_EQ(simd::Level::Sse2, parsed);  // untouched on failure
+  EXPECT_STREQ("scalar", simd::level_name(simd::Level::Scalar));
+  EXPECT_STREQ("sse2", simd::level_name(simd::Level::Sse2));
+  EXPECT_STREQ("avx2", simd::level_name(simd::Level::Avx2));
+}
+
+// --------------------------------------------------------- pqd2d_diag runs
+
+/// One interior anti-diagonal of a HxW grid starting at (1, W-2): lane j
+/// sits at (1+j, W-2-j), every stencil tap in bounds for j < min(H-1, W-2).
+template <typename T>
+void pqd_diag_parity(unsigned seed) {
+  constexpr std::size_t kH = 70, kW = 70, kS0 = kW;
+  const simd::QuantSpec q{1e-3, 1.0 / 1e-3, 1 << 16, 1 << 15};
+  for (std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        std::size_t{5}, std::size_t{17}, std::size_t{64}}) {
+    auto data = noisy_field<T>(kH * kW, seed);
+    const std::size_t base = 1 * kS0 + (kW - 2);
+    // Poison a few lanes with non-finite values: they must flow to the
+    // unpredictable mask identically at every level.
+    if (n >= 5) {
+      data[base + 2 * (kS0 - 1)] = static_cast<T>(kNan64);
+      data[base + 4 * (kS0 - 1)] = static_cast<T>(kInf64);
+    }
+    // History the prediction reads: pretend everything reconstructed
+    // losslessly; both levels see identical input.
+    std::vector<T> ref_rec = data, got_rec = data;
+    std::vector<std::uint16_t> ref_codes(kH * kW, 0xabcd);
+    std::vector<std::uint16_t> got_codes(kH * kW, 0xabcd);
+    std::uint64_t ref_mask = 0;
+    {
+      LevelOverride guard(simd::Level::Scalar);
+      ref_mask = simd::pqd2d_diag(data.data(), ref_rec.data(),
+                                  ref_codes.data(), base, kS0, n, q);
+    }
+    for (simd::Level l : sweep_levels()) {
+      SCOPED_TRACE(std::string(simd::level_name(l)) +
+                   " n=" + std::to_string(n));
+      std::vector<T> rec = data;
+      std::vector<std::uint16_t> codes(kH * kW, 0xabcd);
+      LevelOverride guard(l);
+      const std::uint64_t mask = simd::pqd2d_diag(
+          data.data(), rec.data(), codes.data(), base, kS0, n, q);
+      EXPECT_EQ(ref_mask, mask);
+      EXPECT_EQ(ref_codes, codes);
+      got_rec = rec;
+      expect_same_bits(ref_rec, got_rec);
+    }
+  }
+}
+
+TEST(SimdParity, PqdDiagF32) { pqd_diag_parity<float>(101); }
+TEST(SimdParity, PqdDiagF64) { pqd_diag_parity<double>(103); }
+
+template <typename T>
+void reconstruct_diag_parity(unsigned seed) {
+  constexpr std::size_t kH = 70, kW = 70, kS0 = kW;
+  const simd::QuantSpec q{1e-3, 1.0 / 1e-3, 1 << 16, 1 << 15};
+  std::mt19937 rng(seed);
+  for (std::size_t n : {std::size_t{1}, std::size_t{4}, std::size_t{13},
+                        std::size_t{64}}) {
+    const std::size_t base = 1 * kS0 + (kW - 2);
+    std::vector<T> seed_rec = noisy_field<T>(kH * kW, seed + 1);
+    std::vector<std::uint16_t> codes(kH * kW, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Mix quantized lanes with code-0 (pre-placed unpredictable) lanes.
+      codes[base + j * (kS0 - 1)] =
+          rng() % 7 == 0 ? 0
+                         : static_cast<std::uint16_t>((1 << 15) +
+                                                      (rng() % 2000) - 1000);
+    }
+    std::vector<T> ref = seed_rec;
+    {
+      LevelOverride guard(simd::Level::Scalar);
+      simd::reconstruct2d_diag(codes.data(), ref.data(), base, kS0, n, q);
+    }
+    for (simd::Level l : sweep_levels()) {
+      SCOPED_TRACE(std::string(simd::level_name(l)) +
+                   " n=" + std::to_string(n));
+      std::vector<T> rec = seed_rec;
+      LevelOverride guard(l);
+      simd::reconstruct2d_diag(codes.data(), rec.data(), base, kS0, n, q);
+      expect_same_bits(ref, rec);
+    }
+  }
+}
+
+TEST(SimdParity, ReconstructDiagF32) { reconstruct_diag_parity<float>(107); }
+TEST(SimdParity, ReconstructDiagF64) { reconstruct_diag_parity<double>(109); }
+
+// ------------------------------------------------------------- histogram
+
+TEST(SimdParity, HistogramAllLevels) {
+  std::mt19937 rng(113);
+  std::geometric_distribution<int> gd(0.13);
+  // Big enough to clear the vectorized path's cutoff, odd length, plus a
+  // tiny tail-only case.
+  for (std::size_t n : {std::size_t{37}, (std::size_t{1} << 15) + 7}) {
+    std::vector<std::uint16_t> codes(n);
+    for (auto& c : codes) {
+      c = static_cast<std::uint16_t>(32768 + gd(rng) - gd(rng));
+    }
+    codes[n / 2] = 0;
+    codes[n - 1] = 0xffff;
+    std::vector<std::uint64_t> ref(65536, 0);
+    {
+      LevelOverride guard(simd::Level::Scalar);
+      simd::histogram_u16(codes.data(), codes.size(), ref.data());
+    }
+    for (simd::Level l : sweep_levels()) {
+      SCOPED_TRACE(std::string(simd::level_name(l)) +
+                   " n=" + std::to_string(n));
+      std::vector<std::uint64_t> freq(65536, 0);
+      LevelOverride guard(l);
+      simd::histogram_u16(codes.data(), codes.size(), freq.data());
+      EXPECT_EQ(ref, freq);
+    }
+  }
+}
+
+// --------------------------------------------------------------- minmax
+
+template <typename T>
+void minmax_parity() {
+  for (std::size_t n :
+       {std::size_t{1}, std::size_t{7}, std::size_t{1000}, std::size_t{1003}}) {
+    auto data = noisy_field<T>(n, 127);
+    if (n >= 7) {
+      data[3] = static_cast<T>(kNan64);   // interior NaN: skipped
+      data[5] = static_cast<T>(kInf64);   // +inf must become the max
+      data[6] = static_cast<T>(-kInf64);  // -inf the min
+    }
+    double ref_lo = static_cast<double>(data[0]);
+    double ref_hi = ref_lo;
+    {
+      LevelOverride guard(simd::Level::Scalar);
+      simd::minmax(data.data(), n, &ref_lo, &ref_hi);
+    }
+    for (simd::Level l : sweep_levels()) {
+      SCOPED_TRACE(std::string(simd::level_name(l)) +
+                   " n=" + std::to_string(n));
+      double lo = static_cast<double>(data[0]);
+      double hi = lo;
+      LevelOverride guard(l);
+      simd::minmax(data.data(), n, &lo, &hi);
+      EXPECT_EQ(ref_lo, lo);
+      EXPECT_EQ(ref_hi, hi);
+    }
+    // A NaN seed poisons the fold at every level (serial semantics).
+    for (simd::Level l : sweep_levels()) {
+      double lo = kNan64, hi = kNan64;
+      LevelOverride guard(l);
+      simd::minmax(data.data(), n, &lo, &hi);
+      EXPECT_TRUE(std::isnan(lo)) << simd::level_name(l);
+      EXPECT_TRUE(std::isnan(hi)) << simd::level_name(l);
+    }
+  }
+}
+
+TEST(SimdParity, MinmaxF32) { minmax_parity<float>(); }
+TEST(SimdParity, MinmaxF64) { minmax_parity<double>(); }
+
+// ------------------------------------------------------------ bound_scan
+
+TEST(SimdParity, BoundScanAllLevels) {
+  const double thr = 0.5;
+  for (std::size_t n : {std::size_t{3}, std::size_t{999}}) {
+    auto orig = noisy_field<float>(n, 131);
+    std::vector<float> dec = orig;
+    auto sweep = [&](const char* what) {
+      std::size_t ref = 0;
+      {
+        LevelOverride guard(simd::Level::Scalar);
+        ref = simd::bound_scan(orig.data(), dec.data(), n, thr);
+      }
+      for (simd::Level l : sweep_levels()) {
+        SCOPED_TRACE(std::string(simd::level_name(l)) + " " + what +
+                     " n=" + std::to_string(n));
+        LevelOverride guard(l);
+        EXPECT_EQ(ref, simd::bound_scan(orig.data(), dec.data(), n, thr));
+      }
+      return ref;
+    };
+    EXPECT_EQ(SIZE_MAX, sweep("clean"));
+    dec[n - 1] += 1.0f;  // violation in the vector tail
+    EXPECT_EQ(n - 1, sweep("tail-violation"));
+    dec[n / 2] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(n / 2, sweep("nan-flag"));
+    orig[0] = std::numeric_limits<float>::infinity();
+    dec[0] = std::numeric_limits<float>::infinity();
+    // Equal infinities are benign for the *caller* but conservatively
+    // flagged by the filter — identically at every level.
+    EXPECT_EQ(0u, sweep("inf-flag"));
+  }
+}
+
+// ------------------------------------------- whole-pipeline / entry points
+
+std::vector<Dims> pipeline_shapes() {
+  return {
+      Dims::d1(1023),        // 1D: PQD stays scalar, stats/histogram vectorize
+      Dims::d2(37, 53),      // small odd 2D
+      Dims::d2(129, 131),    // tile-straddling odd 2D
+      Dims::d3(17, 19, 23),  // 3D: PQD scalar fallback path
+  };
+}
+
+TEST(SimdParity, Sz14ContainersBitIdenticalAcrossLevels) {
+  for (const Dims& dims : pipeline_shapes()) {
+    const auto f32 = noisy_field<float>(dims.count(), 137);
+    const auto f64 = noisy_field<double>(dims.count(), 139);
+    sz::Config cfg;
+    cfg.huffman = true;
+    std::vector<std::uint8_t> ref, ref64;
+    std::vector<float> ref_out;
+    std::vector<double> ref_out64;
+    {
+      LevelOverride guard(simd::Level::Scalar);
+      ref = sz::compress(std::span<const float>(f32), dims, cfg).bytes;
+      ref64 = sz::compress(std::span<const double>(f64), dims, cfg).bytes;
+      ref_out = sz::decompress(ref);
+      ref_out64 = sz::decompress64(ref64);
+    }
+    for (simd::Level l : sweep_levels()) {
+      SCOPED_TRACE(std::string(simd::level_name(l)) + " " + dims.str());
+      LevelOverride guard(l);
+      EXPECT_EQ(ref,
+                sz::compress(std::span<const float>(f32), dims, cfg).bytes);
+      EXPECT_EQ(ref64,
+                sz::compress(std::span<const double>(f64), dims, cfg).bytes);
+      expect_same_bits(ref_out, sz::decompress(ref));
+      expect_same_bits(ref_out64, sz::decompress64(ref64));
+    }
+  }
+}
+
+TEST(SimdParity, WaveContainersBitIdenticalAcrossLevels) {
+  for (const Dims& dims : pipeline_shapes()) {
+    if (dims.rank < 2) continue;
+    const auto f32 = noisy_field<float>(dims.count(), 149);
+    const sz::Config cfg = wave::default_config();
+    std::vector<std::uint8_t> ref;
+    std::vector<float> ref_out;
+    {
+      LevelOverride guard(simd::Level::Scalar);
+      ref = wave::compress(std::span<const float>(f32), dims, cfg).bytes;
+      ref_out = wave::decompress(ref);
+    }
+    for (simd::Level l : sweep_levels()) {
+      SCOPED_TRACE(std::string(simd::level_name(l)) + " " + dims.str());
+      LevelOverride guard(l);
+      EXPECT_EQ(ref,
+                wave::compress(std::span<const float>(f32), dims, cfg).bytes);
+      auto out = wave::decompress(ref);
+      expect_same_bits(ref_out, out);
+    }
+  }
+}
+
+TEST(SimdParity, MetricsEntryPointsAgreeAcrossLevels) {
+  auto data = noisy_field<float>(4097, 151);
+  data[100] = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> dec = data;  // NaN pairs with NaN: benign
+  dec[4096] = data[4096] + 0.25f;
+  metrics::Range ref_range;
+  std::size_t ref_fv = 0;
+  {
+    LevelOverride guard(simd::Level::Scalar);
+    ref_range = metrics::value_range(data);
+    ref_fv = metrics::first_violation(data, dec, 0.1);
+  }
+  EXPECT_EQ(4096u, ref_fv);
+  for (simd::Level l : sweep_levels()) {
+    SCOPED_TRACE(simd::level_name(l));
+    LevelOverride guard(l);
+    const metrics::Range r = metrics::value_range(data);
+    EXPECT_EQ(ref_range.min, r.min);
+    EXPECT_EQ(ref_range.max, r.max);
+    EXPECT_EQ(ref_fv, metrics::first_violation(data, dec, 0.1));
+    EXPECT_TRUE(metrics::within_bound(data, dec, 0.5));
+    EXPECT_FALSE(metrics::within_bound(data, dec, 0.1));
+  }
+}
+
+}  // namespace
+}  // namespace wavesz

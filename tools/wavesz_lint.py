@@ -21,6 +21,12 @@ repo's own contracts, the ones a generic checker cannot know about:
                     (or delegate to read_header()/guarded_count()) —
                     parsing without an explicit contract check means the
                     only diagnostics come from deep inside ByteReader.
+  simd-containment  x86 intrinsics (immintrin.h/emmintrin.h includes,
+                    _mm* calls) and __builtin_cpu_* probes live only in
+                    util/simd.* — everything else goes through the
+                    runtime-dispatched kernels in util/simd.hpp, so
+                    scalar/SSE2/AVX2 parity stays enforceable in one
+                    place and no TU silently compiles ISA-specific code.
   header-hygiene    every header under src/ compiles as the sole
                     include of a TU (self-contained, no hidden include
                     order dependency). Needs a compiler; skipped with
@@ -52,6 +58,7 @@ RULES = (
     "span-names",
     "determinism",
     "parse-discipline",
+    "simd-containment",
     "header-hygiene",
 )
 
@@ -61,6 +68,18 @@ RAW_MEMORY_SANCTIONED = (
     os.path.join("util", "bytes.hpp"),
     os.path.join("util", "float_bits.hpp"),
     os.path.join("util", "float_bits.cpp"),
+    # The integer load/store intrinsics take __m128i*/__m256i* by API
+    # design, so the SIMD layer cannot avoid reinterpret_cast; it is the
+    # only other file allowed to (and is itself fenced by
+    # simd-containment).
+    os.path.join("util", "simd.cpp"),
+)
+
+# Files allowed to touch x86 intrinsics and cpuid probes: the runtime
+# dispatch layer itself.
+SIMD_SANCTIONED = (
+    os.path.join("util", "simd.hpp"),
+    os.path.join("util", "simd.cpp"),
 )
 
 SUPPRESS_RE = re.compile(
@@ -74,6 +93,11 @@ SPAN_LITERAL_RE = re.compile(r"\bSpan\s+\w+\s*\(\s*\"|\bSpan\s*\(\s*\"")
 DETERMINISM_RE = re.compile(
     r"\b(?:std::)?(?:rand|srand|rand_r|time|localtime|localtime_r|gmtime|"
     r"gmtime_r|setlocale)\s*\(|\bstd::locale\b|\brandom_device\b")
+
+SIMD_RE = re.compile(
+    r"#\s*include\s*[<\"][a-z0-9_]*mmintrin\.h[>\"]|"
+    r"#\s*include\s*[<\"]x86intrin\.h[>\"]|"
+    r"__builtin_cpu_\w+|\b_mm(?:\d+)?_\w+\s*\(")
 
 BYTE_READER_RE = re.compile(r"\bByteReader\s+\w+\s*\(|\bByteReader\s*\(")
 
@@ -231,8 +255,16 @@ def lint_file(path: str, rel: str, findings: list[Finding]) -> None:
     suppressed = collect_suppressions(raw_lines, code_lines, rel, findings)
 
     in_sanctioned = any(rel.endswith(p) for p in RAW_MEMORY_SANCTIONED)
+    in_simd = any(rel.endswith(p) for p in SIMD_SANCTIONED)
 
     for idx, line in enumerate(code_lines, start=1):
+        if not in_simd and SIMD_RE.search(line):
+            if not is_suppressed(suppressed, idx, "simd-containment"):
+                findings.append(Finding(
+                    rel, idx, "simd-containment",
+                    "x86 intrinsics / __builtin_cpu_* outside util/simd.*;"
+                    " call the dispatched kernels in util/simd.hpp or add "
+                    "`// wavesz-lint: allow(simd-containment) <why>`"))
         if not in_sanctioned and RAW_MEMORY_RE.search(line):
             if not is_suppressed(suppressed, idx, "raw-memory"):
                 findings.append(Finding(
