@@ -9,6 +9,9 @@
 //               wall time (default 1)
 //   --json F    additionally dump every per-field row to F as JSON, so the
 //               BENCH_*.json fixtures regenerate without stdout copy-paste
+//   --perf      sample hardware counters (perf_event_open) around the timed
+//               SZ kernel and report IPC / cache misses per kilo-instruction
+//               (silently skipped where counters are unavailable)
 // and prints the paper's reference numbers next to the reproduced ones.
 #pragma once
 
@@ -24,6 +27,7 @@
 #include "ghostsz/ghostsz.hpp"
 #include "metrics/stats.hpp"
 #include "sz/compressor.hpp"
+#include "telemetry/perf_counters.hpp"
 #include "util/dims.hpp"
 #include "util/timer.hpp"
 
@@ -33,6 +37,7 @@ struct Options {
   unsigned scale_override = 0;  // 0 = per-persona default
   bool full = false;
   unsigned repeat = 1;          // median-of-N for reported wall times
+  bool perf = false;            // hardware-counter sampling of timed kernels
   std::string json_path;        // empty = no JSON row dump
 
   static Options parse(int argc, char** argv) {
@@ -48,10 +53,20 @@ struct Options {
         if (o.repeat == 0) o.repeat = 1;
       } else if (a == "--json" && i + 1 < argc) {
         o.json_path = argv[++i];
+      } else if (a == "--perf") {
+        o.perf = true;
       } else if (a == "--help" || a == "-h") {
         std::printf("usage: %s [--scale N] [--full] [--repeat N] "
-                    "[--json <out.json>]\n", argv[0]);
+                    "[--json <out.json>] [--perf]\n", argv[0]);
         std::exit(0);
+      }
+    }
+    if (o.perf) {
+      telemetry::set_perf_enabled(true);
+      if (!telemetry::perf_available()) {
+        std::fprintf(stderr, "perf: hardware counters unavailable "
+                             "(perf_event_open denied?); IPC columns will "
+                             "read 0\n");
       }
     }
     return o;
@@ -75,6 +90,9 @@ struct FieldRow {
   double ratio_sz = 0, ratio_ghost = 0, ratio_wave_g = 0, ratio_wave_hg = 0;
   double psnr_sz = 0, psnr_ghost = 0, psnr_wave = 0;
   double mbps_sz = 0;  ///< measured single-core SZ-1.4 compression speed
+  /// Hardware-counter view of the timed SZ kernel (0 unless --perf sampled
+  /// successfully): instructions per cycle and cache misses per kilo-instr.
+  double ipc_sz = 0, cache_mpki_sz = 0;
 };
 
 /// Averages across a persona's fields.
@@ -114,9 +132,18 @@ inline PersonaSummary sweep_persona(data::Persona p, const Options& opts,
     row.name = f.name;
 
     sz::Compressed c_sz;
+    const telemetry::PerfReading hw0 = telemetry::perf_now();
     const double sz_secs = median_seconds(opts.repeat, [&] {
       c_sz = sz::compress(grid, f.dims, sz::Config{});
     });
+    const telemetry::PerfReading hw =
+        telemetry::perf_delta(hw0, telemetry::perf_now());
+    if (hw.valid && hw.cycles > 0 && hw.instructions > 0) {
+      row.ipc_sz = static_cast<double>(hw.instructions) /
+                   static_cast<double>(hw.cycles);
+      row.cache_mpki_sz = static_cast<double>(hw.cache_misses) * 1e3 /
+                          static_cast<double>(hw.instructions);
+    }
     row.mbps_sz =
         static_cast<double>(grid.size() * sizeof(float)) / 1e6 / sz_secs;
     row.ratio_sz = raw / static_cast<double>(c_sz.bytes.size());
@@ -215,9 +242,16 @@ inline void write_rows_json(
                    "\", \"ratio_sz\": %.10g, \"ratio_ghost\": %.10g, "
                    "\"ratio_wave_g\": %.10g, \"ratio_wave_hg\": %.10g, "
                    "\"psnr_sz\": %.10g, \"psnr_ghost\": %.10g, "
-                   "\"psnr_wave\": %.10g, \"mbps_sz\": %.10g}",
+                   "\"psnr_wave\": %.10g, \"mbps_sz\": %.10g",
                    r.ratio_sz, r.ratio_ghost, r.ratio_wave_g, r.ratio_wave_hg,
                    r.psnr_sz, r.psnr_ghost, r.psnr_wave, r.mbps_sz);
+      // Hardware-counter columns appear only under --perf so the committed
+      // fixtures regenerate byte-stable on machines without counter access.
+      if (opts.perf) {
+        std::fprintf(f, ", \"ipc_sz\": %.10g, \"cache_mpki_sz\": %.10g",
+                     r.ipc_sz, r.cache_mpki_sz);
+      }
+      std::fputc('}', f);
     }
     std::fprintf(f, "\n    ]}");
   }

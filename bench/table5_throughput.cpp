@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
     // scale-invariant up to cache effects).
     auto sweep = bench::sweep_persona(p, opts, /*want_psnr=*/false);
     const double cpu = sweep.avg(&bench::FieldRow::mbps_sz);
+    const double ipc = sweep.avg(&bench::FieldRow::ipc_sz);
+    const double mpki = sweep.avg(&bench::FieldRow::cache_mpki_sz);
     dump.emplace_back(std::string(data::persona_name(p)), std::move(sweep));
 
     const double w_over_c = wave_t.effective_mbps / cpu;
@@ -43,10 +45,14 @@ int main(int argc, char** argv) {
     sum_wc += w_over_c;
     sum_wg += w_over_g;
     std::printf("%-12s %12.0f %12.0f %12.0f   %8.1fx %8.1fx    "
-                "(%0.f, %0.f, %0.f)\n",
+                "(%0.f, %0.f, %0.f)",
                 std::string(data::persona_name(p)).c_str(),
                 wave_t.effective_mbps, ghost_t.effective_mbps, cpu, w_over_c,
                 w_over_g, paper[i][0], paper[i][1], paper[i][2]);
+    if (opts.perf && ipc > 0) {
+      std::printf("   IPC %.2f, cm/kI %.2f", ipc, mpki);
+    }
+    std::printf("\n");
     ++i;
   }
   std::printf("\naverage waveSZ speedup: %.1fx over CPU SZ-1.4 (paper "

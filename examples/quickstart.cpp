@@ -3,6 +3,7 @@
 //
 //   $ ./examples/quickstart
 //   $ ./examples/quickstart --trace trace.json --stats   # stage telemetry
+//   $ ./examples/quickstart --metrics metrics.prom       # Prometheus text
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -19,17 +20,20 @@ int main(int argc, char** argv) {
   using namespace wavesz;
 
   std::string trace_path;
+  std::string metrics_path;
   bool stats_flag = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (a == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (a == "--stats") {
       stats_flag = true;
     }
   }
   std::unique_ptr<telemetry::Session> session;
-  if (!trace_path.empty() || stats_flag) {
+  if (!trace_path.empty() || !metrics_path.empty() || stats_flag) {
     session = std::make_unique<telemetry::Session>();
   }
 
@@ -77,6 +81,14 @@ int main(int argc, char** argv) {
       out << telemetry::chrome_trace_json(report);
       if (!out) {
         std::fprintf(stderr, "failed to write %s\n", trace_path.c_str());
+        return 1;
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path, std::ios::binary);
+      out << telemetry::prometheus_text(report);
+      if (!out) {
+        std::fprintf(stderr, "failed to write %s\n", metrics_path.c_str());
         return 1;
       }
     }

@@ -9,7 +9,11 @@
 //
 // Global flags (any subcommand): --trace <out.json> writes a Chrome
 // trace-event file of the run (open in ui.perfetto.dev), --stats prints the
-// per-stage breakdown and pipeline counters to stderr.
+// per-stage breakdown (with p50/p99 and histogram percentiles) and pipeline
+// counters to stderr, --metrics <out.prom> writes the run's metrics in
+// Prometheus text exposition format, --perf samples hardware counters
+// (cycles/instructions/cache/branch misses) on the coarse pipeline stages
+// where perf_event_open is available.
 //
 // Example (artifact equivalent of `cpurun 1800 3600 1 -3 base10 F wave`):
 //   wavesz_cli compress F.dat F.wsz 1800 3600 --mode wave --eb 1e-3
@@ -46,6 +50,7 @@ int usage() {
                "lo:hi[,lo:hi[,lo:hi]]]\n"
                "  wavesz_cli info       <in.wsz>\n"
                "global flags: [--trace <out.json>] [--stats]\n"
+               "              [--metrics <out.prom>] [--perf]\n"
                "\n"
                "--no-index emits the v1 container (no per-chunk offset\n"
                "table); --decode-threads n decodes v2 containers with n\n"
@@ -287,14 +292,20 @@ int main(int argc, char** argv) {
   try {
     // Strip the global telemetry flags before subcommand dispatch.
     std::string trace_path;
+    std::string metrics_path;
     bool stats = false;
+    bool perf = false;
     std::vector<char*> args;
     for (int i = 0; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--trace" && i + 1 < argc) {
         trace_path = argv[++i];
+      } else if (a == "--metrics" && i + 1 < argc) {
+        metrics_path = argv[++i];
       } else if (a == "--stats") {
         stats = true;
+      } else if (a == "--perf") {
+        perf = true;
       } else {
         args.push_back(argv[i]);
       }
@@ -303,8 +314,16 @@ int main(int argc, char** argv) {
     if (n < 2) return usage();
 
     std::unique_ptr<telemetry::Session> session;
-    if (!trace_path.empty() || stats) {
+    if (!trace_path.empty() || !metrics_path.empty() || stats || perf) {
       session = std::make_unique<telemetry::Session>();
+    }
+    if (perf) {
+      telemetry::set_perf_enabled(true);
+      if (!telemetry::perf_available()) {
+        std::fprintf(stderr,
+                     "perf: hardware counters unavailable "
+                     "(perf_event_open denied?); continuing without\n");
+      }
     }
     int rc = 2;
     const std::string cmd = args[1];
@@ -327,6 +346,13 @@ int main(int argc, char** argv) {
                            json.size()});
         std::fprintf(stderr, "trace: %zu spans -> %s\n",
                      report.events.size(), trace_path.c_str());
+      }
+      if (!metrics_path.empty()) {
+        const std::string text = telemetry::prometheus_text(report);
+        data::write_bytes(metrics_path,
+                          {reinterpret_cast<const std::uint8_t*>(text.data()),
+                           text.size()});
+        std::fprintf(stderr, "metrics: -> %s\n", metrics_path.c_str());
       }
       if (stats) {
         std::fputs(telemetry::summary_table(report).c_str(), stderr);

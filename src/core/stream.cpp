@@ -227,6 +227,8 @@ void StreamCompressor::emit_chunk() {
     pending_.erase(pending_.begin(),
                    pending_.begin() + static_cast<std::ptrdiff_t>(points));
   }
+  telemetry::observe(telemetry::Histo::StreamChunkBytes,
+                     compressed.bytes.size());
   chunks_.push_back(std::move(compressed.bytes));
 }
 

@@ -370,7 +370,8 @@ std::vector<std::uint8_t> plain_codes(std::span<const std::uint16_t> codes,
 template <typename T>
 sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
                           const sz::Config& cfg, LayoutMode mode) {
-  telemetry::Span span_all(telemetry::spans::kWaveCompress);
+  telemetry::Span span_all(telemetry::spans::kWaveCompress,
+                           telemetry::Histo::CompressNs, telemetry::kSampleHw);
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   WAVESZ_REQUIRE(dims.rank >= 2,
                  "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
@@ -471,13 +472,19 @@ sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
   sz::write_section(w, blobs[0]);
   sz::write_section(w, blobs[1]);
   out.bytes = w.take();
+  if (!out.bytes.empty()) {
+    telemetry::observe(telemetry::Histo::CompressRatioMilli,
+                       data.size_bytes() * 1000 / out.bytes.size());
+  }
   return out;
 }
 
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                             Dims* dims_out, const sz::DecodeOptions& opts) {
-  telemetry::Span span_all(telemetry::spans::kWaveDecompress);
+  telemetry::Span span_all(telemetry::spans::kWaveDecompress,
+                           telemetry::Histo::DecompressNs,
+                           telemetry::kSampleHw);
   ByteReader r(bytes);
   const sz::ContainerHeader h = sz::read_header(r);
   // A stream archive may carry SZx chunks (StreamCompressor with

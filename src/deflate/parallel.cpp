@@ -72,6 +72,7 @@ std::vector<std::vector<std::uint8_t>> deflate_batch(
       telemetry::Span span(telemetry::spans::kDeflateChunk);
       telemetry::counter_add(telemetry::Counter::DeflateChunks, 1);
       out[i] = compress(inputs[i], level);
+      telemetry::observe(telemetry::Histo::DeflateChunkBytes, out[i].size());
     }
     return out;
   }
@@ -104,8 +105,11 @@ std::vector<std::vector<std::uint8_t>> deflate_batch(
     try {
       telemetry::Span span(telemetry::spans::kDeflateChunk);
       const ChunkTask& task = tasks[t];
-      pieces[task.input_index][task.chunk_index] = compress_chunk(
-          inputs[task.input_index], task, level, opts.prime_dictionary);
+      ChunkBits& piece = pieces[task.input_index][task.chunk_index];
+      piece = compress_chunk(inputs[task.input_index], task, level,
+                             opts.prime_dictionary);
+      telemetry::observe(telemetry::Histo::DeflateChunkBytes,
+                         piece.bytes.size());
     } catch (...) {
 #ifdef _OPENMP
 #pragma omp critical

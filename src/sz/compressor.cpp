@@ -75,7 +75,8 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   if (cfg.codec == Codec::Szx) {
     return detail::szx_compress_t<T>(data, dims, cfg);
   }
-  telemetry::Span span_all(telemetry::spans::kSzCompress);
+  telemetry::Span span_all(telemetry::spans::kSzCompress,
+                           telemetry::Histo::CompressNs, telemetry::kSampleHw);
   const int pqd_nt = resolve_thread_budget(cfg.pqd_threads);
   double range = 0.0;
   {
@@ -176,13 +177,21 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   write_section(w, blobs[0]);
   write_section(w, blobs[1]);
   out.bytes = w.take();
+  // Ratio is dimensionless; the histogram stores milli-ratio so a 4.2x
+  // call lands in bucket ~4200 with the usual 3% bucketing error.
+  if (!out.bytes.empty()) {
+    telemetry::observe(telemetry::Histo::CompressRatioMilli,
+                       data.size_bytes() * 1000 / out.bytes.size());
+  }
   return out;
 }
 
 template <typename T>
 std::vector<T> decompress_t(std::span<const std::uint8_t> bytes,
                             Dims* dims_out, const DecodeOptions& opts) {
-  telemetry::Span span_all(telemetry::spans::kSzDecompress);
+  telemetry::Span span_all(telemetry::spans::kSzDecompress,
+                           telemetry::Histo::DecompressNs,
+                           telemetry::kSampleHw);
   ByteReader r(bytes);
   const ContainerHeader h = read_header(r);
   if (h.variant == Variant::SzxFast) {

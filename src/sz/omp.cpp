@@ -52,7 +52,10 @@ std::vector<Slab> partition(const Dims& dims, int blocks) {
 
 OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
                            const Config& cfg, int threads) {
-  telemetry::Span span_all(telemetry::spans::kSzCompressOmp);
+  // Hardware sampling only — per-slab sz::compress calls already feed the
+  // CompressNs/ratio histograms; binding them here too would double-count.
+  telemetry::Span span_all(telemetry::spans::kSzCompressOmp,
+                           telemetry::kSampleHw);
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   int nthreads = threads;
 #ifdef _OPENMP
@@ -112,7 +115,8 @@ OmpCompressed compress_omp(std::span<const float> data, const Dims& dims,
 
 std::vector<float> decompress_omp(std::span<const std::uint8_t> bytes,
                                   Dims* dims_out) {
-  telemetry::Span span_all(telemetry::spans::kSzDecompressOmp);
+  telemetry::Span span_all(telemetry::spans::kSzDecompressOmp,
+                           telemetry::kSampleHw);
   ByteReader r(bytes);
   WAVESZ_REQUIRE(r.u32() == kOmpMagic, "not an OpenMP SZ container");
   const int rank = r.u8();

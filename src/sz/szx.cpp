@@ -65,7 +65,8 @@ T read_value(ByteReader& r) {
 template <typename T>
 Compressed szx_compress_t(std::span<const T> data, const Dims& dims,
                           const Config& cfg) {
-  telemetry::Span span_all(telemetry::spans::kSzCompress);
+  telemetry::Span span_all(telemetry::spans::kSzCompress,
+                           telemetry::Histo::CompressNs, telemetry::kSampleHw);
   WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
   WAVESZ_REQUIRE(cfg.szx_block_elems > 0, "szx_block_elems must be positive");
   double range = 0.0;
@@ -180,10 +181,17 @@ Compressed szx_compress_t(std::span<const T> data, const Dims& dims,
   write_header(w, out.header);
   write_section(w, payload);
   out.bytes = w.take();
+  if (!out.bytes.empty()) {
+    telemetry::observe(telemetry::Histo::CompressRatioMilli,
+                       data.size_bytes() * 1000 / out.bytes.size());
+  }
   return out;
 }
 
 template <typename T>
+// No histogram/hw binding here: every caller (sz decompress_t, the wave
+// container dispatch, region decode) already holds an instrumented span, and
+// nesting two would double-count DecompressNs.
 std::vector<T> szx_decompress_t(std::span<const std::uint8_t> bytes,
                                 Dims* dims_out) {
   telemetry::Span span_all(telemetry::spans::kSzDecompress);

@@ -36,12 +36,37 @@ std::string fmt(const char* format, double v) {
   return buf;
 }
 
-/// Aggregate view of every span with the same name.
+std::string u64s(std::uint64_t v) { return std::to_string(v); }
+
+/// Aggregate view of every span with the same name. Durations are kept so
+/// exporters can report exact per-stage percentiles (events, unlike the
+/// registry histograms, may drop under ring overflow — the two views are
+/// complementary).
 struct StageStat {
   std::uint64_t count = 0;
   std::uint64_t total_ns = 0;
   std::set<std::uint32_t> tids;
   std::uint32_t min_depth = ~0u;
+  std::vector<std::uint64_t> durations_ns;
+  // Hardware-counter sums over the spans that carried samples.
+  std::uint64_t hw_spans = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  /// Exact percentile of the recorded span durations (sorts lazily — call
+  /// after aggregation is complete).
+  std::uint64_t duration_percentile(double q) {
+    if (durations_ns.empty()) return 0;
+    if (!std::is_sorted(durations_ns.begin(), durations_ns.end())) {
+      std::sort(durations_ns.begin(), durations_ns.end());
+    }
+    const std::size_t n = durations_ns.size();
+    const std::size_t rank = std::min(
+        n - 1, static_cast<std::size_t>(q * static_cast<double>(n)));
+    return durations_ns[rank];
+  }
 };
 
 std::map<std::string, StageStat> aggregate(const Report& report) {
@@ -52,8 +77,47 @@ std::map<std::string, StageStat> aggregate(const Report& report) {
     s.total_ns += e.duration_ns;
     s.tids.insert(e.tid);
     s.min_depth = std::min(s.min_depth, e.depth);
+    s.durations_ns.push_back(e.duration_ns);
+    if (e.has_perf) {
+      ++s.hw_spans;
+      s.cycles += e.hw.cycles;
+      s.instructions += e.hw.instructions;
+      s.cache_misses += e.hw.cache_misses;
+      s.branch_misses += e.hw.branch_misses;
+    }
   }
   return stages;
+}
+
+// --- Prometheus helpers ----------------------------------------------------
+
+/// Metric names already match [a-zA-Z_][a-zA-Z0-9_]*; label values need
+/// escaping of backslash, double-quote and newline per the text format.
+void prom_label_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    switch (*s) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += *s;
+    }
+  }
+}
+
+void prom_header(std::string& out, const std::string& full_name,
+                 const char* help, const char* type) {
+  out += "# HELP " + full_name + " ";
+  out += help;
+  out += "\n# TYPE " + full_name + " ";
+  out += type;
+  out += '\n';
+}
+
+void prom_stage_sample(std::string& out, const std::string& full_name,
+                       const std::string& stage, const std::string& value) {
+  out += full_name + "{stage=\"";
+  prom_label_escaped(out, stage.c_str());
+  out += "\"} " + value + '\n';
 }
 
 }  // namespace
@@ -83,20 +147,27 @@ std::string chrome_trace_json(const Report& report) {
            ",\"dur\":" +
            fmt("%.3f", static_cast<double>(e.duration_ns) / 1e3) +
            ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
-           ",\"args\":{\"depth\":" + std::to_string(e.depth) + "}}";
+           ",\"args\":{\"depth\":" + std::to_string(e.depth);
+    if (e.has_perf) {
+      out += ",\"cycles\":" + u64s(e.hw.cycles) +
+             ",\"instructions\":" + u64s(e.hw.instructions) +
+             ",\"cache_misses\":" + u64s(e.hw.cache_misses) +
+             ",\"branch_misses\":" + u64s(e.hw.branch_misses);
+    }
+    out += "}}";
   }
   out += "]}";
   return out;
 }
 
 std::string stats_json(const Report& report) {
-  const auto stages = aggregate(report);
+  auto stages = aggregate(report);
   std::string out = "{\"wall_ms\":" +
                     fmt("%.3f", static_cast<double>(report.wall_ns) / 1e6) +
                     ",\"dropped_events\":" +
                     std::to_string(report.dropped_events) + ",\"stages\":[";
   bool first = true;
-  for (const auto& [name, s] : stages) {
+  for (auto& [name, s] : stages) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
@@ -106,7 +177,43 @@ std::string stats_json(const Report& report) {
            ",\"mean_us\":" +
            fmt("%.3f", static_cast<double>(s.total_ns) / 1e3 /
                            static_cast<double>(s.count)) +
-           ",\"threads\":" + std::to_string(s.tids.size()) + "}";
+           ",\"p50_us\":" +
+           fmt("%.3f", static_cast<double>(s.duration_percentile(0.50)) / 1e3) +
+           ",\"p90_us\":" +
+           fmt("%.3f", static_cast<double>(s.duration_percentile(0.90)) / 1e3) +
+           ",\"p99_us\":" +
+           fmt("%.3f", static_cast<double>(s.duration_percentile(0.99)) / 1e3) +
+           ",\"max_us\":" +
+           fmt("%.3f", static_cast<double>(s.duration_percentile(1.0)) / 1e3) +
+           ",\"threads\":" + std::to_string(s.tids.size());
+    if (s.hw_spans > 0) {
+      out += ",\"hw_spans\":" + u64s(s.hw_spans) +
+             ",\"cycles\":" + u64s(s.cycles) +
+             ",\"instructions\":" + u64s(s.instructions) +
+             ",\"cache_misses\":" + u64s(s.cache_misses) +
+             ",\"branch_misses\":" + u64s(s.branch_misses) + ",\"ipc\":" +
+             fmt("%.3f", s.cycles > 0
+                             ? static_cast<double>(s.instructions) /
+                                   static_cast<double>(s.cycles)
+                             : 0.0);
+    }
+    out += "}";
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const HistogramSnapshot& h : report.histograms) {
+    if (h.count == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, h.name);
+    out += "\",\"unit\":\"";
+    append_escaped(out, h.unit);
+    out += "\",\"count\":" + u64s(h.count) + ",\"sum\":" + u64s(h.sum) +
+           ",\"min\":" + u64s(h.min) + ",\"max\":" + u64s(h.max) +
+           ",\"p50\":" + u64s(h.percentile(0.50)) +
+           ",\"p90\":" + u64s(h.percentile(0.90)) +
+           ",\"p99\":" + u64s(h.percentile(0.99)) + "}";
   }
   out += "],\"counters\":{";
   first = true;
@@ -122,7 +229,7 @@ std::string stats_json(const Report& report) {
 }
 
 std::string summary_table(const Report& report) {
-  const auto stages = aggregate(report);
+  auto stages = aggregate(report);
   // Sort top-level stages before nested ones, then by total time.
   std::vector<std::pair<std::string, StageStat>> rows(stages.begin(),
                                                       stages.end());
@@ -133,20 +240,61 @@ std::string summary_table(const Report& report) {
     return a.second.total_ns > b.second.total_ns;
   });
   const double wall_ms = static_cast<double>(report.wall_ns) / 1e6;
-  char line[160];
+  char line[200];
   std::string out;
   std::snprintf(line, sizeof(line), "telemetry: %.3f ms wall, %zu spans\n",
                 wall_ms, report.events.size());
   out += line;
-  std::snprintf(line, sizeof(line), "  %-24s %8s %12s %8s %8s\n", "stage",
-                "calls", "total ms", "% wall", "threads");
+  std::snprintf(line, sizeof(line),
+                "  %-24s %8s %12s %8s %10s %10s %8s\n", "stage", "calls",
+                "total ms", "% wall", "p50 us", "p99 us", "threads");
   out += line;
-  for (const auto& [name, s] : rows) {
+  for (auto& [name, s] : rows) {
     const double total_ms = static_cast<double>(s.total_ns) / 1e6;
-    std::snprintf(line, sizeof(line), "  %-24s %8llu %12.3f %7.1f%% %8zu\n",
+    std::snprintf(line, sizeof(line),
+                  "  %-24s %8llu %12.3f %7.1f%% %10.1f %10.1f %8zu\n",
                   name.c_str(), static_cast<unsigned long long>(s.count),
                   total_ms, wall_ms > 0.0 ? 100.0 * total_ms / wall_ms : 0.0,
+                  static_cast<double>(s.duration_percentile(0.50)) / 1e3,
+                  static_cast<double>(s.duration_percentile(0.99)) / 1e3,
                   s.tids.size());
+    out += line;
+  }
+  bool any_histo = false;
+  for (const HistogramSnapshot& h : report.histograms) {
+    if (h.count == 0) continue;
+    if (!any_histo) {
+      std::snprintf(line, sizeof(line), "  %-24s %8s %12s %12s %12s %12s\n",
+                    "histogram", "count", "p50", "p90", "p99", "max");
+      out += line;
+      any_histo = true;
+    }
+    std::snprintf(line, sizeof(line),
+                  "    %-22s %8llu %12llu %12llu %12llu %12llu\n", h.name,
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.percentile(0.50)),
+                  static_cast<unsigned long long>(h.percentile(0.90)),
+                  static_cast<unsigned long long>(h.percentile(0.99)),
+                  static_cast<unsigned long long>(h.max));
+    out += line;
+  }
+  bool any_hw = false;
+  for (auto& [name, s] : rows) {
+    if (s.hw_spans == 0 || s.instructions == 0) continue;
+    if (!any_hw) {
+      std::snprintf(line, sizeof(line), "  %-24s %8s %12s %12s %12s\n",
+                    "hw counters", "IPC", "Mcycles", "cm/kI", "bm/kI");
+      out += line;
+      any_hw = true;
+    }
+    const double kilo_instr = static_cast<double>(s.instructions) / 1e3;
+    std::snprintf(line, sizeof(line),
+                  "    %-22s %8.2f %12.1f %12.3f %12.3f\n", name.c_str(),
+                  static_cast<double>(s.instructions) /
+                      static_cast<double>(s.cycles),
+                  static_cast<double>(s.cycles) / 1e6,
+                  static_cast<double>(s.cache_misses) / kilo_instr,
+                  static_cast<double>(s.branch_misses) / kilo_instr);
     out += line;
   }
   bool any = false;
@@ -165,6 +313,90 @@ std::string summary_table(const Report& report) {
                   "  (%llu spans dropped: ring buffer full)\n",
                   static_cast<unsigned long long>(report.dropped_events));
     out += line;
+  }
+  return out;
+}
+
+std::string prometheus_text(const Report& report) {
+  const std::string prefix = kMetricPrefix;
+  std::string out;
+  out.reserve(4096);
+
+  prom_header(out, prefix + "wall_seconds",
+              "telemetry session duration", "gauge");
+  out += prefix + "wall_seconds " +
+         fmt("%.9g", static_cast<double>(report.wall_ns) / 1e9) + '\n';
+
+  for (std::size_t i = 0; i < report.counters.size(); ++i) {
+    const MetricInfo& info = counter_info(static_cast<Counter>(i));
+    const std::string full = prefix + info.name + "_total";
+    prom_header(out, full, info.help, "counter");
+    out += full + ' ' + u64s(report.counters[i].value) + '\n';
+  }
+
+  auto stages = aggregate(report);
+  if (!stages.empty()) {
+    const std::string secs = prefix + "stage_seconds_total";
+    prom_header(out, secs, "wall time spent in each pipeline stage",
+                "counter");
+    for (auto& [name, s] : stages) {
+      prom_stage_sample(out, secs, name,
+                        fmt("%.9g", static_cast<double>(s.total_ns) / 1e9));
+    }
+    const std::string calls = prefix + "stage_calls_total";
+    prom_header(out, calls, "span count per pipeline stage", "counter");
+    for (auto& [name, s] : stages) {
+      prom_stage_sample(out, calls, name, u64s(s.count));
+    }
+    bool any_hw = false;
+    for (auto& [name, s] : stages) any_hw = any_hw || s.hw_spans > 0;
+    if (any_hw) {
+      struct HwSeries {
+        const char* suffix;
+        const char* help;
+        std::uint64_t StageStat::* member;
+      };
+      static constexpr HwSeries kHwSeries[] = {
+          {"stage_cycles_total", "CPU cycles per stage (sampled spans)",
+           &StageStat::cycles},
+          {"stage_instructions_total",
+           "retired instructions per stage (sampled spans)",
+           &StageStat::instructions},
+          {"stage_cache_misses_total",
+           "cache misses per stage (sampled spans)",
+           &StageStat::cache_misses},
+          {"stage_branch_misses_total",
+           "branch misses per stage (sampled spans)",
+           &StageStat::branch_misses},
+      };
+      for (const HwSeries& series : kHwSeries) {
+        const std::string full = prefix + series.suffix;
+        prom_header(out, full, series.help, "counter");
+        for (auto& [name, s] : stages) {
+          if (s.hw_spans == 0) continue;
+          prom_stage_sample(out, full, name, u64s(s.*(series.member)));
+        }
+      }
+    }
+  }
+
+  for (const HistogramSnapshot& h : report.histograms) {
+    if (h.name == nullptr) continue;
+    const std::string full = prefix + h.name;
+    prom_header(out, full, h.help, "histogram");
+    // Cumulative buckets over the non-empty histogram buckets: `le` values
+    // are the log-linear bucket upper bounds, strictly increasing, and the
+    // +Inf bucket always equals _count as the format requires.
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out += full + "_bucket{le=\"" + u64s(histo_bucket_upper(b)) + "\"} " +
+             u64s(cumulative) + '\n';
+    }
+    out += full + "_bucket{le=\"+Inf\"} " + u64s(h.count) + '\n';
+    out += full + "_sum " + u64s(h.sum) + '\n';
+    out += full + "_count " + u64s(h.count) + '\n';
   }
   return out;
 }

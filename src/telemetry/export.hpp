@@ -2,10 +2,19 @@
 //
 //   * chrome_trace_json — Chrome trace-event format ("X" complete events
 //     with ts/dur in microseconds, plus thread_name metadata). Loads in
-//     Perfetto (ui.perfetto.dev) and chrome://tracing.
-//   * stats_json — flat machine-readable report: per-stage aggregates,
-//     every counter, wall time. One object, stable keys, for scripts.
-//   * summary_table — human-readable per-stage breakdown for terminals.
+//     Perfetto (ui.perfetto.dev) and chrome://tracing. kSampleHw spans
+//     carry their hardware-counter deltas in args.
+//   * stats_json — flat machine-readable report: per-stage aggregates with
+//     duration percentiles and hardware-counter sums, every counter, the
+//     registry histograms with p50/p90/p99, wall time. One object, stable
+//     keys, for scripts.
+//   * summary_table — human-readable per-stage breakdown for terminals,
+//     with p50/p99 columns, histogram percentiles, per-stage IPC and miss
+//     rates when hardware sampling ran, and the dropped-span count.
+//   * prometheus_text — Prometheus text exposition format (version 0.0.4):
+//     counters as *_total, registry histograms as native histogram series
+//     (_bucket{le=...}/_sum/_count), per-stage time/calls/hardware series
+//     keyed by a stage label. Ready to serve from a /metrics endpoint.
 #pragma once
 
 #include <string>
@@ -19,12 +28,19 @@ namespace wavesz::telemetry {
 std::string chrome_trace_json(const Report& report);
 
 /// Flat stats JSON: {"wall_ms": ..., "dropped_events": ...,
-/// "stages": [{"name", "count", "total_ms", "mean_us", "threads"}...],
-/// "counters": {"code_bytes_in": ..., ...}}.
+/// "stages": [{"name", "count", "total_ms", "mean_us", "p50_us", "p90_us",
+/// "p99_us", "max_us", "threads", ...perf keys when sampled}...],
+/// "histograms": [{"name", "unit", "count", "sum", "min", "max", "p50",
+/// "p90", "p99"}...], "counters": {"code_bytes_in": ..., ...}}.
 std::string stats_json(const Report& report);
 
-/// Human-readable stage table (name, calls, total ms, % of wall, threads)
-/// followed by the non-zero counters.
+/// Human-readable stage table (name, calls, total ms, % of wall, p50/p99,
+/// threads) followed by histogram percentiles, hardware-counter rates per
+/// stage (when sampled), and the counters.
 std::string summary_table(const Report& report);
+
+/// Prometheus text exposition (content type text/plain; version=0.0.4).
+/// Every series is prefixed with telemetry::kMetricPrefix.
+std::string prometheus_text(const Report& report);
 
 }  // namespace wavesz::telemetry

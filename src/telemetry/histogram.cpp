@@ -1,0 +1,40 @@
+#include "telemetry/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wavesz::telemetry {
+
+std::uint64_t HistogramSnapshot::percentile(double q) const {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < kHistoBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return std::clamp(histo_bucket_upper(i), min, max);
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::merge_shard(const HistoShard& shard) {
+  const std::uint64_t shard_count =
+      shard.count.load(std::memory_order_relaxed);
+  if (shard_count == 0) return;
+  if (buckets.empty()) buckets.assign(kHistoBuckets, 0);
+  for (std::uint32_t i = 0; i < kHistoBuckets; ++i) {
+    buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+  }
+  const std::uint64_t shard_min = shard.min.load(std::memory_order_relaxed);
+  const std::uint64_t shard_max = shard.max.load(std::memory_order_relaxed);
+  min = count == 0 ? shard_min : std::min(min, shard_min);
+  max = std::max(max, shard_max);
+  count += shard_count;
+  sum += shard.sum.load(std::memory_order_relaxed);
+}
+
+}  // namespace wavesz::telemetry

@@ -1,0 +1,122 @@
+// Lock-free log-linear histograms (HDR-style bucketing).
+//
+// Bucketing: values below 2^kHistoSubBits land in exact unit buckets; every
+// larger power-of-two octave is split into kHistoSub linear sub-buckets, so
+// the relative bucket width — and therefore the worst-case quantile error —
+// is bounded by 1/kHistoSub (3.125% at the default 32 sub-buckets) across
+// the full uint64 range. Bucket index math is branch-light (one bit_width)
+// and shared verbatim between the recorder and the test oracles.
+//
+// Concurrency model (the same one the span ring buffers use): each thread
+// records into its own HistoShard — plain relaxed atomic increments with a
+// single writer, so there is no contention and no locking on the hot path —
+// and Session::stop() merges every shard into a HistogramSnapshot under the
+// registry mutex. Relaxed atomics (not plain loads) keep the concurrent
+// drain TSan-clean.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace wavesz::telemetry {
+
+inline constexpr std::uint32_t kHistoSubBits = 5;
+inline constexpr std::uint32_t kHistoSub = 1u << kHistoSubBits;  // 32
+
+/// Exact buckets for [0, kHistoSub), then kHistoSub sub-buckets for each of
+/// the remaining 64 - kHistoSubBits octaves: 60 * 32 = 1920 buckets total.
+inline constexpr std::uint32_t kHistoBuckets =
+    (64 - kHistoSubBits + 1) * kHistoSub;
+
+/// Bucket index of a value. Monotone in `v`; exact below kHistoSub.
+constexpr std::uint32_t histo_bucket(std::uint64_t v) noexcept {
+  if (v < kHistoSub) return static_cast<std::uint32_t>(v);
+  // Normalize the top kHistoSubBits+1 bits into [kHistoSub, 2*kHistoSub):
+  // the shift count doubles per octave, the mantissa picks the sub-bucket.
+  const int shift =
+      static_cast<int>(std::bit_width(v)) - static_cast<int>(kHistoSubBits) - 1;
+  const std::uint64_t mantissa = v >> shift;
+  return kHistoSub * static_cast<std::uint32_t>(shift) +
+         static_cast<std::uint32_t>(mantissa);
+}
+
+/// Smallest value mapping to bucket `idx`.
+constexpr std::uint64_t histo_bucket_lower(std::uint32_t idx) noexcept {
+  if (idx < kHistoSub) return idx;
+  const std::uint32_t shift = idx / kHistoSub - 1;
+  const std::uint64_t mantissa = idx - shift * kHistoSub;
+  return mantissa << shift;
+}
+
+/// Largest value mapping to bucket `idx` (wraps to uint64 max on the last
+/// bucket, where (mantissa+1) << shift overflows to exactly 2^64).
+constexpr std::uint64_t histo_bucket_upper(std::uint32_t idx) noexcept {
+  if (idx < kHistoSub) return idx;
+  const std::uint32_t shift = idx / kHistoSub - 1;
+  const std::uint64_t mantissa = idx - shift * kHistoSub;
+  return ((mantissa + 1) << shift) - 1;
+}
+
+/// One thread's shard of one histogram. Single writer; merged concurrently
+/// by the session drain, hence the relaxed atomics. record() is the hot
+/// path: one bucket increment plus count/sum/min/max bookkeeping, no loops,
+/// no locks, no allocation.
+struct HistoShard {
+  std::array<std::atomic<std::uint64_t>, kHistoBuckets> buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max{0};
+
+  void record(std::uint64_t v) noexcept {
+    buckets[histo_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+    // Single writer: load+store is race-free for this thread; the drain
+    // only ever reads, so relaxed visibility is all it needs.
+    if (v < min.load(std::memory_order_relaxed)) {
+      min.store(v, std::memory_order_relaxed);
+    }
+    if (v > max.load(std::memory_order_relaxed)) {
+      max.store(v, std::memory_order_relaxed);
+    }
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void reset() noexcept {
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    min.store(std::numeric_limits<std::uint64_t>::max(),
+              std::memory_order_relaxed);
+    max.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Merged, immutable view of one histogram across every thread shard.
+/// Bucket counts are bit-exact sums of the shard counts; only the quantile
+/// *values* carry the 1/kHistoSub bucketing error.
+struct HistogramSnapshot {
+  const char* name = nullptr;
+  const char* unit = nullptr;
+  const char* help = nullptr;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  std::vector<std::uint64_t> buckets;  ///< size kHistoBuckets (empty if unused)
+
+  /// Value at quantile q in [0, 1]: upper bound of the bucket holding the
+  /// ceil(q * count)-th recording, clamped to [min, max]. Returns 0 when
+  /// the histogram is empty.
+  std::uint64_t percentile(double q) const;
+
+  /// Sum the shard counts of `shard` into this snapshot.
+  void merge_shard(const HistoShard& shard);
+};
+
+}  // namespace wavesz::telemetry

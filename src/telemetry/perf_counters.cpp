@@ -1,0 +1,145 @@
+#include "telemetry/perf_counters.hpp"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace wavesz::telemetry {
+namespace {
+
+std::atomic<bool> g_perf_requested{false};
+std::atomic<bool> g_perf_forced_off{false};
+// -1 unknown, 0 unavailable, 1 available. Probed on first query.
+std::atomic<int> g_perf_probe{-1};
+
+#if defined(__linux__)
+
+long open_event(std::uint64_t config, int group_fd) noexcept {
+  perf_event_attr attr{};
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = config;
+  // exclude_kernel/hv keeps the group openable at perf_event_paranoid <= 2
+  // (the common unprivileged default); stricter hosts fail the open and we
+  // fall back to the no-op path.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return syscall(SYS_perf_event_open, &attr, 0, -1, group_fd,
+                 PERF_FLAG_FD_CLOEXEC);
+}
+
+/// Per-thread counter group: cycles leads, the siblings are read with the
+/// leader in one syscall so the four values describe the same interval.
+/// All-or-nothing: a host that grants cycles but not cache-misses would
+/// otherwise report deltas that silently mean different things per field.
+struct PerfGroup {
+  int leader = -1;
+  int siblings[3] = {-1, -1, -1};
+  bool ok = false;
+
+  PerfGroup() noexcept {
+    const long fd = open_event(PERF_COUNT_HW_CPU_CYCLES, -1);
+    if (fd < 0) return;
+    leader = static_cast<int>(fd);
+    static constexpr std::uint64_t kSiblingConfigs[3] = {
+        PERF_COUNT_HW_INSTRUCTIONS, PERF_COUNT_HW_CACHE_MISSES,
+        PERF_COUNT_HW_BRANCH_MISSES};
+    ok = true;
+    for (int i = 0; i < 3; ++i) {
+      const long sib = open_event(kSiblingConfigs[i], leader);
+      if (sib < 0) {
+        ok = false;
+        break;
+      }
+      siblings[i] = static_cast<int>(sib);
+    }
+    if (!ok) close_all();
+  }
+
+  ~PerfGroup() { close_all(); }
+  PerfGroup(const PerfGroup&) = delete;
+  PerfGroup& operator=(const PerfGroup&) = delete;
+
+  void close_all() noexcept {
+    for (int i = 0; i < 3; ++i) {
+      if (siblings[i] >= 0) close(siblings[i]);
+      siblings[i] = -1;
+    }
+    if (leader >= 0) close(leader);
+    leader = -1;
+    ok = false;
+  }
+
+  bool read_group(std::uint64_t out[4]) const noexcept {
+    if (!ok) return false;
+    // PERF_FORMAT_GROUP layout: u64 nr, then one u64 value per event.
+    std::uint64_t buf[5] = {};
+    const ssize_t want = static_cast<ssize_t>(sizeof(buf));
+    if (read(leader, buf, sizeof(buf)) != want || buf[0] != 4) return false;
+    for (int i = 0; i < 4; ++i) out[i] = buf[1 + i];
+    return true;
+  }
+};
+
+PerfGroup& local_group() noexcept {
+  thread_local PerfGroup group;
+  return group;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+bool perf_available() noexcept {
+  if (g_perf_forced_off.load(std::memory_order_relaxed)) return false;
+#if defined(__linux__)
+  int probe = g_perf_probe.load(std::memory_order_relaxed);
+  if (probe < 0) {
+    probe = local_group().ok ? 1 : 0;
+    g_perf_probe.store(probe, std::memory_order_relaxed);
+  }
+  return probe == 1;
+#else
+  return false;
+#endif
+}
+
+void set_perf_enabled(bool on) noexcept {
+  g_perf_requested.store(on, std::memory_order_relaxed);
+}
+
+bool perf_enabled() noexcept {
+  return g_perf_requested.load(std::memory_order_relaxed) &&
+         perf_available();
+}
+
+PerfReading perf_now() noexcept {
+  PerfReading r;
+  if (!perf_enabled()) return r;
+#if defined(__linux__)
+  std::uint64_t values[4];
+  if (local_group().read_group(values)) {
+    r.cycles = values[0];
+    r.instructions = values[1];
+    r.cache_misses = values[2];
+    r.branch_misses = values[3];
+    r.valid = true;
+  }
+#endif
+  return r;
+}
+
+namespace detail {
+
+void force_perf_unavailable_for_test(bool forced) noexcept {
+  g_perf_forced_off.store(forced, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace wavesz::telemetry

@@ -1,0 +1,75 @@
+// Hardware performance-counter sampling via perf_event_open.
+//
+// On Linux each sampling thread lazily opens one counter group (cycles as
+// leader; instructions, cache-misses, branch-misses as siblings, read with
+// a single PERF_FORMAT_GROUP read() so the four values are mutually
+// consistent). Everywhere else — and on Linux hosts where
+// perf_event_paranoid or a container seccomp policy denies the syscall —
+// the subsystem degrades to a guaranteed no-op: perf_available() is false,
+// perf_now() returns an invalid reading, and spans simply carry no
+// hardware data. Nothing throws and no diagnostic is required to proceed.
+//
+// Sampling is opt-in (set_perf_enabled) because each reading is a syscall
+// (~1 us): it is attached only to the coarse pipeline-stage spans, never
+// to per-chunk or per-block ones, and only when a caller asked for it
+// (CLI --perf, bench --perf).
+#pragma once
+
+#include <cstdint>
+
+namespace wavesz::telemetry {
+
+/// One snapshot of the calling thread's counter group. `valid` is false
+/// when sampling is disabled or the counters could not be opened.
+struct PerfReading {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  bool valid = false;
+};
+
+/// Component-wise delta (b - a) of two readings from the same thread.
+/// Saturates at zero instead of wrapping: under counter multiplexing the
+/// kernel can report a later scaled estimate below an earlier one, and a
+/// wrapped 2^64-ish delta would poison every aggregate downstream.
+inline PerfReading perf_delta(const PerfReading& a, const PerfReading& b) {
+  PerfReading d;
+  d.valid = a.valid && b.valid;
+  if (d.valid) {
+    const auto sat = [](std::uint64_t lo, std::uint64_t hi) {
+      return hi >= lo ? hi - lo : 0;
+    };
+    d.cycles = sat(a.cycles, b.cycles);
+    d.instructions = sat(a.instructions, b.instructions);
+    d.cache_misses = sat(a.cache_misses, b.cache_misses);
+    d.branch_misses = sat(a.branch_misses, b.branch_misses);
+  }
+  return d;
+}
+
+/// True iff this process can open hardware counters (probed once, cached).
+bool perf_available() noexcept;
+
+/// Request (or drop) hardware sampling. Takes effect only where counters
+/// are available; calling it is always safe.
+void set_perf_enabled(bool on) noexcept;
+
+/// True iff sampling was requested AND counters are available: the single
+/// cheap gate every sampling site checks.
+bool perf_enabled() noexcept;
+
+/// Read the calling thread's counter group now. Invalid (all zeros,
+/// valid == false) unless perf_enabled().
+PerfReading perf_now() noexcept;
+
+namespace detail {
+
+/// Test hook: force perf_available() to report false (and perf_enabled()
+/// with it), regardless of the host, so the fallback path is exercisable
+/// on machines where counters do work.
+void force_perf_unavailable_for_test(bool forced) noexcept;
+
+}  // namespace detail
+
+}  // namespace wavesz::telemetry

@@ -21,6 +21,8 @@ struct RawSpan {
   std::uint64_t t0_ns;
   std::uint64_t t1_ns;
   std::uint32_t depth;
+  bool has_perf;
+  std::uint64_t hw[4];  ///< cycles, instructions, cache-misses, branch-misses
 };
 
 /// Single-writer ring: the owning thread stores the slot then publishes the
@@ -34,6 +36,10 @@ struct ThreadLog {
   std::atomic<std::uint64_t> drained{0};
   std::atomic<std::uint64_t> dropped{0};
   std::array<RawSpan, kRingCapacity> slots;
+  /// This thread's histogram shards, one per distribution metric: written
+  /// only by the owner (relaxed atomics), merged and reset by the session
+  /// drain under g_registry's mutex.
+  std::array<HistoShard, static_cast<std::size_t>(Histo::kCount)> histos;
 };
 
 /// Registry of every thread that ever recorded a span. Logs are never
@@ -66,22 +72,7 @@ std::array<std::atomic<std::uint64_t>,
            static_cast<std::size_t>(Counter::kCount)>
     g_counters{};
 
-constexpr const char* kCounterNames[] = {
-    "code_bytes_in",     "code_bytes_out",        "unpred_bytes_in",
-    "unpred_bytes_out",  "quant_predictable",     "quant_unpredictable",
-    "huffman_table_ns",  "deflate_chunks",        "pqd_diagonal_batches",
-    "omp_slabs",         "stream_chunks",        "inflate_blocks",
-    "crc_bytes",         "index_chunks_decoded", "region_bytes_read",
-};
-static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
-                  static_cast<std::size_t>(Counter::kCount),
-              "counter_name table out of sync with Counter");
-
 }  // namespace
-
-const char* counter_name(Counter c) {
-  return kCounterNames[static_cast<std::size_t>(c)];
-}
 
 namespace detail {
 
@@ -98,6 +89,11 @@ void span_open() noexcept { ++local_log().depth; }
 
 void record_span(const char* name, std::uint64_t t0_ns,
                  std::uint64_t t1_ns) noexcept {
+  record_span_hw(name, t0_ns, t1_ns, nullptr);
+}
+
+void record_span_hw(const char* name, std::uint64_t t0_ns,
+                    std::uint64_t t1_ns, const PerfReading* hw) noexcept {
   ThreadLog& log = local_log();
   // Depth counts *enclosing* spans still open on this thread. Spans commit
   // at close, children before parents; depth is captured here so exporters
@@ -109,7 +105,15 @@ void record_span(const char* name, std::uint64_t t0_ns,
     log.dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  log.slots[n % kRingCapacity] = RawSpan{name, t0_ns, t1_ns, log.depth};
+  RawSpan raw{name, t0_ns, t1_ns, log.depth, false, {0, 0, 0, 0}};
+  if (hw != nullptr) {
+    raw.has_perf = true;
+    raw.hw[0] = hw->cycles;
+    raw.hw[1] = hw->instructions;
+    raw.hw[2] = hw->cache_misses;
+    raw.hw[3] = hw->branch_misses;
+  }
+  log.slots[n % kRingCapacity] = raw;
   log.count.store(n + 1, std::memory_order_release);
 }
 
@@ -118,10 +122,18 @@ void counter_add_enabled(Counter c, std::uint64_t delta) noexcept {
       delta, std::memory_order_relaxed);
 }
 
+void observe_enabled(Histo h, std::uint64_t value) noexcept {
+  local_log().histos[static_cast<std::size_t>(h)].record(value);
+}
+
 }  // namespace detail
 
 std::uint64_t Report::counter(Counter c) const {
   return counters[static_cast<std::size_t>(c)].value;
+}
+
+const HistogramSnapshot& Report::histogram(Histo h) const {
+  return histograms[static_cast<std::size_t>(h)];
 }
 
 Session::Session() {
@@ -139,6 +151,7 @@ Session::Session() {
       log->drained.store(log->count.load(std::memory_order_acquire),
                          std::memory_order_relaxed);
       log->dropped.store(0, std::memory_order_relaxed);
+      for (auto& shard : log->histos) shard.reset();
     }
   }
   t0_ns_ = detail::now_ns();
@@ -159,6 +172,7 @@ Report Session::stop() {
   detail::g_enabled.store(false, std::memory_order_relaxed);
   report.wall_ns = detail::now_ns() - t0_ns_;
 
+  report.histograms.resize(static_cast<std::size_t>(Histo::kCount));
   auto& reg = registry();
   {
     std::lock_guard<std::mutex> lock(reg.mutex);
@@ -175,11 +189,22 @@ Report Session::stop() {
         e.duration_ns = raw.t1_ns - std::max(raw.t0_ns, t0_ns_);
         e.tid = log->tid;
         e.depth = raw.depth;
+        if (raw.has_perf) {
+          e.has_perf = true;
+          e.hw.valid = true;
+          e.hw.cycles = raw.hw[0];
+          e.hw.instructions = raw.hw[1];
+          e.hw.cache_misses = raw.hw[2];
+          e.hw.branch_misses = raw.hw[3];
+        }
         report.events.push_back(e);
       }
       log->drained.store(end, std::memory_order_relaxed);
       report.dropped_events +=
           log->dropped.exchange(0, std::memory_order_relaxed);
+      for (std::size_t h = 0; h < report.histograms.size(); ++h) {
+        report.histograms[h].merge_shard(log->histos[h]);
+      }
     }
   }
   std::sort(report.events.begin(), report.events.end(),
@@ -188,15 +213,28 @@ Report Session::stop() {
                                               : a.duration_ns > b.duration_ns;
             });
   reg.session_active.store(false);
+#else
+  report.histograms.resize(static_cast<std::size_t>(Histo::kCount));
 #endif
+  for (std::size_t i = 0; i < report.histograms.size(); ++i) {
+    const MetricInfo& info = histo_info(static_cast<Histo>(i));
+    report.histograms[i].name = info.name;
+    report.histograms[i].unit = info.unit;
+    report.histograms[i].help = info.help;
+  }
   report.counters.resize(static_cast<std::size_t>(Counter::kCount));
   for (std::size_t i = 0; i < report.counters.size(); ++i) {
-    report.counters[i].name = kCounterNames[i];
+    report.counters[i].name = kCounterInfo[i].name;
 #ifndef WAVESZ_TELEMETRY_DISABLED
     report.counters[i].value =
         g_counters[i].load(std::memory_order_relaxed);
 #endif
   }
+  // Ring overflow is data loss; surface it as a first-class counter so the
+  // stats JSON, terminal summary, and Prometheus exposition all carry it
+  // without special-casing (Report::dropped_events stays for direct use).
+  report.counters[static_cast<std::size_t>(Counter::SpansDropped)].value =
+      report.dropped_events;
   return report;
 }
 

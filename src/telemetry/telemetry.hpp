@@ -30,32 +30,14 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/histogram.hpp"
+#include "telemetry/metric_names.hpp"
+#include "telemetry/perf_counters.hpp"
+
 namespace wavesz::telemetry {
 
-/// Fixed counter registry: adds are single relaxed atomic increments, so
-/// the set is an enum rather than a string-keyed map. Keep counter_name()
-/// in telemetry.cpp in sync.
-enum class Counter : std::uint32_t {
-  CodeBytesIn = 0,     ///< plain (pre-DEFLATE) bytes of the code section
-  CodeBytesOut,        ///< gzip bytes of the code section
-  UnpredBytesIn,       ///< plain bytes of the unpredictable/verbatim section
-  UnpredBytesOut,      ///< gzip bytes of the unpredictable/verbatim section
-  QuantPredictable,    ///< points whose quantization hit (code != 0)
-  QuantUnpredictable,  ///< points falling back to the unpredictable stream
-  HuffmanTableBuildNs, ///< wall time spent building Huffman code tables
-  DeflateChunks,       ///< DEFLATE chunks encoded (1 per input when serial)
-  PqdDiagonalBatches,  ///< anti-diagonal hyperplane batches swept
-  OmpSlabs,            ///< slabs processed by compress_omp/decompress_omp
-  StreamChunks,        ///< chunks emitted/decoded by the streaming API
-  InflateBlocks,       ///< DEFLATE blocks inflated (fast or reference path)
-  CrcBytes,            ///< bytes checksummed while verifying gzip members
-  IndexChunksDecoded,  ///< v2 chunk-index chunks decoded (parallel or serial)
-  RegionBytesRead,     ///< compressed bytes consumed by decode_region()
-  kCount
-};
-
 /// Stable machine-readable name of a counter ("code_bytes_in", ...).
-const char* counter_name(Counter c);
+inline const char* counter_name(Counter c) { return counter_info(c).name; }
 
 namespace detail {
 
@@ -70,7 +52,15 @@ void span_open() noexcept;
 void record_span(const char* name, std::uint64_t t0_ns,
                  std::uint64_t t1_ns) noexcept;
 
+/// As record_span, additionally attaching hardware-counter deltas (may be
+/// null) — selected coarse-stage spans only.
+void record_span_hw(const char* name, std::uint64_t t0_ns,
+                    std::uint64_t t1_ns, const PerfReading* hw) noexcept;
+
 void counter_add_enabled(Counter c, std::uint64_t delta) noexcept;
+
+/// Record one value into the calling thread's shard of histogram `h`.
+void observe_enabled(Histo h, std::uint64_t value) noexcept;
 
 }  // namespace detail
 
@@ -94,11 +84,75 @@ inline void counter_add(Counter c, std::uint64_t delta) noexcept {
 #endif
 }
 
-/// RAII scoped span. `name` must have static storage duration (use string
-/// literals): only the pointer is recorded, never a copy.
+/// Record one value into distribution metric `h`; no-op unless a Session
+/// is live. Hot-path cost when on: one bucket index + a handful of relaxed
+/// atomic adds into the calling thread's shard.
+inline void observe(Histo h, std::uint64_t value) noexcept {
+#ifdef WAVESZ_TELEMETRY_DISABLED
+  (void)h;
+  (void)value;
+#else
+  if (enabled()) detail::observe_enabled(h, value);
+#endif
+}
+
+/// Span construction option: also sample the hardware-counter group at
+/// open/close and attach the deltas to the recorded span. Only meaningful
+/// on coarse pipeline-stage spans (each sample is a syscall) and only
+/// active when set_perf_enabled(true) and counters are available.
+struct SampleHw {};
+inline constexpr SampleHw kSampleHw{};
+
+/// RAII scoped span. `name` must have static storage duration (use the
+/// constants in span_names.hpp): only the pointer is recorded, never a
+/// copy. The optional Histo also feeds the span's duration into that
+/// distribution metric; the optional kSampleHw tag attaches hardware
+/// counter deltas (see SampleHw).
 class Span {
  public:
-  explicit Span(const char* name) noexcept {
+  explicit Span(const char* name) noexcept { open(name); }
+  Span(const char* name, Histo duration_histo) noexcept {
+    open(name);
+#ifndef WAVESZ_TELEMETRY_DISABLED
+    histo_ = duration_histo;
+#else
+    (void)duration_histo;
+#endif
+  }
+  Span(const char* name, SampleHw) noexcept {
+    open(name);
+    sample_hw();
+  }
+  Span(const char* name, Histo duration_histo, SampleHw) noexcept {
+    open(name);
+#ifndef WAVESZ_TELEMETRY_DISABLED
+    histo_ = duration_histo;
+#else
+    (void)duration_histo;
+#endif
+    sample_hw();
+  }
+  ~Span() {
+#ifndef WAVESZ_TELEMETRY_DISABLED
+    if (name_ != nullptr) {
+      const std::uint64_t t1 = detail::now_ns();
+      if (hw0_.valid) {
+        const PerfReading d = perf_delta(hw0_, perf_now());
+        detail::record_span_hw(name_, t0_, t1, d.valid ? &d : nullptr);
+      } else {
+        detail::record_span(name_, t0_, t1);
+      }
+      if (histo_ != Histo::kCount) {
+        detail::observe_enabled(histo_, t1 - t0_);
+      }
+    }
+#endif
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void open(const char* name) noexcept {
 #ifdef WAVESZ_TELEMETRY_DISABLED
     (void)name;
 #else
@@ -109,18 +163,17 @@ class Span {
     }
 #endif
   }
-  ~Span() {
+  void sample_hw() noexcept {
 #ifndef WAVESZ_TELEMETRY_DISABLED
-    if (name_ != nullptr) detail::record_span(name_, t0_, detail::now_ns());
+    if (name_ != nullptr && perf_enabled()) hw0_ = perf_now();
 #endif
   }
-  Span(const Span&) = delete;
-  Span& operator=(const Span&) = delete;
 
- private:
 #ifndef WAVESZ_TELEMETRY_DISABLED
   const char* name_ = nullptr;
   std::uint64_t t0_ = 0;
+  Histo histo_ = Histo::kCount;
+  PerfReading hw0_;
 #endif
 };
 
@@ -131,6 +184,10 @@ struct SpanEvent {
   std::uint64_t duration_ns = 0;
   std::uint32_t tid = 0;    ///< dense per-process thread ordinal (0 = first)
   std::uint32_t depth = 0;  ///< nesting depth within its thread at open time
+  /// Hardware-counter deltas over the span (valid == has_perf); present
+  /// only on kSampleHw spans when sampling is enabled and available.
+  PerfReading hw;
+  bool has_perf = false;
 };
 
 struct CounterValue {
@@ -143,10 +200,14 @@ struct CounterValue {
 struct Report {
   std::vector<SpanEvent> events;      ///< all threads, sorted by start_ns
   std::vector<CounterValue> counters; ///< every counter, zero or not
+  /// Merged distribution metrics, indexed by Histo; always Histo::kCount
+  /// entries with registry metadata filled in, empty buckets when unused.
+  std::vector<HistogramSnapshot> histograms;
   std::uint64_t dropped_events = 0;   ///< spans lost to full ring buffers
   std::uint64_t wall_ns = 0;          ///< session duration
 
   std::uint64_t counter(Counter c) const;
+  const HistogramSnapshot& histogram(Histo h) const;
 };
 
 /// Enables collection for its lifetime. Only one Session may be live at a

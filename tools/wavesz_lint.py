@@ -12,6 +12,12 @@ repo's own contracts, the ones a generic checker cannot know about:
                     telemetry/span_names.hpp, never from a string
                     literal; a typo'd literal silently forks a span
                     series, a typo'd constant does not compile.
+  metric-names      exported metric names come from the registry in
+                    telemetry/metric_names.hpp (Counter/Histo enums plus
+                    kMetricPrefix); a string literal starting "wavesz_"
+                    anywhere else in src/ hand-rolls a series name that
+                    the registry (and its exporters and lint gates)
+                    cannot see.
   determinism       no rand()/srand()/time()/locale calls in src/:
                     compression output must be a pure function of input
                     bytes + config so golden files and cross-run parity
@@ -56,6 +62,7 @@ import tempfile
 RULES = (
     "raw-memory",
     "span-names",
+    "metric-names",
     "determinism",
     "parse-discipline",
     "simd-containment",
@@ -89,6 +96,12 @@ RAW_MEMORY_RE = re.compile(r"\b(?:std::)?(?:memcpy|memmove)\s*\(|"
                            r"\breinterpret_cast\s*<")
 
 SPAN_LITERAL_RE = re.compile(r"\bSpan\s+\w+\s*\(\s*\"|\bSpan\s*\(\s*\"")
+
+# The only file that may spell the exposition prefix in a string literal:
+# the registry that defines it.
+METRIC_NAMES_SANCTIONED = (
+    os.path.join("telemetry", "metric_names.hpp"),
+)
 
 DETERMINISM_RE = re.compile(
     r"\b(?:std::)?(?:rand|srand|rand_r|time|localtime|localtime_r|gmtime|"
@@ -288,6 +301,29 @@ def lint_file(path: str, rel: str, findings: list[Finding]) -> None:
                     f"nondeterministic call `{m.group(0).strip()}` in "
                     "src/; compression must be a pure function of "
                     "input + config"))
+
+    # metric-names: the stripped text blanks string *contents* (keeping the
+    # delimiters), so match the literal in the raw line and use the stripped
+    # line only to confirm the quote is real code (comments lose their
+    # quotes entirely when stripped).
+    in_metric_registry = any(rel.endswith(p) for p in METRIC_NAMES_SANCTIONED)
+    if not in_metric_registry:
+        for idx, raw_line in enumerate(raw_lines, start=1):
+            col = raw_line.find('"wavesz_')
+            if col < 0:
+                continue
+            stripped = code_lines[idx - 1] if idx - 1 < len(code_lines) \
+                else ""
+            if col >= len(stripped) or stripped[col] != '"':
+                continue  # inside a comment, not a code literal
+            if not is_suppressed(suppressed, idx, "metric-names"):
+                findings.append(Finding(
+                    rel, idx, "metric-names",
+                    'string literal "wavesz_..." outside '
+                    "telemetry/metric_names.hpp; exported series names "
+                    "come from the Counter/Histo registry and "
+                    "kMetricPrefix, or add "
+                    "`// wavesz-lint: allow(metric-names) <why>`"))
 
     # parse-discipline: a ByteReader constructed over untrusted bytes
     # must sit in a function that states its contract explicitly.
