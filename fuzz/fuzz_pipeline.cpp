@@ -1,0 +1,159 @@
+// Fuzz target: pipelined-vs-barrier compression equivalence.
+//
+// Contract: for ANY config/field the staged slab pipeline (pipeline_depth
+// >= 1) must produce exactly the bytes of the barrier path (depth 0) — or
+// fail with wavesz::Error exactly when the barrier path fails. The input
+// bytes are a recipe, not a container: they pick the depth, the codec /
+// container variant, the grid shape and the error bound, and the remainder
+// becomes the field (non-finite values included, so NaN/Inf rejection has
+// to agree between the two paths too). Any divergence aborts.
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "core/stream.hpp"
+#include "core/wavesz.hpp"
+#include "fuzz_common.hpp"
+#include "sz/compressor.hpp"
+#include "sz/config.hpp"
+#include "util/dims.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+/// Outcome of one compress attempt: the container bytes, or "it threw".
+struct Outcome {
+  bool ok = false;
+  std::vector<std::uint8_t> bytes;
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+template <typename Fn>
+Outcome attempt(Fn&& fn) {
+  Outcome o;
+  try {
+    o.bytes = fn();
+    o.ok = true;
+  } catch (const wavesz::Error&) {
+  }
+  return o;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace wavesz;
+  if (size < 8 || size > fuzz::kMaxInput) return 0;
+
+  const int depth = 1 + data[0] % 4;
+  const unsigned variant = data[1] % 9u;
+  const std::size_t rows = 4 + data[2] % 44u;
+  const std::size_t cols = 4 + data[3] % 44u;
+  const Dims dims = Dims::d2(rows, cols);
+
+  sz::Config cfg;
+  cfg.error_bound = (1 + data[4] % 9) * 1e-4;
+  cfg.base = (data[4] & 0x10) ? sz::EbBase::Two : sz::EbBase::Ten;
+  if (data[5] & 1) cfg.index_chunk_symbols = 256;
+
+  // Field from the raw tail bytes, recycled to fill the grid. Deliberately
+  // unsanitized: bit patterns include NaN/Inf/denormals.
+  const std::span<const std::uint8_t> tail(data + 6, size - 6);
+  std::vector<float> field(dims.count());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    std::uint32_t u = 0;
+    for (int b = 0; b < 4; ++b) {
+      u = (u << 8) | tail[(i * 4 + static_cast<std::size_t>(b)) % tail.size()];
+    }
+    field[i] = std::bit_cast<float>(u);
+  }
+
+  const std::span<const float> fs(field);
+  auto sz_run = [&](int d) {
+    return attempt([&] {
+      sz::Config c = cfg;
+      c.pipeline_depth = d;
+      return sz::compress(fs, dims, c).bytes;
+    });
+  };
+  auto wave_run = [&](int d) {
+    return attempt([&] {
+      sz::Config c = cfg;
+      c.pipeline_depth = d;
+      return wave::compress(fs, dims, c).bytes;
+    });
+  };
+  auto stream_run = [&](int d) {
+    return attempt([&] {
+      sz::Config c = cfg;
+      c.pipeline_depth = d;
+      wave::StreamCompressor sc(dims, c, 1 + data[5] % 4u);
+      sc.feed(fs);
+      return sc.finish();
+    });
+  };
+
+  Outcome barrier, piped;
+  switch (variant) {
+    case 0:  // SZ-1.4, Huffman + v2 index (the defaults)
+      barrier = sz_run(0);
+      piped = sz_run(depth);
+      break;
+    case 1:  // SZ-1.4, raw codes
+      cfg.huffman = false;
+      barrier = sz_run(0);
+      piped = sz_run(depth);
+      break;
+    case 2:  // SZ-1.4, v1 container (no chunk index)
+      cfg.chunk_index = false;
+      barrier = sz_run(0);
+      piped = sz_run(depth);
+      break;
+    case 3: {  // SZ-1.4 float64
+      const std::vector<double> wide(field.begin(), field.end());
+      auto run64 = [&](int d) {
+        return attempt([&] {
+          sz::Config c = cfg;
+          c.pipeline_depth = d;
+          return sz::compress(std::span<const double>(wide), dims, c).bytes;
+        });
+      };
+      barrier = run64(0);
+      piped = run64(depth);
+      break;
+    }
+    case 4:  // waveSZ defaults (base-2, gzip only)
+      cfg = wave::default_config();
+      cfg.pipeline_depth = 0;
+      barrier = wave_run(0);
+      piped = wave_run(depth);
+      break;
+    case 5:  // waveSZ with the customized Huffman stage
+      cfg.huffman = true;
+      barrier = wave_run(0);
+      piped = wave_run(depth);
+      break;
+    case 6:  // waveSZ v1 container
+      cfg.chunk_index = false;
+      barrier = wave_run(0);
+      piped = wave_run(depth);
+      break;
+    case 7:  // SZx ultra-fast block codec (single fused section)
+      cfg.codec = sz::Codec::Szx;
+      cfg.huffman = false;
+      cfg.chunk_index = false;
+      barrier = sz_run(0);
+      piped = sz_run(depth);
+      break;
+    default:  // streaming archive, whole chunks through the 3-stage pipe
+      barrier = stream_run(0);
+      piped = stream_run(depth);
+      break;
+  }
+
+  if (!(barrier == piped)) std::abort();
+  return 0;
+}

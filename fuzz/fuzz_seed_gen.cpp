@@ -7,6 +7,7 @@
 // Huffman tables, section framing, wavefront layout math — where the
 // real bugs live. Deterministic by construction (fixed recipes), so the
 // corpus is reproducible and diffs are meaningful.
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -139,6 +140,26 @@ int main(int argc, char** argv) {
     sz::Config tiny = cfg;
     tiny.szx_block_elems = 8;
     write_seed(root / "szx", 4, sz::compress(f32, d2, tiny).bytes);
+  }
+
+  {
+    // Pipeline-equivalence recipes (fuzz_pipeline): 6 header bytes (depth,
+    // variant, rows, cols, bound selector, chunk knob) followed by raw
+    // field bytes. One seed per variant family so the mutator starts inside
+    // every codec/container arm of the differential.
+    const auto f = field(Dims::d2(32, 32), 41);
+    std::vector<std::uint8_t> payload;
+    for (float v : f) {
+      const auto u = std::bit_cast<std::uint32_t>(v);
+      for (int b = 24; b >= 0; b -= 8) {
+        payload.push_back(static_cast<std::uint8_t>((u >> b) & 0xffu));
+      }
+    }
+    for (std::uint8_t variant = 0; variant < 9; ++variant) {
+      std::vector<std::uint8_t> seed = {2, variant, 28, 28, 3, 1};
+      seed.insert(seed.end(), payload.begin(), payload.end());
+      write_seed(root / "pipeline", variant, seed);
+    }
   }
 
   {

@@ -1,0 +1,221 @@
+#include "core/pipeline.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "telemetry/span_names.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace wavesz::pipeline {
+
+namespace {
+
+/// Bounded slab-token queue between two stages. Mutex + condvar rather than
+/// atomics: the lock is taken once per *slab*, not per element, so the cost
+/// is noise at pipeline granularity and the code is trivially TSan-clean.
+/// Pushes never block in the Executor because the producer's acquire() bounds
+/// in-flight slabs to the ring capacity; pop() is where stalls happen, and
+/// where they get measured.
+class TokenRing {
+ public:
+  void push(std::size_t seq) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      items_.push_back(seq);
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an item or close; returns false when closed and empty.
+  /// A wait that actually happens is a pipeline bubble: it is wrapped in a
+  /// kPipelineStall span and its duration added to `stall_ns` and the
+  /// PipelineStallNs counter.
+  bool pop(std::size_t& out, std::atomic<std::uint64_t>& stall_ns) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      const telemetry::Span stall(telemetry::spans::kPipelineStall);
+      const Stopwatch sw;
+      cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+      const auto ns = static_cast<std::uint64_t>(sw.seconds() * 1e9);
+      stall_ns.fetch_add(ns, std::memory_order_relaxed);
+      telemetry::counter_add(telemetry::Counter::PipelineStallNs, ns);
+    }
+    if (items_.empty()) return false;
+    out = items_.front();
+    items_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::size_t> items_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+struct Executor::Impl {
+  std::vector<Stage> stages;
+  std::size_t depth = 0;
+
+  /// rings[i] feeds stage i; stage i pushes to rings[i+1] (the last stage
+  /// retires instead).
+  std::vector<std::unique_ptr<TokenRing>> rings;
+  std::vector<std::thread> workers;
+
+  // Producer-side flow control: submitted_ - retired_ slabs are in flight,
+  // bounded by depth. retire_cv_ wakes acquire()/drain().
+  mutable std::mutex mu;
+  std::condition_variable retire_cv;
+  std::size_t submitted = 0;
+  std::size_t retired = 0;
+  bool reserved = false;  ///< acquire() called without a matching submit()
+
+  std::atomic<std::uint64_t> stall_ns{0};
+
+  // First stage error wins; later slabs skip work but keep flowing so
+  // drain() terminates.
+  std::atomic<bool> has_error{false};
+  std::mutex err_mu;
+  std::exception_ptr error;
+
+  void capture(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!error) {
+      error = std::move(e);
+      has_error.store(true, std::memory_order_release);
+    }
+  }
+
+  void rethrow_if_error() {
+    if (!has_error.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lock(err_mu);
+    std::rethrow_exception(error);
+  }
+
+  void retire_one() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++retired;
+    }
+    retire_cv.notify_all();
+    telemetry::counter_add(telemetry::Counter::PipelineSlabs, 1);
+  }
+
+  void run_worker(std::size_t stage_idx) {
+    TokenRing& in = *rings[stage_idx];
+    TokenRing* next =
+        stage_idx + 1 < rings.size() ? rings[stage_idx + 1].get() : nullptr;
+    const Stage& stage = stages[stage_idx];
+    std::size_t seq = 0;
+    while (in.pop(seq, stall_ns)) {
+      if (!has_error.load(std::memory_order_acquire)) {
+        try {
+          const telemetry::Span span(stage.span_name);
+          stage.fn(seq);
+        } catch (...) {
+          capture(std::current_exception());
+        }
+      }
+      if (next != nullptr) {
+        next->push(seq);
+      } else {
+        retire_one();
+      }
+    }
+    // Intake closed and drained: cascade the close downstream so the next
+    // worker exits once it finishes what is already in its ring.
+    if (next != nullptr) next->close();
+  }
+};
+
+Executor::Executor(std::vector<Stage> stages, std::size_t depth)
+    : impl_(std::make_unique<Impl>()) {
+  WAVESZ_REQUIRE(!stages.empty(), "pipeline executor needs at least 1 stage");
+  WAVESZ_REQUIRE(depth >= 1, "pipeline depth must be >= 1");
+  impl_->stages = std::move(stages);
+  impl_->depth = depth;
+  impl_->rings.reserve(impl_->stages.size());
+  for (std::size_t i = 0; i < impl_->stages.size(); ++i) {
+    impl_->rings.push_back(std::make_unique<TokenRing>());
+  }
+  impl_->workers.reserve(impl_->stages.size());
+  for (std::size_t i = 0; i < impl_->stages.size(); ++i) {
+    impl_->workers.emplace_back([impl = impl_.get(), i] { impl->run_worker(i); });
+  }
+}
+
+Executor::~Executor() {
+  if (!impl_) return;
+  impl_->rings.front()->close();
+  for (std::thread& w : impl_->workers) w.join();
+}
+
+std::size_t Executor::acquire() {
+  Impl& im = *impl_;
+  im.rethrow_if_error();
+  std::unique_lock<std::mutex> lock(im.mu);
+  WAVESZ_REQUIRE(!im.reserved, "pipeline acquire() without submit()");
+  if (im.submitted - im.retired >= im.depth) {
+    // Every slot is in flight: the producer itself is the stalled stage.
+    const telemetry::Span stall(telemetry::spans::kPipelineStall);
+    const Stopwatch sw;
+    im.retire_cv.wait(lock,
+                      [&] { return im.submitted - im.retired < im.depth; });
+    const auto ns = static_cast<std::uint64_t>(sw.seconds() * 1e9);
+    im.stall_ns.fetch_add(ns, std::memory_order_relaxed);
+    telemetry::counter_add(telemetry::Counter::PipelineStallNs, ns);
+  }
+  im.reserved = true;
+  return im.submitted;
+}
+
+void Executor::submit() {
+  Impl& im = *impl_;
+  std::size_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    WAVESZ_REQUIRE(im.reserved, "pipeline submit() without acquire()");
+    im.reserved = false;
+    seq = im.submitted++;
+  }
+  im.rings.front()->push(seq);
+}
+
+void Executor::drain() {
+  Impl& im = *impl_;
+  {
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.retire_cv.wait(lock, [&] { return im.retired == im.submitted; });
+  }
+  im.rethrow_if_error();
+}
+
+Stats Executor::stats() const {
+  const Impl& im = *impl_;
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    s.slabs = im.retired;
+  }
+  s.stall_ns = im.stall_ns.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace wavesz::pipeline

@@ -1,0 +1,82 @@
+// Staged slab pipeline executor — the software form of the paper's pII=1
+// datapath at slab granularity.
+//
+// An Executor owns one worker thread per stage and a bounded SPSC ring
+// between consecutive stages. The caller plays producer: acquire() blocks
+// until fewer than `depth` slabs are in flight (this is the only
+// backpressure point — ring pushes never block because in-flight <= depth =
+// ring capacity), submit() hands the slab to stage 0, and drain() waits for
+// everything submitted to retire. With depth d and stages s0..sN, slab k+1
+// runs s0 while slab k runs s1 and slab k-1 runs s2 — the fpga simulator's
+// head/body/tail schedule: a head where rings fill, a steady body with every
+// stage busy, and a tail where drain() lets them empty.
+//
+// Determinism: each stage is a single worker consuming ring order, so slabs
+// pass through every stage in submission order. Callers that write output in
+// the final stage therefore emit in order with no re-sequencing buffer, and
+// the bytes match the barrier path (stages run back-to-back per slab) by
+// construction.
+//
+// Errors: the first exception a stage throws is captured; later stages skip
+// their work but keep forwarding slab tokens so drain() terminates, and the
+// error rethrows from the next acquire() or drain().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace wavesz::pipeline {
+
+/// One pipeline stage: a span name (must be a span_names.hpp constant — the
+/// worker wraps every invocation in a telemetry::Span of this name) and the
+/// work function, called with the 0-based slab sequence number.
+struct Stage {
+  const char* span_name;
+  std::function<void(std::size_t slab)> fn;
+};
+
+/// Lifetime statistics of an Executor, for tests and benches; the same
+/// numbers also feed the PipelineSlabs / PipelineStallNs counters.
+struct Stats {
+  std::uint64_t slabs = 0;     ///< slabs fully retired
+  std::uint64_t stall_ns = 0;  ///< summed wall ns of stage + acquire stalls
+};
+
+class Executor {
+ public:
+  /// Stages must be non-empty and depth >= 1; each stage gets a dedicated
+  /// worker thread that lives until drain-and-destroy.
+  Executor(std::vector<Stage> stages, std::size_t depth);
+
+  /// Closes the intake ring and joins all workers; slabs already submitted
+  /// still flow to retirement (errors, if any, are swallowed — call drain()
+  /// first to observe them).
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Block until a slab slot is free, then reserve it. Returns the slab's
+  /// sequence number (0-based, == slot index modulo depth, so callers can
+  /// address a fixed slot array). Rethrows a captured stage error.
+  std::size_t acquire();
+
+  /// Hand the slab reserved by the last acquire() to stage 0. The caller
+  /// must have fully staged the slab's input before calling.
+  void submit();
+
+  /// Block until every submitted slab has retired, then rethrow the first
+  /// captured stage error, if any. The executor stays usable afterwards.
+  void drain();
+
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace wavesz::pipeline

@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <exception>
 #include <type_traits>
+#include <utility>
 
+#include "core/pipeline.hpp"
 #include "sz/compressor.hpp"
 #include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/bytes.hpp"
 #include "util/decode_guard.hpp"
 #include "util/error.hpp"
+#include "util/timer.hpp"
 
 namespace wavesz::wave {
 namespace {
@@ -144,6 +147,27 @@ std::vector<T> stream_decompress_par_t(std::span<const std::uint8_t> bytes,
 
 }  // namespace
 
+/// The chunk-granular pipeline: per-slot staging buffers + staged jobs and
+/// the three-stage executor. Member order matters — `ex`'s destructor joins
+/// the stage workers, so it must run before `slots` is torn down; keeping
+/// `slots` first makes that automatic.
+struct StreamCompressor::Pipe {
+  struct Slot {
+    std::vector<float> f32;
+    std::vector<double> f64;
+    std::size_t points = 0;
+    std::unique_ptr<sz::StagedCompressor> job;
+    Stopwatch started;  ///< reset at dispatch; read at frame completion
+  };
+  std::vector<Slot> slots;
+  pipeline::Executor ex;
+
+  Pipe(std::vector<pipeline::Stage> stages, std::size_t depth)
+      : slots(depth), ex(std::move(stages), depth) {}
+
+  Slot& slot(std::size_t seq) { return slots[seq % slots.size()]; }
+};
+
 StreamCompressor::StreamCompressor(const Dims& dims, const sz::Config& cfg,
                                    std::size_t chunk_planes)
     : dims_(dims), cfg_(cfg),
@@ -158,7 +182,44 @@ StreamCompressor::StreamCompressor(const Dims& dims, const sz::Config& cfg,
   }
   // A single-plane chunk would make every point a border in the 2D view.
   WAVESZ_REQUIRE(chunk_planes_ >= 2, "chunk must hold at least two planes");
+  if (cfg_.pipeline_depth >= 1) {
+    // Head/body/tail schedule over whole chunks: each chunk is an
+    // independent container (its own wavefront, Huffman table and gzip
+    // members), so chunk k+1's PQD may run while chunk k entropy-encodes
+    // and chunk k-1 deflates + frames. The frame stage is the single
+    // consumer of ring order, so chunks_ keeps submission order and the
+    // archive is byte-identical to the barrier path.
+    pipe_ = std::make_unique<Pipe>(
+        std::vector<pipeline::Stage>{
+            {telemetry::spans::kPipelineSlabPqd,
+             [this](std::size_t seq) { pipe_->slot(seq).job->pqd(); }},
+            {telemetry::spans::kPipelineSlabEntropy,
+             [this](std::size_t seq) { pipe_->slot(seq).job->entropy(); }},
+            {telemetry::spans::kPipelineSlabFrame,
+             [this](std::size_t seq) {
+               Pipe::Slot& slot = pipe_->slot(seq);
+               sz::Compressed compressed = slot.job->frame();
+               telemetry::counter_add(telemetry::Counter::StreamChunks, 1);
+               telemetry::observe(telemetry::Histo::StreamChunkBytes,
+                                  compressed.bytes.size());
+               telemetry::observe(
+                   telemetry::Histo::StreamChunkNs,
+                   static_cast<std::uint64_t>(slot.started.seconds() * 1e9));
+               {
+                 std::lock_guard<std::mutex> lock(chunks_mu_);
+                 chunks_.push_back(std::move(compressed.bytes));
+               }
+               slot.job.reset();
+               if (!slot.f32.empty()) arena_.f32.release(std::move(slot.f32));
+               if (!slot.f64.empty()) arena_.f64.release(std::move(slot.f64));
+               slot.f32 = {};
+               slot.f64 = {};
+             }}},
+        static_cast<std::size_t>(cfg_.pipeline_depth));
+  }
 }
+
+StreamCompressor::~StreamCompressor() = default;
 
 void StreamCompressor::check_dtype(bool is_f64) {
   const int want = is_f64 ? 1 : 0;
@@ -170,69 +231,114 @@ void StreamCompressor::check_dtype(bool is_f64) {
   }
 }
 
-void StreamCompressor::feed(std::span<const float> planes) {
+template <typename T>
+void StreamCompressor::feed_t(std::span<const T> planes) {
+  constexpr bool kF64 = std::is_same_v<T, double>;
   WAVESZ_REQUIRE(!finished_, "stream already finished");
-  check_dtype(false);
+  check_dtype(kF64);
   WAVESZ_REQUIRE(planes.size() % plane_points_ == 0,
                  "feed() needs whole planes");
   const std::size_t n = planes.size() / plane_points_;
   WAVESZ_REQUIRE(planes_fed_ + n <= dims_[0], "more planes than dims allow");
-  pending_.insert(pending_.end(), planes.begin(), planes.end());
   planes_fed_ += n;
-  while (pending_.size() >= chunk_planes_ * plane_points_) {
-    emit_chunk();
+  // Copy into the arena-backed staging slab and dispatch every time it
+  // fills; the slab bounds buffering at one chunk regardless of how much a
+  // single feed() delivers (the old pending_ vector grew with the feed and
+  // paid an erase-from-front memmove per chunk).
+  const std::size_t cap = chunk_planes_ * plane_points_;
+  auto& stage = [this]() -> std::vector<T>& {
+    if constexpr (kF64) return stage64_;
+    else return stage32_;
+  }();
+  auto& pool = [this]() -> util::VecPool<T>& {
+    if constexpr (kF64) return arena_.f64;
+    else return arena_.f32;
+  }();
+  std::size_t consumed = 0;
+  while (consumed < planes.size()) {
+    if (stage.empty()) {
+      stage = pool.acquire(cap);
+      stage_fill_ = 0;
+    }
+    const std::size_t take =
+        std::min(cap - stage_fill_, planes.size() - consumed);
+    std::copy_n(planes.data() + consumed, take, stage.data() + stage_fill_);
+    stage_fill_ += take;
+    consumed += take;
+    if (stage_fill_ == cap) emit_chunk();
   }
+}
+
+void StreamCompressor::feed(std::span<const float> planes) {
+  feed_t<float>(planes);
 }
 
 void StreamCompressor::feed(std::span<const double> planes) {
-  WAVESZ_REQUIRE(!finished_, "stream already finished");
-  check_dtype(true);
-  WAVESZ_REQUIRE(planes.size() % plane_points_ == 0,
-                 "feed() needs whole planes");
-  const std::size_t n = planes.size() / plane_points_;
-  WAVESZ_REQUIRE(planes_fed_ + n <= dims_[0], "more planes than dims allow");
-  pending64_.insert(pending64_.end(), planes.begin(), planes.end());
-  planes_fed_ += n;
-  while (pending64_.size() >= chunk_planes_ * plane_points_) {
-    emit_chunk();
-  }
+  feed_t<double>(planes);
 }
 
 void StreamCompressor::emit_chunk() {
-  telemetry::Span span(telemetry::spans::kStreamChunk);
-  telemetry::counter_add(telemetry::Counter::StreamChunks, 1);
   const bool f64 = dtype_ == 1;
-  const std::size_t buffered =
-      f64 ? pending64_.size() : pending_.size();
-  const std::size_t planes =
-      std::min(chunk_planes_, buffered / plane_points_);
-  WAVESZ_ASSERT(planes >= 1, "emit_chunk with no pending data");
-  const std::size_t points = planes * plane_points_;
-  const Dims cdims = chunk_dims(dims_, planes);
+  const std::size_t points = stage_fill_;
+  WAVESZ_ASSERT(points >= 1 && points % plane_points_ == 0,
+                "emit_chunk with no pending data");
+  const Dims cdims = chunk_dims(dims_, points / plane_points_);
   // Codec::Szx chunks bypass the wave transform entirely — each chunk is an
   // SZx container, and the archive decoders delegate on its variant tag.
   const bool szx = cfg_.codec == sz::Codec::Szx;
-  sz::Compressed compressed;
-  if (f64) {
-    const std::span<const double> chunk(pending64_.data(), points);
-    compressed = szx ? sz::compress(chunk, cdims, cfg_)
-                     : wave::compress(chunk, cdims, cfg_);
-    pending64_.erase(pending64_.begin(),
-                     pending64_.begin() +
-                         static_cast<std::ptrdiff_t>(points));
-  } else {
-    const std::span<const float> chunk(pending_.data(), points);
-    compressed = szx ? sz::compress(chunk, cdims, cfg_)
-                     : wave::compress(chunk, cdims, cfg_);
-    pending_.erase(pending_.begin(),
-                   pending_.begin() + static_cast<std::ptrdiff_t>(points));
+
+  if (!pipe_) {
+    telemetry::Span span(telemetry::spans::kStreamChunk,
+                         telemetry::Histo::StreamChunkNs);
+    telemetry::counter_add(telemetry::Counter::StreamChunks, 1);
+    sz::Compressed compressed;
+    if (f64) {
+      const std::span<const double> chunk(stage64_.data(), points);
+      compressed = szx ? sz::compress(chunk, cdims, cfg_)
+                       : wave::compress(chunk, cdims, cfg_);
+      arena_.f64.release(std::move(stage64_));
+      stage64_ = {};
+    } else {
+      const std::span<const float> chunk(stage32_.data(), points);
+      compressed = szx ? sz::compress(chunk, cdims, cfg_)
+                       : wave::compress(chunk, cdims, cfg_);
+      arena_.f32.release(std::move(stage32_));
+      stage32_ = {};
+    }
+    stage_fill_ = 0;
+    telemetry::observe(telemetry::Histo::StreamChunkBytes,
+                       compressed.bytes.size());
+    std::lock_guard<std::mutex> lock(chunks_mu_);
+    chunks_.push_back(std::move(compressed.bytes));
+    return;
   }
-  telemetry::observe(telemetry::Histo::StreamChunkBytes,
-                     compressed.bytes.size());
-  chunks_.push_back(std::move(compressed.bytes));
+
+  // Pipelined dispatch: acquire() blocks until the target slot's previous
+  // occupant has fully retired (that wait is the backpressure — and the
+  // kPipelineStall span), so moving the staging slab in is race-free.
+  const std::size_t seq = pipe_->ex.acquire();
+  Pipe::Slot& slot = pipe_->slot(seq);
+  slot.started.reset();
+  slot.points = points;
+  if (f64) {
+    slot.f64 = std::move(stage64_);
+    stage64_ = {};
+    const std::span<const double> chunk(slot.f64.data(), points);
+    slot.job = szx ? sz::make_staged(chunk, cdims, cfg_)
+                   : wave::make_staged(chunk, cdims, cfg_);
+  } else {
+    slot.f32 = std::move(stage32_);
+    stage32_ = {};
+    const std::span<const float> chunk(slot.f32.data(), points);
+    slot.job = szx ? sz::make_staged(chunk, cdims, cfg_)
+                   : wave::make_staged(chunk, cdims, cfg_);
+  }
+  stage_fill_ = 0;
+  pipe_->ex.submit();
 }
 
 std::size_t StreamCompressor::compressed_bytes() const {
+  std::lock_guard<std::mutex> lock(chunks_mu_);
   std::size_t total = 0;
   for (const auto& c : chunks_) total += c.size();
   return total;
@@ -246,11 +352,12 @@ std::vector<std::uint8_t> StreamCompressor::finish() {
   // The tail holds fewer than chunk_planes planes; emit it as one short
   // chunk (a single-plane tail degenerates to all-verbatim, which is
   // correct, merely dense).
-  if (!pending_.empty() || !pending64_.empty()) emit_chunk();
-  WAVESZ_ASSERT(pending_.empty() && pending64_.empty(),
-                "tail not fully flushed");
+  if (stage_fill_ > 0) emit_chunk();
+  WAVESZ_ASSERT(stage_fill_ == 0, "tail not fully flushed");
+  if (pipe_) pipe_->ex.drain();
   finished_ = true;
 
+  std::lock_guard<std::mutex> lock(chunks_mu_);
   ByteWriter w;
   w.u32(kStreamMagic);
   w.u8(static_cast<std::uint8_t>(dims_.rank));

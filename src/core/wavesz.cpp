@@ -367,116 +367,160 @@ std::vector<std::uint8_t> plain_codes(std::span<const std::uint16_t> codes,
   return cw.take();
 }
 
+/// The waveSZ compress phases, split for the staged pipeline exactly like
+/// sz::Sz14Staged: the bodies are the former compress_t monolith relocated
+/// verbatim per phase, so run() is the historical barrier path byte-for-byte
+/// and the pipelined interleavings cannot change the output.
+template <typename T>
+class WaveStaged final : public sz::StagedCompressor {
+ public:
+  WaveStaged(std::span<const T> data, const Dims& dims, const sz::Config& cfg,
+             LayoutMode mode)
+      : data_(data), dims_(dims), cfg_(cfg), mode_(mode) {}
+
+  std::size_t sections() const override { return 2; }
+
+  void pqd() override {
+    WAVESZ_REQUIRE(data_.size() == dims_.count(),
+                   "data size disagrees with dims");
+    WAVESZ_REQUIRE(
+        dims_.rank >= 2,
+        "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
+    WAVESZ_REQUIRE(!cfg_.chunk_index || cfg_.index_chunk_symbols > 0,
+                   "index_chunk_symbols must be positive");
+    pqd_nt_ = sz::resolve_thread_budget(cfg_.pqd_threads);
+    double range = 0.0;
+    {
+      telemetry::Span span(telemetry::spans::kValueRange);
+      range = sz::value_range(data_, pqd_nt_);
+    }
+    bound_ = resolve_bound(cfg_, range);
+    const sz::LinearQuantizer q(bound_, cfg_.quant_bits);
+    if (mode_ == LayoutMode::True3D) {
+      WAVESZ_REQUIRE(dims_.rank == 3, "True3D layout requires a 3D dataset");
+    }
+
+    if (mode_ == LayoutMode::Flatten2D || dims_.rank <= 2) {
+      telemetry::Span span_pqd(telemetry::spans::kWavePqd);
+      const Dims flat = dims_.flatten2d();
+      const WavefrontLayout layout(flat[0], flat[1]);
+      auto wf = to_wavefront(data_, layout);
+      kr_ = wave_pqd_2d_auto<T>(std::span<T>(wf), layout, q, pqd_nt_);
+    } else {
+      telemetry::Span span_pqd(telemetry::spans::kWavePqd3d);
+      const std::size_t planes = dims_[0];
+      const WavefrontLayout layout(dims_[1], dims_[2]);
+      const std::size_t slice_points = layout.count();
+      kr_.codes.reserve(data_.size());
+      std::vector<T> prev;
+      for (std::size_t z = 0; z < planes; ++z) {
+        auto cur = to_wavefront(data_.subspan(z * slice_points, slice_points),
+                                layout);
+        if (z == 0) {
+          auto first = wave_pqd_2d_auto<T>(std::span<T>(cur), layout, q,
+                                           pqd_nt_);
+          kr_.codes.insert(kr_.codes.end(), first.codes.begin(),
+                           first.codes.end());
+          kr_.verbatim.insert(kr_.verbatim.end(), first.verbatim.begin(),
+                              first.verbatim.end());
+        } else {
+          wave_pqd_slice3d<T>(cur, prev, layout, q, kr_);
+        }
+        prev = std::move(cur);
+      }
+    }
+
+    telemetry::counter_add(telemetry::Counter::QuantUnpredictable,
+                           kr_.verbatim.size());
+    telemetry::counter_add(telemetry::Counter::QuantPredictable,
+                           kr_.codes.size() - kr_.verbatim.size());
+  }
+
+  void encode_section(std::size_t s) override {
+    if (s == 0) {
+      telemetry::Span span(telemetry::spans::kEncodeCodes);
+      code_plain_ = plain_codes(kr_.codes, cfg_, pqd_nt_, idx_);
+    } else {
+      ByteWriter vw;
+      FpOps<T>::write_values(vw, kr_.verbatim);
+      verbatim_plain_ = vw.take();
+    }
+  }
+
+  void deflate_section(std::size_t s) override {
+    // Per-section gzip: bit-identical to the section's slot in the former
+    // gzip_compress_batch call (chunking, priming and stitching are
+    // per-input), so barrier and pipelined schedules emit the same bytes.
+    telemetry::Span span(telemetry::spans::kDeflateSerialize);
+    const auto& plain = s == 0 ? code_plain_ : verbatim_plain_;
+    blobs_[s] = deflate::gzip_compress_parallel(
+        plain, cfg_.gzip_level,
+        cfg_.chunk_index ? cfg_.indexed_deflate_options()
+                         : cfg_.deflate_options());
+    if (s == 0) {
+      telemetry::counter_add(telemetry::Counter::CodeBytesIn, plain.size());
+      telemetry::counter_add(telemetry::Counter::CodeBytesOut,
+                             blobs_[0].size());
+    } else {
+      telemetry::counter_add(telemetry::Counter::UnpredBytesIn, plain.size());
+      telemetry::counter_add(telemetry::Counter::UnpredBytesOut,
+                             blobs_[1].size());
+    }
+  }
+
+  sz::Compressed assemble() override {
+    sz::Compressed out;
+    out.header.variant = sz::Variant::WaveSz;
+    out.header.dims = dims_;
+    out.header.mode = cfg_.mode;
+    out.header.base = cfg_.base;
+    out.header.eb_requested = cfg_.error_bound;
+    out.header.eb_absolute = bound_;
+    out.header.quant_bits = cfg_.quant_bits;
+    out.header.huffman = cfg_.huffman;
+    out.header.gzip_level = cfg_.gzip_level;
+    out.header.aux = static_cast<std::uint8_t>(mode_);
+    out.header.dtype = FpOps<T>::kDtype;
+    out.header.point_count = data_.size();
+    out.header.unpredictable_count = kr_.verbatim.size();
+    out.header.version = cfg_.chunk_index ? 2 : 1;
+    out.code_blob_bytes = blobs_[0].size();
+    out.unpred_blob_bytes = blobs_[1].size();
+
+    ByteWriter w;
+    sz::write_header(w, out.header);
+    if (cfg_.chunk_index) sz::write_code_index(w, idx_);
+    sz::write_section(w, blobs_[0]);
+    sz::write_section(w, blobs_[1]);
+    out.bytes = w.take();
+    if (!out.bytes.empty()) {
+      telemetry::observe(telemetry::Histo::CompressRatioMilli,
+                         data_.size_bytes() * 1000 / out.bytes.size());
+    }
+    return out;
+  }
+
+ private:
+  std::span<const T> data_;
+  Dims dims_;
+  sz::Config cfg_;
+  LayoutMode mode_;
+  int pqd_nt_ = 1;
+  double bound_ = 0.0;
+  typename FpOps<T>::Kernel kr_;
+  sz::CodeChunkIndex idx_;
+  std::vector<std::uint8_t> code_plain_;
+  std::vector<std::uint8_t> verbatim_plain_;
+  std::vector<std::uint8_t> blobs_[2];
+};
+
 template <typename T>
 sz::Compressed compress_t(std::span<const T> data, const Dims& dims,
                           const sz::Config& cfg, LayoutMode mode) {
   telemetry::Span span_all(telemetry::spans::kWaveCompress,
                            telemetry::Histo::CompressNs, telemetry::kSampleHw);
-  WAVESZ_REQUIRE(data.size() == dims.count(), "data size disagrees with dims");
-  WAVESZ_REQUIRE(dims.rank >= 2,
-                 "waveSZ targets 2D+ datasets (1D degenerates to all-border)");
-  WAVESZ_REQUIRE(!cfg.chunk_index || cfg.index_chunk_symbols > 0,
-                 "index_chunk_symbols must be positive");
-  const int pqd_nt = sz::resolve_thread_budget(cfg.pqd_threads);
-  double range = 0.0;
-  {
-    telemetry::Span span(telemetry::spans::kValueRange);
-    range = sz::value_range(data, pqd_nt);
-  }
-  const double bound = resolve_bound(cfg, range);
-  const sz::LinearQuantizer q(bound, cfg.quant_bits);
-  if (mode == LayoutMode::True3D) {
-    WAVESZ_REQUIRE(dims.rank == 3, "True3D layout requires a 3D dataset");
-  }
-
-  typename FpOps<T>::Kernel kr;
-  if (mode == LayoutMode::Flatten2D || dims.rank <= 2) {
-    telemetry::Span span_pqd(telemetry::spans::kWavePqd);
-    const Dims flat = dims.flatten2d();
-    const WavefrontLayout layout(flat[0], flat[1]);
-    auto wf = to_wavefront(data, layout);
-    kr = wave_pqd_2d_auto<T>(std::span<T>(wf), layout, q, pqd_nt);
-  } else {
-    telemetry::Span span_pqd(telemetry::spans::kWavePqd3d);
-    const std::size_t planes = dims[0];
-    const WavefrontLayout layout(dims[1], dims[2]);
-    const std::size_t slice_points = layout.count();
-    kr.codes.reserve(data.size());
-    std::vector<T> prev;
-    for (std::size_t z = 0; z < planes; ++z) {
-      auto cur =
-          to_wavefront(data.subspan(z * slice_points, slice_points), layout);
-      if (z == 0) {
-        auto first = wave_pqd_2d_auto<T>(std::span<T>(cur), layout, q,
-                                         pqd_nt);
-        kr.codes.insert(kr.codes.end(), first.codes.begin(),
-                        first.codes.end());
-        kr.verbatim.insert(kr.verbatim.end(), first.verbatim.begin(),
-                           first.verbatim.end());
-      } else {
-        wave_pqd_slice3d<T>(cur, prev, layout, q, kr);
-      }
-      prev = std::move(cur);
-    }
-  }
-
-  telemetry::counter_add(telemetry::Counter::QuantUnpredictable,
-                         kr.verbatim.size());
-  telemetry::counter_add(telemetry::Counter::QuantPredictable,
-                         kr.codes.size() - kr.verbatim.size());
-  std::vector<std::uint8_t> code_plain;
-  sz::CodeChunkIndex idx;
-  {
-    telemetry::Span span(telemetry::spans::kEncodeCodes);
-    code_plain = plain_codes(kr.codes, cfg, pqd_nt, idx);
-  }
-  ByteWriter vw;
-  FpOps<T>::write_values(vw, kr.verbatim);
-  // Code-section and verbatim-section encodes share one chunked-DEFLATE
-  // task pool (serial and bit-identical at the default codec_threads == 1).
-  telemetry::Span span_tail(telemetry::spans::kDeflateSerialize);
-  const std::span<const std::uint8_t> sections[] = {code_plain, vw.data()};
-  auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
-                                            cfg.chunk_index
-                                                ? cfg.indexed_deflate_options()
-                                                : cfg.deflate_options());
-  telemetry::counter_add(telemetry::Counter::CodeBytesIn, code_plain.size());
-  telemetry::counter_add(telemetry::Counter::CodeBytesOut, blobs[0].size());
-  telemetry::counter_add(telemetry::Counter::UnpredBytesIn, vw.data().size());
-  telemetry::counter_add(telemetry::Counter::UnpredBytesOut,
-                         blobs[1].size());
-
-  sz::Compressed out;
-  out.header.variant = sz::Variant::WaveSz;
-  out.header.dims = dims;
-  out.header.mode = cfg.mode;
-  out.header.base = cfg.base;
-  out.header.eb_requested = cfg.error_bound;
-  out.header.eb_absolute = bound;
-  out.header.quant_bits = cfg.quant_bits;
-  out.header.huffman = cfg.huffman;
-  out.header.gzip_level = cfg.gzip_level;
-  out.header.aux = static_cast<std::uint8_t>(mode);
-  out.header.dtype = FpOps<T>::kDtype;
-  out.header.point_count = data.size();
-  out.header.unpredictable_count = kr.verbatim.size();
-  out.header.version = cfg.chunk_index ? 2 : 1;
-  out.code_blob_bytes = blobs[0].size();
-  out.unpred_blob_bytes = blobs[1].size();
-
-  // Serialize the sections straight from the batch output — no named copies
-  // of the (potentially large) blobs survive past this point.
-  ByteWriter w;
-  sz::write_header(w, out.header);
-  if (cfg.chunk_index) sz::write_code_index(w, idx);
-  sz::write_section(w, blobs[0]);
-  sz::write_section(w, blobs[1]);
-  out.bytes = w.take();
-  if (!out.bytes.empty()) {
-    telemetry::observe(telemetry::Histo::CompressRatioMilli,
-                       data.size_bytes() * 1000 / out.bytes.size());
-  }
-  return out;
+  WaveStaged<T> job(data, dims, cfg, mode);
+  return sz::run_staged(job, cfg.pipeline_depth);
 }
 
 template <typename T>
@@ -826,6 +870,22 @@ sz::Compressed compress(std::span<const float> data, const Dims& dims,
 sz::Compressed compress(std::span<const double> data, const Dims& dims,
                         const sz::Config& cfg, LayoutMode mode) {
   return compress_t<double>(data, dims, cfg, mode);
+}
+
+std::unique_ptr<sz::StagedCompressor> make_staged(std::span<const float> data,
+                                                  const Dims& dims,
+                                                  const sz::Config& cfg,
+                                                  LayoutMode mode) {
+  if (cfg.codec == sz::Codec::Szx) return sz::make_staged(data, dims, cfg);
+  return std::make_unique<WaveStaged<float>>(data, dims, cfg, mode);
+}
+
+std::unique_ptr<sz::StagedCompressor> make_staged(std::span<const double> data,
+                                                  const Dims& dims,
+                                                  const sz::Config& cfg,
+                                                  LayoutMode mode) {
+  if (cfg.codec == sz::Codec::Szx) return sz::make_staged(data, dims, cfg);
+  return std::make_unique<WaveStaged<double>>(data, dims, cfg, mode);
 }
 
 std::vector<float> decompress(std::span<const std::uint8_t> bytes,

@@ -79,6 +79,16 @@ sz::Compressed compress(std::span<const double> data, const Dims& dims,
                         const sz::Config& cfg,
                         LayoutMode mode = LayoutMode::Flatten2D);
 
+/// Build the staged job equivalent to wave::compress(data, dims, cfg, mode)
+/// (delegating to the SZx codec when cfg.codec says so), for the slab
+/// pipeline (core/pipeline.hpp). The data span must outlive the job.
+std::unique_ptr<sz::StagedCompressor> make_staged(
+    std::span<const float> data, const Dims& dims, const sz::Config& cfg,
+    LayoutMode mode = LayoutMode::Flatten2D);
+std::unique_ptr<sz::StagedCompressor> make_staged(
+    std::span<const double> data, const Dims& dims, const sz::Config& cfg,
+    LayoutMode mode = LayoutMode::Flatten2D);
+
 /// Inverse for float32 containers; throws on a float64 container.
 /// `pqd_threads` parallelizes the Lorenzo reconstruction sweep
 /// (Config::pqd_threads semantics); the result is value-identical for every

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/pipeline.hpp"
 #include "deflate/deflate.hpp"
 #include "deflate/parallel.hpp"
 #include "metrics/stats.hpp"
@@ -69,6 +70,186 @@ double range_of(std::span<const T> data, int threads) {
   return hi - lo;
 }
 
+/// The SZ-1.4 compress phases, split for the staged pipeline. The bodies
+/// are the former compress_t monolith, relocated verbatim per phase (same
+/// spans, same counters, same operation order within a phase), so run() is
+/// the historical barrier path byte-for-byte.
+template <typename T>
+class Sz14Staged final : public StagedCompressor {
+ public:
+  Sz14Staged(std::span<const T> data, const Dims& dims, const Config& cfg)
+      : data_(data), dims_(dims), cfg_(cfg) {}
+
+  std::size_t sections() const override { return 2; }
+
+  void pqd() override {
+    pqd_nt_ = resolve_thread_budget(cfg_.pqd_threads);
+    double range = 0.0;
+    {
+      telemetry::Span span(telemetry::spans::kValueRange);
+      range = range_of<T>(data_, pqd_nt_);
+    }
+    bound_ = resolve_bound(cfg_, range);
+    const LinearQuantizer q(bound_, cfg_.quant_bits);
+    WAVESZ_REQUIRE(cfg_.predictor == PredictorKind::Lorenzo1Layer ||
+                       dims_.rank <= 2,
+                   "2-layer Lorenzo is implemented for 1D/2D data");
+    WAVESZ_REQUIRE(!cfg_.chunk_index || cfg_.index_chunk_symbols > 0,
+                   "index_chunk_symbols must be positive");
+
+    // pqd_threads > 1 switches to the tiled anti-diagonal wavefront
+    // schedule; the two kernels share per-point arithmetic
+    // (pqd_detail.hpp), so the codes, history and unpredictable stream are
+    // bit-identical either way.
+    const bool wavefront = pqd_nt_ > 1 && dims_.rank >= 2;
+    {
+      telemetry::Span span(wavefront ? telemetry::spans::kPqdWavefront
+                                     : telemetry::spans::kPqdRaster);
+      pqd_ = wavefront
+                 ? detail::lorenzo_pqd_wavefront_t<T>(data_, dims_, q,
+                                                      cfg_.predictor, pqd_nt_)
+                 : detail::lorenzo_pqd_t<T>(data_, dims_, q, cfg_.predictor);
+    }
+    telemetry::counter_add(telemetry::Counter::QuantUnpredictable,
+                           pqd_.unpredictable.size());
+    telemetry::counter_add(telemetry::Counter::QuantPredictable,
+                           pqd_.codes.size() - pqd_.unpredictable.size());
+  }
+
+  void encode_section(std::size_t s) override {
+    if (s == 0) {
+      // Code section: H* (customized Huffman) then G* (gzip), or raw codes
+      // straight into gzip when Huffman is disabled. With cfg.chunk_index
+      // the encoder also records the v2 offset table at its flush points.
+      telemetry::Span span(telemetry::spans::kEncodeCodes);
+      if (cfg_.huffman) {
+        code_plain_ =
+            cfg_.chunk_index
+                ? huffman_encode_indexed(pqd_.codes, pqd_nt_,
+                                         cfg_.index_chunk_symbols, idx_)
+                : huffman_encode(pqd_.codes, pqd_nt_);
+      } else {
+        if (cfg_.chunk_index) {
+          idx_ = build_raw_code_index(pqd_.codes, cfg_.index_chunk_symbols);
+        }
+        ByteWriter cw;
+        cw.u16s(pqd_.codes);
+        code_plain_ = cw.take();
+      }
+    } else {
+      telemetry::Span span(telemetry::spans::kEncodeUnpred);
+      unpred_plain_ = FpOps<T>::encode(pqd_.unpredictable, bound_);
+    }
+  }
+
+  void deflate_section(std::size_t s) override {
+    // Per-section gzip through the chunked engine: each section's chunking,
+    // dictionary priming and stitching depend only on that section's plain
+    // bytes, so the member here is bit-identical to its slot in the former
+    // gzip_compress_batch call — the sections merely lose the shared task
+    // pool (a wash at the default codec_threads == 1, and the pipelined
+    // mode overlaps them across stages instead).
+    telemetry::Span span(telemetry::spans::kDeflateSerialize);
+    const auto& plain = s == 0 ? code_plain_ : unpred_plain_;
+    blobs_[s] = deflate::gzip_compress_parallel(
+        plain, cfg_.gzip_level,
+        cfg_.chunk_index ? cfg_.indexed_deflate_options()
+                         : cfg_.deflate_options());
+    if (s == 0) {
+      telemetry::counter_add(telemetry::Counter::CodeBytesIn, plain.size());
+      telemetry::counter_add(telemetry::Counter::CodeBytesOut,
+                             blobs_[0].size());
+    } else {
+      telemetry::counter_add(telemetry::Counter::UnpredBytesIn, plain.size());
+      telemetry::counter_add(telemetry::Counter::UnpredBytesOut,
+                             blobs_[1].size());
+    }
+  }
+
+  Compressed assemble() override {
+    Compressed out;
+    out.header.variant = Variant::Sz14;
+    out.header.dims = dims_;
+    out.header.mode = cfg_.mode;
+    out.header.base = cfg_.base;
+    out.header.eb_requested = cfg_.error_bound;
+    out.header.eb_absolute = bound_;
+    out.header.quant_bits = cfg_.quant_bits;
+    out.header.huffman = cfg_.huffman;
+    out.header.gzip_level = cfg_.gzip_level;
+    out.header.aux = static_cast<std::uint8_t>(cfg_.predictor);
+    out.header.dtype = FpOps<T>::kDtype;
+    out.header.point_count = data_.size();
+    out.header.unpredictable_count = pqd_.unpredictable.size();
+    out.header.version = cfg_.chunk_index ? 2 : 1;
+    out.code_blob_bytes = blobs_[0].size();
+    out.unpred_blob_bytes = blobs_[1].size();
+
+    ByteWriter w;
+    write_header(w, out.header);
+    if (cfg_.chunk_index) write_code_index(w, idx_);
+    write_section(w, blobs_[0]);
+    write_section(w, blobs_[1]);
+    out.bytes = w.take();
+    // Ratio is dimensionless; the histogram stores milli-ratio so a 4.2x
+    // call lands in bucket ~4200 with the usual 3% bucketing error.
+    if (!out.bytes.empty()) {
+      telemetry::observe(telemetry::Histo::CompressRatioMilli,
+                         data_.size_bytes() * 1000 / out.bytes.size());
+    }
+    return out;
+  }
+
+ private:
+  std::span<const T> data_;
+  Dims dims_;
+  Config cfg_;
+  int pqd_nt_ = 1;
+  double bound_ = 0.0;
+  typename FpOps<T>::PqdType pqd_;
+  CodeChunkIndex idx_;
+  std::vector<std::uint8_t> code_plain_;
+  std::vector<std::uint8_t> unpred_plain_;
+  std::vector<std::uint8_t> blobs_[2];
+};
+
+/// Staged facade over the SZx block codec. The codec has no separable
+/// phases — quantization, block classification and bit-packing are fused in
+/// one pass with no entropy or DEFLATE stage — so the whole compression runs
+/// as the single section's encode and the other phases are no-ops. A chunk
+/// pipeline still overlaps *across* chunks (chunk k+1 encodes while chunk
+/// k frames); there is simply no intra-chunk overlap to expose.
+template <typename T>
+class SzxStaged final : public StagedCompressor {
+ public:
+  SzxStaged(std::span<const T> data, const Dims& dims, const Config& cfg)
+      : data_(data), dims_(dims), cfg_(cfg) {}
+
+  std::size_t sections() const override { return 1; }
+  void pqd() override {}
+  void encode_section(std::size_t) override {
+    out_ = detail::szx_compress_t<T>(data_, dims_, cfg_);
+  }
+  void deflate_section(std::size_t) override {}
+  Compressed assemble() override { return std::move(out_); }
+
+ private:
+  std::span<const T> data_;
+  Dims dims_;
+  Config cfg_;
+  Compressed out_;
+};
+
+template <typename T>
+std::unique_ptr<StagedCompressor> make_staged_t(std::span<const T> data,
+                                                const Dims& dims,
+                                                const Config& cfg) {
+  if (cfg.codec == Codec::Szx) {
+    return std::make_unique<SzxStaged<T>>(data, dims, cfg);
+  }
+  return std::make_unique<Sz14Staged<T>>(data, dims, cfg);
+}
+
 template <typename T>
 Compressed compress_t(std::span<const T> data, const Dims& dims,
                       const Config& cfg) {
@@ -77,113 +258,8 @@ Compressed compress_t(std::span<const T> data, const Dims& dims,
   }
   telemetry::Span span_all(telemetry::spans::kSzCompress,
                            telemetry::Histo::CompressNs, telemetry::kSampleHw);
-  const int pqd_nt = resolve_thread_budget(cfg.pqd_threads);
-  double range = 0.0;
-  {
-    telemetry::Span span(telemetry::spans::kValueRange);
-    range = range_of<T>(data, pqd_nt);
-  }
-  const double bound = resolve_bound(cfg, range);
-  const LinearQuantizer q(bound, cfg.quant_bits);
-  WAVESZ_REQUIRE(cfg.predictor == PredictorKind::Lorenzo1Layer ||
-                     dims.rank <= 2,
-                 "2-layer Lorenzo is implemented for 1D/2D data");
-  WAVESZ_REQUIRE(!cfg.chunk_index || cfg.index_chunk_symbols > 0,
-                 "index_chunk_symbols must be positive");
-
-  // pqd_threads > 1 switches to the tiled anti-diagonal wavefront schedule;
-  // the two kernels share per-point arithmetic (pqd_detail.hpp), so the
-  // codes, history and unpredictable stream are bit-identical either way.
-  const bool wavefront = pqd_nt > 1 && dims.rank >= 2;
-  typename FpOps<T>::PqdType pqd;
-  {
-    telemetry::Span span(wavefront ? telemetry::spans::kPqdWavefront : telemetry::spans::kPqdRaster);
-    pqd = wavefront ? detail::lorenzo_pqd_wavefront_t<T>(data, dims, q,
-                                                         cfg.predictor,
-                                                         pqd_nt)
-                    : detail::lorenzo_pqd_t<T>(data, dims, q, cfg.predictor);
-  }
-  telemetry::counter_add(telemetry::Counter::QuantUnpredictable,
-                         pqd.unpredictable.size());
-  telemetry::counter_add(telemetry::Counter::QuantPredictable,
-                         pqd.codes.size() - pqd.unpredictable.size());
-
-  // Code section: H* (customized Huffman) then G* (gzip), or raw codes
-  // straight into gzip when Huffman is disabled. With cfg.chunk_index the
-  // encoder also records the v2 offset table at its chunk flush points.
-  std::vector<std::uint8_t> code_plain;
-  CodeChunkIndex idx;
-  {
-    telemetry::Span span(telemetry::spans::kEncodeCodes);
-    if (cfg.huffman) {
-      code_plain = cfg.chunk_index
-                       ? huffman_encode_indexed(pqd.codes, pqd_nt,
-                                                cfg.index_chunk_symbols, idx)
-                       : huffman_encode(pqd.codes, pqd_nt);
-    } else {
-      if (cfg.chunk_index) {
-        idx = build_raw_code_index(pqd.codes, cfg.index_chunk_symbols);
-      }
-      ByteWriter cw;
-      cw.u16s(pqd.codes);
-      code_plain = cw.take();
-    }
-  }
-  std::vector<std::uint8_t> unpred_plain;
-  {
-    telemetry::Span span(telemetry::spans::kEncodeUnpred);
-    unpred_plain = FpOps<T>::encode(pqd.unpredictable, bound);
-  }
-
-  // Both sections go through one chunked-DEFLATE task pool, so the code and
-  // unpredictable encodes run concurrently under cfg.codec_threads (the
-  // serial budget of 1 reproduces the historical streams bit-for-bit).
-  telemetry::Span span_tail(telemetry::spans::kDeflateSerialize);
-  const std::span<const std::uint8_t> sections[] = {code_plain, unpred_plain};
-  auto blobs = deflate::gzip_compress_batch(sections, cfg.gzip_level,
-                                            cfg.chunk_index
-                                                ? cfg.indexed_deflate_options()
-                                                : cfg.deflate_options());
-  telemetry::counter_add(telemetry::Counter::CodeBytesIn, code_plain.size());
-  telemetry::counter_add(telemetry::Counter::CodeBytesOut, blobs[0].size());
-  telemetry::counter_add(telemetry::Counter::UnpredBytesIn,
-                         unpred_plain.size());
-  telemetry::counter_add(telemetry::Counter::UnpredBytesOut,
-                         blobs[1].size());
-
-  Compressed out;
-  out.header.variant = Variant::Sz14;
-  out.header.dims = dims;
-  out.header.mode = cfg.mode;
-  out.header.base = cfg.base;
-  out.header.eb_requested = cfg.error_bound;
-  out.header.eb_absolute = bound;
-  out.header.quant_bits = cfg.quant_bits;
-  out.header.huffman = cfg.huffman;
-  out.header.gzip_level = cfg.gzip_level;
-  out.header.aux = static_cast<std::uint8_t>(cfg.predictor);
-  out.header.dtype = FpOps<T>::kDtype;
-  out.header.point_count = data.size();
-  out.header.unpredictable_count = pqd.unpredictable.size();
-  out.header.version = cfg.chunk_index ? 2 : 1;
-  out.code_blob_bytes = blobs[0].size();
-  out.unpred_blob_bytes = blobs[1].size();
-
-  // Serialize the sections straight from the batch output — no named copies
-  // of the (potentially large) blobs survive past this point.
-  ByteWriter w;
-  write_header(w, out.header);
-  if (cfg.chunk_index) write_code_index(w, idx);
-  write_section(w, blobs[0]);
-  write_section(w, blobs[1]);
-  out.bytes = w.take();
-  // Ratio is dimensionless; the histogram stores milli-ratio so a 4.2x
-  // call lands in bucket ~4200 with the usual 3% bucketing error.
-  if (!out.bytes.empty()) {
-    telemetry::observe(telemetry::Histo::CompressRatioMilli,
-                       data.size_bytes() * 1000 / out.bytes.size());
-  }
-  return out;
+  Sz14Staged<T> job(data, dims, cfg);
+  return run_staged(job, cfg.pipeline_depth);
 }
 
 template <typename T>
@@ -445,6 +521,46 @@ std::vector<double> lorenzo_reconstruct64(
     const LinearQuantizer& q, PredictorKind kind) {
   return detail::lorenzo_reconstruct_t<double>(codes, unpredictable, dims, q,
                                                kind);
+}
+
+std::unique_ptr<StagedCompressor> make_staged(std::span<const float> data,
+                                              const Dims& dims,
+                                              const Config& cfg) {
+  return make_staged_t<float>(data, dims, cfg);
+}
+
+std::unique_ptr<StagedCompressor> make_staged(std::span<const double> data,
+                                              const Dims& dims,
+                                              const Config& cfg) {
+  return make_staged_t<double>(data, dims, cfg);
+}
+
+Compressed run_staged(StagedCompressor& job, int pipeline_depth) {
+  if (pipeline_depth <= 0) return job.run();
+  // Overlapped single-shot schedule: PQD on the calling thread (everything
+  // downstream depends on all of it), then the independent sections stream
+  // through a two-stage executor — the DEFLATE of section s runs while
+  // section s+1 is still entropy-encoding. Sections are the finest
+  // independent units of one container, so depth beyond their count buys
+  // nothing.
+  {
+    telemetry::Span span(telemetry::spans::kPipelineSlabPqd);
+    job.pqd();
+  }
+  const std::size_t depth = std::min<std::size_t>(
+      static_cast<std::size_t>(pipeline_depth), job.sections());
+  pipeline::Executor ex(
+      {{telemetry::spans::kPipelineSlabEntropy,
+        [&job](std::size_t s) { job.encode_section(s); }},
+       {telemetry::spans::kPipelineSlabFrame,
+        [&job](std::size_t s) { job.deflate_section(s); }}},
+      depth);
+  for (std::size_t s = 0; s < job.sections(); ++s) {
+    ex.acquire();
+    ex.submit();
+  }
+  ex.drain();
+  return job.assemble();
 }
 
 Compressed compress(std::span<const float> data, const Dims& dims,

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -70,6 +71,65 @@ struct Compressed {
   std::size_t code_blob_bytes = 0;
   std::size_t unpred_blob_bytes = 0;
 };
+
+/// One compress call split into the phases the staged pipeline
+/// (core/pipeline.hpp) schedules: prediction-quantization, per-section
+/// entropy encode, per-section DEFLATE, final container assembly. The
+/// barrier path is run() — every phase back-to-back on the calling thread —
+/// and the pipelined paths call the same phase bodies in a different
+/// interleaving, so the output bytes are identical by construction. Sections
+/// (the code stream and the unpredictable/verbatim stream) are mutually
+/// independent after pqd(); phases of *different* sections may overlap,
+/// phases of one section must run in encode -> deflate order, and assemble()
+/// requires every deflate to have finished.
+class StagedCompressor {
+ public:
+  virtual ~StagedCompressor() = default;
+
+  /// Independent output sections (2 for entropy containers, 1 for SZx).
+  virtual std::size_t sections() const = 0;
+  /// Phase 1: value range, bound resolution, Lorenzo/wavefront PQD.
+  virtual void pqd() = 0;
+  /// Phase 2 for section `s`: Huffman/raw code pack or verbatim serialize.
+  virtual void encode_section(std::size_t s) = 0;
+  /// Phase 3 for section `s`: gzip the plain section bytes.
+  virtual void deflate_section(std::size_t s) = 0;
+  /// Final phase: header + index + section framing into the container.
+  virtual Compressed assemble() = 0;
+
+  /// All entropy encodes — the middle-stage body when a whole chunk is the
+  /// pipeline slab (StreamCompressor).
+  void entropy() {
+    for (std::size_t s = 0; s < sections(); ++s) encode_section(s);
+  }
+  /// All section deflates plus assembly — the last-stage body.
+  Compressed frame() {
+    for (std::size_t s = 0; s < sections(); ++s) deflate_section(s);
+    return assemble();
+  }
+  /// The barrier reference path.
+  Compressed run() {
+    pqd();
+    entropy();
+    return frame();
+  }
+};
+
+/// Build the staged job equivalent to compress(data, dims, cfg) (including
+/// Codec::Szx dispatch). The data span must outlive the job.
+std::unique_ptr<StagedCompressor> make_staged(std::span<const float> data,
+                                              const Dims& dims,
+                                              const Config& cfg);
+std::unique_ptr<StagedCompressor> make_staged(std::span<const double> data,
+                                              const Dims& dims,
+                                              const Config& cfg);
+
+/// Execute a staged job under Config::pipeline_depth semantics: depth <= 0
+/// runs the barrier path; otherwise pqd() runs on the calling thread and the
+/// independent sections stream through a two-stage entropy/frame executor so
+/// the DEFLATE of section s overlaps the entropy encode of section s+1.
+/// Output bytes are identical either way.
+Compressed run_staged(StagedCompressor& job, int pipeline_depth);
 
 /// Full SZ-1.4 compression of a float32 field.
 Compressed compress(std::span<const float> data, const Dims& dims,

@@ -90,6 +90,17 @@ struct Config {
   /// bit-identical at every setting.
   int decode_threads = 1;
 
+  /// Slabs in flight for the staged producer-consumer pipeline
+  /// (core/pipeline.hpp): 0 = barrier execution (the default; phases run
+  /// back-to-back on the calling thread), n >= 1 = overlapped execution
+  /// with at most n slabs between the PQD, entropy and DEFLATE/frame
+  /// stages — the software form of the paper's pII=1 datapath at slab
+  /// granularity. StreamCompressor pipelines whole chunks; single-shot
+  /// compress() overlaps the two independent container sections. Output
+  /// bytes are identical to the barrier path at every depth and thread
+  /// budget, so the knob is not recorded in the container.
+  int pipeline_depth = 0;
+
   /// Codec selection: the entropy pipeline above, or the SZx-style
   /// ultra-fast block codec (which ignores the huffman/gzip/chunk-index
   /// knobs — it has no entropy stage and no chunk index).

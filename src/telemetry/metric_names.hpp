@@ -48,6 +48,8 @@ enum class Counter : std::uint32_t {
   IndexChunksDecoded,  ///< v2 chunk-index chunks decoded (parallel or serial)
   RegionBytesRead,     ///< compressed bytes consumed by decode_region()
   SpansDropped,        ///< spans lost to full ring buffers (set at drain)
+  PipelineSlabs,       ///< slabs retired by the staged pipeline executor
+  PipelineStallNs,     ///< wall ns pipeline stages spent stalled (bubbles)
   kCount
 };
 
@@ -82,6 +84,10 @@ inline constexpr MetricInfo kCounterInfo[] = {
      "compressed bytes consumed by decode_region()"},
     {"spans_dropped", "spans",
      "telemetry spans lost to full per-thread ring buffers"},
+    {"pipeline_slabs", "slabs",
+     "slabs retired by the staged pipeline executor"},
+    {"pipeline_stall_ns", "ns",
+     "wall time pipeline stages spent stalled waiting for work or slots"},
 };
 static_assert(sizeof(kCounterInfo) / sizeof(kCounterInfo[0]) ==
                   static_cast<std::size_t>(Counter::kCount),
@@ -101,6 +107,7 @@ enum class Histo : std::uint32_t {
   DeflateChunkBytes,   ///< plain input bytes per DEFLATE chunk task
   StreamChunkBytes,    ///< raw field bytes per streaming-API chunk
   CompressRatioMilli,  ///< per-call compression ratio x 1000
+  StreamChunkNs,       ///< wall ns per streaming-API chunk (dispatch→emit)
   kCount
 };
 
@@ -113,6 +120,8 @@ inline constexpr MetricInfo kHistoInfo[] = {
      "raw field bytes per streaming-API chunk"},
     {"compress_ratio_milli", "ratio_x1000",
      "per-call compression ratio, scaled by 1000"},
+    {"stream_chunk_ns", "ns",
+     "wall time per streaming-API chunk from dispatch to emitted bytes"},
 };
 static_assert(sizeof(kHistoInfo) / sizeof(kHistoInfo[0]) ==
                   static_cast<std::size_t>(Histo::kCount),

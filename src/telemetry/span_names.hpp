@@ -60,4 +60,13 @@ inline constexpr const char* kWaveReconstruct = "wave.reconstruct";
 inline constexpr const char* kStreamChunk = "stream.chunk";
 inline constexpr const char* kStreamDecodeChunk = "stream.decode_chunk";
 
+// Staged slab pipeline (src/core/pipeline.cpp and its users). The three
+// slab spans name the stages of the head/body/tail schedule; kPipelineStall
+// wraps only the waits where a stage ran dry (ring empty) or acquire()
+// found every slot in flight — the bubbles the overlap is meant to hide.
+inline constexpr const char* kPipelineSlabPqd = "pipeline.slab.pqd";
+inline constexpr const char* kPipelineSlabEntropy = "pipeline.slab.entropy";
+inline constexpr const char* kPipelineSlabFrame = "pipeline.slab.frame";
+inline constexpr const char* kPipelineStall = "pipeline.stall";
+
 }  // namespace wavesz::telemetry::spans
