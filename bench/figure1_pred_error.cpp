@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common.hpp"
-#include "metrics/histogram.hpp"
+#include "telemetry/fixed_histogram.hpp"
 #include "sz/predictor.hpp"
 #include "sz/quantizer.hpp"
 
@@ -65,7 +65,7 @@ std::vector<float> curvefit_errors(const std::vector<float>& grid,
 
 void report(const char* name, const std::vector<float>& errors,
             double range) {
-  metrics::Histogram h(-0.02 * range, 0.02 * range, 21);
+  telemetry::FixedBinHistogram h(-0.02 * range, 0.02 * range, 21);
   for (float e : errors) h.add(e);
   double mean_abs = 0;
   for (float e : errors) mean_abs += std::fabs(static_cast<double>(e));

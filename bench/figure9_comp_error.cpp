@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "common.hpp"
-#include "metrics/histogram.hpp"
+#include "telemetry/fixed_histogram.hpp"
 
 namespace wavesz {
 namespace {
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   auto histo = [&](const char* name, const std::vector<float>& dec,
                    double bound) {
     const auto h =
-        metrics::Histogram::of_errors(grid, dec, -bound, bound, 21);
+        telemetry::FixedBinHistogram::of_errors(grid, dec, -bound, bound, 21);
     std::size_t exact = 0;
     for (std::size_t i = 0; i < grid.size(); ++i) {
       if (grid[i] == dec[i]) ++exact;

@@ -1,16 +1,16 @@
 #include "core/pipeline.hpp"
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <utility>
 
 #include "telemetry/span_names.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace wavesz::pipeline {
@@ -19,7 +19,9 @@ namespace {
 
 /// Bounded slab-token queue between two stages. Mutex + condvar rather than
 /// atomics: the lock is taken once per *slab*, not per element, so the cost
-/// is noise at pipeline granularity and the code is trivially TSan-clean.
+/// is noise at pipeline granularity and the code is trivially TSan-clean —
+/// and, since PR 10, statically checked: every access to the queue state is
+/// proven to hold `mu_` by clang's -Wthread-safety.
 /// Pushes never block in the Executor because the producer's acquire() bounds
 /// in-flight slabs to the ring capacity; pop() is where stalls happen, and
 /// where they get measured.
@@ -27,7 +29,7 @@ class TokenRing {
  public:
   void push(std::size_t seq) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       items_.push_back(seq);
     }
     cv_.notify_one();
@@ -38,11 +40,11 @@ class TokenRing {
   /// kPipelineStall span and its duration added to `stall_ns` and the
   /// PipelineStallNs counter.
   bool pop(std::size_t& out, std::atomic<std::uint64_t>& stall_ns) {
-    std::unique_lock<std::mutex> lock(mu_);
+    util::MutexLock lock(mu_);
     if (items_.empty() && !closed_) {
       const telemetry::Span stall(telemetry::spans::kPipelineStall);
       const Stopwatch sw;
-      cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+      while (items_.empty() && !closed_) cv_.wait(mu_);
       const auto ns = static_cast<std::uint64_t>(sw.seconds() * 1e9);
       stall_ns.fetch_add(ns, std::memory_order_relaxed);
       telemetry::counter_add(telemetry::Counter::PipelineStallNs, ns);
@@ -55,17 +57,17 @@ class TokenRing {
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::size_t> items_;
-  bool closed_ = false;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  std::deque<std::size_t> items_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace
@@ -81,22 +83,25 @@ struct Executor::Impl {
 
   // Producer-side flow control: submitted_ - retired_ slabs are in flight,
   // bounded by depth. retire_cv_ wakes acquire()/drain().
-  mutable std::mutex mu;
-  std::condition_variable retire_cv;
-  std::size_t submitted = 0;
-  std::size_t retired = 0;
-  bool reserved = false;  ///< acquire() called without a matching submit()
+  mutable util::Mutex mu;
+  util::CondVar retire_cv;
+  std::size_t submitted GUARDED_BY(mu) = 0;
+  std::size_t retired GUARDED_BY(mu) = 0;
+  /// acquire() called without a matching submit()
+  bool reserved GUARDED_BY(mu) = false;
 
   std::atomic<std::uint64_t> stall_ns{0};
 
   // First stage error wins; later slabs skip work but keep flowing so
-  // drain() terminates.
+  // drain() terminates. has_error is the lock-free fast-path gate (release
+  // store pairs with the workers' acquire loads); the exception_ptr itself
+  // only moves under err_mu.
   std::atomic<bool> has_error{false};
-  std::mutex err_mu;
-  std::exception_ptr error;
+  util::Mutex err_mu;
+  std::exception_ptr error GUARDED_BY(err_mu);
 
   void capture(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(err_mu);
+    util::MutexLock lock(err_mu);
     if (!error) {
       error = std::move(e);
       has_error.store(true, std::memory_order_release);
@@ -105,13 +110,13 @@ struct Executor::Impl {
 
   void rethrow_if_error() {
     if (!has_error.load(std::memory_order_acquire)) return;
-    std::lock_guard<std::mutex> lock(err_mu);
+    util::MutexLock lock(err_mu);
     std::rethrow_exception(error);
   }
 
   void retire_one() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       ++retired;
     }
     retire_cv.notify_all();
@@ -170,14 +175,13 @@ Executor::~Executor() {
 std::size_t Executor::acquire() {
   Impl& im = *impl_;
   im.rethrow_if_error();
-  std::unique_lock<std::mutex> lock(im.mu);
+  util::MutexLock lock(im.mu);
   WAVESZ_REQUIRE(!im.reserved, "pipeline acquire() without submit()");
   if (im.submitted - im.retired >= im.depth) {
     // Every slot is in flight: the producer itself is the stalled stage.
     const telemetry::Span stall(telemetry::spans::kPipelineStall);
     const Stopwatch sw;
-    im.retire_cv.wait(lock,
-                      [&] { return im.submitted - im.retired < im.depth; });
+    while (im.submitted - im.retired >= im.depth) im.retire_cv.wait(im.mu);
     const auto ns = static_cast<std::uint64_t>(sw.seconds() * 1e9);
     im.stall_ns.fetch_add(ns, std::memory_order_relaxed);
     telemetry::counter_add(telemetry::Counter::PipelineStallNs, ns);
@@ -190,7 +194,7 @@ void Executor::submit() {
   Impl& im = *impl_;
   std::size_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    util::MutexLock lock(im.mu);
     WAVESZ_REQUIRE(im.reserved, "pipeline submit() without acquire()");
     im.reserved = false;
     seq = im.submitted++;
@@ -201,8 +205,8 @@ void Executor::submit() {
 void Executor::drain() {
   Impl& im = *impl_;
   {
-    std::unique_lock<std::mutex> lock(im.mu);
-    im.retire_cv.wait(lock, [&] { return im.retired == im.submitted; });
+    util::MutexLock lock(im.mu);
+    while (im.retired != im.submitted) im.retire_cv.wait(im.mu);
   }
   im.rethrow_if_error();
 }
@@ -211,7 +215,7 @@ Stats Executor::stats() const {
   const Impl& im = *impl_;
   Stats s;
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    util::MutexLock lock(im.mu);
     s.slabs = im.retired;
   }
   s.stall_ns = im.stall_ns.load(std::memory_order_relaxed);

@@ -1,4 +1,4 @@
-#include "metrics/histogram.hpp"
+#include "telemetry/fixed_histogram.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -7,16 +7,16 @@
 
 #include "util/error.hpp"
 
-namespace wavesz::metrics {
+namespace wavesz::telemetry {
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
+FixedBinHistogram::FixedBinHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0) {
   WAVESZ_REQUIRE(hi > lo, "histogram range must be non-empty");
   WAVESZ_REQUIRE(bins > 0, "histogram needs at least one bin");
 }
 
-void Histogram::add(double v) {
+void FixedBinHistogram::add(double v) {
   if (v < lo_) {
     ++underflow_;
   } else if (v >= hi_) {
@@ -28,32 +28,32 @@ void Histogram::add(double v) {
   }
 }
 
-void Histogram::add(std::span<const float> values) {
+void FixedBinHistogram::add(std::span<const float> values) {
   for (float v : values) add(static_cast<double>(v));
 }
 
-Histogram Histogram::of_errors(std::span<const float> a,
+FixedBinHistogram FixedBinHistogram::of_errors(std::span<const float> a,
                                std::span<const float> b, double lo, double hi,
                                std::size_t bins) {
   WAVESZ_REQUIRE(a.size() == b.size(), "of_errors: length mismatch");
-  Histogram h(lo, hi, bins);
+  FixedBinHistogram h(lo, hi, bins);
   for (std::size_t i = 0; i < a.size(); ++i) {
     h.add(static_cast<double>(a[i]) - static_cast<double>(b[i]));
   }
   return h;
 }
 
-std::uint64_t Histogram::total() const {
+std::uint64_t FixedBinHistogram::total() const {
   std::uint64_t t = underflow_ + overflow_;
   for (auto c : counts_) t += c;
   return t;
 }
 
-double Histogram::bin_center(std::size_t bin) const {
+double FixedBinHistogram::bin_center(std::size_t bin) const {
   return lo_ + (static_cast<double>(bin) + 0.5) * width_;
 }
 
-double Histogram::fraction_within(double x) const {
+double FixedBinHistogram::fraction_within(double x) const {
   const std::uint64_t t = total();
   if (t == 0) return 0.0;
   std::uint64_t inside = 0;
@@ -65,7 +65,7 @@ double Histogram::fraction_within(double x) const {
   return static_cast<double>(inside) / static_cast<double>(t);
 }
 
-std::string Histogram::ascii(int max_width) const {
+std::string FixedBinHistogram::ascii(int max_width) const {
   std::uint64_t peak = 1;
   for (auto c : counts_) peak = std::max(peak, c);
   std::ostringstream os;
@@ -84,7 +84,7 @@ std::string Histogram::ascii(int max_width) const {
   return os.str();
 }
 
-std::string Histogram::csv() const {
+std::string FixedBinHistogram::csv() const {
   std::ostringstream os;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     os << bin_center(i) << ',' << counts_[i] << '\n';
@@ -92,4 +92,4 @@ std::string Histogram::csv() const {
   return os.str();
 }
 
-}  // namespace wavesz::metrics
+}  // namespace wavesz::telemetry

@@ -2,6 +2,13 @@
 //
 // The benches render these as ASCII bar charts and as CSV series so the
 // distributions can be compared against the paper's plots.
+//
+// Lives in telemetry/ (not metrics/) since PR 10: the tree keeps one
+// histogram subsystem, and the log-linear production histogram already
+// owns the `telemetry/histogram.hpp` basename. The `header-shadow` lint
+// rule now rejects a header basename reused across src/ subsystems, which
+// is exactly the metrics/histogram.hpp vs telemetry/histogram.hpp
+// collision this move resolved.
 #pragma once
 
 #include <cstddef>
@@ -9,19 +16,19 @@
 #include <string>
 #include <vector>
 
-namespace wavesz::metrics {
+namespace wavesz::telemetry {
 
-class Histogram {
+class FixedBinHistogram {
  public:
   /// Bins cover [lo, hi) uniformly; values outside are counted in
   /// underflow/overflow.
-  Histogram(double lo, double hi, std::size_t bins);
+  FixedBinHistogram(double lo, double hi, std::size_t bins);
 
   void add(double v);
   void add(std::span<const float> values);
 
   /// Histogram of pairwise differences a[i] - b[i].
-  static Histogram of_errors(std::span<const float> a,
+  static FixedBinHistogram of_errors(std::span<const float> a,
                              std::span<const float> b, double lo, double hi,
                              std::size_t bins);
 
@@ -49,4 +56,4 @@ class Histogram {
   std::uint64_t overflow_ = 0;
 };
 
-}  // namespace wavesz::metrics
+}  // namespace wavesz::telemetry

@@ -4,8 +4,10 @@
 #include <array>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wavesz::telemetry {
 namespace {
@@ -46,8 +48,12 @@ struct ThreadLog {
 /// removed: OpenMP workers outlive sessions and keep their ring across
 /// them, and a log whose thread has exited is simply never written again.
 struct Registry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadLog>> logs;
+  util::Mutex mutex;
+  /// Registration and drain both walk this vector under `mutex`; the logs
+  /// themselves are single-writer rings published with atomics (see the
+  /// concurrency manifest), so only the vector — not the ring contents —
+  /// is lock-guarded.
+  std::vector<std::unique_ptr<ThreadLog>> logs GUARDED_BY(mutex);
   std::atomic<bool> session_active{false};
 };
 
@@ -59,7 +65,7 @@ Registry& registry() {
 ThreadLog& local_log() {
   thread_local ThreadLog* log = [] {
     auto& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    util::MutexLock lock(reg.mutex);
     auto owned = std::make_unique<ThreadLog>();
     owned->tid = static_cast<std::uint32_t>(reg.logs.size());
     reg.logs.push_back(std::move(owned));
@@ -146,7 +152,7 @@ Session::Session() {
   {
     // Discard spans recorded after the previous session stopped draining
     // (e.g. a worker closing a span mid-stop): fast-forward every cursor.
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    util::MutexLock lock(reg.mutex);
     for (auto& log : reg.logs) {
       log->drained.store(log->count.load(std::memory_order_acquire),
                          std::memory_order_relaxed);
@@ -175,7 +181,7 @@ Report Session::stop() {
   report.histograms.resize(static_cast<std::size_t>(Histo::kCount));
   auto& reg = registry();
   {
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    util::MutexLock lock(reg.mutex);
     for (auto& log : reg.logs) {
       const std::uint64_t end = log->count.load(std::memory_order_acquire);
       for (std::uint64_t i = log->drained.load(std::memory_order_relaxed);

@@ -12,9 +12,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wavesz::util {
 
@@ -35,7 +37,9 @@ struct ArenaStats {
 /// Mutex-guarded freelist of std::vector<T> buffers. The lock is taken
 /// once per slab handoff (never per element), so contention is irrelevant
 /// at pipeline granularity; the guarded form is trivially TSan-clean when
-/// producer and consumer stages recycle buffers from different threads.
+/// producer and consumer stages recycle buffers from different threads,
+/// and the GUARDED_BY annotations make clang's -Wthread-safety prove every
+/// freelist/stats access holds the lock.
 template <typename T>
 class VecPool {
  public:
@@ -45,7 +49,7 @@ class VecPool {
   std::vector<T> acquire(std::size_t size) {
     std::vector<T> v;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       ++stats_.acquires;
       if (!free_.empty()) {
         v = std::move(free_.back());
@@ -63,19 +67,19 @@ class VecPool {
 
   /// Return a buffer to the freelist; its capacity is what gets reused.
   void release(std::vector<T>&& v) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     free_.push_back(std::move(v));
   }
 
   ArenaStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<T>> free_;
-  ArenaStats stats_;
+  mutable Mutex mu_;
+  std::vector<std::vector<T>> free_ GUARDED_BY(mu_);
+  ArenaStats stats_ GUARDED_BY(mu_);
 };
 
 /// The pools a slab engine needs: one per staged value type.

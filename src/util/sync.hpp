@@ -1,0 +1,71 @@
+// Annotated synchronization primitives.
+//
+// std::mutex in libstdc++ carries no thread-safety attributes, so clang's
+// -Wthread-safety cannot see through it: GUARDED_BY(some_std_mutex) members
+// would never be checked. These thin wrappers re-export the standard
+// primitives as annotated capabilities, which is the whole point — every
+// mutex-protected structure in the tree declares its invariants with
+// GUARDED_BY/REQUIRES against a util::Mutex, and the wavesz_thread_safety
+// build leg proves them at compile time.
+//
+// Costs nothing at runtime: Mutex is a std::mutex, MutexLock is a
+// lock_guard, CondVar is a condition_variable_any waiting on the Mutex
+// directly (slab/session granularity — never a per-element hot path; see
+// DESIGN.md "Concurrency contracts").
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace wavesz::util {
+
+/// Annotated exclusive lock. Deliberately minimal: no try_lock, no timed
+/// waits — nothing in the tree needs them, and every additional entry point
+/// is another annotation to get wrong.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex (the annotated lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex. wait() REQUIRES the mutex, so
+/// the analysis checks that every wait happens under the lock its predicate
+/// reads. Callers loop on the predicate themselves (plain while-loops keep
+/// the guarded reads inside the analyzed function body; a predicate lambda
+/// would be analyzed without the caller's lock context).
+class CondVar {
+ public:
+  /// Atomically release `mu`, sleep, reacquire before returning. Spurious
+  /// wakeups happen; always re-check the condition in a loop.
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace wavesz::util

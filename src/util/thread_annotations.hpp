@@ -1,0 +1,67 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to clang's capability attributes when the compiler supports
+// them and to nothing everywhere else, so annotated code compiles
+// identically under gcc. The `wavesz_thread_safety` CMake target turns on
+// `-Wthread-safety` for every src/ library under clang, and CI's
+// thread-safety leg builds that configuration with -Werror: an access to a
+// GUARDED_BY member without its mutex is a build break, not a TSan roll of
+// the dice.
+//
+// Vocabulary (mirrors the clang documentation and Abseil's usage):
+//   CAPABILITY("mutex")   class is a lockable capability (util::Mutex).
+//   SCOPED_CAPABILITY     RAII class that acquires at ctor / releases at
+//                         dtor (util::MutexLock).
+//   GUARDED_BY(mu)        member may only be touched while holding mu.
+//   PT_GUARDED_BY(mu)     pointee (not the pointer) is guarded by mu.
+//   REQUIRES(mu)          caller must hold mu across the call.
+//   ACQUIRE(mu)/RELEASE(mu)  function takes / drops the capability.
+//   TRY_ACQUIRE(ok, mu)   conditional acquire, `ok` is the success value.
+//   EXCLUDES(mu)          caller must NOT hold mu (non-reentrant locks).
+//   ASSERT_CAPABILITY(mu) runtime-checked "I already hold mu".
+//   RETURN_CAPABILITY(mu) function returns a reference to mu.
+//   NO_THREAD_SAFETY_ANALYSIS  opt a function out (ctor/dtor edge cases).
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define WAVESZ_TSA_ATTR(x) __attribute__((x))
+#else
+#define WAVESZ_TSA_ATTR(x)  // no-op on gcc/msvc: annotations vanish
+#endif
+
+#define CAPABILITY(x) WAVESZ_TSA_ATTR(capability(x))
+
+#define SCOPED_CAPABILITY WAVESZ_TSA_ATTR(scoped_lockable)
+
+#define GUARDED_BY(x) WAVESZ_TSA_ATTR(guarded_by(x))
+
+#define PT_GUARDED_BY(x) WAVESZ_TSA_ATTR(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) WAVESZ_TSA_ATTR(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) WAVESZ_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) WAVESZ_TSA_ATTR(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  WAVESZ_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) WAVESZ_TSA_ATTR(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  WAVESZ_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) WAVESZ_TSA_ATTR(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  WAVESZ_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) WAVESZ_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) WAVESZ_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) WAVESZ_TSA_ATTR(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) WAVESZ_TSA_ATTR(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS WAVESZ_TSA_ATTR(no_thread_safety_analysis)

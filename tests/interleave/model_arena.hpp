@@ -1,0 +1,138 @@
+// Model of the VecPool acquire/recycle protocol (src/util/arena.hpp) for
+// the interleave scheduler.
+//
+// Each modeled thread loops acquire -> use -> release against a shared
+// freelist; acquire and release are single lock-held critical sections in
+// the real pool and single steps here. The "use" step writes a tag into
+// the buffer and the release step verifies it, so any schedule in which
+// two threads are handed the same buffer concurrently fails loudly —
+// that is the aliasing bug a broken freelist would produce.
+//
+// Invariants:
+//   * a buffer is owned by at most one thread between acquire and release;
+//   * the stats identity acquires == reuses + fresh holds on every
+//     schedule (it is what tests use to assert steady-state reuse);
+//   * every buffer returns to the freelist by the end of the schedule.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "sched.hpp"
+
+namespace wavesz::interleave {
+
+struct ArenaModelConfig {
+  std::size_t threads = 2;
+  std::size_t rounds = 2;  ///< acquire/use/release cycles per thread
+};
+
+class ArenaModel : public Scenario {
+ public:
+  explicit ArenaModel(const ArenaModelConfig& cfg) : cfg_(cfg) {
+    for (std::size_t t = 0; t < cfg_.threads; ++t) {
+      actors_.push_back(std::make_unique<Client>(this, t));
+    }
+  }
+
+  std::vector<Actor*> actors() override {
+    std::vector<Actor*> out;
+    out.reserve(actors_.size());
+    for (auto& a : actors_) out.push_back(a.get());
+    return out;
+  }
+
+  void check_final() override {
+    EXPECT_EQ(acquires_, reuses_ + fresh_)
+        << "pool stats identity broken";
+    EXPECT_EQ(acquires_, cfg_.threads * cfg_.rounds);
+    EXPECT_EQ(freelist_.size(), buffers_.size())
+        << "a buffer never came back to the freelist";
+    // The pool can never hold more buffers than were concurrently live.
+    EXPECT_LE(buffers_.size(), cfg_.threads);
+  }
+
+ private:
+  static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+  struct Buffer {
+    std::size_t owner = kFree;  ///< owning thread, or kFree
+    std::size_t tag = 0;        ///< written by use(), checked at release
+  };
+
+  ArenaModelConfig cfg_;
+  std::vector<Buffer> buffers_;
+  std::vector<std::size_t> freelist_;
+  std::size_t acquires_ = 0;
+  std::size_t reuses_ = 0;
+  std::size_t fresh_ = 0;
+
+  class Client : public Actor {
+   public:
+    Client(ArenaModel* m, std::size_t id) : m_(m), id_(id) {}
+
+    bool done() const override { return round_ == m_->cfg_.rounds; }
+
+    bool enabled() const override { return !done(); }
+
+    void step() override {
+      ArenaModel& m = *m_;
+      switch (phase_) {
+        case Phase::kAcquire: {
+          ++m.acquires_;
+          if (!m.freelist_.empty()) {
+            buf_ = m.freelist_.back();
+            m.freelist_.pop_back();
+            ++m.reuses_;
+          } else {
+            buf_ = m.buffers_.size();
+            m.buffers_.push_back(Buffer{});
+            ++m.fresh_;
+          }
+          ASSERT_EQ(m.buffers_[buf_].owner, kFree)
+              << "freelist handed out an owned buffer";
+          m.buffers_[buf_].owner = id_;
+          phase_ = Phase::kUse;
+          break;
+        }
+        case Phase::kUse:
+          // The aliasing detector: if another thread holds this buffer,
+          // its tag write will be observed by our release check.
+          ASSERT_EQ(m.buffers_[buf_].owner, id_)
+              << "buffer reassigned while in use";
+          m.buffers_[buf_].tag = id_ * 1000 + round_;
+          phase_ = Phase::kRelease;
+          break;
+        case Phase::kRelease:
+          ASSERT_EQ(m.buffers_[buf_].owner, id_)
+              << "releasing a buffer this thread does not own";
+          ASSERT_EQ(m.buffers_[buf_].tag, id_ * 1000 + round_)
+              << "buffer contents clobbered while owned";
+          m.buffers_[buf_].owner = kFree;
+          m.freelist_.push_back(buf_);
+          ++round_;
+          phase_ = Phase::kAcquire;
+          break;
+      }
+    }
+
+   private:
+    enum class Phase { kAcquire, kUse, kRelease };
+    ArenaModel* m_;
+    std::size_t id_;
+    std::size_t buf_ = 0;
+    std::size_t round_ = 0;
+    Phase phase_ = Phase::kAcquire;
+  };
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+};
+
+inline ScenarioFactory arena_factory(const ArenaModelConfig& cfg) {
+  return [cfg] { return std::make_unique<ArenaModel>(cfg); };
+}
+
+}  // namespace wavesz::interleave

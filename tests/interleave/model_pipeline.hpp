@@ -1,0 +1,264 @@
+// Model of the staged Executor's SPSC token-ring protocol
+// (src/core/pipeline.cpp) for the interleave scheduler.
+//
+// The model mirrors the real protocol at the granularity of its lock-held
+// critical sections: producer acquire (backpressure window), submit (ring
+// push), worker pop, stage body, forward/retire, close cascade. Each is
+// one Actor::step(); the scheduler interleaves them every possible way.
+//
+// Checked invariants (the executor's documented contract):
+//   * per-stage FIFO: every stage observes slab seqs in submission order;
+//   * backpressure: submitted - retired never exceeds the ring depth;
+//   * first-error capture: a configured stage failure latches exactly
+//     once, later slabs keep flowing (exception-drain termination shows
+//     up as "no deadlock in any schedule");
+//   * slot-reuse happens-before: a pooled buffer acquired for a slab is
+//     released exactly at retire and never owned by two slabs at once
+//     (the arena handoff the real code orders through retire_cv).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "sched.hpp"
+
+namespace wavesz::interleave {
+
+struct PipelineModelConfig {
+  std::size_t stages = 2;
+  std::size_t depth = 2;
+  std::size_t slabs = 3;
+  /// If >= 0, stage `error_stage` throws while processing slab
+  /// `error_slab`; the model then mirrors the executor's latch-and-flow
+  /// behavior.
+  int error_stage = -1;
+  std::size_t error_slab = 0;
+};
+
+class PipelineModel : public Scenario {
+ public:
+  explicit PipelineModel(const PipelineModelConfig& cfg) : cfg_(cfg) {
+    rings_.resize(cfg_.stages);
+    closed_.assign(cfg_.stages, false);
+    next_expected_.assign(cfg_.stages, 0);
+    buffer_owner_.assign(cfg_.depth, kFree);
+    slab_buffer_.assign(cfg_.slabs, kFree);
+    actors_.push_back(std::make_unique<Producer>(this));
+    for (std::size_t s = 0; s < cfg_.stages; ++s) {
+      actors_.push_back(std::make_unique<Worker>(this, s));
+    }
+  }
+
+  std::vector<Actor*> actors() override {
+    std::vector<Actor*> out;
+    out.reserve(actors_.size());
+    for (auto& a : actors_) out.push_back(a.get());
+    return out;
+  }
+
+  void check_final() override {
+    EXPECT_EQ(retired_, cfg_.slabs) << "not every slab retired";
+    for (std::size_t s = 0; s < cfg_.stages; ++s) {
+      EXPECT_TRUE(closed_[s]) << "ring " << s << " never closed";
+      EXPECT_TRUE(rings_[s].empty()) << "ring " << s << " left tokens";
+      EXPECT_EQ(next_expected_[s], cfg_.slabs)
+          << "stage " << s << " skipped slabs";
+    }
+    for (std::size_t b = 0; b < buffer_owner_.size(); ++b) {
+      EXPECT_EQ(buffer_owner_[b], kFree)
+          << "buffer " << b << " leaked an owner";
+    }
+    if (cfg_.error_stage >= 0) {
+      EXPECT_TRUE(has_error_) << "configured stage error never latched";
+      EXPECT_TRUE(drain_observed_error_)
+          << "drain completed without observing the latched error";
+    } else {
+      EXPECT_FALSE(has_error_);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+  // --- shared protocol state (mutex-guarded in the real executor; every
+  // access below happens inside exactly one Actor::step()).
+  PipelineModelConfig cfg_;
+  std::vector<std::deque<std::size_t>> rings_;
+  std::vector<bool> closed_;
+  std::vector<std::size_t> next_expected_;
+  std::size_t submitted_ = 0;
+  std::size_t retired_ = 0;
+  bool has_error_ = false;
+  std::size_t error_latches_ = 0;
+  bool drain_observed_error_ = false;
+
+  // Arena handoff: buffer b is owned by at most one in-flight slab.
+  std::vector<std::size_t> buffer_owner_;  ///< slab or kFree, per buffer
+  std::vector<std::size_t> slab_buffer_;   ///< buffer index, per slab
+  std::vector<std::size_t> freelist_;
+
+  std::size_t in_flight() const { return submitted_ - retired_; }
+
+  class Producer : public Actor {
+   public:
+    explicit Producer(PipelineModel* m) : m_(m) {}
+
+    bool done() const override { return phase_ == Phase::kDone; }
+
+    bool enabled() const override {
+      switch (phase_) {
+        case Phase::kAcquire:
+          // acquire() blocks while every depth slot is in flight.
+          return m_->in_flight() < m_->cfg_.depth;
+        case Phase::kSubmit:
+          return true;
+        case Phase::kDrain:
+          // drain() blocks until every submitted slab retired.
+          return m_->retired_ == m_->submitted_;
+        case Phase::kClose:
+          return true;
+        case Phase::kDone:
+          return false;
+      }
+      return false;
+    }
+
+    void step() override {
+      PipelineModel& m = *m_;
+      switch (phase_) {
+        case Phase::kAcquire: {
+          ASSERT_LT(m.in_flight(), m.cfg_.depth)
+              << "acquire admitted past the depth window";
+          // The slab's staging buffer comes from the pool: reuse must
+          // only ever see buffers whose previous slab fully retired.
+          std::size_t buf;
+          if (!m.freelist_.empty()) {
+            buf = m.freelist_.back();
+            m.freelist_.pop_back();
+          } else {
+            buf = next_fresh_++;
+            ASSERT_LT(buf, m.buffer_owner_.size())
+                << "pool grew past the in-flight bound";
+          }
+          ASSERT_EQ(m.buffer_owner_[buf], kFree)
+              << "buffer " << buf << " handed out while still owned";
+          m.buffer_owner_[buf] = m.submitted_;
+          m.slab_buffer_[m.submitted_] = buf;
+          phase_ = Phase::kSubmit;
+          break;
+        }
+        case Phase::kSubmit:
+          m.rings_.front().push_back(m.submitted_);
+          ++m.submitted_;
+          ASSERT_LE(m.in_flight(), m.cfg_.depth)
+              << "backpressure bound violated at submit";
+          phase_ = m.submitted_ < m.cfg_.slabs ? Phase::kAcquire
+                                               : Phase::kDrain;
+          break;
+        case Phase::kDrain:
+          ASSERT_EQ(m.retired_, m.cfg_.slabs);
+          // drain() rethrows a latched error after the barrier.
+          if (m.has_error_) m.drain_observed_error_ = true;
+          phase_ = Phase::kClose;
+          break;
+        case Phase::kClose:
+          m.closed_.front() = true;
+          phase_ = Phase::kDone;
+          break;
+        case Phase::kDone:
+          FAIL() << "stepped a finished producer";
+      }
+    }
+
+   private:
+    enum class Phase { kAcquire, kSubmit, kDrain, kClose, kDone };
+    PipelineModel* m_;
+    Phase phase_ = Phase::kAcquire;
+    std::size_t next_fresh_ = 0;
+  };
+
+  class Worker : public Actor {
+   public:
+    Worker(PipelineModel* m, std::size_t stage) : m_(m), stage_(stage) {}
+
+    bool done() const override { return phase_ == Phase::kDone; }
+
+    bool enabled() const override {
+      if (phase_ != Phase::kPop) return phase_ != Phase::kDone;
+      // pop() blocks until an item arrives or the ring closes.
+      return !m_->rings_[stage_].empty() || m_->closed_[stage_];
+    }
+
+    void step() override {
+      PipelineModel& m = *m_;
+      switch (phase_) {
+        case Phase::kPop:
+          if (!m.rings_[stage_].empty()) {
+            seq_ = m.rings_[stage_].front();
+            m.rings_[stage_].pop_front();
+            ASSERT_EQ(seq_, m.next_expected_[stage_])
+                << "stage " << stage_ << " saw slabs out of order";
+            ++m.next_expected_[stage_];
+            phase_ = Phase::kProcess;
+          } else {
+            // Closed and empty: cascade the close downstream.
+            phase_ = Phase::kCascade;
+          }
+          break;
+        case Phase::kProcess:
+          if (!m.has_error_) {
+            if (static_cast<int>(stage_) == m.cfg_.error_stage &&
+                seq_ == m.cfg_.error_slab) {
+              // capture(): first error wins, slabs keep flowing.
+              m.has_error_ = true;
+              ++m.error_latches_;
+              ASSERT_EQ(m.error_latches_, 1u)
+                  << "error latched more than once";
+            }
+          }
+          phase_ = Phase::kForward;
+          break;
+        case Phase::kForward:
+          if (stage_ + 1 < m.cfg_.stages) {
+            m.rings_[stage_ + 1].push_back(seq_);
+          } else {
+            // retire_one(): the slab's buffer returns to the pool here —
+            // this is the release the next acquire's reuse rides on.
+            const std::size_t buf = m.slab_buffer_[seq_];
+            ASSERT_EQ(m.buffer_owner_[buf], seq_)
+                << "retiring slab does not own its buffer";
+            m.buffer_owner_[buf] = kFree;
+            m.freelist_.push_back(buf);
+            ++m.retired_;
+          }
+          phase_ = Phase::kPop;
+          break;
+        case Phase::kCascade:
+          if (stage_ + 1 < m.cfg_.stages) m.closed_[stage_ + 1] = true;
+          phase_ = Phase::kDone;
+          break;
+        case Phase::kDone:
+          FAIL() << "stepped a finished worker";
+      }
+    }
+
+   private:
+    enum class Phase { kPop, kProcess, kForward, kCascade, kDone };
+    PipelineModel* m_;
+    std::size_t stage_;
+    std::size_t seq_ = 0;
+    Phase phase_ = Phase::kPop;
+  };
+
+  std::vector<std::unique_ptr<Actor>> actors_;
+};
+
+inline ScenarioFactory pipeline_factory(const PipelineModelConfig& cfg) {
+  return [cfg] { return std::make_unique<PipelineModel>(cfg); };
+}
+
+}  // namespace wavesz::interleave

@@ -1,0 +1,252 @@
+// Schedule-exhaustive model harness: a controlled scheduler for checking
+// the repo's handshake protocols under *every* bounded-depth thread
+// interleaving, not just the ones a lucky TSan run happens to produce.
+//
+// The technique is stateless model checking by replay (CHESS-style): a
+// protocol is modeled as a Scenario owning a set of Actors, where each
+// Actor::step() executes exactly one *operation* — one mutex critical
+// section, one condvar signal, one atomic publication. Those are the yield
+// points: anything inside a single step is indivisible in the real code
+// too (it holds the lock), so enumerating schedules at step granularity
+// covers every distinguishable interleaving of the real protocol.
+//
+// Scenarios are pure state machines — no real threads, no real time — so a
+// schedule is just the sequence of actor indices stepped, and exploring
+// all schedules is a DFS over prefixes with deterministic replay:
+//
+//   explore_all:   depth-first enumeration of every schedule (the fringe
+//                  at each step is the set of *enabled* actors; blocked
+//                  actors — a pop on an empty ring, an acquire against a
+//                  full window — are simply not schedulable, exactly like
+//                  a thread parked on a condvar).
+//   explore_random: uniformly random schedules from a seed, for models
+//                  whose exhaustive space is too large.
+//   run_schedule_bytes: replay a schedule derived from opaque bytes (the
+//                  fuzz corpus): byte k picks enabled[b[k] % #enabled].
+//
+// A deadlock (no actor enabled, not all done) fails the exploration with
+// the exact schedule prefix that produced it; invariant violations raise
+// ADD_FAILURE from inside the model with the same context.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wavesz::interleave {
+
+/// One modeled thread. step() must only be called when enabled() is true;
+/// a step performs one indivisible protocol operation.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual bool done() const = 0;
+  /// Schedulable now? A blocked operation (would wait on a condvar /
+  /// backpressure window) reports false and the scheduler never picks it.
+  virtual bool enabled() const = 0;
+  virtual void step() = 0;
+};
+
+/// A fresh, deterministic instance of the protocol under test. Factories
+/// recreate the scenario for every schedule, so exploration replays from
+/// scratch rather than trying to undo state.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  virtual std::vector<Actor*> actors() = 0;
+  /// Per-schedule end-state checks (every slab retired, freelist intact,
+  /// ...). Step-local invariants assert inside step() itself.
+  virtual void check_final() = 0;
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>()>;
+
+struct ExploreResult {
+  std::uint64_t schedules = 0;   ///< complete schedules executed
+  std::uint64_t deadlocks = 0;   ///< prefixes with no enabled actor
+  std::uint64_t truncated = 0;   ///< schedules cut off by max_steps
+  std::string first_deadlock;    ///< schedule prefix of the first deadlock
+};
+
+namespace detail {
+
+inline std::vector<std::size_t> enabled_set(
+    const std::vector<Actor*>& actors) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < actors.size(); ++i) {
+    if (!actors[i]->done() && actors[i]->enabled()) out.push_back(i);
+  }
+  return out;
+}
+
+inline bool all_done(const std::vector<Actor*>& actors) {
+  for (const Actor* a : actors) {
+    if (!a->done()) return false;
+  }
+  return true;
+}
+
+inline std::string format_schedule(const std::vector<std::size_t>& picks) {
+  std::string s;
+  for (std::size_t p : picks) {
+    if (!s.empty()) s += ',';
+    s += std::to_string(p);
+  }
+  return s;
+}
+
+/// SplitMix64: tiny, deterministic, seedable — exactly what a replayable
+/// randomized scheduler needs (and no <random> state to misuse).
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+/// Exhaustively enumerate every schedule of `make()` up to `max_steps`
+/// operations per schedule. DFS with replay: the path records, per
+/// position, the enabled set seen there and the branch taken; backtracking
+/// advances the deepest position with an untried branch and replays.
+inline ExploreResult explore_all(const ScenarioFactory& make,
+                                 std::size_t max_steps = 10000) {
+  struct Choice {
+    std::size_t picked;
+    std::vector<std::size_t> enabled;
+  };
+  std::vector<Choice> path;
+  ExploreResult result;
+  for (;;) {
+    std::unique_ptr<Scenario> sc = make();
+    std::vector<Actor*> actors = sc->actors();
+    std::vector<std::size_t> picks;
+    picks.reserve(path.size());
+    for (const Choice& c : path) {
+      actors[c.picked]->step();
+      picks.push_back(c.picked);
+    }
+    // Extend the prefix to a complete schedule, always branching on the
+    // lowest enabled actor (alternatives are visited by backtracking).
+    bool complete = true;
+    while (!detail::all_done(actors)) {
+      if (picks.size() >= max_steps) {
+        ++result.truncated;
+        complete = false;
+        break;
+      }
+      std::vector<std::size_t> en = detail::enabled_set(actors);
+      if (en.empty()) {
+        ++result.deadlocks;
+        if (result.first_deadlock.empty()) {
+          result.first_deadlock = detail::format_schedule(picks);
+        }
+        complete = false;
+        break;
+      }
+      path.push_back(Choice{en.front(), en});
+      picks.push_back(en.front());
+      actors[en.front()]->step();
+    }
+    ++result.schedules;
+    if (complete) sc->check_final();
+    // Backtrack to the deepest choice point with an untried alternative.
+    while (!path.empty()) {
+      Choice& c = path.back();
+      std::size_t at = 0;
+      while (c.enabled[at] != c.picked) ++at;
+      if (at + 1 < c.enabled.size()) {
+        c.picked = c.enabled[at + 1];
+        break;
+      }
+      path.pop_back();
+    }
+    if (path.empty()) break;
+  }
+  return result;
+}
+
+/// Run `seeds` uniformly random schedules (seed, seed+1, ...): coverage
+/// for models whose exhaustive space exceeds what CI can enumerate.
+inline ExploreResult explore_random(const ScenarioFactory& make,
+                                    std::uint64_t seed, std::uint64_t seeds,
+                                    std::size_t max_steps = 100000) {
+  ExploreResult result;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    std::uint64_t rng = seed + s;
+    std::unique_ptr<Scenario> sc = make();
+    std::vector<Actor*> actors = sc->actors();
+    std::vector<std::size_t> picks;
+    bool complete = true;
+    while (!detail::all_done(actors)) {
+      if (picks.size() >= max_steps) {
+        ++result.truncated;
+        complete = false;
+        break;
+      }
+      std::vector<std::size_t> en = detail::enabled_set(actors);
+      if (en.empty()) {
+        ++result.deadlocks;
+        if (result.first_deadlock.empty()) {
+          result.first_deadlock = detail::format_schedule(picks);
+        }
+        complete = false;
+        break;
+      }
+      const std::size_t pick =
+          en[static_cast<std::size_t>(detail::splitmix64(rng) % en.size())];
+      picks.push_back(pick);
+      actors[pick]->step();
+    }
+    ++result.schedules;
+    if (complete) sc->check_final();
+  }
+  return result;
+}
+
+/// Replay one schedule chosen by opaque bytes — the bridge from the fuzz
+/// corpus: byte k selects enabled[bytes[k] % #enabled]; when the bytes run
+/// out the schedule continues round-robin, so every input drives a
+/// complete run. Returns the executed schedule (for reporting).
+inline std::vector<std::size_t> run_schedule_bytes(
+    const ScenarioFactory& make, const std::vector<std::uint8_t>& bytes,
+    ExploreResult& result, std::size_t max_steps = 100000) {
+  std::unique_ptr<Scenario> sc = make();
+  std::vector<Actor*> actors = sc->actors();
+  std::vector<std::size_t> picks;
+  std::size_t cursor = 0;
+  bool complete = true;
+  while (!detail::all_done(actors)) {
+    if (picks.size() >= max_steps) {
+      ++result.truncated;
+      complete = false;
+      break;
+    }
+    std::vector<std::size_t> en = detail::enabled_set(actors);
+    if (en.empty()) {
+      ++result.deadlocks;
+      if (result.first_deadlock.empty()) {
+        result.first_deadlock = detail::format_schedule(picks);
+      }
+      complete = false;
+      break;
+    }
+    const std::size_t sel = cursor < bytes.size()
+                                ? bytes[cursor] % en.size()
+                                : cursor % en.size();
+    ++cursor;
+    const std::size_t pick = en[sel];
+    picks.push_back(pick);
+    actors[pick]->step();
+  }
+  ++result.schedules;
+  if (complete) sc->check_final();
+  return picks;
+}
+
+}  // namespace wavesz::interleave

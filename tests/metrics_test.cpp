@@ -6,12 +6,16 @@
 #include <limits>
 #include <vector>
 
-#include "metrics/histogram.hpp"
+#include "telemetry/fixed_histogram.hpp"
 #include "metrics/stats.hpp"
 #include "util/error.hpp"
 
 namespace wavesz::metrics {
 namespace {
+
+// The fixed-bin figure histogram moved to telemetry/ (PR 10); keep the
+// short name the tests were written against.
+using Histogram = telemetry::FixedBinHistogram;
 
 TEST(Stats, ValueRange) {
   const std::vector<float> v{3.0f, -1.5f, 2.0f, 7.25f};

@@ -120,6 +120,82 @@ TEST(PipelineExecutor, AcquireTwiceWithoutSubmitThrows) {
   ex.drain();
 }
 
+// ------------------------------------------------- executor misuse contract
+// Every misuse either throws wavesz::Error or is a documented no-op; none
+// of them may hang. The interleave harness (tests/interleave/) checks the
+// same protocol across all schedules; these pin the API-boundary cases.
+
+TEST(PipelineExecutor, ZeroDepthConstructionThrows) {
+  EXPECT_THROW(
+      pipeline::Executor({{"stage.noop", [](std::size_t) {}}}, 0), Error);
+}
+
+TEST(PipelineExecutor, NoStagesConstructionThrows) {
+  EXPECT_THROW(pipeline::Executor({}, 1), Error);
+}
+
+TEST(PipelineExecutor, DoubleDrainIsANoOp) {
+  pipeline::Executor ex({{"stage.noop", [](std::size_t) {}}}, 2);
+  for (int i = 0; i < 4; ++i) {
+    ex.acquire();
+    ex.submit();
+  }
+  ex.drain();
+  EXPECT_NO_THROW(ex.drain());  // nothing in flight: returns immediately
+  EXPECT_EQ(ex.stats().slabs, 4u);
+}
+
+TEST(PipelineExecutor, SubmitAfterDrainWithoutAcquireThrows) {
+  pipeline::Executor ex({{"stage.noop", [](std::size_t) {}}}, 2);
+  ex.acquire();
+  ex.submit();
+  ex.drain();
+  EXPECT_THROW(ex.submit(), Error);
+  // The executor stays usable: a proper acquire/submit round still works.
+  EXPECT_EQ(ex.acquire(), 1u);
+  ex.submit();
+  ex.drain();
+  EXPECT_EQ(ex.stats().slabs, 2u);
+}
+
+TEST(PipelineExecutor, DrainOnFreshExecutorReturnsImmediately) {
+  pipeline::Executor ex({{"stage.noop", [](std::size_t) {}}}, 2);
+  EXPECT_NO_THROW(ex.drain());
+  EXPECT_EQ(ex.stats().slabs, 0u);
+}
+
+TEST(PipelineExecutor, DestructorWithoutDrainJoinsCleanly) {
+  // Submitted slabs must flow to retirement and the destructor must join
+  // without a drain() call — and without hanging.
+  std::atomic<int> ran{0};
+  {
+    pipeline::Executor ex(
+        {{"stage.count",
+          [&ran](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); }}},
+        2);
+    for (int i = 0; i < 8; ++i) {
+      ex.acquire();
+      ex.submit();
+    }
+    // No drain: the destructor closes the intake and joins.
+  }
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 8);
+}
+
+TEST(PipelineExecutor, DestructorWithReservedSlotJoinsCleanly) {
+  // acquire() without submit(): the reserved slot is simply abandoned.
+  pipeline::Executor ex({{"stage.noop", [](std::size_t) {}}}, 2);
+  ex.acquire();
+}
+
+TEST(PipelineExecutor, DestructorSwallowsUndrainedError) {
+  // An error nobody drained must not escape the destructor.
+  pipeline::Executor ex(
+      {{"stage.boom", [](std::size_t) { throw Error("undrained"); }}}, 2);
+  ex.acquire();
+  ex.submit();
+}
+
 // ------------------------------------------------------------------ arena
 
 TEST(Arena, VecPoolRecyclesCapacity) {

@@ -1,0 +1,2 @@
+// Fixture: no atomics here; the manifest entry below is orphaned.
+int plain() { return 0; }

@@ -1,0 +1,7 @@
+// Fixture: relaxed fetch_add without relaxed_rmw = true in the manifest —
+// must produce an [atomics-manifest] finding.
+#include <atomic>
+
+std::atomic<int> g_hits{0};
+
+void bump() { g_hits.fetch_add(1, std::memory_order_relaxed); }

@@ -1,0 +1,7 @@
+// Fixture: seq_cst store on an entry that only allows relaxed — must
+// produce an [atomics-manifest] finding.
+#include <atomic>
+
+std::atomic<bool> g_flag{false};
+
+void raise_flag() { g_flag.store(true, std::memory_order_seq_cst); }

@@ -1,0 +1,5 @@
+// Fixture: declares an atomic with no manifest entry — must produce an
+// [atomics-manifest] finding.
+#include <atomic>
+
+std::atomic<int> g_hits{0};

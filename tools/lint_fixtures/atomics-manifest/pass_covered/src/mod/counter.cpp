@@ -1,0 +1,6 @@
+// Fixture: fully manifested atomic — must be clean.
+#include <atomic>
+
+std::atomic<int> g_hits{0};
+
+void bump() { g_hits.fetch_add(1, std::memory_order_relaxed); }

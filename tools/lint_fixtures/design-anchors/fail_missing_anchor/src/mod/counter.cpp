@@ -1,0 +1,5 @@
+// Fixture: entry cites an anchor DESIGN.md lacks — must produce a
+// [design-anchors] finding.
+#include <atomic>
+
+std::atomic<int> g_hits{0};

@@ -1,0 +1,5 @@
+// Fixture: DESIGN.md carries an anchor no entry cites — must produce a
+// [design-anchors] finding.
+#include <atomic>
+
+std::atomic<int> g_hits{0};

@@ -1,0 +1,4 @@
+// Fixture: manifest and DESIGN.md agree — must be clean.
+#include <atomic>
+
+std::atomic<int> g_hits{0};

@@ -1,0 +1,4 @@
+// Fixture: must produce a [determinism] finding — rand() in src/.
+#include <cstdlib>
+
+int jitter() { return std::rand(); }

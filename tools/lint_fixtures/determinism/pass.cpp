@@ -1,0 +1,9 @@
+// Fixture: must be clean — pseudo-randomness from a fixed seed mix, a
+// pure function of its inputs.
+#include <cstdint>
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  return x ^ (x >> 33);
+}

@@ -1,0 +1,3 @@
+// Fixture: basename `common.hpp` also exists under beta/ — must produce
+// [header-shadow] findings for both.
+#pragma once

@@ -1,0 +1,2 @@
+// Fixture: unique basenames across subsystems — must be clean.
+#pragma once

@@ -1,0 +1,8 @@
+// Fixture: must produce a [lint-usage] finding — an allow() with no
+// reason is itself an error.
+#include <cstring>
+
+void copy_header(char* dst, const char* src) {
+  // wavesz-lint: allow(raw-memory)
+  std::memcpy(dst, src, 16);
+}

@@ -1,0 +1,8 @@
+// Fixture: must be clean — a reasoned allow() suppresses the finding on
+// the next code line.
+#include <cstring>
+
+void copy_header(char* dst, const char* src) {
+  // wavesz-lint: allow(raw-memory) fixture exercising the suppression path
+  std::memcpy(dst, src, 16);
+}

@@ -1,0 +1,3 @@
+// Fixture: must produce a [metric-names] finding — a hand-rolled series
+// name outside telemetry/metric_names.hpp.
+const char* series() { return "wavesz_custom_total"; }

@@ -1,0 +1,4 @@
+// Fixture: must be clean — exported names come from the registry.
+#include "telemetry/metric_names.hpp"
+
+const char* series() { return wavesz::telemetry::kMetricPrefix; }

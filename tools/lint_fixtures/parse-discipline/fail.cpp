@@ -1,0 +1,8 @@
+// Fixture: must produce a [parse-discipline] finding — a ByteReader parse
+// entry point with no contract check in the enclosing function.
+#include "util/bytes.hpp"
+
+int peek(const unsigned char* p, unsigned long n) {
+  wavesz::util::ByteReader r(p, n);
+  return static_cast<int>(r.u8());
+}

@@ -1,0 +1,9 @@
+// Fixture: must be clean — the parse validates before indexing.
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+
+int peek(const unsigned char* p, unsigned long n) {
+  WAVESZ_REQUIRE(n >= 1, "truncated input");
+  wavesz::util::ByteReader r(p, n);
+  return static_cast<int>(r.u8());
+}

@@ -1,0 +1,7 @@
+// Fixture: must produce a [raw-memory] finding — memcpy outside the
+// sanctioned util/bytes.hpp / util/float_bits.* primitives.
+#include <cstring>
+
+void copy_header(char* dst, const char* src) {
+  std::memcpy(dst, src, 16);
+}

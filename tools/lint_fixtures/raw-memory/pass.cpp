@@ -1,0 +1,7 @@
+// Fixture: must be clean — byte movement goes through the named
+// primitives from util/bytes.hpp.
+#include "util/bytes.hpp"
+
+void copy_header(unsigned char* dst, const unsigned char* src) {
+  wavesz::util::copy_bytes(dst, src, 16);
+}

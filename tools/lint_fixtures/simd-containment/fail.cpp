@@ -1,0 +1,5 @@
+// Fixture: must produce a [simd-containment] finding — raw intrinsics
+// outside util/simd.*.
+#include <immintrin.h>
+
+__m128 twice(__m128 v) { return _mm_add_ps(v, v); }

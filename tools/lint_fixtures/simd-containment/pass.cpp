@@ -1,0 +1,7 @@
+// Fixture: must be clean — ISA-specific work goes through the dispatched
+// kernels.
+#include "util/simd.hpp"
+
+void twice(float* v, unsigned long n) {
+  wavesz::simd::axpy(v, v, 1.0f, n);
+}

@@ -1,0 +1,8 @@
+// Fixture: must produce a [span-names] finding — Span built from a string
+// literal instead of a telemetry::spans::k* constant.
+#include "telemetry/telemetry.hpp"
+
+void stage() {
+  const wavesz::telemetry::Span span("compress");
+  (void)span;
+}

@@ -1,0 +1,8 @@
+// Fixture: must be clean — Span named by a registry constant.
+#include "telemetry/span_names.hpp"
+#include "telemetry/telemetry.hpp"
+
+void stage() {
+  const wavesz::telemetry::Span span(wavesz::telemetry::spans::kCompress);
+  (void)span;
+}

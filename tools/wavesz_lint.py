@@ -33,10 +33,35 @@ repo's own contracts, the ones a generic checker cannot know about:
                     runtime-dispatched kernels in util/simd.hpp, so
                     scalar/SSE2/AVX2 parity stays enforceable in one
                     place and no TU silently compiles ISA-specific code.
+  header-shadow     a header basename may exist in only one src/
+                    subsystem: two headers both called histogram.hpp in
+                    metrics/ and telemetry/ invite the wrong include and
+                    defeat grep; new shadows are rejected at lint time.
+  atomics-manifest  every std::atomic definition in src/, and every
+                    explicit memory_order_* argument, must be covered by
+                    tools/concurrency_manifest.toml: an entry names the
+                    atomic's role (single-writer counter, error latch,
+                    SPSC publication index, ...), its pairing (which
+                    release each acquire synchronizes with, or why
+                    relaxed is sound), the orderings it is allowed to
+                    use, and whether relaxed read-modify-writes are
+                    allowlisted for it. Unmanifested atomics, orphaned
+                    manifest entries, undeclared orderings and
+                    unallowlisted relaxed RMWs all fail the build.
+  design-anchors    each manifest entry cites a DESIGN.md "Concurrency
+                    contracts" anchor (design = "cc-...") that must
+                    exist, and every cc-* anchor in DESIGN.md must be
+                    cited by at least one entry — the doc and the
+                    manifest cannot drift apart silently.
   header-hygiene    every header under src/ compiles as the sole
                     include of a TU (self-contained, no hidden include
                     order dependency). Needs a compiler; skipped with
                     --no-header-check.
+
+The file list for the text passes is normally a walk of src/; pass
+--compile-commands build/compile_commands.json to drive the pass from the
+build's own TU list instead (headers are still walked — they have no
+compile commands of their own).
 
 Suppressions are inline and must carry a reason:
 
@@ -46,18 +71,29 @@ A suppression applies to its own line and the next code line, so it can
 sit above the offending statement. An allow() without a reason is itself
 an error — the reason is the review artifact.
 
+Self-testing: every rule has should-fail and should-pass fixtures under
+tools/lint_fixtures/; `wavesz_lint.py --self-test` runs the linter over
+each and fails if a fail-fixture produces no finding of its rule or a
+pass-fixture produces any.
+
 Exit status: 0 clean, 1 findings, 2 usage/internal error.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import shutil
 import subprocess
 import sys
 import tempfile
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - python < 3.11
+    tomllib = None
 
 RULES = (
     "raw-memory",
@@ -66,8 +102,14 @@ RULES = (
     "determinism",
     "parse-discipline",
     "simd-containment",
+    "header-shadow",
+    "atomics-manifest",
+    "design-anchors",
     "header-hygiene",
 )
+
+MANIFEST_REL = os.path.join("tools", "concurrency_manifest.toml")
+DESIGN_REL = "DESIGN.md"
 
 # Files allowed to use raw memory primitives: these ARE the named
 # primitives the rest of the tree is steered toward.
@@ -119,6 +161,35 @@ BYTE_READER_RE = re.compile(r"\bByteReader\s+\w+\s*\(|\bByteReader\s*\(")
 PARSE_VALIDATION_RE = re.compile(
     r"\bWAVESZ_REQUIRE\b|\bread_header\s*\(|\bparse_index\s*\(|"
     r"\bguarded_count\s*\(|\bchecked_count\s*\(")
+
+# ----------------------------------------------------------- atomics pass
+
+ATOMIC_RMW_OPS = frozenset({
+    "fetch_add", "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "exchange", "compare_exchange_weak", "compare_exchange_strong",
+})
+
+ATOMIC_OPS = frozenset(ATOMIC_RMW_OPS | {"load", "store", "wait"})
+
+# `receiver.op(` / `receiver->op(` / `receiver[index].op(` /
+# `accessor().op(`: the receiver identifier is what the manifest keys on
+# (aliases cover loop variables and accessor functions). Applied to
+# comment/string stripped text so macros and prose cannot fake a match.
+ATOMIC_OP_RE = re.compile(
+    r"(\w+)\s*(?:\(\s*\))?\s*(?:\[[^\]]*\])?\s*(?:\.|->)\s*"
+    r"(load|store|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"exchange|compare_exchange_weak|compare_exchange_strong|wait)\s*\(")
+
+# One std::atomic<...> occurrence; group 1 is the template argument (one
+# nesting level is enough for this tree), group 2 a ref/pointer declarator
+# that disqualifies it as a new atomic object.
+ATOMIC_DECL_RE = re.compile(
+    r"std::atomic<((?:[^<>]|<[^<>]*>)*)>\s*([&*]?)")
+
+MEMORY_ORDER_RE = re.compile(r"\bmemory_order_(\w+)\b|"
+                             r"\bmemory_order::(\w+)\b")
+
+DESIGN_ANCHOR_RE = re.compile(r'<a\s+id="(cc-[a-z0-9-]+)"\s*>')
 
 
 class Finding:
@@ -341,6 +412,354 @@ def lint_file(path: str, rel: str, findings: list[Finding]) -> None:
                 "function; validate lengths before indexing"))
 
 
+# ------------------------------------------------------ header-shadow rule
+
+def check_header_shadows(src_root: str, rel_prefix: str,
+                         findings: list[Finding]) -> None:
+    """Reject a header basename that exists in more than one src/
+    subsystem directory (metrics/histogram.hpp vs telemetry/histogram.hpp
+    was the motivating collision: `#include "…/histogram.hpp"` then picks
+    its meaning from the include-path order in force)."""
+    by_basename: dict[str, list[str]] = {}
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if not name.endswith((".hpp", ".h")):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), src_root)
+            by_basename.setdefault(name, []).append(rel)
+    for name, paths in sorted(by_basename.items()):
+        subsystems = sorted({p.split(os.sep)[0] for p in paths})
+        if len(subsystems) < 2:
+            continue
+        for p in sorted(paths):
+            findings.append(Finding(
+                os.path.join(rel_prefix, p), 1, "header-shadow",
+                f"header basename `{name}` exists in multiple src/ "
+                f"subsystems ({', '.join(subsystems)}); rename one — "
+                "basenames must be unique across subsystems"))
+
+
+# --------------------------------------------------- atomics-manifest pass
+
+class AtomicDecl:
+    def __init__(self, rel: str, line: int, name: str):
+        self.rel = rel
+        self.line = line
+        self.name = name
+
+
+class AtomicUse:
+    def __init__(self, rel: str, line: int, receiver: str | None,
+                 op: str | None, orders: list[str]):
+        self.rel = rel
+        self.line = line
+        self.receiver = receiver
+        self.op = op
+        self.orders = orders
+
+
+def scan_file_atomics(path: str, rel: str, findings: list[Finding]
+                      ) -> tuple[list[AtomicDecl], list[AtomicUse],
+                                 dict[int, set[str]]]:
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+    # Suppressions were already collected (and usage-checked) by
+    # lint_file(); re-collect without re-reporting usage errors.
+    sink: list[Finding] = []
+    suppressed = collect_suppressions(raw_lines, code_lines, rel, sink)
+
+    decls: list[AtomicDecl] = []
+    uses: list[AtomicUse] = []
+
+    # --- declarations: each std::atomic<...> occurrence that declares a
+    # new object. References/pointers (parameters, accessor return types)
+    # are uses of an object declared elsewhere; extern re-declarations,
+    # using-aliases and typedefs introduce no storage.
+    for dm in ATOMIC_DECL_RE.finditer(code):
+        if dm.group(2):  # `std::atomic<T>&` / `std::atomic<T>*`
+            continue
+        stmt_start = max(code.rfind(ch, 0, dm.start())
+                         for ch in (";", "{", "}")) + 1
+        lead = code[stmt_start:dm.start()]
+        if re.search(r"\b(extern|using|typedef)\b", lead):
+            continue
+        rem = code[dm.end():]
+        semi = rem.find(";")
+        rem = rem[:semi + 1] if semi >= 0 else rem
+        # Either the declarator follows directly (`std::atomic<T> name`),
+        # or the atomic is an element type inside std::array<...> and the
+        # declarator follows the array's own closing `>`.
+        m = re.match(r"\s*(\w+)", rem)
+        if m is None:
+            hits = re.findall(r">\s*(\w+)\s*[\{\(=;]", rem)
+            if not hits:
+                continue
+            name = hits[-1]
+        else:
+            name = m.group(1)
+        line = code.count("\n", 0, dm.start()) + 1
+        decls.append(AtomicDecl(rel, line, name))
+
+    # --- operations with explicit memory orders. Each op's window is its
+    # balanced-paren argument list; an order token inside nested calls
+    # (`a.store(b.load(acquire), relaxed)`) is attributed to the
+    # *innermost* enclosing operation.
+    ops = []  # (start_offset, args_begin, args_end, receiver, op)
+    for m in ATOMIC_OP_RE.finditer(code):
+        depth = 1
+        j = m.end()
+        while j < len(code) and depth > 0:
+            if code[j] == "(":
+                depth += 1
+            elif code[j] == ")":
+                depth -= 1
+            j += 1
+        ops.append((m.start(), m.end(), j, m.group(1), m.group(2)))
+
+    attributed: dict[int, list[str]] = {i: [] for i in range(len(ops))}
+    stray: list[tuple[int, str]] = []
+    for om in MEMORY_ORDER_RE.finditer(code):
+        order = om.group(1) or om.group(2)
+        innermost = None
+        for i, (_s, begin, end, _r, _o) in enumerate(ops):
+            if begin <= om.start() < end:
+                if innermost is None or begin > ops[innermost][1]:
+                    innermost = i
+        if innermost is None:
+            stray.append((om.start(), order))
+        else:
+            attributed[innermost].append(order)
+
+    for i, (start, _begin, _end, receiver, op) in enumerate(ops):
+        orders = attributed[i]
+        if not orders:
+            continue
+        line = code.count("\n", 0, start) + 1
+        uses.append(AtomicUse(rel, line, receiver, op, orders))
+
+    # --- stray memory_order tokens not inside a recognized operation
+    # (fences, helper constants, ...): they still need a manifest story,
+    # so they surface as unattributed uses.
+    for offset, order in stray:
+        line = code.count("\n", 0, offset) + 1
+        uses.append(AtomicUse(rel, line, None, None, [order]))
+
+    return decls, uses, suppressed
+
+
+def load_manifest(manifest_path: str, findings: list[Finding]
+                  ) -> list[dict] | None:
+    if tomllib is None:
+        findings.append(Finding(
+            manifest_path, 1, "atomics-manifest",
+            "python >= 3.11 (tomllib) required to parse the manifest"))
+        return None
+    if not os.path.isfile(manifest_path):
+        findings.append(Finding(
+            manifest_path, 1, "atomics-manifest",
+            "tools/concurrency_manifest.toml is missing; every "
+            "std::atomic in src/ must be manifested"))
+        return None
+    with open(manifest_path, "rb") as f:
+        try:
+            doc = tomllib.load(f)
+        except tomllib.TOMLDecodeError as e:
+            findings.append(Finding(
+                manifest_path, 1, "atomics-manifest",
+                f"manifest does not parse: {e}"))
+            return None
+    entries = doc.get("atomic", [])
+    required = ("file", "name", "role", "pairing", "design")
+    for n, entry in enumerate(entries, start=1):
+        for key in required:
+            if not entry.get(key):
+                findings.append(Finding(
+                    manifest_path, 1, "atomics-manifest",
+                    f"entry #{n} ({entry.get('name', '?')}) is missing "
+                    f"required key `{key}`"))
+    return entries
+
+
+def check_atomics(root: str, files: list[tuple[str, str]],
+                  manifest_path: str, design_path: str,
+                  findings: list[Finding]) -> None:
+    """The atomics-discipline pass: scan declarations and ordered
+    operations (pass 1), resolve them against the manifest (pass 2), then
+    cross-check the manifest against DESIGN.md's anchors (pass 3)."""
+    entries = load_manifest(manifest_path, findings)
+    if entries is None:
+        return
+    manifest_rel = os.path.relpath(manifest_path, root)
+
+    all_decls: list[AtomicDecl] = []
+    all_uses: list[AtomicUse] = []
+    suppressions: dict[str, dict[int, set[str]]] = {}
+    for path, rel in files:
+        decls, uses, suppressed = scan_file_atomics(path, rel, findings)
+        all_decls.extend(decls)
+        all_uses.extend(uses)
+        suppressions[rel] = suppressed
+
+    def suppressed_at(rel: str, line: int) -> bool:
+        return is_suppressed(suppressions.get(rel, {}), line,
+                             "atomics-manifest")
+
+    by_key = {(e["file"], e["name"]): e for e in entries
+              if e.get("file") and e.get("name")}
+
+    # Pass 2a: every declaration has an entry.
+    declared_keys = set()
+    for d in all_decls:
+        declared_keys.add((d.rel, d.name))
+        if (d.rel, d.name) in by_key:
+            continue
+        if suppressed_at(d.rel, d.line):
+            continue
+        findings.append(Finding(
+            d.rel, d.line, "atomics-manifest",
+            f"std::atomic `{d.name}` has no entry in "
+            f"{manifest_rel}; add one naming its role and pairing"))
+
+    # Pass 2b: no orphaned entries.
+    for e in entries:
+        key = (e.get("file"), e.get("name"))
+        if key[0] is None or key[1] is None:
+            continue
+        if key not in declared_keys:
+            findings.append(Finding(
+                manifest_rel, 1, "atomics-manifest",
+                f"orphaned entry: no std::atomic named `{key[1]}` is "
+                f"declared in `{key[0]}` — remove or update the entry"))
+
+    # Pass 2c: ordered operations resolve to an entry that allows them.
+    def resolve(use: AtomicUse) -> dict | None:
+        cands = [e for e in entries
+                 if use.receiver == e.get("name")
+                 or use.receiver in e.get("aliases", [])]
+        same_file = [e for e in cands if e.get("file") == use.rel]
+        if len(same_file) == 1:
+            return same_file[0]
+        listed = [e for e in cands if use.rel in e.get("uses_in", [])]
+        if len(listed) == 1:
+            return listed[0]
+        if len(cands) == 1:
+            return cands[0]
+        return None
+
+    for use in all_uses:
+        if suppressed_at(use.rel, use.line):
+            continue
+        if use.receiver is None:
+            findings.append(Finding(
+                use.rel, use.line, "atomics-manifest",
+                "memory_order_* outside a recognized atomic member "
+                "operation; attach it to a manifested atomic or add "
+                "`// wavesz-lint: allow(atomics-manifest) <why>`"))
+            continue
+        entry = resolve(use)
+        if entry is None:
+            findings.append(Finding(
+                use.rel, use.line, "atomics-manifest",
+                f"`{use.receiver}.{use.op}` uses an explicit memory "
+                f"order but resolves to no manifest entry (by name, "
+                f"alias, file or uses_in)"))
+            continue
+        allowed = entry.get("orders", [])
+        for order in use.orders:
+            if order not in allowed:
+                findings.append(Finding(
+                    use.rel, use.line, "atomics-manifest",
+                    f"`{use.receiver}.{use.op}` uses memory_order_"
+                    f"{order}, but the manifest entry for "
+                    f"`{entry['name']}` only allows "
+                    f"[{', '.join(allowed) or 'none'}]"))
+        if use.op in ATOMIC_RMW_OPS and "relaxed" in use.orders \
+                and not entry.get("relaxed_rmw", False):
+            findings.append(Finding(
+                use.rel, use.line, "atomics-manifest",
+                f"relaxed read-modify-write `{use.receiver}.{use.op}` "
+                f"is not allowlisted: set `relaxed_rmw = true` on the "
+                f"manifest entry with a justification in `pairing`"))
+
+    # Pass 3: manifest <-> DESIGN.md anchors, both directions.
+    if not os.path.isfile(design_path):
+        findings.append(Finding(
+            os.path.relpath(design_path, root), 1, "design-anchors",
+            "DESIGN.md missing; the manifest cites anchors in it"))
+        return
+    with open(design_path, encoding="utf-8") as f:
+        design_text = f.read()
+    anchors = set(DESIGN_ANCHOR_RE.findall(design_text))
+    design_rel = os.path.relpath(design_path, root)
+    cited = set()
+    for e in entries:
+        design = e.get("design")
+        if not design:
+            continue
+        cited.add(design)
+        if design not in anchors:
+            findings.append(Finding(
+                manifest_rel, 1, "design-anchors",
+                f"entry `{e.get('name')}` cites DESIGN.md anchor "
+                f"`{design}` which does not exist; add "
+                f'`<a id="{design}"></a>` to the Concurrency contracts '
+                "section or fix the reference"))
+    for anchor in sorted(anchors - cited):
+        findings.append(Finding(
+            design_rel, 1, "design-anchors",
+            f"DESIGN.md anchor `{anchor}` is cited by no manifest "
+            "entry; the doc and the manifest may have drifted"))
+
+
+# ------------------------------------------------------------ file listing
+
+def walk_sources(src_root: str, root: str) -> list[tuple[str, str]]:
+    files = []
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if not name.endswith((".cpp", ".hpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            files.append((path, os.path.relpath(path, root)))
+    return files
+
+
+def sources_from_compile_commands(cc_path: str, src_root: str, root: str,
+                                  findings: list[Finding]
+                                  ) -> list[tuple[str, str]] | None:
+    """TU list from the build's compilation database, plus every header
+    under src/ (headers have no compile command of their own)."""
+    try:
+        with open(cc_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        findings.append(Finding(
+            cc_path, 1, "lint-usage",
+            f"cannot read compile_commands.json: {e}"))
+        return None
+    files: dict[str, str] = {}
+    src_prefix = os.path.abspath(src_root) + os.sep
+    for entry in db:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        if not path.startswith(src_prefix):
+            continue
+        if not path.endswith((".cpp", ".hpp")):
+            continue
+        files[path] = os.path.relpath(path, root)
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for name in sorted(filenames):
+            if name.endswith(".hpp"):
+                path = os.path.abspath(os.path.join(dirpath, name))
+                files[path] = os.path.relpath(path, root)
+    return sorted(files.items())
+
+
+# ---------------------------------------------------------- header hygiene
+
 def check_headers(src_root: str, cxx: str, extra_flags: list[str],
                   findings: list[Finding]) -> None:
     headers = []
@@ -369,33 +788,130 @@ def check_headers(src_root: str, cxx: str, extra_flags: list[str],
                     f"{first_error}"))
 
 
+# -------------------------------------------------------------- self-test
+
+def run_self_test(root: str) -> int:
+    """Run every fixture under tools/lint_fixtures/: fail* fixtures must
+    produce at least one finding of their rule, pass* fixtures none."""
+    fixtures_root = os.path.join(root, "tools", "lint_fixtures")
+    if not os.path.isdir(fixtures_root):
+        print(f"wavesz_lint: no fixtures at {fixtures_root}",
+              file=sys.stderr)
+        return 2
+    failures: list[str] = []
+    checked = 0
+
+    def expect(rule: str, fixture: str, findings: list[Finding],
+               want_findings: bool) -> None:
+        nonlocal checked
+        checked += 1
+        hits = [f for f in findings if f.rule == rule]
+        if want_findings and not hits:
+            failures.append(
+                f"{fixture}: expected a [{rule}] finding, got none "
+                f"(all findings: {[str(f) for f in findings]})")
+        if not want_findings:
+            # A pass fixture must be clean overall, not just for its own
+            # rule — collateral findings would poison real runs too.
+            if findings:
+                failures.append(
+                    f"{fixture}: expected clean, got "
+                    f"{[str(f) for f in findings]}")
+
+    for rule in sorted(os.listdir(fixtures_root)):
+        rule_dir = os.path.join(fixtures_root, rule)
+        if not os.path.isdir(rule_dir):
+            continue
+        for case in sorted(os.listdir(rule_dir)):
+            case_path = os.path.join(rule_dir, case)
+            want = case.startswith("fail")
+            label = f"{rule}/{case}"
+            findings: list[Finding] = []
+            if os.path.isfile(case_path):
+                # Single-file fixture: linted as if it sat at
+                # src/fixture/<name> (never inside a sanctioned path).
+                lint_file(case_path,
+                          os.path.join("src", "fixture", case), findings)
+                expect(rule, label, findings, want)
+            elif rule == "header-shadow":
+                check_header_shadows(os.path.join(case_path, "src"),
+                                     "src", findings)
+                expect(rule, label, findings, want)
+            elif rule in ("atomics-manifest", "design-anchors"):
+                files = walk_sources(os.path.join(case_path, "src"),
+                                     case_path)
+                check_atomics(case_path, files,
+                              os.path.join(case_path, "manifest.toml"),
+                              os.path.join(case_path, "DESIGN.md"),
+                              findings)
+                expect(rule, label, findings, want)
+            else:
+                failures.append(f"{label}: unhandled directory fixture")
+
+    for line in failures:
+        print(f"self-test: {line}")
+    if failures:
+        print(f"wavesz_lint --self-test: {len(failures)} failure(s) over "
+              f"{checked} fixtures", file=sys.stderr)
+        return 1
+    print(f"wavesz_lint --self-test: {checked} fixtures ok")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
     parser.add_argument("--no-header-check", action="store_true",
                         help="skip the compile-based header-hygiene rule")
+    parser.add_argument("--check-atomics", action="store_true",
+                        help="run only the atomics-manifest / "
+                             "design-anchors passes")
+    parser.add_argument("--compile-commands", default="",
+                        help="drive the pass from this "
+                             "compile_commands.json instead of walking "
+                             "src/ (headers are still walked)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the lint_fixtures suite and exit")
+    parser.add_argument("--manifest", default="",
+                        help=f"concurrency manifest path (default: "
+                             f"<root>/{MANIFEST_REL})")
+    parser.add_argument("--design", default="",
+                        help=f"design doc with cc-* anchors (default: "
+                             f"<root>/{DESIGN_REL})")
     parser.add_argument("--cxx", default=os.environ.get("CXX", ""),
                         help="compiler for header-hygiene "
                              "(default: $CXX, else g++/clang++)")
     args = parser.parse_args(argv)
 
     root = os.path.abspath(args.root)
+    if args.self_test:
+        return run_self_test(root)
+
     src_root = os.path.join(root, "src")
     if not os.path.isdir(src_root):
         print(f"wavesz_lint: no src/ under {root}", file=sys.stderr)
         return 2
 
     findings: list[Finding] = []
-    for dirpath, _dirnames, filenames in os.walk(src_root):
-        for name in sorted(filenames):
-            if not name.endswith((".cpp", ".hpp")):
-                continue
-            path = os.path.join(dirpath, name)
-            rel = os.path.relpath(path, root)
-            lint_file(path, rel, findings)
+    if args.compile_commands:
+        files = sources_from_compile_commands(
+            args.compile_commands, src_root, root, findings)
+        if files is None:
+            return 2
+    else:
+        files = walk_sources(src_root, root)
 
-    if not args.no_header_check:
+    if not args.check_atomics:
+        for path, rel in files:
+            lint_file(path, rel, findings)
+        check_header_shadows(src_root, "src", findings)
+
+    manifest = args.manifest or os.path.join(root, MANIFEST_REL)
+    design = args.design or os.path.join(root, DESIGN_REL)
+    check_atomics(root, files, manifest, design, findings)
+
+    if not args.check_atomics and not args.no_header_check:
         cxx = args.cxx
         if not cxx:
             cxx = shutil.which("g++") or shutil.which("clang++") or ""
